@@ -1,0 +1,107 @@
+// Ablation: cache-affine scheduling (DESIGN.md §6).
+//
+// The paper's Work Queue "prefers to schedule tasks where needed data is
+// cached". This ablation reruns the HEP workload with cache affinity
+// enabled/disabled at several network bandwidths: affinity matters exactly
+// when the environment transfer is expensive relative to task runtime.
+#include "apps/hep.h"
+#include "apps/workload.h"
+#include "util/rng.h"
+#include "bench_common.h"
+#include "sim/site.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace lfm;
+
+alloc::LabelerConfig cfg() {
+  alloc::LabelerConfig c;
+  c.whole_node = alloc::Resources{8, 8e9, 2e9};
+  c.guess = apps::hep::guess_allocation();
+  c.warmup_samples = 2;
+  return c;
+}
+
+// Four applications share the pool, each with its own 400 MB environment.
+// With affinity ON the master routes each app's tasks to workers that
+// already hold its environment (workers specialize); OFF, tasks land on
+// whichever worker is most loaded, so every worker eventually fetches every
+// environment.
+std::vector<wq::TaskSpec> multi_app_tasks(int per_app) {
+  Rng rng(23);
+  std::vector<wq::TaskSpec> tasks;
+  uint64_t id = 0;
+  // Round-robin interleave: the four applications run concurrently.
+  for (int i = 0; i < per_app; ++i) {
+    for (int app = 0; app < 4; ++app) {
+      wq::TaskSpec t;
+      t.id = ++id;
+      t.category = strformat("app-%d", app);
+      t.inputs.push_back(apps::environment_file(strformat("env-%d.tar.gz", app),
+                                                400LL * 1000 * 1000, 3.0));
+      t.exec_seconds = rng.uniform(20.0, 40.0);
+      t.true_cores = 1.0;
+      t.true_peak = alloc::Resources{1.0, 100e6, 0.4e9};
+      t.peak_fraction = 0.5;
+      tasks.push_back(std::move(t));
+    }
+  }
+  return tasks;
+}
+
+void print_table() {
+  lfm::bench::print_header("Ablation: cache-affine dispatch on/off",
+                           "DESIGN.md ablation (mechanism behind Figs 6-9)");
+  const auto tasks = multi_app_tasks(50);
+  // 2 GB of disk per worker, half reserved for the cache: room for TWO of
+  // the four 400 MB environments -> placement decides how much thrashing.
+  const std::vector<wq::WorkerSpec> workers(
+      8, wq::WorkerSpec{alloc::Resources{8, 8e9, 2e9}, 0.0});
+
+  std::printf("%-16s %14s %14s %12s %12s %9s %9s\n", "master uplink",
+              "affinity on (s)", "affinity off (s)", "bytes on", "bytes off",
+              "evict on", "evict off");
+  for (const double gbps : {10.0, 1.0, 0.25}) {
+    sim::NetworkParams net;
+    net.bandwidth = gbps * 125e6;  // Gb/s -> bytes/s
+    net.per_flow_bandwidth = net.bandwidth;
+
+    wq::MasterConfig on;
+    on.cache_affinity = true;
+    wq::MasterConfig off;
+    off.cache_affinity = false;
+    const auto with_affinity =
+        wq::run_scenario(alloc::Strategy::kOracle, cfg(), workers, tasks, net, on);
+    const auto without =
+        wq::run_scenario(alloc::Strategy::kOracle, cfg(), workers, tasks, net, off);
+    std::printf("%-16s %14.1f %14.1f %12s %12s %9lld %9lld\n",
+                strformat("%.2f Gb/s", gbps).c_str(),
+                with_affinity.stats.makespan, without.stats.makespan,
+                format_bytes(with_affinity.stats.transferred_bytes).c_str(),
+                format_bytes(without.stats.transferred_bytes).c_str(),
+                static_cast<long long>(with_affinity.stats.cache_evictions),
+                static_cast<long long>(without.stats.cache_evictions));
+  }
+  std::printf("\n(expected: affinity moves fewer environment bytes — workers\n"
+              " specialize per application — and wins outright on slow links)\n");
+}
+
+void BM_cache_on(benchmark::State& state) {
+  apps::hep::Params params;
+  params.tasks = 100;
+  const auto tasks = apps::hep::generate(params);
+  const std::vector<wq::WorkerSpec> workers(
+      10, wq::WorkerSpec{alloc::Resources{8, 8e9, 16e9}, 0.0});
+  for (auto _ : state) {
+    const auto r = wq::run_scenario(alloc::Strategy::kOracle, cfg(), workers, tasks,
+                                    sim::nd_crc().network);
+    benchmark::DoNotOptimize(r.stats.makespan);
+  }
+}
+BENCHMARK(BM_cache_on);
+
+}  // namespace
+
+LFM_BENCH_MAIN(print_table)

@@ -1,0 +1,88 @@
+// Shared helpers for the per-table/figure benchmark binaries.
+//
+// Each binary prints the paper-shaped table first (the reproduction output
+// recorded in EXPERIMENTS.md), then runs its registered google-benchmark
+// timings so `--benchmark_*` flags work as usual.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "alloc/labeler.h"
+#include "wq/master.h"
+
+namespace lfm::bench {
+
+// The four §VI.C strategies in presentation order.
+inline const std::vector<alloc::Strategy>& all_strategies() {
+  static const std::vector<alloc::Strategy> kStrategies = {
+      alloc::Strategy::kOracle, alloc::Strategy::kAuto, alloc::Strategy::kGuess,
+      alloc::Strategy::kUnmanaged};
+  return kStrategies;
+}
+
+// Run one workload under every strategy; returns makespans keyed like
+// all_strategies(). `workers` and `tasks` are copied per run so strategies
+// see identical inputs.
+struct StrategyRow {
+  double oracle = 0.0;
+  double auto_label = 0.0;
+  double guess = 0.0;
+  double unmanaged = 0.0;
+  int64_t auto_retries = 0;
+};
+
+inline StrategyRow run_all_strategies(const alloc::LabelerConfig& base,
+                                      const std::vector<wq::WorkerSpec>& workers,
+                                      const std::vector<wq::TaskSpec>& tasks,
+                                      const sim::NetworkParams& net,
+                                      const wq::MasterConfig& mc = {}) {
+  StrategyRow row;
+  for (const auto strategy : all_strategies()) {
+    const auto result = wq::run_scenario(strategy, base, workers, tasks, net, mc);
+    switch (strategy) {
+      case alloc::Strategy::kOracle: row.oracle = result.stats.makespan; break;
+      case alloc::Strategy::kAuto:
+        row.auto_label = result.stats.makespan;
+        row.auto_retries = result.stats.exhaustion_retries;
+        break;
+      case alloc::Strategy::kGuess: row.guess = result.stats.makespan; break;
+      case alloc::Strategy::kUnmanaged: row.unmanaged = result.stats.makespan; break;
+    }
+  }
+  return row;
+}
+
+inline void print_header(const char* title, const char* source) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s)\n", source);
+  std::printf("================================================================\n");
+}
+
+inline void print_strategy_table_header(const char* x_label) {
+  std::printf("%-12s %12s %12s %12s %12s %8s\n", x_label, "oracle(s)", "auto(s)",
+              "guess(s)", "unmanaged(s)", "retries");
+}
+
+inline void print_strategy_row(const std::string& x, const StrategyRow& row) {
+  std::printf("%-12s %12.1f %12.1f %12.1f %12.1f %8lld\n", x.c_str(), row.oracle,
+              row.auto_label, row.guess, row.unmanaged,
+              static_cast<long long>(row.auto_retries));
+}
+
+}  // namespace lfm::bench
+
+// Each bench binary prints its table, then runs google-benchmark timings.
+#define LFM_BENCH_MAIN(print_fn)                         \
+  int main(int argc, char** argv) {                      \
+    print_fn();                                          \
+    ::benchmark::Initialize(&argc, argv);                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();               \
+    ::benchmark::Shutdown();                             \
+    return 0;                                            \
+  }

@@ -1,0 +1,75 @@
+// Figure 4: average time to import Python modules on Theta while scaling
+// from 64 to 32,768 cores (1 to 512 nodes), one import per core, loading
+// directly from the shared filesystem.
+//
+// Modelling notes: the interpreter itself comes from the site-optimized
+// install and is the common baseline of every row; each module's cost is
+// its OWN files (cold lookups + reads). The 64 processes of a node share
+// the Lustre client cache, so the contention unit at the metadata server is
+// the node.
+//
+// Paper shape: near-constant time for python / numpy / matplotlib;
+// TensorFlow import time grows sharply with node count (metadata-server
+// collapse under concurrent load).
+#include "bench_common.h"
+#include "pkg/index.h"
+#include "sim/envdist.h"
+
+namespace {
+
+using namespace lfm;
+
+void print_table() {
+  lfm::bench::print_header(
+      "Figure 4: import time vs core count on Theta (shared FS direct)",
+      "Figure 4 of the paper");
+  const pkg::PackageIndex index = pkg::standard_index();
+  const sim::Site site = sim::theta();
+  const sim::EnvDistModel model(site);
+
+  // Per-module metas: the module's own files/bytes. "python" is the bare
+  // interpreter from the site install (conda cold start); "numpy+matplotlib"
+  // is the sum of both packages.
+  const auto* numpy = index.best("numpy", pkg::VersionSpec::any());
+  const auto* matplotlib = index.best("matplotlib", pkg::VersionSpec::any());
+  const auto* tensorflow = index.best("tensorflow", pkg::VersionSpec::any());
+  if (numpy == nullptr || matplotlib == nullptr || tensorflow == nullptr) {
+    throw Error("fig4: standard index missing expected packages");
+  }
+  pkg::PackageMeta combined;
+  combined.name = "numpy+matplotlib";
+  combined.file_count = numpy->file_count + matplotlib->file_count;
+  combined.size_bytes = numpy->size_bytes + matplotlib->size_bytes;
+
+  const std::vector<const pkg::PackageMeta*> modules = {numpy, matplotlib,
+                                                        &combined, tensorflow};
+
+  std::printf("%-8s %-8s %16s", "cores", "nodes", "python");
+  for (const auto* m : modules) std::printf(" %16s", m->name.c_str());
+  std::printf("\n");
+  for (int nodes = 1; nodes <= 512; nodes *= 2) {
+    const int cores = nodes * site.node.cores;
+    const double python_baseline = sim::conda_runtime().cold_start_seconds();
+    std::printf("%-8d %-8d %16.2f", cores, nodes, python_baseline);
+    for (const auto* m : modules) {
+      std::printf(" %16.2f", python_baseline + model.module_import_seconds(*m, nodes));
+    }
+    std::printf("\n");
+  }
+  std::printf("(seconds per import; paper shape: python/numpy/matplotlib flat-ish,\n"
+              " tensorflow grows steeply with scale)\n");
+}
+
+void BM_import_model_512_nodes(benchmark::State& state) {
+  const pkg::PackageIndex index = pkg::standard_index();
+  const sim::EnvDistModel model(sim::theta());
+  const auto* tensorflow = index.best("tensorflow", pkg::VersionSpec::any());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.module_import_seconds(*tensorflow, 512));
+  }
+}
+BENCHMARK(BM_import_model_512_nodes);
+
+}  // namespace
+
+LFM_BENCH_MAIN(print_table)

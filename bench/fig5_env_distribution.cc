@@ -1,0 +1,62 @@
+// Figure 5: cumulative time to load the TensorFlow environment across an
+// increasing number of nodes, comparing direct shared-filesystem access
+// against transferring the conda-pack archive and unpacking to node-local
+// storage, on Theta, Cori, and ND-CRC.
+//
+// Paper shape: both methods degrade as nodes increase, but packed transfer +
+// local unpack significantly outperforms direct access at every site; the
+// gap widens with scale. Cumulative time reaches many node-hours.
+#include "bench_common.h"
+#include "pkg/index.h"
+#include "pkg/solver.h"
+#include "sim/envdist.h"
+
+namespace {
+
+using namespace lfm;
+
+void print_table() {
+  lfm::bench::print_header(
+      "Figure 5: TensorFlow environment load, direct vs packed+local unpack",
+      "Figure 5 of the paper");
+  const pkg::PackageIndex index = pkg::standard_index();
+  pkg::Solver solver(index);
+  auto result = solver.resolve({pkg::Requirement::parse("tensorflow")});
+  if (!result.ok()) throw Error("fig5: " + result.error());
+  const pkg::Environment env("tensorflow", std::move(result).take());
+
+  for (const sim::Site& site : {sim::theta(), sim::cori(), sim::nd_crc()}) {
+    const sim::EnvDistModel model(site);
+    std::printf("\n-- %s --\n", site.name.c_str());
+    std::printf("%-8s %18s %18s %20s %20s\n", "nodes", "direct/node (s)",
+                "packed/node (s)", "direct cumul (h)", "packed cumul (h)");
+    for (int nodes = 1; nodes <= 512; nodes *= 4) {
+      const double direct = model.setup_seconds(
+          env, sim::DistributionMethod::kSharedFsDirect, nodes);
+      const double packed = model.setup_seconds(
+          env, sim::DistributionMethod::kPackedTransfer, nodes);
+      std::printf("%-8d %18.1f %18.1f %20.2f %20.2f\n", nodes, direct, packed,
+                  direct * nodes / 3600.0, packed * nodes / 3600.0);
+    }
+  }
+  std::printf(
+      "\n(paper shape: both methods grow with node count; packed transfer +\n"
+      " local unpack wins at every site, increasingly so at scale)\n");
+}
+
+void BM_setup_model(benchmark::State& state) {
+  const pkg::PackageIndex index = pkg::standard_index();
+  pkg::Solver solver(index);
+  const pkg::Environment env("tensorflow",
+                             solver.resolve({pkg::Requirement::parse("tensorflow")}).take());
+  const sim::EnvDistModel model(sim::theta());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.setup_seconds(
+        env, sim::DistributionMethod::kPackedTransfer, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_setup_model)->Arg(16)->Arg(256);
+
+}  // namespace
+
+LFM_BENCH_MAIN(print_table)

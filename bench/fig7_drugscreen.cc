@@ -1,0 +1,83 @@
+// Figure 7: drug-screening pipeline on Theta (64-core KNL nodes, one worker
+// per node), four strategies. Left: varying total tasks on 14 nodes.
+// Right: fixed 4 molecule-batches per worker while scaling workers.
+//
+// Paper shape: Oracle shortest, Auto close behind, Unmanaged much worse.
+// The Guess configuration (16 cores / 40 GB / 5 GB) over-allocates the light
+// featurization stages and under-allocates nothing, so it packs only a few
+// tasks per node.
+#include "apps/drugscreen.h"
+#include "bench_common.h"
+#include "sim/site.h"
+
+namespace {
+
+using namespace lfm;
+using lfm::bench::StrategyRow;
+
+alloc::LabelerConfig theta_config() {
+  const sim::Site site = sim::theta();
+  alloc::LabelerConfig cfg;
+  cfg.whole_node = alloc::Resources{static_cast<double>(site.node.cores),
+                                    static_cast<double>(site.node.memory_bytes),
+                                    static_cast<double>(site.node.disk_bytes)};
+  cfg.warmup_samples = 2;
+  cfg.guess = apps::drugscreen::guess_allocation();
+  return cfg;
+}
+
+std::vector<wq::WorkerSpec> theta_workers(int count) {
+  const sim::Site site = sim::theta();
+  return std::vector<wq::WorkerSpec>(
+      static_cast<size_t>(count),
+      wq::WorkerSpec{alloc::Resources{static_cast<double>(site.node.cores),
+                                      static_cast<double>(site.node.memory_bytes),
+                                      static_cast<double>(site.node.disk_bytes)},
+                     0.0});
+}
+
+void print_table() {
+  lfm::bench::print_header("Figure 7: drug screening pipeline on Theta",
+                           "Figure 7 of the paper");
+  const sim::NetworkParams net = sim::theta().network;
+
+  std::printf("\n(left) varying molecule batches on 14 nodes (6 tasks per batch)\n");
+  lfm::bench::print_strategy_table_header("molecules");
+  for (const int molecules : {25, 50, 100, 200}) {
+    apps::drugscreen::Params params;
+    params.molecules = molecules;
+    const StrategyRow row = lfm::bench::run_all_strategies(
+        theta_config(), theta_workers(14), apps::drugscreen::generate(params), net);
+    lfm::bench::print_strategy_row(std::to_string(molecules), row);
+  }
+
+  std::printf("\n(right) 4 molecule batches per worker, scaling workers\n");
+  lfm::bench::print_strategy_table_header("workers");
+  for (const int w : {2, 4, 8, 16}) {
+    apps::drugscreen::Params params;
+    params.molecules = 4 * w;  // workload proportional to pool size
+    const StrategyRow row = lfm::bench::run_all_strategies(
+        theta_config(), theta_workers(w), apps::drugscreen::generate(params), net);
+    lfm::bench::print_strategy_row(std::to_string(w), row);
+  }
+
+  std::printf("\n(paper shape: oracle shortest, auto close behind, unmanaged much\n"
+              " worse; right-hand curves stay nearly flat = good weak scaling)\n");
+}
+
+void BM_drug_auto(benchmark::State& state) {
+  apps::drugscreen::Params params;
+  params.molecules = 50;
+  const auto tasks = apps::drugscreen::generate(params);
+  const sim::NetworkParams net = sim::theta().network;
+  for (auto _ : state) {
+    const auto result = wq::run_scenario(alloc::Strategy::kAuto, theta_config(),
+                                         theta_workers(14), tasks, net);
+    benchmark::DoNotOptimize(result.stats.makespan);
+  }
+}
+BENCHMARK(BM_drug_auto);
+
+}  // namespace
+
+LFM_BENCH_MAIN(print_table)

@@ -1,0 +1,89 @@
+// Figure 9: funcX image-classification benchmark (Keras ResNet) with LFMs
+// in place of containers — Auto and Guess (with LFMs) vs Unmanaged (without),
+// scaling tasks (left) and workers (right, workload proportional).
+//
+// Paper shape: auto labeling + LFMs achieve near-oracle performance and
+// significantly outperform the unmanaged, non-LFM case.
+#include "apps/imageclass.h"
+#include "bench_common.h"
+#include "sim/site.h"
+
+namespace {
+
+using namespace lfm;
+
+alloc::LabelerConfig node_config() {
+  alloc::LabelerConfig cfg;
+  cfg.whole_node = alloc::Resources{16.0, 64e9, 200e9};  // funcX endpoint node
+  cfg.warmup_samples = 2;
+  cfg.guess = apps::imageclass::guess_allocation();
+  return cfg;
+}
+
+std::vector<wq::WorkerSpec> ep_workers(int count) {
+  return std::vector<wq::WorkerSpec>(
+      static_cast<size_t>(count),
+      wq::WorkerSpec{alloc::Resources{16.0, 64e9, 200e9}, 0.0});
+}
+
+void print_row(const std::string& x, double auto_t, double guess_t,
+               double unmanaged_t) {
+  std::printf("%-12s %12.1f %12.1f %14.1f %14.1fx\n", x.c_str(), auto_t, guess_t,
+              unmanaged_t, unmanaged_t / auto_t);
+}
+
+void run_sweep(const char* label, const std::vector<std::pair<int, int>>& points) {
+  // points: (tasks, workers)
+  std::printf("%-12s %12s %12s %14s %14s\n", label, "auto(s)", "guess(s)",
+              "unmanaged(s)", "speedup");
+  for (const auto& [tasks, workers] : points) {
+    apps::imageclass::Params params;
+    params.tasks = tasks;
+    const auto task_set = apps::imageclass::generate(params);
+    const sim::NetworkParams net = sim::theta().network;
+    const double auto_t = wq::run_scenario(alloc::Strategy::kAuto, node_config(),
+                                           ep_workers(workers), task_set, net)
+                              .stats.makespan;
+    const double guess_t = wq::run_scenario(alloc::Strategy::kGuess, node_config(),
+                                            ep_workers(workers), task_set, net)
+                               .stats.makespan;
+    const double unmanaged_t =
+        wq::run_scenario(alloc::Strategy::kUnmanaged, node_config(),
+                         ep_workers(workers), task_set, net)
+            .stats.makespan;
+    print_row(std::to_string(tasks) + "/" + std::to_string(workers), auto_t, guess_t,
+              unmanaged_t);
+  }
+}
+
+void print_table() {
+  lfm::bench::print_header(
+      "Figure 9: funcX ResNet image classification, LFM vs non-LFM",
+      "Figure 9 of the paper");
+
+  std::printf("\n(left) varying task count on 4 endpoint workers (tasks/workers)\n");
+  run_sweep("t/w", {{50, 4}, {100, 4}, {200, 4}, {400, 4}});
+
+  std::printf("\n(right) workload proportional to workers (50 tasks per worker)\n");
+  run_sweep("t/w", {{50, 1}, {100, 2}, {200, 4}, {400, 8}});
+
+  std::printf("\n(paper shape: auto ~ near-oracle; unmanaged several-fold slower;\n"
+              " right-hand sweep flat = LFM packing preserves weak scaling)\n");
+}
+
+void BM_funcx_auto(benchmark::State& state) {
+  apps::imageclass::Params params;
+  params.tasks = 200;
+  const auto tasks = apps::imageclass::generate(params);
+  const sim::NetworkParams net = sim::theta().network;
+  for (auto _ : state) {
+    const auto result = wq::run_scenario(alloc::Strategy::kAuto, node_config(),
+                                         ep_workers(4), tasks, net);
+    benchmark::DoNotOptimize(result.stats.makespan);
+  }
+}
+BENCHMARK(BM_funcx_auto);
+
+}  // namespace
+
+LFM_BENCH_MAIN(print_table)

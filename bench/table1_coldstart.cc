@@ -1,0 +1,53 @@
+// Table I: time to run a "Hello World" Python function in a standard
+// Python 3 environment, comparing Conda activation against the container
+// runtime each site offers (Singularity on Theta, Shifter on Cori, Docker
+// on AWS EC2).
+//
+// Paper-reported shape: Conda is significantly faster than every container
+// technology, because activation only changes environment variables while
+// containers create namespaces, mount images, and prepare IO controllers.
+#include "bench_common.h"
+#include "sim/site.h"
+
+namespace {
+
+using namespace lfm;
+using namespace lfm::sim;
+
+void print_table() {
+  lfm::bench::print_header("Table I: 'Hello World' cold start by environment technology",
+                           "Table I of the paper");
+  std::printf("%-8s %-14s %10s   %s\n", "site", "runtime", "time (s)", "breakdown");
+  for (const Site& site : {theta(), cori(), aws_ec2()}) {
+    for (const RuntimeCosts& runtime : site.runtimes) {
+      std::printf("%-8s %-14s %10.2f   env=%.2f ns=%.2f mount=%.2f ctl=%.2f py=%.2f\n",
+                  site.name.c_str(), runtime.name.c_str(),
+                  runtime.cold_start_seconds(), runtime.env_setup_seconds,
+                  runtime.namespace_seconds, runtime.image_mount_seconds,
+                  runtime.controller_seconds, runtime.interpreter_seconds);
+    }
+  }
+  std::printf("\nShape check (paper: conda << container at every site):\n");
+  for (const Site& site : {theta(), cori(), aws_ec2()}) {
+    const double conda = site.runtimes[0].cold_start_seconds();
+    const double container = site.runtimes[1].cold_start_seconds();
+    std::printf("  %-8s conda %.2fs vs %s %.2fs -> %.1fx faster\n", site.name.c_str(),
+                conda, site.runtimes[1].name.c_str(), container, container / conda);
+  }
+}
+
+void BM_cold_start_model(benchmark::State& state) {
+  const Site site = theta();
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const RuntimeCosts& runtime : site.runtimes) {
+      total += runtime.cold_start_seconds();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_cold_start_model);
+
+}  // namespace
+
+LFM_BENCH_MAIN(print_table)

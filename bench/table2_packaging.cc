@@ -1,0 +1,114 @@
+// Table II: package analysis/creation/run costs, packed size, and transitive
+// dependency counts for the interpreter, NumPy, popular scientific PyPI
+// packages, and the three applications.
+//
+// The "analyze" column is REAL: it times this repo's static dependency
+// analyzer (mini-Python parse + import scan + solver) on a synthetic user
+// function importing the package. Create/pack/run use the calibrated cost
+// model on Theta. Paper shape: analyze << create; costs and sizes grow with
+// dependency count; TF/MXNet and the applications dominate.
+#include <chrono>
+
+#include "bench_common.h"
+#include "flow/plan.h"
+#include "pkg/index.h"
+#include "sim/envdist.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace lfm;
+
+struct Row {
+  const char* package;
+  const char* import_name;  // what the user function imports
+};
+
+const Row kRows[] = {
+    {"python", ""},
+    {"numpy", "numpy"},
+    {"scipy", "scipy"},
+    {"pandas", "pandas"},
+    {"scikit-learn", "sklearn"},
+    {"matplotlib", "matplotlib"},
+    {"tensorflow", "tensorflow"},
+    {"mxnet", "mxnet"},
+    {"coffea", "coffea"},                        // HEP application
+    {"candle-drugscreen", "candle"},             // drug screening application
+    {"gdc-dnaseq-pipeline", "gdc_pipeline"},     // genomics application
+};
+
+std::string function_source(const std::string& import_name) {
+  std::string src = "def task(x):\n";
+  if (!import_name.empty()) src += "    import " + import_name + "\n";
+  src += "    return x\n";
+  return src;
+}
+
+// Time the real analyzer: parse + scan + pin + solve.
+double measure_analyze_seconds(const std::string& import_name,
+                               const pkg::PackageIndex& index) {
+  const std::string src = function_source(import_name);
+  const auto t0 = std::chrono::steady_clock::now();
+  constexpr int kReps = 50;
+  for (int i = 0; i < kReps; ++i) {
+    const auto plan = flow::plan_function_dependencies(src, "task", index);
+    const auto env = flow::build_environment("probe", plan, index);
+    benchmark::DoNotOptimize(env.ok());
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() /
+         kReps;
+}
+
+void print_table() {
+  lfm::bench::print_header(
+      "Table II: package analyze/create/run costs, size, dependency count",
+      "Table II of the paper");
+  const pkg::PackageIndex index = pkg::standard_index();
+  const sim::Site site = sim::theta();
+  const sim::EnvDistModel model(site);
+  pkg::Solver solver(index);
+
+  std::printf("%-20s %12s %11s %10s %9s %10s %6s\n", "package", "analyze(ms)*",
+              "create(s)", "pack(s)", "run(s)", "size", "deps");
+  for (const Row& row : kRows) {
+    const auto resolution = solver.resolve({pkg::Requirement::parse(row.package)});
+    if (!resolution.ok()) {
+      std::printf("%-20s  UNRESOLVABLE: %s\n", row.package, resolution.error().c_str());
+      continue;
+    }
+    const pkg::Environment env(row.package, resolution.value());
+    const auto costs = model.packaging_costs(env);
+    const double analyze_real = measure_analyze_seconds(row.import_name, index);
+    std::printf("%-20s %12.2f %11.1f %10.1f %9.1f %10s %6d\n", row.package,
+                analyze_real * 1e3, costs.create_seconds, costs.pack_seconds,
+                costs.run_seconds, format_bytes(costs.packed_size_bytes).c_str(),
+                costs.dependency_count);
+  }
+  std::printf("(* analyze = measured wall time of this repo's real analyzer;\n"
+              "   create/pack/run from the calibrated Theta cost model)\n");
+}
+
+void BM_static_analysis(benchmark::State& state) {
+  const pkg::PackageIndex index = pkg::standard_index();
+  const std::string src = function_source("tensorflow");
+  for (auto _ : state) {
+    const auto plan = flow::plan_function_dependencies(src, "task", index);
+    benchmark::DoNotOptimize(plan.requirements.size());
+  }
+}
+BENCHMARK(BM_static_analysis);
+
+void BM_solver_tensorflow(benchmark::State& state) {
+  const pkg::PackageIndex index = pkg::standard_index();
+  pkg::Solver solver(index);
+  for (auto _ : state) {
+    const auto result = solver.resolve({pkg::Requirement::parse("tensorflow")});
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_solver_tensorflow);
+
+}  // namespace
+
+LFM_BENCH_MAIN(print_table)

@@ -1,0 +1,49 @@
+// Table III: the HPC systems used in the evaluation — node shapes, batch
+// systems, filesystem characteristics. A configuration inventory printout
+// of the site presets every other experiment runs against.
+#include "bench_common.h"
+#include "sim/site.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace lfm;
+using namespace lfm::sim;
+
+void print_table() {
+  lfm::bench::print_header("Table III: evaluation sites", "Table III of the paper");
+  std::printf("%-8s %-22s %-10s %6s %10s %8s %-20s\n", "site", "facility", "batch",
+              "cores", "memory", "nodes", "runtimes");
+  for (const Site& site : all_sites()) {
+    std::string runtimes;
+    for (const auto& r : site.runtimes) {
+      if (!runtimes.empty()) runtimes += ",";
+      runtimes += r.name;
+    }
+    std::printf("%-8s %-22s %-10s %6d %10s %8d %-20s\n", site.name.c_str(),
+                site.facility.c_str(), site.batch_system.c_str(), site.node.cores,
+                format_bytes(site.node.memory_bytes).c_str(), site.max_nodes,
+                runtimes.c_str());
+  }
+  std::printf("\nShared filesystem model parameters:\n");
+  std::printf("%-8s %14s %14s %12s %14s\n", "site", "md op (us)", "md cap (op/s)",
+              "exponent", "agg bw (GB/s)");
+  for (const Site& site : all_sites()) {
+    std::printf("%-8s %14.0f %14.0f %12.2f %14.0f\n", site.name.c_str(),
+                site.shared_fs.metadata_op_seconds * 1e6,
+                site.shared_fs.metadata_capacity, site.shared_fs.contention_exponent,
+                site.shared_fs.aggregate_bandwidth / 1e9);
+  }
+}
+
+void BM_site_construction(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto sites = all_sites();
+    benchmark::DoNotOptimize(sites.size());
+  }
+}
+BENCHMARK(BM_site_construction);
+
+}  // namespace
+
+LFM_BENCH_MAIN(print_table)

@@ -1,0 +1,98 @@
+// Example: the drug-screening pipeline with real kernels under LFMs.
+//
+// Generates a synthetic molecule corpus, then for each molecule runs the
+// paper's stage chain — canonicalize -> featurize -> two docking-score
+// models — as monitored function invocations through the DataFlowKernel,
+// and reports the top candidates with the LFM usage per stage.
+//
+// Build & run:  ./build/examples/drug_screen
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/drugscreen.h"
+#include "flow/dfk.h"
+
+namespace {
+
+using namespace lfm;
+using serde::Value;
+using serde::ValueDict;
+
+struct Candidate {
+  std::string smiles;
+  double score_a = 0.0;
+  double score_b = 0.0;
+  double combined() const { return 0.5 * (score_a + score_b); }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Drug screening pipeline (real kernels, LFM-monitored) ==\n");
+  constexpr int kMolecules = 24;
+
+  flow::LocalLfmExecutor executor(2);
+  flow::DataFlowKernel dfk(executor);
+
+  flow::App canonicalize =
+      flow::App::make("canonicalize", apps::drugscreen::canonicalize_task);
+  flow::App infer = flow::App::make("infer", apps::drugscreen::inference_task);
+  infer.limits.memory_bytes = 256LL << 20;
+
+  // Stage 1: canonicalize every molecule (futures fan out).
+  std::vector<std::string> corpus;
+  std::vector<flow::Future> canonical;
+  for (int i = 0; i < kMolecules; ++i) {
+    corpus.push_back(apps::drugscreen::random_smiles(7000 + i, 14));
+    ValueDict args;
+    args["smiles"] = Value(corpus.back());
+    canonical.push_back(dfk.submit(canonicalize, {flow::Arg(Value(std::move(args)))}));
+  }
+  dfk.wait_all();
+
+  // Stage 2: two independent docking models per molecule.
+  std::vector<Candidate> candidates(kMolecules);
+  std::vector<flow::Future> scores_a, scores_b;
+  for (int i = 0; i < kMolecules; ++i) {
+    candidates[static_cast<size_t>(i)].smiles = canonical[static_cast<size_t>(i)].result().as_str();
+    for (const uint64_t model : {1ULL, 2ULL}) {
+      ValueDict args;
+      args["smiles"] = Value(candidates[static_cast<size_t>(i)].smiles);
+      args["model_seed"] = Value(static_cast<int64_t>(model));
+      auto& bucket = model == 1 ? scores_a : scores_b;
+      bucket.push_back(dfk.submit(infer, {flow::Arg(Value(std::move(args)))}));
+    }
+  }
+  dfk.wait_all();
+  for (int i = 0; i < kMolecules; ++i) {
+    candidates[static_cast<size_t>(i)].score_a =
+        scores_a[static_cast<size_t>(i)].result().at("docking_score").as_real();
+    candidates[static_cast<size_t>(i)].score_b =
+        scores_b[static_cast<size_t>(i)].result().at("docking_score").as_real();
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.combined() > b.combined();
+            });
+
+  std::printf("\ntop candidates (of %d screened):\n", kMolecules);
+  std::printf("%-40s %8s %8s %9s\n", "canonical SMILES", "model A", "model B", "combined");
+  for (int i = 0; i < 5; ++i) {
+    const auto& c = candidates[static_cast<size_t>(i)];
+    std::printf("%-40.40s %8.3f %8.3f %9.3f\n", c.smiles.c_str(), c.score_a,
+                c.score_b, c.combined());
+  }
+
+  executor.drain();
+  std::printf("\nLFM usage by stage (%zu invocations):\n",
+              executor.observations().size());
+  double canon_wall = 0.0, infer_wall = 0.0;
+  for (const auto& [name, usage] : executor.observations()) {
+    (name == "canonicalize" ? canon_wall : infer_wall) += usage.wall_time;
+  }
+  std::printf("  canonicalize: %.2f s total wall\n", canon_wall);
+  std::printf("  inference:    %.2f s total wall\n", infer_wall);
+  return 0;
+}

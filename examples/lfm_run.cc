@@ -1,0 +1,100 @@
+// lfm_run: a command-line lightweight function monitor.
+//
+// Runs an arbitrary command under the LFM — measuring its whole process
+// tree, enforcing limits, and printing a JSON resource report — the
+// standalone-tool face of the library (compare Work Queue's
+// resource_monitor).
+//
+// Usage:
+//   lfm_run [options] -- command [args...]
+//     --memory-mb N     kill past N MB of resident set
+//     --wall-s S        kill past S seconds of wall time
+//     --cores N         kill past N cores of observed parallelism
+//     --poll-ms M       polling interval (default 20)
+//     --timeline        include the per-poll usage timeline in the report
+//
+// Example:
+//   ./build/examples/lfm_run --memory-mb 100 --wall-s 10 -- sh -c 'echo hi'
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "monitor/command.h"
+#include "monitor/report.h"
+
+namespace {
+
+void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--memory-mb N] [--wall-s S] [--cores N] [--poll-ms M]"
+               " [--timeline] -- command [args...]\n",
+               prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lfm::monitor::CommandOptions options;
+  options.monitor.poll_interval = 0.02;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--") {
+      ++i;
+      break;
+    }
+    const auto next_value = [&]() -> double {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--memory-mb") {
+      options.monitor.limits.memory_bytes = static_cast<int64_t>(next_value() * 1e6);
+    } else if (arg == "--wall-s") {
+      options.monitor.limits.wall_time = next_value();
+    } else if (arg == "--cores") {
+      options.monitor.limits.cores = next_value();
+    } else if (arg == "--poll-ms") {
+      options.monitor.poll_interval = next_value() / 1e3;
+    } else if (arg == "--timeline") {
+      options.monitor.record_timeline = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (i >= argc) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> command;
+  for (; i < argc; ++i) command.emplace_back(argv[i]);
+
+  const auto outcome = lfm::monitor::run_command_monitored(command, options);
+
+  // The command's own output already went to our stdout/stderr? No — it was
+  // captured; echo it first, then the report on stderr-style separation.
+  std::fwrite(outcome.result.output.data(), 1, outcome.result.output.size(), stdout);
+
+  lfm::monitor::TaskOutcome report;
+  report.status = outcome.status;
+  report.error = outcome.error;
+  report.violated_resource = outcome.violated_resource;
+  report.usage = outcome.usage;
+  report.timeline = outcome.timeline;
+  std::fprintf(stderr, "%s\n", lfm::monitor::to_json(report).c_str());
+
+  if (outcome.status == lfm::monitor::TaskStatus::kLimitExceeded) return 125;
+  if (!outcome.ok()) return 124;
+  return outcome.result.exit_code;
+}

@@ -1,0 +1,115 @@
+// Example: the complete LFM story for a real Python function.
+//
+// A user writes a Parsl-style module. This example then does everything the
+// paper's system does, with real machinery at every step:
+//
+//   1. static analysis: scan the function's imports, check the Parsl
+//      conventions and self-containment (§V.B)
+//   2. dependency planning: pin versions, solve the minimal environment,
+//      render requirements.txt (§V.B-C)
+//   3. function shipping: extract exactly the function's source (§III.A)
+//   4. execution: run the shipped source in the mini-Python interpreter
+//      inside a forked, monitored LFM child; results return pickled (§VI.B)
+//   5. containment: a leaky Python function is killed at its memory limit
+//      without harming this process
+//
+// Build & run:  ./build/examples/python_function
+#include <cstdio>
+
+#include "flow/dfk.h"
+#include "flow/plan.h"
+#include "flow/pyapp.h"
+#include "pkg/index.h"
+#include "pysrc/unparse.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace lfm;
+using serde::Value;
+using serde::ValueList;
+
+const char* kUserModule = R"(
+"""A user's analysis module, written against Parsl."""
+import parsl
+from parsl import python_app
+import math
+
+
+@python_app
+def summarize(samples, cutoff):
+    import math
+    kept = [s for s in samples if s >= cutoff]
+    if not kept:
+        return {'count': 0, 'mean': 0.0, 'rms': 0.0}
+    mean = sum(kept) / len(kept)
+    rms = math.sqrt(sum((s - mean) ** 2 for s in kept) / len(kept))
+    return {'count': len(kept), 'mean': mean, 'rms': rms}
+
+
+@python_app
+def leaky(chunks):
+    hoard = []
+    i = 0
+    while i < chunks:
+        hoard.append('x' * 1000000)
+        i = i + 1
+    return len(hoard)
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("== A Python function through the whole LFM pipeline ==\n");
+
+  // 1-2. Analysis and planning.
+  const pkg::PackageIndex installed = pkg::standard_index();
+  const auto plan = flow::plan_function_dependencies(kUserModule, "summarize", installed);
+  std::printf("\n[analysis] imports:");
+  for (const auto& name : plan.import_names) std::printf(" %s", name.c_str());
+  std::printf(" (stdlib 'math' satisfied by the interpreter)\n");
+  for (const auto& d : plan.diagnostics) {
+    std::printf("[analysis] warn: %s\n", d.message.c_str());
+  }
+  const auto env = flow::build_environment("summarize", plan, installed);
+  if (env.ok()) {
+    std::printf("[planning] minimal environment: %zu packages, %s\n",
+                env.value().package_count(),
+                format_bytes(env.value().total_size()).c_str());
+  }
+
+  // 3. Ship exactly the function.
+  const flow::App app = flow::python_app(kUserModule, "summarize");
+  std::printf("\n[shipping] extracted source (%zu bytes):\n%s", app.python_source.size(),
+              app.python_source.c_str());
+
+  // 4. Execute under a real LFM.
+  flow::LocalLfmExecutor executor(2);
+  flow::DataFlowKernel dfk(executor);
+  ValueList samples;
+  for (int i = 0; i < 50; ++i) samples.push_back(Value(static_cast<double>(i % 17)));
+  const flow::Future f =
+      dfk.submit(app, {flow::Arg(Value(std::move(samples))), flow::Arg(Value(5.0))});
+  const Value result = f.result();
+  std::printf("\n[execute] summarize -> count=%lld mean=%.3f rms=%.3f\n",
+              static_cast<long long>(result.at("count").as_int()),
+              result.at("mean").as_real(), result.at("rms").as_real());
+
+  // 5. Containment of a leaky function.
+  flow::PythonAppOptions tight;
+  tight.limits.memory_bytes = 64 * kMiB;
+  tight.limits.wall_time = 60.0;
+  const flow::Future doomed = dfk.submit(flow::python_app(kUserModule, "leaky", tight),
+                                         {flow::Arg(Value(int64_t{100000}))});
+  const auto& outcome = doomed.outcome();
+  std::printf("\n[contain] leaky -> status=%s violated=%s peak=%s\n",
+              monitor::task_status_name(outcome.status),
+              outcome.violated_resource.c_str(),
+              format_bytes(outcome.usage.max_rss_bytes).c_str());
+
+  dfk.wait_all();
+  executor.drain();
+  std::printf("\nhost process unharmed; %zu monitored invocations recorded\n",
+              executor.observations().size());
+  return 0;
+}

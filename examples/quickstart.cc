@@ -1,0 +1,92 @@
+// Quickstart: run a function inside a Lightweight Function Monitor.
+//
+// Demonstrates the core LFM loop from the paper: the function executes in a
+// forked child, its result returns over a pipe, the parent polls /proc on an
+// interval, and a memory limit kills a runaway invocation without touching
+// the parent "interpreter".
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "monitor/lfm.h"
+#include "serde/value.h"
+#include "util/units.h"
+
+using lfm::monitor::MonitorOptions;
+using lfm::monitor::run_monitored;
+using lfm::monitor::TaskOutcome;
+using lfm::serde::Value;
+using lfm::serde::ValueDict;
+
+namespace {
+
+// A well-behaved task: sums the squares below "n".
+Value sum_squares(const Value& args) {
+  const int64_t n = args.at("n").as_int();
+  int64_t total = 0;
+  for (int64_t i = 0; i < n; ++i) total += i * i;
+  ValueDict out;
+  out["sum"] = Value(total);
+  return Value(std::move(out));
+}
+
+// A runaway task: allocates memory without bound until the LFM kills it.
+Value memory_hog(const Value&) {
+  std::vector<std::string> hoard;
+  while (true) {
+    hoard.emplace_back(4 << 20, 'x');  // 4 MiB per iteration
+  }
+}
+
+void report(const char* label, const TaskOutcome& outcome) {
+  std::printf("%-12s status=%-14s usage: %s\n", label,
+              lfm::monitor::task_status_name(outcome.status),
+              outcome.usage.summary().c_str());
+  if (outcome.ok()) {
+    std::printf("%-12s result=%s\n", "", outcome.result.repr().c_str());
+  } else {
+    std::printf("%-12s error=%s\n", "", outcome.error.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== LFM quickstart ==\n\n");
+
+  // 1. Plain monitored execution: measure a healthy function.
+  {
+    ValueDict args;
+    args["n"] = Value(int64_t{2'000'000});
+    const TaskOutcome outcome = run_monitored(sum_squares, Value(std::move(args)));
+    report("sum_squares", outcome);
+  }
+
+  // 2. Enforcement: a 64 MB memory limit kills the hog, parent survives.
+  {
+    MonitorOptions options;
+    options.limits.memory_bytes = 64 * lfm::kMiB;
+    options.poll_interval = 0.01;
+    int polls = 0;
+    options.on_poll = [&polls](const lfm::monitor::ResourceUsage&) { ++polls; };
+    const TaskOutcome outcome = run_monitored(memory_hog, Value(), options);
+    report("memory_hog", outcome);
+    std::printf("%-12s polls=%d violated=%s\n\n", "", polls,
+                outcome.violated_resource.c_str());
+  }
+
+  // 3. Decorator style: bind limits once, call like a function.
+  {
+    MonitorOptions options;
+    options.limits.wall_time = 30.0;
+    const lfm::monitor::Monitored monitored(sum_squares, options);
+    ValueDict args;
+    args["n"] = Value(int64_t{100});
+    report("decorated", monitored(Value(std::move(args))));
+  }
+
+  std::printf("\nThe parent interpreter is still alive.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Automatic resource labeling (paper §VI.B.2, after Tovar et al. [21]).
+//
+// Per task category, the labeler maintains a histogram of observed peak
+// usage in each resource dimension. The first tasks of a category run under
+// a large exploratory allocation with monitoring enabled. Once enough
+// samples exist, the label for each dimension is chosen to minimize the
+// expected resource-time cost per task:
+//
+//     cost(a) = a + (1 - P[usage <= a]) * a_max
+//
+// — every task pays the label `a`; the fraction that exhausts it is retried
+// at the whole-node allocation `a_max`. Minimizing this trades the waste of
+// over-allocation against the retry cost of under-allocation, which is the
+// throughput-maximizing balance of [21]. On exhaustion the task escalates
+// to the whole node (the paper's retry policy), and the observation feeds
+// back into the histogram.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "alloc/resources.h"
+#include "util/stats.h"
+
+namespace lfm::alloc {
+
+enum class Strategy {
+  kOracle,     // perfect per-category knowledge, for reference only
+  kAuto,       // first-allocation algorithm with monitoring feedback
+  kGuess,      // static user-provided estimate
+  kUnmanaged,  // whole node per task
+};
+
+const char* strategy_name(Strategy strategy);
+
+// How Auto turns the usage histogram into a label (ablation knob; the paper
+// uses the expected-cost objective of [21]).
+enum class LabelMode {
+  kExpectedCost,   // argmin a + (1 - P[u <= a]) * a_max   (default, [21])
+  kMaxSeen,        // largest usage observed so far
+  kPercentile95,   // 95th percentile of observed usage
+};
+
+const char* label_mode_name(LabelMode mode);
+
+// What a retry after exhaustion escalates to (ablation knob; the paper
+// retries at the whole node).
+enum class RetryPolicy {
+  kWholeNode,  // jump straight to a_max (default, the paper's policy)
+  kGeometric,  // double the failed dimension each retry, capped at a_max
+};
+
+const char* retry_policy_name(RetryPolicy policy);
+
+struct LabelerConfig {
+  Strategy strategy = Strategy::kAuto;
+  Resources whole_node;              // a_max: the escalation allocation
+  Resources guess;                   // used by kGuess
+  std::optional<Resources> oracle;   // used by kOracle
+  int warmup_samples = 3;            // runs at whole-node before labeling
+  double headroom = 1.05;            // safety margin multiplied onto labels
+  // Histogram shape per dimension (buckets sized relative to whole node).
+  int histogram_buckets = 64;
+  LabelMode label_mode = LabelMode::kExpectedCost;
+  RetryPolicy retry_policy = RetryPolicy::kWholeNode;
+};
+
+class CategoryLabeler {
+ public:
+  explicit CategoryLabeler(const LabelerConfig& config);
+
+  // Allocation for the next attempt of a task. attempt 0 is the first try;
+  // attempt >= 1 follows a resource exhaustion and escalates to whole node.
+  Resources allocation(int attempt) const;
+
+  // Feed back a completed task's measured peak usage.
+  void observe_success(const Resources& peak_usage);
+  // Feed back an exhaustion event (the task exceeded `allocated` in
+  // `resource`); the observed partial usage still informs the histogram.
+  void observe_exhaustion(const Resources& allocated, const std::string& resource);
+
+  int64_t samples() const { return samples_; }
+  int64_t exhaustions() const { return exhaustions_; }
+  // The current learned label (whole node until warmed up).
+  Resources current_label() const;
+
+ private:
+  double label_dimension(const Histogram& h, double whole, double headroom) const;
+
+  LabelerConfig config_;
+  Histogram cores_hist_;
+  Histogram memory_hist_;
+  Histogram disk_hist_;
+  int64_t samples_ = 0;
+  int64_t exhaustions_ = 0;
+};
+
+// Strategy-aware registry: one CategoryLabeler per task category.
+class Labeler {
+ public:
+  explicit Labeler(LabelerConfig config) : config_(std::move(config)) {}
+
+  Resources allocation(const std::string& category, int attempt);
+  void observe_success(const std::string& category, const Resources& peak);
+  void observe_exhaustion(const std::string& category, const Resources& allocated,
+                          const std::string& resource);
+
+  // Per-category oracle override (kOracle uses these when present).
+  void set_oracle(const std::string& category, const Resources& oracle);
+
+  const LabelerConfig& config() const { return config_; }
+  int64_t total_exhaustions() const;
+  int64_t total_samples() const;
+
+ private:
+  CategoryLabeler& category(const std::string& name);
+
+  LabelerConfig config_;
+  std::map<std::string, Resources> oracles_;
+  std::map<std::string, CategoryLabeler> categories_;
+};
+
+}  // namespace lfm::alloc

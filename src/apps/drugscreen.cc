@@ -1,0 +1,269 @@
+#include "apps/drugscreen.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+
+#include "apps/workload.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace lfm::apps::drugscreen {
+
+alloc::Resources guess_allocation() { return {16.0, 40e9, 5e9}; }
+
+namespace {
+
+struct StageModel {
+  const char* name;
+  double runtime_mu;      // lognormal location (log-seconds)
+  double runtime_sigma;
+  double cores;           // parallelism the stage exploits
+  double mem_mean;        // bytes
+  double mem_spread;      // relative std-dev
+  double mem_cap;         // bytes
+  double disk_mean;       // bytes
+  int64_t input_bytes;    // unique per-task input
+  int64_t output_bytes;
+};
+
+// Stage shapes: featurizers are light and single-core; the two TF inference
+// stages are multi-core with heavy, variable memory (NumPy/BLAS threading,
+// §VI.A's motivating example).
+const StageModel kStages[] = {
+    {"smiles-canonicalize", std::log(8.0), 0.25, 1.0, 0.4e9, 0.15, 1.0e9, 0.2e9, 200 * kKB, 200 * kKB},
+    {"descriptor", std::log(20.0), 0.30, 1.0, 1.2e9, 0.20, 2.5e9, 0.5e9, 200 * kKB, 1 * kMB},
+    {"fingerprint", std::log(12.0), 0.25, 1.0, 0.8e9, 0.20, 1.8e9, 0.3e9, 200 * kKB, 512 * kKB},
+    {"mol-image", std::log(15.0), 0.30, 2.0, 1.5e9, 0.25, 3.0e9, 0.8e9, 200 * kKB, 2 * kMB},
+    {"tf-inference-a", std::log(45.0), 0.35, 8.0, 14e9, 0.30, 34e9, 2.0e9, 4 * kMB, 1 * kMB},
+    {"tf-inference-b", std::log(40.0), 0.35, 8.0, 12e9, 0.30, 30e9, 2.0e9, 4 * kMB, 1 * kMB},
+};
+
+}  // namespace
+
+std::vector<wq::TaskSpec> generate(const Params& params) {
+  Rng rng(params.seed);
+  std::vector<wq::TaskSpec> tasks;
+  uint64_t id = 0;
+  for (int m = 0; m < params.molecules; ++m) {
+    for (const StageModel& stage : kStages) {
+      wq::TaskSpec t;
+      t.id = ++id;
+      t.category = stage.name;
+      t.inputs.push_back(
+          environment_file("drugscreen-conda-env.tar.gz", params.env_size, 18.0));
+      t.inputs.push_back(data_file(strformat("mols-%06d.smi", m), stage.input_bytes, false));
+      t.output_bytes = stage.output_bytes;
+      t.exec_seconds = rng.lognormal(stage.runtime_mu, stage.runtime_sigma);
+      t.true_cores = stage.cores;
+      t.true_peak.cores = stage.cores;
+      t.true_peak.memory_bytes =
+          rng.truncated_normal(stage.mem_mean, stage.mem_mean * stage.mem_spread,
+                               stage.mem_mean * 0.4, stage.mem_cap);
+      t.true_peak.disk_bytes =
+          rng.truncated_normal(stage.disk_mean, stage.disk_mean * 0.2,
+                               stage.disk_mean * 0.3, stage.disk_mean * 2.0);
+      t.peak_fraction = rng.uniform(0.3, 0.9);
+      tasks.push_back(std::move(t));
+    }
+  }
+  return tasks;
+}
+
+// --- real kernels ------------------------------------------------------------
+
+namespace {
+
+bool is_atom_char(char c) {
+  return std::isalpha(static_cast<unsigned char>(c));
+}
+
+// Split a SMILES chain into fragments at '.' (disconnected components).
+std::vector<std::string> components(const std::string& smiles) {
+  return split_nonempty(smiles, '.');
+}
+
+// Renumber ring-closure digits in order of first appearance.
+std::string renumber_rings(const std::string& s) {
+  std::map<char, char> mapping;
+  char next = '1';
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      auto it = mapping.find(c);
+      if (it == mapping.end()) {
+        it = mapping.emplace(c, next).first;
+        if (next < '9') ++next;
+      }
+      out += it->second;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string canonicalize_smiles(const std::string& smiles) {
+  // 1. Normalize aromatic lowercase atoms outside brackets to uppercase with
+  //    an aromatic marker removed (toy model: b,c,n,o,p,s -> B,C,N,O,P,S).
+  std::string normalized;
+  normalized.reserve(smiles.size());
+  bool in_bracket = false;
+  for (const char c : smiles) {
+    if (c == '[') in_bracket = true;
+    if (c == ']') in_bracket = false;
+    if (!in_bracket && is_atom_char(c) && std::islower(static_cast<unsigned char>(c)) &&
+        std::string("bcnops").find(c) != std::string::npos) {
+      normalized += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      normalized += c;
+    }
+  }
+  // 2. Canonical component order: sort disconnected fragments.
+  std::vector<std::string> parts = components(normalized);
+  if (parts.empty()) return "";
+  std::sort(parts.begin(), parts.end());
+  // 3. Renumber ring closures in first-use order.
+  return renumber_rings(join(parts, "."));
+}
+
+std::vector<int> fingerprint(const std::string& canonical_smiles, int bits) {
+  if (bits <= 0) throw Error("fingerprint: bits must be positive");
+  std::vector<bool> bitset(static_cast<size_t>(bits), false);
+  // Hash every substring neighborhood of radius 0..2 centered on atoms.
+  for (size_t i = 0; i < canonical_smiles.size(); ++i) {
+    if (!is_atom_char(canonical_smiles[i])) continue;
+    for (int radius = 0; radius <= 2; ++radius) {
+      const size_t lo = i >= static_cast<size_t>(radius) ? i - radius : 0;
+      const size_t hi = std::min(canonical_smiles.size(), i + radius + 1);
+      uint64_t h = 1469598103934665603ULL;  // FNV-1a
+      for (size_t j = lo; j < hi; ++j) {
+        h ^= static_cast<uint8_t>(canonical_smiles[j]);
+        h *= 1099511628211ULL;
+      }
+      h ^= static_cast<uint64_t>(radius) * 0x9e3779b97f4a7c15ULL;
+      bitset[h % static_cast<uint64_t>(bits)] = true;
+    }
+  }
+  std::vector<int> set_bits;
+  for (int i = 0; i < bits; ++i) {
+    if (bitset[static_cast<size_t>(i)]) set_bits.push_back(i);
+  }
+  return set_bits;
+}
+
+serde::Value descriptor(const std::string& canonical_smiles) {
+  int64_t carbons = 0, nitrogens = 0, oxygens = 0, others = 0;
+  int64_t rings = 0, branches = 0;
+  int depth = 0, max_depth = 0;
+  std::map<char, bool> open_rings;
+  for (const char c : canonical_smiles) {
+    switch (c) {
+      case 'C': ++carbons; break;
+      case 'N': ++nitrogens; break;
+      case 'O': ++oxygens; break;
+      case '(': ++branches; ++depth; max_depth = std::max(max_depth, depth); break;
+      case ')': --depth; break;
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          auto& open = open_rings[c];
+          if (open) {
+            ++rings;
+            open = false;
+          } else {
+            open = true;
+          }
+        } else if (is_atom_char(c)) {
+          ++others;
+        }
+    }
+  }
+  serde::ValueDict d;
+  d["carbons"] = serde::Value(carbons);
+  d["nitrogens"] = serde::Value(nitrogens);
+  d["oxygens"] = serde::Value(oxygens);
+  d["hetero_other"] = serde::Value(others);
+  d["rings"] = serde::Value(rings);
+  d["branches"] = serde::Value(branches);
+  d["max_branch_depth"] = serde::Value(static_cast<int64_t>(max_depth));
+  d["length"] = serde::Value(static_cast<int64_t>(canonical_smiles.size()));
+  return serde::Value(std::move(d));
+}
+
+double predict_docking_score(const std::vector<int>& fingerprint_bits,
+                             uint64_t model_seed, int bits) {
+  // One hidden layer of 32 units with fixed pseudo-random weights: the
+  // deterministic stand-in for the paper's trained TensorFlow models.
+  constexpr int kHidden = 32;
+  double hidden[kHidden] = {};
+  for (const int bit : fingerprint_bits) {
+    if (bit < 0 || bit >= bits) throw Error("predict_docking_score: bit out of range");
+    for (int unit = 0; unit < kHidden; ++unit) {
+      Rng wrng(model_seed ^ (static_cast<uint64_t>(bit) << 16) ^
+               static_cast<uint64_t>(unit));
+      hidden[unit] += wrng.uniform(-1.0, 1.0);
+    }
+  }
+  double score = 0.0;
+  for (int unit = 0; unit < kHidden; ++unit) {
+    const double activated = std::tanh(hidden[unit] * 0.25);
+    Rng orng(model_seed ^ 0xabcdefULL ^ static_cast<uint64_t>(unit));
+    score += activated * orng.uniform(-1.0, 1.0);
+  }
+  return 1.0 / (1.0 + std::exp(-score));  // sigmoid -> [0, 1)
+}
+
+serde::Value canonicalize_task(const serde::Value& args) {
+  const auto& d = args.is_list() && !args.as_list().empty() ? args.as_list()[0] : args;
+  return serde::Value(canonicalize_smiles(d.at("smiles").as_str()));
+}
+
+serde::Value featurize_task(const serde::Value& args) {
+  const auto& d = args.is_list() && !args.as_list().empty() ? args.as_list()[0] : args;
+  const std::string canonical = canonicalize_smiles(d.at("smiles").as_str());
+  serde::ValueDict out;
+  out["descriptor"] = descriptor(canonical);
+  serde::ValueList bits;
+  for (const int b : fingerprint(canonical)) bits.push_back(serde::Value(static_cast<int64_t>(b)));
+  out["fingerprint"] = serde::Value(std::move(bits));
+  return serde::Value(std::move(out));
+}
+
+serde::Value inference_task(const serde::Value& args) {
+  const auto& d = args.is_list() && !args.as_list().empty() ? args.as_list()[0] : args;
+  const std::string canonical = canonicalize_smiles(d.at("smiles").as_str());
+  const auto seed = static_cast<uint64_t>(d.at("model_seed").as_int());
+  const double score = predict_docking_score(fingerprint(canonical), seed);
+  serde::ValueDict out;
+  out["smiles"] = serde::Value(canonical);
+  out["docking_score"] = serde::Value(score);
+  return serde::Value(std::move(out));
+}
+
+std::string random_smiles(uint64_t seed, int heavy_atoms) {
+  Rng rng(seed);
+  static const char* kAtoms[] = {"C", "N", "O", "S", "P", "F"};
+  std::string s;
+  int open_ring = 0;
+  for (int i = 0; i < heavy_atoms; ++i) {
+    s += kAtoms[rng.uniform_int(0, 5)];
+    if (rng.chance(0.15) && open_ring == 0) {
+      s += '1';
+      open_ring = 1;
+    } else if (open_ring == 1 && rng.chance(0.3)) {
+      s += '1';
+      open_ring = 0;
+    }
+    if (rng.chance(0.2)) s += "(C)";
+    if (rng.chance(0.1)) s += "=";
+  }
+  if (open_ring == 1) s += "C1";
+  if (!s.empty() && s.back() == '=') s += "C";
+  return s;
+}
+
+}  // namespace lfm::apps::drugscreen

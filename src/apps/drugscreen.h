@@ -1,0 +1,67 @@
+// COVID-19 drug screening pipeline workload (paper §III.B and §VI.C.2).
+//
+// Per candidate-molecule batch the pipeline runs: SMILES canonicalization,
+// three featurizations (molecular descriptor, fingerprint, 2D image), and
+// two TensorFlow docking-score inference models. Stages differ sharply in
+// resource appetite — the inference stages are multi-core and memory-heavy,
+// the featurizers light — which is exactly what defeats a single static
+// Guess (16 cores / 40 GB / 5 GB in the paper).
+//
+// Real kernels: a SMILES canonicalizer (ring-closure-preserving atom
+// ordering normalization), a Morgan-style hashed fingerprint, a molecular
+// descriptor vector, and a tiny dense scoring network standing in for the
+// TensorFlow models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serde/value.h"
+#include "wq/task.h"
+
+namespace lfm::apps::drugscreen {
+
+struct Params {
+  int molecules = 200;  // molecule batches; each spawns one task per stage
+  uint64_t seed = 11;
+  int64_t env_size = 1900LL * 1000 * 1000;  // TF + RDKit conda-pack
+};
+
+alloc::Resources guess_allocation();  // §VI.C.2: 16 cores, 40 GB, 5 GB
+
+// Stage-structured task set: canonicalize -> {descriptor, fingerprint,
+// image} -> 2x inference per molecule batch.
+std::vector<wq::TaskSpec> generate(const Params& params);
+
+// --- real kernels ------------------------------------------------------------
+
+// Canonicalize a toy SMILES string: uppercase-normalizes aromatic atoms,
+// rewrites ring-closure digits in first-use order, and chooses the
+// lexicographically smallest rotation of chain fragments. Deterministic and
+// idempotent: canonical(canonical(s)) == canonical(s).
+std::string canonicalize_smiles(const std::string& smiles);
+
+// 2048-bit Morgan-style fingerprint: hashes every atom-centered substring
+// neighborhood of radius 0..2 into a fixed bit vector. Returns the indices
+// of set bits, sorted.
+std::vector<int> fingerprint(const std::string& canonical_smiles, int bits = 2048);
+
+// Molecular descriptor vector: atom counts, ring count, branch depth, ...
+serde::Value descriptor(const std::string& canonical_smiles);
+
+// Toy docking-score model: fixed random-projection network over the
+// fingerprint bits; returns a score in [0, 1). Deterministic per (smiles,
+// model_seed).
+double predict_docking_score(const std::vector<int>& fingerprint_bits,
+                             uint64_t model_seed, int bits = 2048);
+
+// monitor::TaskFn adapters. args: {"smiles": str} (canonicalize) or
+// {"smiles": str, "model_seed": int} (infer).
+serde::Value canonicalize_task(const serde::Value& args);
+serde::Value featurize_task(const serde::Value& args);
+serde::Value inference_task(const serde::Value& args);
+
+// A deterministic pseudo-SMILES generator for synthetic molecule corpora.
+std::string random_smiles(uint64_t seed, int heavy_atoms);
+
+}  // namespace lfm::apps::drugscreen

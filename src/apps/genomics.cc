@@ -1,0 +1,278 @@
+#include "apps/genomics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "apps/workload.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace lfm::apps::genomics {
+
+alloc::Resources guess_allocation() { return {12.0, 40e9, 5e9}; }
+
+namespace {
+
+struct StageModel {
+  const char* name;
+  double runtime_mean;
+  double runtime_spread;  // relative
+  double cores;
+  double mem_mean;
+  double mem_cap;
+  int64_t input_bytes;
+  int64_t output_bytes;
+};
+
+const StageModel kStages[] = {
+    {"align", 900.0, 0.25, 12.0, 14e9, 24e9, 3LL * 1000 * 1000 * 1000, 2LL * 1000 * 1000 * 1000},
+    {"co-clean", 500.0, 0.20, 4.0, 8e9, 14e9, 2LL * 1000 * 1000 * 1000, 2LL * 1000 * 1000 * 1000},
+    {"variant-call", 1200.0, 0.35, 8.0, 20e9, 36e9, 2LL * 1000 * 1000 * 1000, 200LL * 1000 * 1000},
+    {"aggregate", 200.0, 0.20, 1.0, 2e9, 5e9, 100LL * 1000 * 1000, 50LL * 1000 * 1000},
+};
+
+}  // namespace
+
+std::vector<wq::TaskSpec> generate(const Params& params) {
+  Rng rng(params.seed);
+  std::vector<wq::TaskSpec> tasks;
+  uint64_t id = 0;
+  for (int g = 0; g < params.genomes; ++g) {
+    // Variant count drives the VEP stage (long-tailed across genomes).
+    const double variants = rng.lognormal(std::log(30000.0), 0.8);
+    for (const StageModel& stage : kStages) {
+      wq::TaskSpec t;
+      t.id = ++id;
+      t.category = stage.name;
+      t.inputs.push_back(environment_file("gdc-conda-env.tar.gz", params.env_size, 12.0));
+      t.inputs.push_back(data_file("reference-grch38.fa", 800LL * 1000 * 1000, true));
+      t.inputs.push_back(
+          data_file(strformat("genome-%03d-%s.in", g, stage.name), stage.input_bytes, false));
+      t.output_bytes = stage.output_bytes;
+      t.exec_seconds = rng.truncated_normal(stage.runtime_mean,
+                                            stage.runtime_mean * stage.runtime_spread,
+                                            stage.runtime_mean * 0.4,
+                                            stage.runtime_mean * 2.5);
+      t.true_cores = stage.cores;
+      t.true_peak.cores = stage.cores;
+      t.true_peak.memory_bytes = rng.truncated_normal(
+          stage.mem_mean, stage.mem_mean * 0.25, stage.mem_mean * 0.4, stage.mem_cap);
+      t.true_peak.disk_bytes =
+          static_cast<double>(stage.input_bytes + stage.output_bytes) * 1.5;
+      t.peak_fraction = rng.uniform(0.4, 0.9);
+      tasks.push_back(std::move(t));
+    }
+    // VEP: memory scales with the genome's variant count — the stage static
+    // configuration cannot capture (paper: "VEP resource usage depends on
+    // the number of variants in the data").
+    {
+      wq::TaskSpec t;
+      t.id = ++id;
+      t.category = "vep-annotate";
+      t.inputs.push_back(environment_file("gdc-conda-env.tar.gz", params.env_size, 12.0));
+      t.inputs.push_back(data_file("vep-cache.tar", 12LL * 1000 * 1000 * 1000, true));
+      t.inputs.push_back(
+          data_file(strformat("genome-%03d-variants.vcf", g), 150LL * 1000 * 1000, false));
+      t.output_bytes = 300LL * 1000 * 1000;
+      t.exec_seconds = 300.0 + variants * 0.004;
+      t.true_cores = 2.0;
+      t.true_peak.cores = 2.0;
+      // ~800 KB of annotation state per variant on top of a 2 GB base: the
+      // long-tailed, data-dependent footprint the paper calls out.
+      t.true_peak.memory_bytes = std::min(2e9 + variants * 800e3, 90e9);
+      t.true_peak.disk_bytes = 3e9;
+      t.peak_fraction = rng.uniform(0.5, 0.95);
+      tasks.push_back(std::move(t));
+    }
+  }
+  return tasks;
+}
+
+// --- real kernels ------------------------------------------------------------
+
+namespace {
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+
+char mutate(char base, Rng& rng) {
+  char alt = base;
+  while (alt == base) alt = kBases[rng.uniform_int(0, 3)];
+  return alt;
+}
+}  // namespace
+
+std::string make_reference(int length, uint64_t seed) {
+  if (length <= 0) throw Error("make_reference: length must be positive");
+  Rng rng(seed);
+  std::string ref(static_cast<size_t>(length), 'A');
+  for (auto& c : ref) c = kBases[rng.uniform_int(0, 3)];
+  return ref;
+}
+
+ReadSet sample_reads(const std::string& reference, int count, int read_len,
+                     double error_rate, double variant_rate, uint64_t seed) {
+  if (read_len <= 0 || read_len > static_cast<int>(reference.size())) {
+    throw Error("sample_reads: bad read length");
+  }
+  Rng rng(seed);
+  ReadSet rs;
+
+  // Plant variants: positions where ALL reads see the alternate base.
+  std::map<int, char> variants;
+  for (int i = 0; i < static_cast<int>(reference.size()); ++i) {
+    if (rng.chance(variant_rate)) {
+      variants[i] = mutate(reference[static_cast<size_t>(i)], rng);
+    }
+  }
+  for (const auto& [pos, _] : variants) rs.variant_positions.push_back(pos);
+
+  rs.reads.reserve(static_cast<size_t>(count));
+  for (int r = 0; r < count; ++r) {
+    const int start =
+        static_cast<int>(rng.uniform_int(0, static_cast<int64_t>(reference.size()) - read_len));
+    std::string read = reference.substr(static_cast<size_t>(start),
+                                        static_cast<size_t>(read_len));
+    for (int i = 0; i < read_len; ++i) {
+      const auto it = variants.find(start + i);
+      if (it != variants.end()) read[static_cast<size_t>(i)] = it->second;
+      if (rng.chance(error_rate)) {
+        read[static_cast<size_t>(i)] = mutate(read[static_cast<size_t>(i)], rng);
+      }
+    }
+    rs.reads.push_back(std::move(read));
+    rs.read_positions.push_back(start);
+  }
+  return rs;
+}
+
+std::vector<int> align_reads(const std::string& reference,
+                             const std::vector<std::string>& reads, int k) {
+  if (k <= 0) throw Error("align_reads: k must be positive");
+  // Seed index: k-mer -> positions.
+  std::unordered_map<std::string, std::vector<int>> index;
+  for (int i = 0; i + k <= static_cast<int>(reference.size()); ++i) {
+    index[reference.substr(static_cast<size_t>(i), static_cast<size_t>(k))].push_back(i);
+  }
+
+  std::vector<int> positions;
+  positions.reserve(reads.size());
+  for (const auto& read : reads) {
+    int best_pos = -1;
+    int best_score = -1;
+    // Try seeds at a few offsets within the read.
+    for (int offset = 0; offset + k <= static_cast<int>(read.size());
+         offset += std::max(k / 2, 1)) {
+      const auto it = index.find(read.substr(static_cast<size_t>(offset),
+                                             static_cast<size_t>(k)));
+      if (it == index.end()) continue;
+      for (const int seed_pos : it->second) {
+        const int candidate = seed_pos - offset;
+        if (candidate < 0 ||
+            candidate + static_cast<int>(read.size()) > static_cast<int>(reference.size())) {
+          continue;
+        }
+        // Extension: count matches over the full read.
+        int score = 0;
+        for (size_t i = 0; i < read.size(); ++i) {
+          if (reference[static_cast<size_t>(candidate) + i] == read[i]) ++score;
+        }
+        if (score > best_score) {
+          best_score = score;
+          best_pos = candidate;
+        }
+      }
+    }
+    // Require 80% identity to call it mapped.
+    if (best_score < static_cast<int>(0.8 * static_cast<double>(reads[0].size()))) {
+      best_pos = -1;
+    }
+    positions.push_back(best_pos);
+  }
+  return positions;
+}
+
+std::vector<VariantCall> call_variants(const std::string& reference,
+                                       const std::vector<std::string>& reads,
+                                       const std::vector<int>& positions,
+                                       int min_depth, double purity) {
+  if (reads.size() != positions.size()) throw Error("call_variants: size mismatch");
+  // Pileup: per reference column, count observed bases.
+  std::map<int, std::map<char, int>> pileup;
+  for (size_t r = 0; r < reads.size(); ++r) {
+    const int pos = positions[r];
+    if (pos < 0) continue;
+    for (size_t i = 0; i < reads[r].size(); ++i) {
+      pileup[pos + static_cast<int>(i)][reads[r][i]] += 1;
+    }
+  }
+  std::vector<VariantCall> calls;
+  for (const auto& [column, counts] : pileup) {
+    if (column < 0 || column >= static_cast<int>(reference.size())) continue;
+    const char ref_base = reference[static_cast<size_t>(column)];
+    int depth = 0;
+    char top_alt = 0;
+    int top_alt_count = 0;
+    for (const auto& [base, count] : counts) {
+      depth += count;
+      if (base != ref_base && count > top_alt_count) {
+        top_alt = base;
+        top_alt_count = count;
+      }
+    }
+    if (top_alt_count >= min_depth &&
+        static_cast<double>(top_alt_count) >= purity * static_cast<double>(depth)) {
+      calls.push_back(VariantCall{column, ref_base, top_alt, depth});
+    }
+  }
+  return calls;
+}
+
+serde::Value annotate_variants(const std::vector<VariantCall>& calls) {
+  int64_t synonymous = 0, missense = 0, intergenic = 0;
+  for (const auto& call : calls) {
+    // Toy annotation by codon phase: phase 2 -> often synonymous (wobble),
+    // phases 0/1 in "genes" (first 2/3 of positions) -> missense.
+    const int phase = call.position % 3;
+    const bool genic = call.position % 10 < 7;
+    if (!genic) {
+      ++intergenic;
+    } else if (phase == 2) {
+      ++synonymous;
+    } else {
+      ++missense;
+    }
+  }
+  serde::ValueDict d;
+  d["synonymous"] = serde::Value(synonymous);
+  d["missense"] = serde::Value(missense);
+  d["intergenic"] = serde::Value(intergenic);
+  d["total"] = serde::Value(static_cast<int64_t>(calls.size()));
+  return serde::Value(std::move(d));
+}
+
+serde::Value pipeline_task(const serde::Value& args) {
+  const auto& d = args.is_list() && !args.as_list().empty() ? args.as_list()[0] : args;
+  const int ref_len = static_cast<int>(d.at("ref_len").as_int());
+  const int reads = static_cast<int>(d.at("reads").as_int());
+  const int read_len = static_cast<int>(d.at("read_len").as_int());
+  const auto seed = static_cast<uint64_t>(d.at("seed").as_int());
+
+  const std::string reference = make_reference(ref_len, seed);
+  const ReadSet rs = sample_reads(reference, reads, read_len, 0.01, 0.002, seed + 1);
+  const std::vector<int> positions = align_reads(reference, rs.reads);
+  const std::vector<VariantCall> calls = call_variants(reference, rs.reads, positions);
+
+  int64_t mapped = 0;
+  for (const int p : positions) {
+    if (p >= 0) ++mapped;
+  }
+  serde::ValueDict out;
+  out["variants"] = serde::Value(static_cast<int64_t>(calls.size()));
+  out["mapped"] = serde::Value(mapped);
+  out["reads"] = serde::Value(static_cast<int64_t>(rs.reads.size()));
+  out["annotations"] = annotate_variants(calls);
+  return serde::Value(std::move(out));
+}
+
+}  // namespace lfm::apps::genomics

@@ -1,0 +1,76 @@
+// GDC DNA-Seq genomic analysis workload (paper §III.B and §VI.C.3).
+//
+// Per genome the pipeline runs: alignment (bwa), alignment co-cleaning,
+// variant calling (gatk), variant annotation (Ensembl VEP), and mutation
+// aggregation. The paper highlights VEP: its memory depends on the number
+// of variants in the data, so even "perfect" static knowledge misfires —
+// which is why Auto occasionally beats Oracle in Fig 8. The generator gives
+// VEP a long-tailed variant-count-driven memory distribution.
+//
+// Real kernels: synthetic read generation, seed-and-extend alignment
+// against a reference, pileup-based variant calling, and a toy effect
+// annotator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serde/value.h"
+#include "wq/task.h"
+
+namespace lfm::apps::genomics {
+
+struct Params {
+  int genomes = 8;
+  uint64_t seed = 23;
+  int64_t env_size = 1200LL * 1000 * 1000;  // bio tools conda-pack
+};
+
+alloc::Resources guess_allocation();  // §VI.C.3: 12 cores, 40 GB, 5 GB
+
+// Pipeline task set: per genome, align -> co-clean -> call -> annotate ->
+// aggregate, with VEP memory driven by a sampled variant count.
+std::vector<wq::TaskSpec> generate(const Params& params);
+
+// --- real kernels ------------------------------------------------------------
+
+// Deterministic reference genome of the given length over ACGT.
+std::string make_reference(int length, uint64_t seed);
+
+// Sample reads of `read_len` from the reference with per-base error rate
+// `error_rate` and a sprinkling of true variants; returns the reads and the
+// planted variant positions.
+struct ReadSet {
+  std::vector<std::string> reads;
+  std::vector<int> read_positions;   // true sampling positions
+  std::vector<int> variant_positions;  // planted SNP loci
+};
+ReadSet sample_reads(const std::string& reference, int count, int read_len,
+                     double error_rate, double variant_rate, uint64_t seed);
+
+// Seed-and-extend alignment: exact k-mer seed lookup, then banded extension
+// scoring. Returns per-read best positions (-1 when unmapped).
+std::vector<int> align_reads(const std::string& reference,
+                             const std::vector<std::string>& reads, int k = 16);
+
+// Pileup variant caller: columns where >= min_depth reads agree on a
+// non-reference base with >= purity become variant calls.
+struct VariantCall {
+  int position;
+  char ref_base;
+  char alt_base;
+  int depth;
+};
+std::vector<VariantCall> call_variants(const std::string& reference,
+                                       const std::vector<std::string>& reads,
+                                       const std::vector<int>& positions,
+                                       int min_depth = 3, double purity = 0.8);
+
+// Toy VEP: classify each variant's effect from its codon position.
+serde::Value annotate_variants(const std::vector<VariantCall>& calls);
+
+// monitor::TaskFn adapter: {"ref_len": int, "reads": int, "read_len": int,
+// "seed": int} -> {"variants": int, "mapped": int, "annotations": {...}}.
+serde::Value pipeline_task(const serde::Value& args);
+
+}  // namespace lfm::apps::genomics

@@ -1,0 +1,98 @@
+#include "apps/hep.h"
+
+#include <cmath>
+
+#include "apps/workload.h"
+#include "util/strings.h"
+
+namespace lfm::apps::hep {
+
+alloc::Resources guess_allocation() {
+  // §VI.C.1: "each task was allocated 1 core, 1.5 GB of memory, and 2 GB of
+  // disk" in the Guess configuration.
+  return {1.0, 1.5e9, 2.0e9};
+}
+
+std::vector<wq::TaskSpec> generate(const Params& params) {
+  Rng rng(params.seed);
+  std::vector<wq::TaskSpec> tasks;
+  tasks.reserve(static_cast<size_t>(params.tasks));
+  for (int i = 0; i < params.tasks; ++i) {
+    wq::TaskSpec t;
+    t.id = static_cast<uint64_t>(i + 1);
+    // The workflow is uniform (§VI.C.1: "As the workflow is uniform, less
+    // than 1% of tasks were retried"): one analysis category dominates.
+    t.category = "hep-analysis";
+    t.inputs.push_back(environment_file("hep-conda-env.tar.gz", params.env_size, 4.0));
+    t.inputs.push_back(data_file("corrections.json", params.common_data / 2, true));
+    t.inputs.push_back(data_file("lumi-mask.json", params.common_data / 2, true));
+    t.inputs.push_back(
+        data_file(strformat("events-%05d.root", i), params.unique_data, false));
+    t.output_bytes = params.output_size;
+
+    t.exec_seconds = rng.uniform(params.min_runtime, params.max_runtime);
+    t.true_cores = 1.0;  // IO-bound columnar pass, single core
+    t.true_peak.cores = 1.0;
+    // Memory clusters near the typical value with a tail up to the maximum.
+    t.true_peak.memory_bytes = rng.truncated_normal(
+        static_cast<double>(params.memory_typical),
+        static_cast<double>(params.memory_typical) * 0.12,
+        static_cast<double>(params.memory_typical) * 0.6,
+        static_cast<double>(params.memory_max));
+    t.true_peak.disk_bytes = rng.truncated_normal(
+        static_cast<double>(params.disk_typical),
+        static_cast<double>(params.disk_typical) * 0.08,
+        static_cast<double>(params.disk_typical) * 0.7,
+        static_cast<double>(params.disk_max));
+    t.peak_fraction = rng.uniform(0.4, 0.8);
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+serde::Value analyze_column_batch(int events, int bins, double lo, double hi,
+                                  uint64_t seed) {
+  if (events <= 0 || bins <= 0 || hi <= lo) {
+    throw Error("analyze_column_batch: bad parameters");
+  }
+  Rng rng(seed);
+  // Column-at-a-time: materialize the full column, then reduce — the
+  // columnar layout Coffea uses instead of per-event loops.
+  std::vector<double> pt(static_cast<size_t>(events));
+  for (auto& v : pt) {
+    // Transverse momentum-like spectrum: falling exponential + resonance.
+    const double background = rng.exponential((hi - lo) * 0.2) + lo;
+    const double resonance = rng.normal((lo + hi) * 0.55, (hi - lo) * 0.02);
+    v = rng.chance(0.15) ? resonance : background;
+  }
+
+  std::vector<int64_t> counts(static_cast<size_t>(bins), 0);
+  double sum = 0.0;
+  const double width = (hi - lo) / bins;
+  for (const double v : pt) {
+    sum += v;
+    if (v < lo || v >= hi) continue;
+    auto bin = static_cast<size_t>((v - lo) / width);
+    if (bin >= counts.size()) bin = counts.size() - 1;
+    ++counts[bin];
+  }
+
+  serde::ValueList histogram;
+  histogram.reserve(counts.size());
+  for (const int64_t c : counts) histogram.push_back(serde::Value(c));
+  serde::ValueDict out;
+  out["histogram"] = serde::Value(std::move(histogram));
+  out["mean"] = serde::Value(sum / events);
+  out["events"] = serde::Value(static_cast<int64_t>(events));
+  return serde::Value(std::move(out));
+}
+
+serde::Value analysis_task(const serde::Value& args) {
+  const auto& d = args.is_list() && !args.as_list().empty() ? args.as_list()[0] : args;
+  return analyze_column_batch(static_cast<int>(d.at("events").as_int()),
+                              static_cast<int>(d.at("bins").as_int()),
+                              d.at("lo").as_real(), d.at("hi").as_real(),
+                              static_cast<uint64_t>(d.at("seed").as_int()));
+}
+
+}  // namespace lfm::apps::hep

@@ -1,0 +1,59 @@
+// High Energy Physics columnar analysis workload (paper §III.B "HEP" and
+// §VI.C.1), modelled on Coffea.
+//
+// Workload shape (paper figures/parameters):
+//   * variable number of preprocessing, analysis, postprocessing tasks
+//   * largest input: the 240 MB HEP Conda environment (cached per worker)
+//   * two common data files totalling 1 MB (cached), 0.5 MB unique per task
+//   * 50 MB output per task; runtimes 40–70 s
+//   * true usage: <= 1 core, ~110 MB memory peak, ~1 GB disk
+//   * Guess configuration: 1 core, 1.5 GB memory, 2 GB disk
+//
+// The real kernel is a small columnar analysis: histogram a per-event
+// quantity over a synthetic column batch, column-at-a-time (not row-at-a-
+// time), mirroring Coffea's model.
+#pragma once
+
+#include "serde/value.h"
+#include "util/rng.h"
+#include "wq/task.h"
+
+namespace lfm::apps::hep {
+
+struct Params {
+  int tasks = 100;
+  uint64_t seed = 7;
+  // Task behaviour (paper §VI.C.1).
+  double min_runtime = 40.0;
+  double max_runtime = 70.0;
+  int64_t env_size = 240LL * 1000 * 1000;
+  int64_t common_data = 1LL * 1000 * 1000;
+  int64_t unique_data = 500LL * 1000;
+  int64_t output_size = 50LL * 1000 * 1000;
+  int64_t memory_typical = 84LL * 1000 * 1000;   // Auto's learned label
+  int64_t memory_max = 110LL * 1000 * 1000;      // Oracle bound
+  int64_t disk_typical = 880LL * 1000 * 1000;
+  int64_t disk_max = 1000LL * 1000 * 1000;
+};
+
+// The paper's Guess configuration for this workflow.
+alloc::Resources guess_allocation();
+
+// Generate the task set (preprocessing tasks feed analysis tasks feed one
+// postprocessing; resources below the ceiling so Oracle packs perfectly).
+std::vector<wq::TaskSpec> generate(const Params& params);
+
+// --- real kernel -------------------------------------------------------------
+
+// Columnar analysis over a synthetic event batch: builds `events` values of
+// a kinematic quantity from the seeded generator, then histograms them into
+// `bins` uniform bins over [lo, hi). Returns {"histogram": [counts...],
+// "mean": m, "events": n}.
+serde::Value analyze_column_batch(int events, int bins, double lo, double hi,
+                                  uint64_t seed);
+
+// The same computation expressed as a monitor::TaskFn: args is a dict
+// {"events": int, "bins": int, "lo": real, "hi": real, "seed": int}.
+serde::Value analysis_task(const serde::Value& args);
+
+}  // namespace lfm::apps::hep

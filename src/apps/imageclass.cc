@@ -1,0 +1,136 @@
+#include "apps/imageclass.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/workload.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace lfm::apps::imageclass {
+
+alloc::Resources guess_allocation() { return {2.0, 4e9, 2e9}; }
+
+std::vector<wq::TaskSpec> generate(const Params& params) {
+  Rng rng(params.seed);
+  std::vector<wq::TaskSpec> tasks;
+  tasks.reserve(static_cast<size_t>(params.tasks));
+  for (int i = 0; i < params.tasks; ++i) {
+    wq::TaskSpec t;
+    t.id = static_cast<uint64_t>(i + 1);
+    t.category = "resnet-classify";
+    t.inputs.push_back(environment_file("keras-env.tar.gz", params.env_size, 14.0));
+    t.inputs.push_back(data_file("resnet50-weights.h5", 100LL * 1000 * 1000, true));
+    t.inputs.push_back(
+        data_file(strformat("batch-%05d.npz", i), 25LL * 1000 * 1000, false));
+    t.output_bytes = 100LL * 1000;
+    // Inference batches: short tasks, modest parallelism, ~2 GB of model +
+    // activations; fairly uniform (a FaaS-style well-characterized function).
+    t.exec_seconds = rng.truncated_normal(12.0, 2.5, 6.0, 25.0);
+    t.true_cores = 2.0;
+    t.true_peak.cores = 2.0;
+    t.true_peak.memory_bytes = rng.truncated_normal(2.2e9, 0.3e9, 1.4e9, 3.6e9);
+    t.true_peak.disk_bytes = rng.truncated_normal(0.4e9, 0.1e9, 0.2e9, 1.0e9);
+    t.peak_fraction = rng.uniform(0.3, 0.8);
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+std::vector<double> synthetic_image(int size, uint64_t seed) {
+  if (size <= 0) throw Error("synthetic_image: size must be positive");
+  Rng rng(seed);
+  std::vector<double> img(static_cast<size_t>(size) * static_cast<size_t>(size));
+  // Structured content: two gaussian blobs + noise so classes differ by seed.
+  const double cx1 = rng.uniform(0.2, 0.8) * size;
+  const double cy1 = rng.uniform(0.2, 0.8) * size;
+  const double cx2 = rng.uniform(0.2, 0.8) * size;
+  const double cy2 = rng.uniform(0.2, 0.8) * size;
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const double d1 = ((x - cx1) * (x - cx1) + (y - cy1) * (y - cy1)) / (size * 1.5);
+      const double d2 = ((x - cx2) * (x - cx2) + (y - cy2) * (y - cy2)) / (size * 1.5);
+      double v = 0.7 * std::exp(-d1) + 0.5 * std::exp(-d2) + 0.05 * rng.uniform();
+      img[static_cast<size_t>(y) * size + x] = std::min(v, 0.999);
+    }
+  }
+  return img;
+}
+
+std::vector<double> classify(const std::vector<double>& image, int size,
+                             uint64_t model_seed) {
+  if (static_cast<int>(image.size()) != size * size) {
+    throw Error("classify: image size mismatch");
+  }
+  constexpr int kClasses = 10;
+  constexpr int kFilters = 4;
+  Rng wrng(model_seed);
+
+  // 3x3 conv kernels.
+  double kernels[kFilters][9];
+  for (auto& kernel : kernels) {
+    for (double& w : kernel) w = wrng.uniform(-0.5, 0.5);
+  }
+
+  const int conv_size = size - 2;
+  const int pooled = conv_size / 2;
+  std::vector<double> features;
+  features.reserve(static_cast<size_t>(kFilters) * pooled * pooled);
+
+  for (const auto& kernel : kernels) {
+    // Convolve (valid padding) + ReLU.
+    std::vector<double> fmap(static_cast<size_t>(conv_size) * conv_size);
+    for (int y = 0; y < conv_size; ++y) {
+      for (int x = 0; x < conv_size; ++x) {
+        double acc = 0.0;
+        for (int ky = 0; ky < 3; ++ky) {
+          for (int kx = 0; kx < 3; ++kx) {
+            acc += kernel[ky * 3 + kx] *
+                   image[static_cast<size_t>(y + ky) * size + (x + kx)];
+          }
+        }
+        fmap[static_cast<size_t>(y) * conv_size + x] = std::max(acc, 0.0);
+      }
+    }
+    // 2x2 max pool.
+    for (int y = 0; y < pooled; ++y) {
+      for (int x = 0; x < pooled; ++x) {
+        const double a = fmap[static_cast<size_t>(2 * y) * conv_size + 2 * x];
+        const double b = fmap[static_cast<size_t>(2 * y) * conv_size + 2 * x + 1];
+        const double c = fmap[static_cast<size_t>(2 * y + 1) * conv_size + 2 * x];
+        const double d = fmap[static_cast<size_t>(2 * y + 1) * conv_size + 2 * x + 1];
+        features.push_back(std::max(std::max(a, b), std::max(c, d)));
+      }
+    }
+  }
+
+  // Dense layer -> softmax.
+  std::vector<double> logits(kClasses, 0.0);
+  for (int cls = 0; cls < kClasses; ++cls) {
+    Rng crng(model_seed ^ (0x5151ULL + static_cast<uint64_t>(cls)));
+    for (const double f : features) logits[static_cast<size_t>(cls)] += f * crng.uniform(-0.2, 0.2);
+  }
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double denom = 0.0;
+  for (double& l : logits) {
+    l = std::exp(l - max_logit);
+    denom += l;
+  }
+  for (double& l : logits) l /= denom;
+  return logits;
+}
+
+serde::Value classify_task(const serde::Value& args) {
+  const auto& d = args.is_list() && !args.as_list().empty() ? args.as_list()[0] : args;
+  const int size = static_cast<int>(d.at("size").as_int());
+  const auto seed = static_cast<uint64_t>(d.at("seed").as_int());
+  const auto model_seed = static_cast<uint64_t>(d.at("model_seed").as_int());
+  const std::vector<double> probs = classify(synthetic_image(size, seed), size, model_seed);
+  const auto best = std::max_element(probs.begin(), probs.end());
+  serde::ValueDict out;
+  out["label"] = serde::Value(static_cast<int64_t>(best - probs.begin()));
+  out["confidence"] = serde::Value(*best);
+  return serde::Value(std::move(out));
+}
+
+}  // namespace lfm::apps::imageclass

@@ -1,0 +1,43 @@
+// funcX image-classification benchmark workload (paper §VI.C.4): Keras
+// ResNet inference over image batches, dispatched as serialized functions
+// with LFMs in place of containers.
+//
+// Real kernel: a small convolutional forward pass (conv -> relu -> pool ->
+// dense softmax) over deterministic synthetic images — the computational
+// shape of ResNet inference at toy scale.
+#pragma once
+
+#include <vector>
+
+#include "serde/value.h"
+#include "wq/task.h"
+
+namespace lfm::apps::imageclass {
+
+struct Params {
+  int tasks = 200;
+  uint64_t seed = 31;
+  int64_t env_size = 1400LL * 1000 * 1000;  // Keras+TF environment
+};
+
+// funcX experiment compares Auto/Guess/Unmanaged (no Oracle in Fig 9).
+alloc::Resources guess_allocation();  // 2 cores, 4 GB, 2 GB
+
+std::vector<wq::TaskSpec> generate(const Params& params);
+
+// --- real kernel -------------------------------------------------------------
+
+// Deterministic "image": size x size grayscale in [0,1).
+std::vector<double> synthetic_image(int size, uint64_t seed);
+
+// Forward pass: 3x3 conv (relu) -> 2x2 max pool -> dense 10-way softmax.
+// Weights derive deterministically from `model_seed`. Returns class
+// probabilities (size 10, sums to 1).
+std::vector<double> classify(const std::vector<double>& image, int size,
+                             uint64_t model_seed);
+
+// monitor::TaskFn adapter: {"size": int, "seed": int, "model_seed": int}
+// -> {"label": int, "confidence": real}.
+serde::Value classify_task(const serde::Value& args);
+
+}  // namespace lfm::apps::imageclass

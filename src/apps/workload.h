@@ -1,0 +1,41 @@
+// Shared helpers for the four evaluation workloads (paper §III.B, §VI.C).
+//
+// Each workload module provides (a) a task-graph generator that emits
+// wq::TaskSpec vectors whose resource distributions follow the paper's
+// description — used by the Figs 6–9 benches — and (b) small real compute
+// kernels exercising the same logical steps, used by the examples and the
+// real-LFM demonstrations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+#include "wq/task.h"
+
+namespace lfm::apps {
+
+// The packed Conda environment as a cacheable task input. `unpack_seconds`
+// models the one-time extraction to node-local storage.
+inline wq::InputFile environment_file(const std::string& name, int64_t size_bytes,
+                                      double unpack_seconds) {
+  wq::InputFile f;
+  f.name = name;
+  f.size_bytes = size_bytes;
+  f.cacheable = true;
+  f.unpack_seconds = unpack_seconds;
+  return f;
+}
+
+inline wq::InputFile data_file(const std::string& name, int64_t size_bytes,
+                               bool cacheable) {
+  wq::InputFile f;
+  f.name = name;
+  f.size_bytes = size_bytes;
+  f.cacheable = cacheable;
+  return f;
+}
+
+}  // namespace lfm::apps

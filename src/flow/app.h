@@ -1,0 +1,31 @@
+// Parsl-style app registration (paper §III.A).
+//
+// An `App` bundles what the @python_app decorator captures: the callable, a
+// name, optional Python source (for static dependency analysis), and
+// optional resource limits forwarded to the LFM. The source is what the
+// paper's analyzer introspects to plan a minimal environment per function.
+#pragma once
+
+#include <string>
+
+#include "monitor/lfm.h"
+
+namespace lfm::flow {
+
+struct App {
+  std::string name;
+  monitor::TaskFn fn;
+  // Mini-Python source of the function (optional). When present, the
+  // DataFlowKernel can derive the app's package dependencies statically.
+  std::string python_source;
+  monitor::ResourceLimits limits;
+
+  static App make(std::string name, monitor::TaskFn fn) {
+    App a;
+    a.name = std::move(name);
+    a.fn = std::move(fn);
+    return a;
+  }
+};
+
+}  // namespace lfm::flow

@@ -1,0 +1,109 @@
+// The DataFlowKernel: Parsl's runtime, reimplemented (paper §III.A).
+//
+// "Parsl establishes a dynamic dependency graph (as a DAG) as a program is
+// executed by tracking the futures passed between functions." submit()
+// accepts a mix of concrete values and futures; the call runs when every
+// future argument has resolved, and its own future satisfies downstream
+// dependents. Failed dependencies propagate as dependency errors without
+// executing the dependent task.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "flow/app.h"
+#include "flow/future.h"
+
+namespace lfm::flow {
+
+// An argument to an app call: either a concrete value or an upstream future.
+using Arg = std::variant<serde::Value, Future>;
+
+// Executors run prepared (dependency-free) app invocations.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  // Execute and call `done` exactly once from any thread.
+  virtual void execute(const App& app, serde::Value args,
+                       std::function<void(monitor::TaskOutcome)> done) = 0;
+  // Block until every accepted task has completed.
+  virtual void drain() = 0;
+};
+
+// Runs each task in a lightweight function monitor on the local host, with a
+// fixed-size worker pool — the "worker" side of the architecture collapsed
+// into one process for single-node use and for tests.
+class LocalLfmExecutor : public Executor {
+ public:
+  explicit LocalLfmExecutor(int workers = 2, double poll_interval = 0.01);
+  ~LocalLfmExecutor() override;
+
+  LocalLfmExecutor(const LocalLfmExecutor&) = delete;
+  LocalLfmExecutor& operator=(const LocalLfmExecutor&) = delete;
+
+  void execute(const App& app, serde::Value args,
+               std::function<void(monitor::TaskOutcome)> done) override;
+  void drain() override;
+
+  // Cumulative usage observations, keyed by app name (for labeling demos).
+  std::vector<std::pair<std::string, monitor::ResourceUsage>> observations() const;
+
+ private:
+  struct Job {
+    App app;
+    serde::Value args;
+    std::function<void(monitor::TaskOutcome)> done;
+  };
+  void worker_loop();
+
+  double poll_interval_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Job> queue_;
+  int in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::pair<std::string, monitor::ResourceUsage>> observations_;
+  std::vector<std::thread> threads_;
+};
+
+// Executes inline on the calling thread without forking — for unit tests
+// and platforms where fork-per-task is undesirable.
+class InlineExecutor : public Executor {
+ public:
+  void execute(const App& app, serde::Value args,
+               std::function<void(monitor::TaskOutcome)> done) override;
+  void drain() override {}
+};
+
+class DataFlowKernel {
+ public:
+  explicit DataFlowKernel(Executor& executor) : executor_(executor) {}
+
+  // Submit an app call; args may contain unresolved futures.
+  Future submit(const App& app, std::vector<Arg> args);
+
+  // Block until all tasks submitted so far (including tasks released by
+  // dependency resolution) have completed.
+  void wait_all();
+
+  int64_t submitted() const { return submitted_.load(); }
+  int64_t completed() const { return completed_.load(); }
+
+ private:
+  void launch(const App& app, std::vector<Arg> args, Future result);
+
+  Executor& executor_;
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+};
+
+}  // namespace lfm::flow

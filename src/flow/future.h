@@ -1,0 +1,80 @@
+// Futures for asynchronous app invocations, modelled on Python's
+// concurrent.futures semantics as used by Parsl (paper §III.A): evaluation
+// either yields the result or blocks until available; callbacks registered
+// on an already-completed future fire immediately.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "monitor/lfm.h"
+#include "serde/value.h"
+
+namespace lfm::flow {
+
+class Future {
+ public:
+  Future() : state_(std::make_shared<State>()) {}
+
+  bool done() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->completed;
+  }
+
+  // Block until completion and return the full outcome.
+  const monitor::TaskOutcome& outcome() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [this] { return state_->completed; });
+    return state_->outcome;
+  }
+
+  // Block and return the result value; throws lfm::Error on task failure,
+  // mirroring future.result() re-raising the task's exception.
+  serde::Value result() const {
+    const monitor::TaskOutcome& out = outcome();
+    if (!out.ok()) {
+      throw Error(std::string("task failed (") + monitor::task_status_name(out.status) +
+                  "): " + out.error);
+    }
+    return out.result;
+  }
+
+  // Register a completion callback; fires immediately if already done.
+  void on_ready(std::function<void(const monitor::TaskOutcome&)> fn) const {
+    std::unique_lock lock(state_->mutex);
+    if (state_->completed) {
+      const monitor::TaskOutcome& out = state_->outcome;
+      lock.unlock();
+      fn(out);
+      return;
+    }
+    state_->callbacks.push_back(std::move(fn));
+  }
+
+  // Producer side: complete the future (exactly once).
+  void fulfill(monitor::TaskOutcome outcome) const {
+    std::unique_lock lock(state_->mutex);
+    if (state_->completed) throw Error("Future fulfilled twice");
+    state_->outcome = std::move(outcome);
+    state_->completed = true;
+    auto callbacks = std::move(state_->callbacks);
+    state_->cv.notify_all();
+    lock.unlock();
+    for (auto& cb : callbacks) cb(state_->outcome);
+  }
+
+ private:
+  struct State {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    bool completed = false;
+    monitor::TaskOutcome outcome;
+    std::vector<std::function<void(const monitor::TaskOutcome&)>> callbacks;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace lfm::flow

@@ -1,0 +1,109 @@
+#include "flow/plan.h"
+
+#include "pysrc/parser.h"
+#include "pysrc/scope.h"
+
+namespace lfm::flow {
+
+const std::map<std::string, std::string>& default_import_aliases() {
+  static const std::map<std::string, std::string> kAliases = {
+      {"sklearn", "scikit-learn"},
+      {"cv2", "opencv"},
+      {"PIL", "pillow"},
+      {"yaml", "pyyaml"},
+      {"dateutil", "python-dateutil"},
+      {"wq", "work-queue"},
+      {"work_queue", "work-queue"},
+      {"tensorflow_estimator", "tensorflow-estimator"},
+      {"vep", "ensembl-vep"},
+      {"gdc_pipeline", "gdc-dnaseq-pipeline"},
+      {"candle", "candle-drugscreen"},
+  };
+  return kAliases;
+}
+
+namespace {
+
+DependencyPlan plan_from_scan(const pysrc::ImportScan& scan,
+                              const pkg::PackageIndex& installed,
+                              const std::map<std::string, std::string>& aliases) {
+  DependencyPlan plan;
+  plan.diagnostics = scan.diagnostics;
+
+  const auto& stdlib = pysrc::default_stdlib_modules();
+  plan.import_names = scan.external_packages(stdlib);
+
+  // The interpreter is always required.
+  std::set<std::string> package_names = {"python"};
+  for (const auto& import_name : plan.import_names) {
+    const auto alias_it = aliases.find(import_name);
+    const std::string package =
+        alias_it != aliases.end() ? alias_it->second : import_name;
+    if (!installed.contains(package)) {
+      plan.diagnostics.push_back(
+          {pysrc::Diagnostic::Severity::kWarning, 0,
+           "import '" + import_name + "' does not match any installed package"});
+      continue;
+    }
+    package_names.insert(package);
+  }
+
+  for (const auto& package : package_names) {
+    // Pin to the installed (newest non-prerelease) version, as the paper's
+    // tool queries the user's current environment.
+    const pkg::PackageMeta* meta = installed.best(package, pkg::VersionSpec::any());
+    if (meta == nullptr) continue;
+    pkg::Requirement req;
+    req.name = package;
+    req.spec = pkg::VersionSpec::exactly(meta->version);
+    plan.requirements.push_back(std::move(req));
+  }
+  return plan;
+}
+
+}  // namespace
+
+DependencyPlan plan_function_dependencies(
+    const std::string& python_source, const std::string& function_name,
+    const pkg::PackageIndex& installed,
+    const std::map<std::string, std::string>& aliases) {
+  const pysrc::Module module = pysrc::parse_module(python_source);
+  DependencyPlan plan =
+      plan_from_scan(pysrc::scan_function(module, function_name), installed, aliases);
+  // Self-containment (§IV "applications fail with little explanation"): a
+  // shipped function referencing module globals will break at the worker.
+  std::set<std::string> offenders;
+  try {
+    if (!pysrc::is_self_contained(module, function_name, &offenders)) {
+      for (const auto& name : offenders) {
+        plan.diagnostics.push_back(
+            {pysrc::Diagnostic::Severity::kWarning, 0,
+             "function '" + function_name + "' references '" + name +
+                 "' from enclosing scope; it will be undefined on the worker"});
+      }
+    }
+  } catch (const Error&) {
+    // Function missing: scan_function already reported it.
+  }
+  return plan;
+}
+
+DependencyPlan plan_module_dependencies(
+    const std::string& python_source, const pkg::PackageIndex& installed,
+    const std::map<std::string, std::string>& aliases) {
+  return plan_from_scan(pysrc::scan_source(python_source), installed, aliases);
+}
+
+Result<pkg::Environment> build_environment(const std::string& name,
+                                           const DependencyPlan& plan,
+                                           const pkg::PackageIndex& index) {
+  pkg::Solver solver(index);
+  auto resolution = solver.resolve(plan.requirements);
+  if (!resolution.ok()) {
+    return Result<pkg::Environment>::failure("environment '" + name +
+                                             "': " + resolution.error());
+  }
+  return pkg::Environment(name, resolution.value());
+}
+
+}  // namespace lfm::flow

@@ -1,0 +1,51 @@
+// Dependency planning: static analysis -> pinned requirements -> minimal
+// environment (paper §V.B: "we query the user's current Python environment
+// to identify the installed version of each imported package and add it to a
+// list of dependencies ... It is not necessary to include the full
+// dependency tree, as Python package managers provide robust solvers").
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pkg/environment.h"
+#include "pkg/solver.h"
+#include "pysrc/imports.h"
+
+namespace lfm::flow {
+
+struct DependencyPlan {
+  // External top-level import names found in the function.
+  std::set<std::string> import_names;
+  // Pinned requirements against the user's installed environment.
+  std::vector<pkg::Requirement> requirements;
+  // Analyzer warnings (late imports, dynamic imports, unknown packages).
+  std::vector<pysrc::Diagnostic> diagnostics;
+};
+
+// Import-name -> distribution-name translation for the common cases where
+// they differ (import sklearn -> scikit-learn, import cv2 -> opencv, ...).
+const std::map<std::string, std::string>& default_import_aliases();
+
+// Analyze one function of `python_source` and pin each external import to
+// the version installed in `installed`. Unknown imports produce warning
+// diagnostics and are skipped (matching the analyzer tool's behaviour).
+// The interpreter itself ("python") is always part of the plan.
+DependencyPlan plan_function_dependencies(
+    const std::string& python_source, const std::string& function_name,
+    const pkg::PackageIndex& installed,
+    const std::map<std::string, std::string>& aliases = default_import_aliases());
+
+// Same, over a whole module (every import anywhere in the file).
+DependencyPlan plan_module_dependencies(
+    const std::string& python_source, const pkg::PackageIndex& installed,
+    const std::map<std::string, std::string>& aliases = default_import_aliases());
+
+// Solve a plan into a concrete minimal environment.
+Result<pkg::Environment> build_environment(const std::string& name,
+                                           const DependencyPlan& plan,
+                                           const pkg::PackageIndex& index);
+
+}  // namespace lfm::flow

@@ -1,0 +1,47 @@
+#include "flow/pyapp.h"
+
+#include "pysrc/parser.h"
+#include "pysrc/unparse.h"
+#include "util/strings.h"
+
+namespace lfm::flow {
+
+App python_app(const std::string& module_source, const std::string& function_name,
+               const PythonAppOptions& options) {
+  // Extraction validates the function exists and strips everything else —
+  // the "ship only the function's source" model. Decorators are dropped
+  // (the @python_app marker itself must not execute remotely).
+  const pysrc::Module module = pysrc::parse_module(module_source);
+  std::string shipped = pysrc::extract_function_source(module, function_name);
+  // Drop decorator lines: they reference names (parsl, python_app) that do
+  // not exist on the worker.
+  std::string body;
+  for (const auto& line : split(shipped, '\n')) {
+    if (!line.empty() && line[0] == '@') continue;
+    body += line + "\n";
+  }
+  while (body.size() >= 2 && body[body.size() - 1] == '\n' &&
+         body[body.size() - 2] == '\n') {
+    body.pop_back();
+  }
+
+  App app;
+  app.name = function_name;
+  app.python_source = body;
+  app.limits = options.limits;
+  const pysrc::InterpOptions interp_options = options.interpreter;
+  const std::string fn_name = function_name;
+  app.fn = [body, fn_name, interp_options](const serde::Value& args) {
+    std::vector<serde::Value> positional;
+    if (args.is_list()) {
+      positional = args.as_list();
+    } else if (!args.is_none()) {
+      positional.push_back(args);
+    }
+    return pysrc::run_python_function(body, fn_name, std::move(positional),
+                                      interp_options);
+  };
+  return app;
+}
+
+}  // namespace lfm::flow

@@ -1,0 +1,30 @@
+// python_app: the paper's @python_app, end to end.
+//
+// Builds a flow::App whose body is SHIPPED PYTHON SOURCE: the named function
+// is extracted from the user's module (decorators dropped, imports kept),
+// and each invocation re-parses and executes it in a fresh mini-Python
+// interpreter — inside the LFM child process when run on an LFM executor.
+// Arguments arrive as a pickled Value list (positional), exactly like the
+// paper's pickled-inputs wrapper; the return value is the function's result.
+//
+// In-language exceptions (PyError) surface as task exceptions; resource
+// limits are enforced by the monitor exactly as for native tasks.
+#pragma once
+
+#include <string>
+
+#include "flow/app.h"
+#include "pysrc/interp.h"
+
+namespace lfm::flow {
+
+struct PythonAppOptions {
+  monitor::ResourceLimits limits;
+  pysrc::InterpOptions interpreter;
+};
+
+// Throws lfm::Error if `function_name` is absent from `module_source`.
+App python_app(const std::string& module_source, const std::string& function_name,
+               const PythonAppOptions& options = {});
+
+}  // namespace lfm::flow

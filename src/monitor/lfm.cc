@@ -1,0 +1,222 @@
+#include "monitor/lfm.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "monitor/detail.h"
+#include "monitor/proc_reader.h"
+#include "serde/pickle.h"
+#include "util/log.h"
+
+namespace lfm::monitor {
+namespace {
+
+// Child -> parent report framing: 1 status byte + pickled payload.
+constexpr uint8_t kReportSuccess = 0;
+constexpr uint8_t kReportException = 1;
+
+bool write_all(int fd, const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Drain everything currently available without blocking.
+void read_available(int fd, serde::Bytes& buffer) {
+  uint8_t chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      buffer.insert(buffer.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // 0 = EOF, or EAGAIN on non-blocking fd
+  }
+}
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+[[noreturn]] void child_main(const TaskFn& fn, const serde::Value& args, int report_fd) {
+  // Own process group so the parent can kill the whole task tree at once.
+  ::setpgid(0, 0);
+  uint8_t status = kReportSuccess;
+  serde::Bytes payload;
+  try {
+    payload = serde::dumps(fn(args));
+  } catch (const std::exception& e) {
+    status = kReportException;
+    payload = serde::dumps(serde::Value(std::string(e.what())));
+  } catch (...) {
+    status = kReportException;
+    payload = serde::dumps(serde::Value(std::string("unknown exception")));
+  }
+  write_all(report_fd, &status, 1);
+  write_all(report_fd, payload.data(), payload.size());
+  ::close(report_fd);
+  ::_exit(0);
+}
+
+void merge_peaks(ResourceUsage& acc, const ResourceUsage& snapshot) {
+  acc.wall_time = snapshot.wall_time;
+  acc.rss_bytes = snapshot.rss_bytes;
+  acc.processes = snapshot.processes;
+  acc.disk_read_bytes = std::max(acc.disk_read_bytes, snapshot.disk_read_bytes);
+  acc.disk_write_bytes = std::max(acc.disk_write_bytes, snapshot.disk_write_bytes);
+  // CPU counters are cumulative but the subtree membership fluctuates, so
+  // keep the maximum observed total.
+  acc.cpu_time = std::max(acc.cpu_time, snapshot.cpu_time);
+  acc.max_rss_bytes = std::max(acc.max_rss_bytes, snapshot.rss_bytes);
+  acc.max_processes = std::max(acc.max_processes, snapshot.processes);
+  acc.cores = acc.wall_time > 0.0 ? acc.cpu_time / acc.wall_time : 0.0;
+}
+
+}  // namespace
+
+namespace detail {
+
+LoopResult monitor_loop(pid_t pid, int read_fd, const MonitorOptions& options,
+                        ResourceUsage& usage, UsageTimeline& timeline) {
+  ::fcntl(read_fd, F_SETFL, O_NONBLOCK);
+  LoopResult result;
+  const double start = now_seconds();
+
+  while (true) {
+    const pid_t w = ::waitpid(pid, &result.wait_status, WNOHANG);
+    if (w == pid) break;
+
+    const double wall = now_seconds() - start;
+    const ResourceUsage snapshot = sample_subtree(pid, wall);
+    merge_peaks(usage, snapshot);
+    if (options.record_timeline) {
+      UsageSample sample;
+      sample.wall_time = snapshot.wall_time;
+      sample.cpu_time = snapshot.cpu_time;
+      sample.rss_bytes = snapshot.rss_bytes;
+      sample.disk_write_bytes = snapshot.disk_write_bytes;
+      sample.processes = snapshot.processes;
+      timeline.add(sample);
+    }
+    if (options.on_poll) options.on_poll(usage);
+
+    if (!result.killed_for_limit) {
+      if (const auto violation = first_violation(usage, options.limits)) {
+        result.violated_resource = *violation;
+        result.killed_for_limit = true;
+        LFM_INFO("lfm", "killing task " + std::to_string(pid) + ": " + *violation +
+                            " limit exceeded (" + usage.summary() + ")");
+        ::kill(-pid, SIGKILL);  // the whole process group
+        ::kill(pid, SIGKILL);   // in case setpgid had not run yet
+      }
+    }
+
+    read_available(read_fd, result.collected);
+    std::this_thread::sleep_for(std::chrono::duration<double>(options.poll_interval));
+  }
+
+  // Final wall time; the child is gone so /proc reads are moot.
+  usage.wall_time = now_seconds() - start;
+  usage.cores = usage.wall_time > 0.0 ? usage.cpu_time / usage.wall_time : 0.0;
+
+  // Collect any remaining bytes (the pipe outlives the child).
+  read_available(read_fd, result.collected);
+  ::close(read_fd);
+  return result;
+}
+
+}  // namespace detail
+
+const char* task_status_name(TaskStatus status) {
+  switch (status) {
+    case TaskStatus::kSuccess: return "success";
+    case TaskStatus::kException: return "exception";
+    case TaskStatus::kLimitExceeded: return "limit_exceeded";
+    case TaskStatus::kCrashed: return "crashed";
+  }
+  return "?";
+}
+
+TaskOutcome run_monitored(const TaskFn& fn, const serde::Value& args,
+                          const MonitorOptions& options) {
+  TaskOutcome outcome;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    outcome.error = std::string("pipe: ") + std::strerror(errno);
+    return outcome;
+  }
+
+  std::fflush(nullptr);  // avoid duplicated stdio buffers in the child
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    outcome.error = std::string("fork: ") + std::strerror(errno);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return outcome;
+  }
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    child_main(fn, args, pipe_fds[1]);  // never returns
+  }
+  ::close(pipe_fds[1]);
+
+  const detail::LoopResult loop =
+      detail::monitor_loop(pid, pipe_fds[0], options, outcome.usage, outcome.timeline);
+  const serde::Bytes& report = loop.collected;
+
+  if (loop.killed_for_limit) {
+    outcome.status = TaskStatus::kLimitExceeded;
+    outcome.violated_resource = loop.violated_resource;
+    outcome.error = "resource limit exceeded: " + loop.violated_resource;
+    return outcome;
+  }
+
+  if (report.empty()) {
+    outcome.status = TaskStatus::kCrashed;
+    if (WIFSIGNALED(loop.wait_status)) {
+      outcome.error = std::string("task killed by signal ") +
+                      std::to_string(WTERMSIG(loop.wait_status));
+    } else {
+      outcome.error = "task exited without reporting a result (status " +
+                      std::to_string(WEXITSTATUS(loop.wait_status)) + ")";
+    }
+    return outcome;
+  }
+
+  const uint8_t report_kind = report[0];
+  serde::Bytes payload(report.begin() + 1, report.end());
+  try {
+    serde::Value value = serde::loads(payload);
+    if (report_kind == kReportSuccess) {
+      outcome.status = TaskStatus::kSuccess;
+      outcome.result = std::move(value);
+    } else {
+      outcome.status = TaskStatus::kException;
+      outcome.error = value.is_str() ? value.as_str() : value.repr();
+    }
+  } catch (const Error& e) {
+    outcome.status = TaskStatus::kCrashed;
+    outcome.error = std::string("corrupt result report: ") + e.what();
+  }
+  return outcome;
+}
+
+}  // namespace lfm::monitor

@@ -1,0 +1,133 @@
+#include "monitor/proc_reader.h"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace lfm::monitor {
+namespace {
+
+double ticks_to_seconds(unsigned long long ticks) {
+  static const long hz = sysconf(_SC_CLK_TCK);
+  return static_cast<double>(ticks) / static_cast<double>(hz > 0 ? hz : 100);
+}
+
+long page_size() {
+  static const long sz = sysconf(_SC_PAGESIZE);
+  return sz > 0 ? sz : 4096;
+}
+
+}  // namespace
+
+std::optional<ProcSample> sample_process(pid_t pid) {
+  char path[64];
+  std::snprintf(path, sizeof path, "/proc/%d/stat", pid);
+  std::ifstream stat_file(path);
+  if (!stat_file) return std::nullopt;
+  std::string line;
+  std::getline(stat_file, line);
+  if (line.empty()) return std::nullopt;
+
+  // Field 2 (comm) may contain spaces/parens; skip past the last ')'.
+  const size_t close = line.rfind(')');
+  if (close == std::string::npos) return std::nullopt;
+  const char* rest = line.c_str() + close + 1;
+
+  // After comm: state(3) ppid(4) ... utime(14) stime(15) cutime(16)
+  // cstime(17) ... rss(24, pages).
+  char state = 0;
+  long ppid = 0, pgrp = 0, session = 0, tty = 0, tpgid = 0;
+  unsigned long flags = 0, minflt = 0, cminflt = 0, majflt = 0, cmajflt = 0;
+  unsigned long long utime = 0, stime = 0;
+  long long cutime = 0, cstime = 0;
+  long priority = 0, nice = 0, nthreads = 0, itrealvalue = 0;
+  unsigned long long starttime = 0;
+  unsigned long vsize = 0;
+  long rss_pages = 0;
+  const int n = std::sscanf(
+      rest,
+      " %c %ld %ld %ld %ld %ld %lu %lu %lu %lu %lu %llu %llu %lld %lld %ld %ld %ld %ld %llu %lu %ld",
+      &state, &ppid, &pgrp, &session, &tty, &tpgid, &flags, &minflt, &cminflt,
+      &majflt, &cmajflt, &utime, &stime, &cutime, &cstime, &priority, &nice,
+      &nthreads, &itrealvalue, &starttime, &vsize, &rss_pages);
+  if (n < 22) return std::nullopt;
+
+  ProcSample s;
+  s.pid = pid;
+  s.ppid = static_cast<pid_t>(ppid);
+  s.utime = ticks_to_seconds(utime);
+  s.stime = ticks_to_seconds(stime);
+  s.cutime = ticks_to_seconds(static_cast<unsigned long long>(cutime < 0 ? 0 : cutime));
+  s.cstime = ticks_to_seconds(static_cast<unsigned long long>(cstime < 0 ? 0 : cstime));
+  s.rss_bytes = static_cast<int64_t>(rss_pages) * page_size();
+
+  // /proc/<pid>/io requires no special privilege for our own children.
+  std::snprintf(path, sizeof path, "/proc/%d/io", pid);
+  std::ifstream io_file(path);
+  if (io_file) {
+    std::string key;
+    int64_t value = 0;
+    while (io_file >> key >> value) {
+      if (key == "read_bytes:") s.read_bytes = value;
+      if (key == "write_bytes:") s.write_bytes = value;
+    }
+  }
+  return s;
+}
+
+std::vector<pid_t> process_subtree(pid_t root) {
+  namespace fs = std::filesystem;
+  // One pass over /proc building the ppid map, then chase ancestry.
+  std::map<pid_t, pid_t> parent_of;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator("/proc", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.empty() || !std::isdigit(static_cast<unsigned char>(name[0]))) continue;
+    const pid_t pid = static_cast<pid_t>(std::stol(name));
+    if (auto s = sample_process(pid)) parent_of[pid] = s->ppid;
+  }
+  std::vector<pid_t> out;
+  for (const auto& [pid, _] : parent_of) {
+    pid_t cur = pid;
+    for (int hops = 0; hops < 128; ++hops) {
+      if (cur == root) {
+        out.push_back(pid);
+        break;
+      }
+      const auto it = parent_of.find(cur);
+      if (it == parent_of.end() || it->second == cur || it->second == 0) break;
+      cur = it->second;
+    }
+  }
+  return out;
+}
+
+ResourceUsage sample_subtree(pid_t root, double wall_time) {
+  ResourceUsage usage;
+  usage.wall_time = wall_time;
+  for (const pid_t pid : process_subtree(root)) {
+    const auto s = sample_process(pid);
+    if (!s) continue;  // exited between scan and sample
+    usage.cpu_time += s->utime + s->stime;
+    // Children that already exited and were reaped fold their CPU time into
+    // the parent's cumulative counters — this is how short-lived forks are
+    // captured between polls.
+    usage.cpu_time += s->cutime + s->cstime;
+    usage.rss_bytes += s->rss_bytes;
+    usage.disk_read_bytes += s->read_bytes;
+    usage.disk_write_bytes += s->write_bytes;
+    usage.processes += 1;
+  }
+  usage.max_rss_bytes = usage.rss_bytes;
+  usage.max_processes = usage.processes;
+  usage.cores = wall_time > 0.0 ? usage.cpu_time / wall_time : 0.0;
+  return usage;
+}
+
+}  // namespace lfm::monitor

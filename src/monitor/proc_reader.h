@@ -1,0 +1,44 @@
+// /proc-based measurement of a process subtree (paper §VI.B.1).
+//
+// The paper combines interval polling of /proc/PID with LD_PRELOAD
+// interception of fork/exit so short-lived children are not missed. Here the
+// subtree is discovered at each poll by scanning /proc for processes whose
+// ancestry chain reaches the root PID — the same measurement surface without
+// a preloaded library (documented substitution in DESIGN.md). Exited
+// children's CPU time is still captured through the parent's cumulative
+// children-time counters (cutime/cstime in /proc/PID/stat).
+#pragma once
+
+#include <sys/types.h>
+
+#include <optional>
+#include <vector>
+
+#include "monitor/resources.h"
+
+namespace lfm::monitor {
+
+struct ProcSample {
+  pid_t pid = 0;
+  pid_t ppid = 0;
+  double utime = 0.0;   // user CPU seconds
+  double stime = 0.0;   // system CPU seconds
+  double cutime = 0.0;  // reaped children user CPU seconds
+  double cstime = 0.0;  // reaped children system CPU seconds
+  int64_t rss_bytes = 0;
+  int64_t read_bytes = 0;
+  int64_t write_bytes = 0;
+};
+
+// Read one process's counters; nullopt if it vanished.
+std::optional<ProcSample> sample_process(pid_t pid);
+
+// All live PIDs whose ancestry reaches `root` (including root itself).
+std::vector<pid_t> process_subtree(pid_t root);
+
+// Aggregate a subtree into a usage snapshot. `wall_time` is supplied by the
+// caller's clock. Updates only instantaneous fields; peak tracking is the
+// monitor loop's job.
+ResourceUsage sample_subtree(pid_t root, double wall_time);
+
+}  // namespace lfm::monitor

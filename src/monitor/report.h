@@ -1,0 +1,24 @@
+// JSON rendering of task outcomes — the monitor's "report resource
+// consumption" path, in a form schedulers and log collectors can ingest.
+#pragma once
+
+#include <string>
+
+#include "monitor/lfm.h"
+#include "monitor/timeline.h"
+
+namespace lfm::monitor {
+
+// {"status": "...", "error": "...", "usage": {...}} — stable key order.
+std::string to_json(const TaskOutcome& outcome);
+
+// {"wall_time": ..., "cpu_time": ..., ...}
+std::string to_json(const ResourceUsage& usage);
+
+// [{"t": ..., "rss": ..., ...}, ...]
+std::string to_json(const UsageTimeline& timeline);
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& text);
+
+}  // namespace lfm::monitor

@@ -1,0 +1,26 @@
+#include "monitor/resources.h"
+
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace lfm::monitor {
+
+std::string ResourceUsage::summary() const {
+  return strformat("wall=%s cpu=%s rss_peak=%s cores=%.2f procs=%d io_w=%s",
+                   format_seconds(wall_time).c_str(), format_seconds(cpu_time).c_str(),
+                   format_bytes(max_rss_bytes).c_str(), cores, max_processes,
+                   format_bytes(disk_write_bytes).c_str());
+}
+
+std::optional<std::string> first_violation(const ResourceUsage& usage,
+                                           const ResourceLimits& limits) {
+  if (limits.wall_time && usage.wall_time > *limits.wall_time) return "wall_time";
+  if (limits.cpu_time && usage.cpu_time > *limits.cpu_time) return "cpu_time";
+  if (limits.memory_bytes && usage.max_rss_bytes > *limits.memory_bytes) return "memory";
+  if (limits.disk_bytes && usage.disk_write_bytes > *limits.disk_bytes) return "disk";
+  if (limits.processes && usage.max_processes > *limits.processes) return "processes";
+  if (limits.cores && usage.cores > *limits.cores) return "cores";
+  return std::nullopt;
+}
+
+}  // namespace lfm::monitor

@@ -1,0 +1,46 @@
+// Resource vectors shared by the real function monitor and the simulator.
+//
+// The paper manages three principal dimensions per function invocation —
+// cores, memory, disk (§VI) — plus wall/CPU time for measurement. A
+// `ResourceLimits` with unset fields means "unlimited" in that dimension.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lfm::monitor {
+
+struct ResourceUsage {
+  double wall_time = 0.0;       // seconds since task start
+  double cpu_time = 0.0;        // user+system seconds over the process tree
+  int64_t max_rss_bytes = 0;    // peak resident set over the process tree
+  int64_t rss_bytes = 0;        // current resident set
+  int64_t disk_read_bytes = 0;  // cumulative from /proc/<pid>/io
+  int64_t disk_write_bytes = 0;
+  int max_processes = 0;        // peak concurrent processes in the tree
+  int processes = 0;            // current processes in the tree
+  double cores = 0.0;           // observed parallelism: cpu_time / wall_time
+
+  std::string summary() const;
+};
+
+struct ResourceLimits {
+  std::optional<double> wall_time;       // seconds
+  std::optional<double> cpu_time;        // seconds
+  std::optional<int64_t> memory_bytes;   // peak RSS
+  std::optional<int64_t> disk_bytes;     // bytes written
+  std::optional<int> processes;          // concurrent process count
+  std::optional<double> cores;           // observed parallelism
+
+  bool unlimited() const {
+    return !wall_time && !cpu_time && !memory_bytes && !disk_bytes && !processes && !cores;
+  }
+};
+
+// The first limit `usage` violates, or nullopt. The returned string names
+// the resource ("memory", "wall_time", ...) for retry bookkeeping.
+std::optional<std::string> first_violation(const ResourceUsage& usage,
+                                           const ResourceLimits& limits);
+
+}  // namespace lfm::monitor

@@ -1,0 +1,34 @@
+#include "monitor/timeline.h"
+
+#include <algorithm>
+
+namespace lfm::monitor {
+
+int64_t UsageTimeline::peak_rss() const {
+  int64_t peak = 0;
+  for (const auto& s : samples_) peak = std::max(peak, s.rss_bytes);
+  return peak;
+}
+
+double UsageTimeline::peak_rss_time() const {
+  int64_t peak = 0;
+  double at = 0.0;
+  for (const auto& s : samples_) {
+    if (s.rss_bytes > peak) {
+      peak = s.rss_bytes;
+      at = s.wall_time;
+    }
+  }
+  return at;
+}
+
+double UsageTimeline::mean_cores() const {
+  if (samples_.size() < 2) return 0.0;
+  const auto& first = samples_.front();
+  const auto& last = samples_.back();
+  const double dt = last.wall_time - first.wall_time;
+  if (dt <= 0.0) return 0.0;
+  return (last.cpu_time - first.cpu_time) / dt;
+}
+
+}  // namespace lfm::monitor

@@ -1,0 +1,39 @@
+// Time-series recording of a task's resource usage, one sample per poll.
+// The paper's monitor exposes this through its polling callback; recording a
+// timeline makes per-invocation profiles available for offline analysis and
+// is what the labeling machinery aggregates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lfm::monitor {
+
+struct UsageSample {
+  double wall_time = 0.0;     // seconds since task start
+  double cpu_time = 0.0;      // cumulative user+sys seconds
+  int64_t rss_bytes = 0;      // instantaneous resident set
+  int64_t disk_write_bytes = 0;
+  int processes = 0;
+};
+
+class UsageTimeline {
+ public:
+  void add(UsageSample sample) { samples_.push_back(sample); }
+  const std::vector<UsageSample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+
+  // Peak RSS over the recorded samples (0 when empty).
+  int64_t peak_rss() const;
+  // Time at which the RSS peak was observed (0 when empty).
+  double peak_rss_time() const;
+  // Mean CPU utilization (cores) between first and last sample.
+  double mean_cores() const;
+
+ private:
+  std::vector<UsageSample> samples_;
+};
+
+}  // namespace lfm::monitor

@@ -1,0 +1,66 @@
+#include "pkg/environment.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace lfm::pkg {
+
+Environment::Environment(std::string name, const Resolution& resolution)
+    : name_(std::move(name)) {
+  packages_.reserve(resolution.packages.size());
+  for (const auto& [_, meta] : resolution.packages) packages_.push_back(meta);
+  std::sort(packages_.begin(), packages_.end(),
+            [](const PackageMeta* a, const PackageMeta* b) { return a->name < b->name; });
+  for (const PackageMeta* meta : packages_) {
+    total_size_ += meta->size_bytes;
+    total_files_ += meta->file_count;
+  }
+}
+
+bool Environment::has_native_libs() const {
+  return std::any_of(packages_.begin(), packages_.end(),
+                     [](const PackageMeta* p) { return p->has_native_libs; });
+}
+
+std::string Environment::requirements_txt() const {
+  std::string out;
+  for (const PackageMeta* meta : packages_) {
+    out += meta->name + "==" + meta->version.str() + "\n";
+  }
+  return out;
+}
+
+std::string Environment::conda_yaml() const {
+  std::string out = "name: " + name_ + "\nchannels:\n  - defaults\ndependencies:\n";
+  for (const PackageMeta* meta : packages_) {
+    out += "  - " + meta->name + "=" + meta->version.str() + "\n";
+  }
+  return out;
+}
+
+std::vector<EnvironmentFile> Environment::synthesize_files() const {
+  std::vector<EnvironmentFile> files;
+  files.reserve(static_cast<size_t>(total_files_));
+  for (const PackageMeta* meta : packages_) {
+    const int count = std::max(meta->file_count, 1);
+    const int64_t per_file = std::max<int64_t>(meta->size_bytes / count, 1);
+    for (int i = 0; i < count; ++i) {
+      EnvironmentFile f;
+      // The first file of each package is a text entry (metadata/launcher)
+      // that embeds the original prefix; the rest are payload.
+      if (i == 0) {
+        f.path = "lib/" + meta->name + "/" + meta->name + ".dist-info";
+        f.is_text = true;
+      } else {
+        f.path = strformat("lib/%s/data_%04d%s", meta->name.c_str(), i,
+                           meta->has_native_libs && i % 7 == 0 ? ".so" : ".py");
+      }
+      f.size = per_file;
+      files.push_back(std::move(f));
+    }
+  }
+  return files;
+}
+
+}  // namespace lfm::pkg

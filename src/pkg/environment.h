@@ -1,0 +1,52 @@
+// A resolved, materializable Python environment (paper §V.C–D).
+//
+// An `Environment` is the output of dependency analysis + solving: the exact
+// package set a function needs. It can be rendered as a requirements list,
+// synthesized into an in-memory file tree (for the packer), and carries the
+// aggregate size/file statistics that drive the distribution cost models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pkg/solver.h"
+
+namespace lfm::pkg {
+
+struct EnvironmentFile {
+  std::string path;   // environment-relative, e.g. "lib/numpy/core.so"
+  int64_t size = 0;
+  bool is_text = false;  // text files participate in prefix relocation
+};
+
+class Environment {
+ public:
+  // Build from a solver resolution. `name` labels the environment.
+  Environment(std::string name, const Resolution& resolution);
+
+  const std::string& name() const { return name_; }
+  const std::vector<const PackageMeta*>& packages() const { return packages_; }
+  int64_t total_size() const { return total_size_; }
+  int total_files() const { return total_files_; }
+  size_t package_count() const { return packages_.size(); }
+  bool has_native_libs() const;
+
+  // requirements.txt-style pinned list, sorted by name.
+  std::string requirements_txt() const;
+  // conda environment.yml-style rendering.
+  std::string conda_yaml() const;
+
+  // Deterministically synthesize the environment's file list: per package,
+  // `file_count` files partitioning `size_bytes`, with a few text files
+  // (scripts, dist-info) that embed the build prefix for relocation tests.
+  std::vector<EnvironmentFile> synthesize_files() const;
+
+ private:
+  std::string name_;
+  std::vector<const PackageMeta*> packages_;  // sorted by name
+  int64_t total_size_ = 0;
+  int total_files_ = 0;
+};
+
+}  // namespace lfm::pkg

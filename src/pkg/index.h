@@ -1,0 +1,58 @@
+// The package index: the stand-in for PyPI / the Conda channel.
+//
+// Each `PackageMeta` records what dependency planning needs — the dependency
+// edges, the installed size and file count (both drive environment-creation
+// and import-cost models), and whether the package carries native shared
+// libraries (these dominate import time on shared filesystems, §V.A).
+//
+// `standard_index()` builds a synthetic corpus whose shape is calibrated to
+// the packages of Table II: python, numpy, five popular scientific PyPI
+// packages, TensorFlow/MXNet-class ML stacks, and the three applications.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pkg/version.h"
+
+namespace lfm::pkg {
+
+struct PackageMeta {
+  std::string name;
+  Version version;
+  std::vector<Requirement> depends;
+  int64_t size_bytes = 0;   // installed footprint
+  int file_count = 0;       // number of files installed (drives metadata load)
+  bool has_native_libs = false;
+
+  std::string spec_str() const { return name + "==" + version.str(); }
+};
+
+class PackageIndex {
+ public:
+  // Register a package version. Throws if the same (name, version) is added
+  // twice with different contents.
+  void add(PackageMeta meta);
+
+  bool contains(const std::string& name) const;
+  // All versions of a package, newest first. Empty if unknown.
+  std::vector<const PackageMeta*> versions(const std::string& name) const;
+  // Newest version matching the spec, or nullptr.
+  const PackageMeta* best(const std::string& name, const VersionSpec& spec) const;
+  // Exact lookup.
+  const PackageMeta* find(const std::string& name, const Version& version) const;
+
+  size_t package_count() const;
+  std::vector<std::string> package_names() const;
+
+ private:
+  // name -> versions sorted descending
+  std::map<std::string, std::vector<PackageMeta>> packages_;
+};
+
+// Synthetic corpus calibrated to the paper's Table II package set.
+PackageIndex standard_index();
+
+}  // namespace lfm::pkg

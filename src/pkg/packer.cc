@@ -1,0 +1,287 @@
+#include "pkg/packer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace lfm::pkg {
+namespace fs = std::filesystem;
+
+void Archive::add_file(std::string path, Bytes data, uint32_t mode) {
+  ArchiveEntry e;
+  e.path = std::move(path);
+  e.data = std::move(data);
+  e.mode = mode;
+  entries_.push_back(std::move(e));
+}
+
+void Archive::add_directory(std::string path) {
+  ArchiveEntry e;
+  e.path = std::move(path);
+  e.is_directory = true;
+  e.mode = 0755;
+  entries_.push_back(std::move(e));
+}
+
+size_t Archive::file_count() const {
+  return static_cast<size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const ArchiveEntry& e) { return !e.is_directory; }));
+}
+
+int64_t Archive::total_bytes() const {
+  int64_t sum = 0;
+  for (const auto& e : entries_) sum += static_cast<int64_t>(e.data.size());
+  return sum;
+}
+
+const ArchiveEntry* Archive::find(const std::string& path) const {
+  for (const auto& e : entries_) {
+    if (e.path == path) return &e;
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr size_t kBlock = 512;
+
+struct [[gnu::packed]] TarHeader {
+  char name[100];
+  char mode[8];
+  char uid[8];
+  char gid[8];
+  char size[12];
+  char mtime[12];
+  char chksum[8];
+  char typeflag;
+  char linkname[100];
+  char magic[6];
+  char version[2];
+  char uname[32];
+  char gname[32];
+  char devmajor[8];
+  char devminor[8];
+  char prefix[155];
+  char pad[12];
+};
+static_assert(sizeof(TarHeader) == kBlock, "tar header must be one block");
+
+void write_octal(char* field, size_t width, uint64_t value) {
+  // Width includes the trailing NUL position per ustar convention. Digits
+  // are written zero-padded, least-significant last.
+  field[width - 1] = '\0';
+  for (size_t i = width - 1; i-- > 0;) {
+    field[i] = static_cast<char>('0' + (value & 7));
+    value >>= 3;
+  }
+}
+
+uint64_t read_octal(const char* field, size_t width) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < width; ++i) {
+    const char c = field[i];
+    if (c == '\0' || c == ' ') break;
+    if (c < '0' || c > '7') throw Error("tar: bad octal digit");
+    v = v * 8 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+void split_name(const std::string& path, TarHeader& h) {
+  if (path.size() <= sizeof(h.name)) {
+    std::memcpy(h.name, path.data(), path.size());
+    return;
+  }
+  // ustar prefix/name split at a '/' boundary.
+  if (path.size() > sizeof(h.name) + sizeof(h.prefix) + 1) {
+    throw Error("tar: path too long: " + path);
+  }
+  // Find a split point: prefix <=155, name <=100.
+  for (size_t cut = path.size() - 1; cut > 0; --cut) {
+    if (path[cut] != '/') continue;
+    const size_t prefix_len = cut;
+    const size_t name_len = path.size() - cut - 1;
+    if (prefix_len <= sizeof(h.prefix) && name_len <= sizeof(h.name) && name_len > 0) {
+      std::memcpy(h.prefix, path.data(), prefix_len);
+      std::memcpy(h.name, path.data() + cut + 1, name_len);
+      return;
+    }
+  }
+  throw Error("tar: cannot split long path: " + path);
+}
+
+void finalize_checksum(TarHeader& h) {
+  std::memset(h.chksum, ' ', sizeof(h.chksum));
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&h);
+  unsigned sum = 0;
+  for (size_t i = 0; i < kBlock; ++i) sum += bytes[i];
+  std::snprintf(h.chksum, sizeof(h.chksum), "%06o", sum);
+  h.chksum[7] = ' ';
+}
+
+bool verify_checksum(const TarHeader& h) {
+  TarHeader copy = h;
+  std::memset(copy.chksum, ' ', sizeof(copy.chksum));
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&copy);
+  unsigned sum = 0;
+  for (size_t i = 0; i < kBlock; ++i) sum += bytes[i];
+  return sum == read_octal(h.chksum, sizeof(h.chksum));
+}
+
+bool is_zero_block(const uint8_t* p) {
+  for (size_t i = 0; i < kBlock; ++i) {
+    if (p[i] != 0) return false;
+  }
+  return true;
+}
+
+bool looks_text(const Bytes& data) {
+  const size_t probe = std::min<size_t>(data.size(), 1024);
+  for (size_t i = 0; i < probe; ++i) {
+    if (data[i] == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes write_tar(const Archive& archive) {
+  Bytes out;
+  for (const auto& entry : archive.entries()) {
+    TarHeader h;
+    std::memset(&h, 0, sizeof h);
+    std::string path = entry.path;
+    if (entry.is_directory && !path.empty() && path.back() != '/') path += '/';
+    split_name(path, h);
+    write_octal(h.mode, sizeof(h.mode), entry.mode);
+    write_octal(h.uid, sizeof(h.uid), 0);
+    write_octal(h.gid, sizeof(h.gid), 0);
+    write_octal(h.size, sizeof(h.size), entry.is_directory ? 0 : entry.data.size());
+    write_octal(h.mtime, sizeof(h.mtime), 0);
+    h.typeflag = entry.is_directory ? '5' : '0';
+    std::memcpy(h.magic, "ustar", 6);
+    h.version[0] = '0';
+    h.version[1] = '0';
+    std::snprintf(h.uname, sizeof(h.uname), "lfm");
+    std::snprintf(h.gname, sizeof(h.gname), "lfm");
+    finalize_checksum(h);
+
+    const auto* hp = reinterpret_cast<const uint8_t*>(&h);
+    out.insert(out.end(), hp, hp + kBlock);
+    if (!entry.is_directory) {
+      out.insert(out.end(), entry.data.begin(), entry.data.end());
+      const size_t rem = entry.data.size() % kBlock;
+      if (rem != 0) out.insert(out.end(), kBlock - rem, 0);
+    }
+  }
+  // Two terminating zero blocks.
+  out.insert(out.end(), 2 * kBlock, 0);
+  return out;
+}
+
+Archive read_tar(const Bytes& data) {
+  Archive archive;
+  size_t pos = 0;
+  while (pos + kBlock <= data.size()) {
+    if (is_zero_block(data.data() + pos)) break;  // end-of-archive marker
+    TarHeader h;
+    std::memcpy(&h, data.data() + pos, kBlock);
+    pos += kBlock;
+    if (std::memcmp(h.magic, "ustar", 5) != 0) throw Error("tar: bad magic");
+    if (!verify_checksum(h)) throw Error("tar: checksum mismatch");
+
+    std::string path;
+    if (h.prefix[0] != '\0') {
+      path.assign(h.prefix, strnlen(h.prefix, sizeof(h.prefix)));
+      path += '/';
+    }
+    path.append(h.name, strnlen(h.name, sizeof(h.name)));
+    const uint64_t size = read_octal(h.size, sizeof(h.size));
+
+    if (h.typeflag == '5') {
+      if (!path.empty() && path.back() == '/') path.pop_back();
+      archive.add_directory(std::move(path));
+    } else if (h.typeflag == '0' || h.typeflag == '\0') {
+      if (pos + size > data.size()) throw Error("tar: truncated file data");
+      Bytes content(data.begin() + static_cast<long>(pos),
+                    data.begin() + static_cast<long>(pos + size));
+      archive.add_file(std::move(path), std::move(content),
+                       static_cast<uint32_t>(read_octal(h.mode, sizeof(h.mode))));
+      pos += size;
+      const size_t rem = size % kBlock;
+      if (rem != 0) pos += kBlock - rem;
+    } else {
+      throw Error(std::string("tar: unsupported entry type '") + h.typeflag + "'");
+    }
+  }
+  return archive;
+}
+
+Archive pack_directory(const std::string& root) {
+  Archive archive;
+  const fs::path base(root);
+  if (!fs::exists(base)) throw Error("pack_directory: no such directory: " + root);
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(base)) {
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic archive order
+  for (const auto& p : paths) {
+    const std::string rel = fs::relative(p, base).string();
+    if (fs::is_directory(p)) {
+      archive.add_directory(rel);
+    } else if (fs::is_regular_file(p)) {
+      std::ifstream in(p, std::ios::binary);
+      Bytes content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+      archive.add_file(rel, std::move(content));
+    }
+  }
+  return archive;
+}
+
+void unpack_to(const Archive& archive, const std::string& root) {
+  const fs::path base(root);
+  fs::create_directories(base);
+  for (const auto& entry : archive.entries()) {
+    // Refuse path traversal out of the extraction root.
+    const fs::path target = base / entry.path;
+    const std::string normal = target.lexically_normal().string();
+    if (normal.find("..") == 0 || entry.path.find("..") != std::string::npos) {
+      throw Error("unpack_to: path escapes extraction root: " + entry.path);
+    }
+    if (entry.is_directory) {
+      fs::create_directories(target);
+    } else {
+      fs::create_directories(target.parent_path());
+      std::ofstream out(target, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(entry.data.data()),
+                static_cast<std::streamsize>(entry.data.size()));
+    }
+  }
+}
+
+int relocate_prefix(Archive& archive, const std::string& old_prefix,
+                    const std::string& new_prefix) {
+  if (old_prefix.empty()) throw Error("relocate_prefix: empty old prefix");
+  int rewritten = 0;
+  for (auto& entry : archive.entries()) {
+    if (entry.is_directory || entry.data.empty() || !looks_text(entry.data)) continue;
+    std::string text(entry.data.begin(), entry.data.end());
+    bool changed = false;
+    size_t pos = 0;
+    while ((pos = text.find(old_prefix, pos)) != std::string::npos) {
+      text.replace(pos, old_prefix.size(), new_prefix);
+      pos += new_prefix.size();
+      changed = true;
+    }
+    if (changed) {
+      entry.data.assign(text.begin(), text.end());
+      ++rewritten;
+    }
+  }
+  return rewritten;
+}
+
+}  // namespace lfm::pkg

@@ -1,0 +1,66 @@
+// conda-pack-style environment packing (paper §V.D).
+//
+// "Transferring packed environments": the master creates the environment,
+// captures it into a single archive, ships the archive to each worker, and
+// the worker unpacks it onto fast local storage and relocates it for its new
+// prefix. This module implements that mechanism for real: an in-memory
+// archive model, a POSIX ustar writer/reader (so packed environments are
+// genuine .tar files), on-disk directory pack/unpack, and the prefix
+// relocation step conda-pack performs after extraction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serde/value.h"  // for Bytes
+#include "util/error.h"
+
+namespace lfm::pkg {
+
+using serde::Bytes;
+
+struct ArchiveEntry {
+  std::string path;           // archive-relative path
+  uint32_t mode = 0644;       // POSIX permission bits
+  bool is_directory = false;
+  Bytes data;
+};
+
+class Archive {
+ public:
+  void add_file(std::string path, Bytes data, uint32_t mode = 0644);
+  void add_directory(std::string path);
+
+  const std::vector<ArchiveEntry>& entries() const { return entries_; }
+  std::vector<ArchiveEntry>& entries() { return entries_; }
+  size_t file_count() const;
+  int64_t total_bytes() const;
+
+  const ArchiveEntry* find(const std::string& path) const;
+
+ private:
+  std::vector<ArchiveEntry> entries_;
+};
+
+// Serialize an archive in POSIX ustar format (readable by tar(1)).
+// Paths longer than 255 bytes (or non-splittable >100-byte names) throw.
+Bytes write_tar(const Archive& archive);
+
+// Parse a ustar buffer produced by write_tar or compatible tools.
+// Throws lfm::Error on malformed headers or bad checksums.
+Archive read_tar(const Bytes& data);
+
+// Pack a directory tree from disk into an archive (paths relative to root).
+Archive pack_directory(const std::string& root);
+
+// Materialize an archive under the given directory, creating parents.
+void unpack_to(const Archive& archive, const std::string& root);
+
+// conda-pack prefix relocation: rewrite occurrences of `old_prefix` to
+// `new_prefix` in all text-like entries (heuristic: no NUL bytes in the
+// first 1 KiB). Returns the number of entries rewritten.
+int relocate_prefix(Archive& archive, const std::string& old_prefix,
+                    const std::string& new_prefix);
+
+}  // namespace lfm::pkg

@@ -1,0 +1,37 @@
+#include "pkg/requirements.h"
+
+#include "util/strings.h"
+
+namespace lfm::pkg {
+
+std::vector<Requirement> parse_requirements(const std::string& text) {
+  std::vector<Requirement> out;
+  int line_number = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_number;
+    std::string line = raw_line;
+    // Strip inline comments ("#" not inside a token is a comment start).
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    // Option lines (-r, --index-url, ...) are pip-specific; skip them the
+    // way conda's parser does.
+    if (line[0] == '-') continue;
+    try {
+      out.push_back(Requirement::parse(line));
+    } catch (const Error& e) {
+      throw Error("requirements line " + std::to_string(line_number) + ": " +
+                  e.what());
+    }
+  }
+  return out;
+}
+
+std::string render_requirements(const std::vector<Requirement>& requirements) {
+  std::string out;
+  for (const auto& req : requirements) out += req.str() + "\n";
+  return out;
+}
+
+}  // namespace lfm::pkg

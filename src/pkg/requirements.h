@@ -1,0 +1,22 @@
+// requirements.txt parsing — the inverse of Environment::requirements_txt.
+//
+// §V.D's "dynamically configuring worker environments" ships the dependency
+// list to the worker, which recreates the environment from it; this parser
+// is the worker-side half. Handles comments, blank lines, and inline
+// comments; rejects malformed requirement lines with the line number.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pkg/version.h"
+
+namespace lfm::pkg {
+
+// Parse a requirements.txt-style document.
+std::vector<Requirement> parse_requirements(const std::string& text);
+
+// Render a requirement list back to requirements.txt form.
+std::string render_requirements(const std::vector<Requirement>& requirements);
+
+}  // namespace lfm::pkg

@@ -1,0 +1,118 @@
+#include "pkg/solver.h"
+
+#include <algorithm>
+#include <set>
+
+namespace lfm::pkg {
+
+int64_t Resolution::total_size() const {
+  int64_t sum = 0;
+  for (const auto& [_, meta] : packages) sum += meta->size_bytes;
+  return sum;
+}
+
+int Resolution::total_files() const {
+  int sum = 0;
+  for (const auto& [_, meta] : packages) sum += meta->file_count;
+  return sum;
+}
+
+namespace {
+
+struct SearchState {
+  // Accumulated constraints per package name.
+  std::map<std::string, VersionSpec> constraints;
+  // Chosen versions.
+  std::map<std::string, const PackageMeta*> chosen;
+};
+
+class Search {
+ public:
+  Search(const PackageIndex& index, int64_t& steps) : index_(index), steps_(steps) {}
+
+  Result<Resolution> run(const std::vector<Requirement>& roots) {
+    SearchState state;
+    for (const auto& req : roots) {
+      auto& spec = state.constraints[req.name];
+      spec = spec.intersect(req.spec);
+    }
+    std::string conflict;
+    if (!solve(state, conflict)) {
+      return Result<Resolution>::failure(
+          conflict.empty() ? "unsatisfiable requirements" : conflict);
+    }
+    Resolution res;
+    res.packages = std::move(state.chosen);
+    return res;
+  }
+
+ private:
+  // Pick the next package that has constraints but no chosen version.
+  // Deterministic order (lexicographic) keeps resolution reproducible.
+  const std::string* next_unchosen(const SearchState& state) const {
+    for (const auto& [name, _] : state.constraints) {
+      if (state.chosen.find(name) == state.chosen.end()) return &name;
+    }
+    return nullptr;
+  }
+
+  bool solve(SearchState& state, std::string& conflict) {  // NOLINT(misc-no-recursion)
+    if (++steps_ > kMaxSteps) {
+      conflict = "solver exceeded step budget";
+      return false;
+    }
+    const std::string* next = next_unchosen(state);
+    if (next == nullptr) return true;  // all constrained packages chosen
+    const std::string name = *next;
+
+    const auto candidates = index_.versions(name);
+    if (candidates.empty()) {
+      conflict = "no package named '" + name + "' in the index";
+      return false;
+    }
+    const VersionSpec& spec = state.constraints.at(name);
+    bool any_candidate = false;
+    for (const PackageMeta* candidate : candidates) {
+      if (candidate->version.is_prerelease() && spec.empty()) continue;
+      if (!spec.matches(candidate->version)) continue;
+      any_candidate = true;
+
+      // Tentatively choose; record and merge dependency constraints.
+      SearchState saved = state;
+      state.chosen[name] = candidate;
+      bool consistent = true;
+      for (const auto& dep : candidate->depends) {
+        auto& dep_spec = state.constraints[dep.name];
+        dep_spec = dep_spec.intersect(dep.spec);
+        // If the dependency is already chosen, the new constraint must hold.
+        const auto chosen_it = state.chosen.find(dep.name);
+        if (chosen_it != state.chosen.end() &&
+            !dep_spec.matches(chosen_it->second->version)) {
+          conflict = "conflict on '" + dep.name + "': chosen " +
+                     chosen_it->second->version.str() + " violates " + dep.spec.str() +
+                     " required by " + candidate->spec_str();
+          consistent = false;
+        }
+      }
+      if (consistent && solve(state, conflict)) return true;
+      state = std::move(saved);  // backtrack
+    }
+    if (!any_candidate) {
+      conflict = "no version of '" + name + "' satisfies " + spec.str();
+    }
+    return false;
+  }
+
+  static constexpr int64_t kMaxSteps = 200000;
+  const PackageIndex& index_;
+  int64_t& steps_;
+};
+
+}  // namespace
+
+Result<Resolution> Solver::resolve(const std::vector<Requirement>& roots) const {
+  last_steps_ = 0;
+  return Search(index_, last_steps_).run(roots);
+}
+
+}  // namespace lfm::pkg

@@ -1,0 +1,47 @@
+// Transitive dependency solver (the stand-in for Conda/pip resolution,
+// paper §V.B: "Python package managers provide robust solvers for collecting
+// dependencies recursively").
+//
+// Given root requirements, the solver selects one version per package such
+// that every selected package's constraints are satisfied, preferring newest
+// versions, with chronological backtracking on conflicts. Dependency cycles
+// (common in real Python metadata) are handled by constraint fixpoint.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pkg/index.h"
+#include "util/error.h"
+
+namespace lfm::pkg {
+
+struct Resolution {
+  // name -> chosen package, closed under dependencies.
+  std::map<std::string, const PackageMeta*> packages;
+
+  int64_t total_size() const;
+  int total_files() const;
+  // Number of packages beyond the roots themselves.
+  size_t package_count() const { return packages.size(); }
+};
+
+class Solver {
+ public:
+  explicit Solver(const PackageIndex& index) : index_(index) {}
+
+  // Resolve the given requirements. Returns a failure Result with a
+  // human-readable conflict explanation when unsatisfiable.
+  Result<Resolution> resolve(const std::vector<Requirement>& roots) const;
+
+  // Number of candidate assignments explored by the last resolve() call
+  // (diagnostic; not thread-safe across concurrent resolves).
+  int64_t last_steps() const { return last_steps_; }
+
+ private:
+  const PackageIndex& index_;
+  mutable int64_t last_steps_ = 0;
+};
+
+}  // namespace lfm::pkg

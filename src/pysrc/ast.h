@@ -1,0 +1,390 @@
+// AST node definitions for the mini-Python front end.
+//
+// The tree intentionally mirrors the shape of CPython's `ast` module for the
+// constructs the dependency analyzer cares about (imports, function/class
+// structure, control flow) while keeping expression nodes simple. Ownership
+// is strict: every child is a unique_ptr held by its parent.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lfm::pysrc {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kName,
+  kConstant,
+  kAttribute,
+  kCall,
+  kBinOp,
+  kUnaryOp,
+  kBoolOp,
+  kCompare,
+  kSubscript,
+  kTuple,
+  kList,
+  kSet,
+  kDict,
+  kLambda,
+  kConditional,  // a if cond else b
+  kStarred,
+  kSlice,
+  kComprehension,
+  kAwait,
+  kYield,
+};
+
+struct Expr {
+  const ExprKind kind;
+  int line = 0;
+  int col = 0;
+  virtual ~Expr() = default;
+
+ protected:
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+struct NameExpr : Expr {
+  explicit NameExpr(std::string id) : Expr(ExprKind::kName), id(std::move(id)) {}
+  std::string id;
+};
+
+enum class ConstantKind { kNone, kBool, kInt, kFloat, kStr, kBytes, kEllipsis };
+
+struct ConstantExpr : Expr {
+  ConstantExpr() : Expr(ExprKind::kConstant) {}
+  ConstantKind const_kind = ConstantKind::kNone;
+  bool bool_value = false;
+  bool fstring = false;  // f-prefixed string: interpolated at evaluation
+  std::string text;  // literal text for numbers, decoded value for strings
+};
+
+struct AttributeExpr : Expr {
+  AttributeExpr(ExprPtr value, std::string attr)
+      : Expr(ExprKind::kAttribute), value(std::move(value)), attr(std::move(attr)) {}
+  ExprPtr value;
+  std::string attr;
+};
+
+struct Keyword {
+  std::string name;  // empty for **kwargs expansion
+  ExprPtr value;
+};
+
+struct CallExpr : Expr {
+  CallExpr() : Expr(ExprKind::kCall) {}
+  ExprPtr func;
+  std::vector<ExprPtr> args;
+  std::vector<Keyword> keywords;
+};
+
+struct BinOpExpr : Expr {
+  BinOpExpr() : Expr(ExprKind::kBinOp) {}
+  std::string op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct UnaryOpExpr : Expr {
+  UnaryOpExpr() : Expr(ExprKind::kUnaryOp) {}
+  std::string op;
+  ExprPtr operand;
+};
+
+struct BoolOpExpr : Expr {
+  BoolOpExpr() : Expr(ExprKind::kBoolOp) {}
+  std::string op;  // "and" | "or"
+  std::vector<ExprPtr> values;
+};
+
+struct CompareExpr : Expr {
+  CompareExpr() : Expr(ExprKind::kCompare) {}
+  ExprPtr lhs;
+  std::vector<std::pair<std::string, ExprPtr>> rest;  // (op, operand)
+};
+
+struct SubscriptExpr : Expr {
+  SubscriptExpr() : Expr(ExprKind::kSubscript) {}
+  ExprPtr value;
+  ExprPtr index;
+};
+
+struct SequenceExpr : Expr {  // tuple / list / set
+  explicit SequenceExpr(ExprKind k) : Expr(k) {}
+  std::vector<ExprPtr> elts;
+};
+
+struct DictExpr : Expr {
+  DictExpr() : Expr(ExprKind::kDict) {}
+  // key == nullptr marks a ** expansion entry.
+  std::vector<std::pair<ExprPtr, ExprPtr>> items;
+};
+
+struct LambdaExpr : Expr {
+  LambdaExpr() : Expr(ExprKind::kLambda) {}
+  std::vector<std::string> params;
+  ExprPtr body;
+};
+
+struct ConditionalExpr : Expr {
+  ConditionalExpr() : Expr(ExprKind::kConditional) {}
+  ExprPtr body;
+  ExprPtr cond;
+  ExprPtr orelse;
+};
+
+struct StarredExpr : Expr {
+  explicit StarredExpr(ExprPtr v) : Expr(ExprKind::kStarred), value(std::move(v)) {}
+  ExprPtr value;
+};
+
+struct SliceExpr : Expr {
+  SliceExpr() : Expr(ExprKind::kSlice) {}
+  ExprPtr lower;  // any of these may be null
+  ExprPtr upper;
+  ExprPtr step;
+};
+
+struct CompClause {
+  ExprPtr target;
+  ExprPtr iter;
+  std::vector<ExprPtr> conditions;
+  bool is_async = false;
+};
+
+struct ComprehensionExpr : Expr {
+  ComprehensionExpr() : Expr(ExprKind::kComprehension) {}
+  // 'list' | 'set' | 'dict' | 'generator'
+  std::string comp_type;
+  ExprPtr element;
+  ExprPtr value;  // dict comprehensions only
+  std::vector<CompClause> clauses;
+};
+
+struct AwaitExpr : Expr {
+  explicit AwaitExpr(ExprPtr v) : Expr(ExprKind::kAwait), value(std::move(v)) {}
+  ExprPtr value;
+};
+
+struct YieldExpr : Expr {
+  YieldExpr() : Expr(ExprKind::kYield) {}
+  bool is_from = false;
+  ExprPtr value;  // may be null
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kExpr,
+  kAssign,
+  kAugAssign,
+  kAnnAssign,
+  kReturn,
+  kPass,
+  kBreak,
+  kContinue,
+  kImport,
+  kImportFrom,
+  kIf,
+  kFor,
+  kWhile,
+  kTry,
+  kWith,
+  kFunctionDef,
+  kClassDef,
+  kRaise,
+  kAssert,
+  kGlobal,
+  kNonlocal,
+  kDelete,
+};
+
+struct Stmt {
+  const StmtKind kind;
+  int line = 0;
+  virtual ~Stmt() = default;
+
+ protected:
+  explicit Stmt(StmtKind k) : kind(k) {}
+};
+
+struct ExprStmt : Stmt {
+  explicit ExprStmt(ExprPtr v) : Stmt(StmtKind::kExpr), value(std::move(v)) {}
+  ExprPtr value;
+};
+
+struct AssignStmt : Stmt {
+  AssignStmt() : Stmt(StmtKind::kAssign) {}
+  std::vector<ExprPtr> targets;  // a = b = value has two targets
+  ExprPtr value;
+};
+
+struct AugAssignStmt : Stmt {
+  AugAssignStmt() : Stmt(StmtKind::kAugAssign) {}
+  ExprPtr target;
+  std::string op;  // "+=", "-=", ...
+  ExprPtr value;
+};
+
+struct AnnAssignStmt : Stmt {
+  AnnAssignStmt() : Stmt(StmtKind::kAnnAssign) {}
+  ExprPtr target;
+  ExprPtr annotation;
+  ExprPtr value;  // may be null
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt() : Stmt(StmtKind::kReturn) {}
+  ExprPtr value;  // may be null
+};
+
+struct SimpleStmt : Stmt {  // pass / break / continue
+  explicit SimpleStmt(StmtKind k) : Stmt(k) {}
+};
+
+// `import a.b.c as x, d` — one Alias per comma-separated item.
+struct ImportAlias {
+  std::string name;    // dotted module path
+  std::string asname;  // empty when no `as` clause
+};
+
+struct ImportStmt : Stmt {
+  ImportStmt() : Stmt(StmtKind::kImport) {}
+  std::vector<ImportAlias> names;
+};
+
+// `from .pkg.mod import a as x, b` / `from mod import *`
+struct ImportFromStmt : Stmt {
+  ImportFromStmt() : Stmt(StmtKind::kImportFrom) {}
+  int level = 0;       // number of leading dots (relative import depth)
+  std::string module;  // may be empty for `from . import x`
+  std::vector<ImportAlias> names;
+  bool star = false;
+};
+
+struct IfStmt : Stmt {
+  IfStmt() : Stmt(StmtKind::kIf) {}
+  ExprPtr cond;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> orelse;  // elif chains become nested IfStmt here
+};
+
+struct ForStmt : Stmt {
+  ForStmt() : Stmt(StmtKind::kFor) {}
+  bool is_async = false;
+  ExprPtr target;
+  ExprPtr iter;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> orelse;
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt() : Stmt(StmtKind::kWhile) {}
+  ExprPtr cond;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> orelse;
+};
+
+struct ExceptHandler {
+  ExprPtr type;        // may be null (bare except)
+  std::string name;    // `except E as name`
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct TryStmt : Stmt {
+  TryStmt() : Stmt(StmtKind::kTry) {}
+  std::vector<StmtPtr> body;
+  std::vector<ExceptHandler> handlers;
+  std::vector<StmtPtr> orelse;
+  std::vector<StmtPtr> finally;
+};
+
+struct WithItem {
+  ExprPtr context;
+  ExprPtr target;  // may be null
+};
+
+struct WithStmt : Stmt {
+  WithStmt() : Stmt(StmtKind::kWith) {}
+  bool is_async = false;
+  std::vector<WithItem> items;
+  std::vector<StmtPtr> body;
+};
+
+struct Parameter {
+  std::string name;
+  ExprPtr annotation;   // may be null
+  ExprPtr default_val;  // may be null
+  bool is_vararg = false;   // *args
+  bool is_kwarg = false;    // **kwargs
+};
+
+struct FunctionDefStmt : Stmt {
+  FunctionDefStmt() : Stmt(StmtKind::kFunctionDef) {}
+  bool is_async = false;
+  std::string name;
+  std::vector<Parameter> params;
+  ExprPtr returns;  // may be null
+  std::vector<ExprPtr> decorators;
+  std::vector<StmtPtr> body;
+};
+
+struct ClassDefStmt : Stmt {
+  ClassDefStmt() : Stmt(StmtKind::kClassDef) {}
+  std::string name;
+  std::vector<ExprPtr> bases;
+  std::vector<Keyword> keywords;
+  std::vector<ExprPtr> decorators;
+  std::vector<StmtPtr> body;
+};
+
+struct RaiseStmt : Stmt {
+  RaiseStmt() : Stmt(StmtKind::kRaise) {}
+  ExprPtr exc;    // may be null
+  ExprPtr cause;  // `raise X from Y`
+};
+
+struct AssertStmt : Stmt {
+  AssertStmt() : Stmt(StmtKind::kAssert) {}
+  ExprPtr test;
+  ExprPtr message;  // may be null
+};
+
+struct ScopeDeclStmt : Stmt {  // global / nonlocal
+  explicit ScopeDeclStmt(StmtKind k) : Stmt(k) {}
+  std::vector<std::string> names;
+};
+
+struct DeleteStmt : Stmt {
+  DeleteStmt() : Stmt(StmtKind::kDelete) {}
+  std::vector<ExprPtr> targets;
+};
+
+struct Module {
+  std::vector<StmtPtr> body;
+};
+
+// Depth-first walk helpers: invoke `fn` on every statement (resp. expression)
+// in the subtree, including nested function/class bodies.
+void walk_statements(const std::vector<StmtPtr>& body,
+                     const std::function<void(const Stmt&)>& fn);
+void walk_expressions(const Expr& expr, const std::function<void(const Expr&)>& fn);
+void walk_all_expressions(const std::vector<StmtPtr>& body,
+                          const std::function<void(const Expr&)>& fn);
+
+}  // namespace lfm::pysrc

@@ -1,0 +1,73 @@
+// Static dependency analysis (paper §V.B).
+//
+// Walks a parsed module or a single function and records every import with
+// enough context for dependency planning: the dotted module path, aliasing,
+// relative-import level, whether the import is conditional (under `if`),
+// guarded by try/except ImportError, inside a function/class body, or
+// performed dynamically via `__import__(...)` / `importlib.import_module(...)`.
+//
+// The paper notes Parsl requires function dependencies to be imported
+// statically at the top of the function body; `analyze_function` checks that
+// convention and reports violations as diagnostics.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pysrc/ast.h"
+
+namespace lfm::pysrc {
+
+struct ImportRecord {
+  std::string module;     // dotted path as written ("a.b.c"); for from-imports
+                          // the source module; empty for `from . import x`
+  std::string name;       // for from-imports: the imported name; else empty
+  std::string asname;     // alias, empty if none
+  int level = 0;          // relative-import dots
+  int line = 0;
+  bool star = false;          // from m import *
+  bool conditional = false;   // under an if/elif/else
+  bool guarded = false;       // inside try whose handlers catch ImportError
+  bool in_function = false;   // inside a def body
+  bool in_class = false;      // inside a class body
+  bool dynamic = false;       // __import__ / importlib.import_module call
+
+  // Top-level package name, e.g. "sklearn" for "sklearn.linear_model".
+  std::string top_level() const;
+};
+
+struct Diagnostic {
+  enum class Severity { kWarning, kError };
+  Severity severity;
+  int line;
+  std::string message;
+};
+
+struct ImportScan {
+  std::vector<ImportRecord> imports;
+  std::vector<Diagnostic> diagnostics;
+
+  // Unique top-level package names, excluding relative imports.
+  std::set<std::string> top_level_packages() const;
+  // Same, additionally excluding names present in `stdlib`.
+  std::set<std::string> external_packages(const std::set<std::string>& stdlib) const;
+};
+
+// Scan every import in a module (including nested bodies).
+ImportScan scan_module(const Module& module);
+
+// Convenience: parse + scan.
+ImportScan scan_source(std::string_view source);
+
+// Scan the imports of one named top-level function, enforcing the Parsl
+// convention that imports appear at the start of the function body. Imports
+// appearing after the first non-import statement produce a warning
+// diagnostic; imports of enclosing module scope are NOT included (each
+// function is analyzed in isolation, as in the paper).
+ImportScan scan_function(const Module& module, const std::string& function_name);
+
+// A reasonable emulation of `sys.stdlib_module_names` for filtering.
+const std::set<std::string>& default_stdlib_modules();
+
+}  // namespace lfm::pysrc

@@ -1,0 +1,102 @@
+// A mini-Python interpreter over the pysrc AST.
+//
+// This is the worker-side "Python embedding": a function shipped as source
+// (extract_function_source) is parsed, its defs registered, and invoked with
+// pickled arguments — inside a real LFM when run through flow::python_app.
+// The value domain is serde::Value (the same values that cross the wire),
+// so results pickle without conversion.
+//
+// Supported subset (errors are thrown as PyError, catchable in-language):
+//   * ints (incl. hex/octal/binary literals), floats, bools, None, strings,
+//     lists, dicts; tuples evaluate to lists
+//   * arithmetic / comparison / boolean operators with Python semantics
+//     (true division, floor division, modulo sign, chained comparisons,
+//     short-circuit and/or returning operands, string repetition, ...)
+//   * if/elif/else, while/for (+break/continue/else), range/enumerate/zip
+//   * def (incl. nested + recursion), return, default parameters, *args,
+//     lambdas, list/dict comprehensions with conditions
+//   * assignment (chained, unpacking, subscript/augmented), del
+//   * try/except (by exception name)/else/finally, raise, assert
+//   * method calls on str/list/dict (split, join, append, get, items, ...)
+//   * builtins: len, range, print (captured), abs, min, max, sum, sorted,
+//     str, int, float, bool, list, dict, enumerate, zip, round, any, all
+//   * `import math` / `import json` map to builtin modules; other imports
+//     raise ImportError (so try/except ImportError fallbacks work)
+//
+// Deliberate divergence: containers have VALUE semantics — `ys = xs` copies;
+// mutating methods (append, update, sort, ...) operate in place only when
+// the receiver is a name or subscript lvalue. Dict keys are strings.
+//
+// Not supported (PyError "UnsupportedError"): classes, generators/yield,
+// with, async, attribute assignment.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pysrc/ast.h"
+#include "serde/value.h"
+#include "util/error.h"
+
+namespace lfm::pysrc {
+
+// An in-language exception (raise ValueError("...")); `type_name` matches
+// except clauses by name.
+class PyError : public Error {
+ public:
+  PyError(std::string type_name, const std::string& message)
+      : Error(type_name + ": " + message), type_name(std::move(type_name)) {}
+  std::string type_name;
+};
+
+struct InterpOptions {
+  // Abort after this many statement/expression evaluations (runaway guard).
+  int64_t max_steps = 50'000'000;
+  int max_recursion_depth = 256;
+  bool capture_print = true;  // collect print() output instead of stdout
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(InterpOptions options = {});
+  ~Interpreter();
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  // Execute a module at global scope (defs are registered, statements run).
+  void exec(const Module& module);
+  void exec_source(const std::string& source);
+
+  // Call a function defined by previous exec() calls.
+  serde::Value call(const std::string& function, std::vector<serde::Value> args);
+
+  // Evaluate one expression in the global scope.
+  serde::Value eval_expression_source(const std::string& source);
+
+  // Read or set a global variable.
+  serde::Value global(const std::string& name) const;
+  void set_global(const std::string& name, serde::Value value);
+  bool has_function(const std::string& name) const;
+
+  // Captured print() output (when capture_print).
+  const std::string& output() const;
+  void clear_output();
+
+  int64_t steps_executed() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// One-shot helper: execute `module_source`, then call `function` with args.
+serde::Value run_python_function(const std::string& module_source,
+                                 const std::string& function,
+                                 std::vector<serde::Value> args,
+                                 const InterpOptions& options = {});
+
+}  // namespace lfm::pysrc

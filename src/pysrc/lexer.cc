@@ -1,0 +1,355 @@
+#include "pysrc/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace lfm::pysrc {
+namespace {
+
+const std::array<const char*, 35> kKeywords = {
+    "False",  "None",   "True",    "and",    "as",     "assert", "async",
+    "await",  "break",  "class",   "continue", "def",  "del",    "elif",
+    "else",   "except", "finally", "for",    "from",   "global", "if",
+    "import", "in",     "is",      "lambda", "nonlocal", "not",  "or",
+    "pass",   "raise",  "return",  "try",    "while",  "with",   "yield"};
+
+// Multi-character operators, longest first so greedy matching is correct.
+const std::array<const char*, 24> kMultiOps = {
+    "**=", "//=", ">>=", "<<=", "...", "!=", ">=", "<=", "==", "->",
+    "+=",  "-=",  "*=",  "/=",  "%=",  "@=", "&=", "|=", "^=", ":=",
+    "**",  "//",  ">>",  "<<",
+};
+
+constexpr const char* kSingleOps = "+-*/%@<>=()[]{},:.;&|^~";
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { indents_.push_back(0); }
+
+  std::vector<Token> run() {
+    while (!at_end()) {
+      if (at_line_start_ && bracket_depth_ == 0) {
+        handle_indentation();
+        if (at_end()) break;
+      }
+      lex_one();
+    }
+    // Close the final logical line and all open indentation levels.
+    if (emitted_any_ && !last_was_newline()) emit(TokenKind::kNewline, "");
+    while (indents_.size() > 1) {
+      indents_.pop_back();
+      emit(TokenKind::kDedent, "");
+    }
+    emit(TokenKind::kEnd, "");
+    return std::move(tokens_);
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void emit(TokenKind kind, std::string text, std::string prefix = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.str_prefix = std::move(prefix);
+    t.line = tok_line_;
+    t.col = tok_col_;
+    tokens_.push_back(std::move(t));
+    emitted_any_ = true;
+  }
+
+  bool last_was_newline() const {
+    return !tokens_.empty() && (tokens_.back().kind == TokenKind::kNewline ||
+                                tokens_.back().kind == TokenKind::kDedent);
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw SyntaxError(message, line_, col_);
+  }
+
+  // Measure the leading whitespace of a fresh line and emit INDENT/DEDENT.
+  // Blank lines and comment-only lines produce no tokens at all.
+  void handle_indentation() {
+    while (!at_end()) {
+      const size_t line_begin = pos_;
+      int width = 0;
+      while (!at_end() && (peek() == ' ' || peek() == '\t')) {
+        width += (peek() == '\t') ? 8 - (width % 8) : 1;
+        advance();
+      }
+      if (at_end()) return;
+      if (peek() == '\n') {
+        advance();  // blank line
+        continue;
+      }
+      if (peek() == '\r') {
+        advance();
+        continue;
+      }
+      if (peek() == '#') {
+        skip_comment();
+        if (!at_end() && peek() == '\n') advance();
+        continue;
+      }
+      // A real token follows: resolve indentation against the stack.
+      tok_line_ = line_;
+      tok_col_ = 1;
+      if (width > indents_.back()) {
+        indents_.push_back(width);
+        emit(TokenKind::kIndent, "");
+      } else {
+        while (width < indents_.back()) {
+          indents_.pop_back();
+          emit(TokenKind::kDedent, "");
+        }
+        if (width != indents_.back()) {
+          throw SyntaxError("unindent does not match any outer indentation level",
+                            line_, static_cast<int>(pos_ - line_begin) + 1);
+        }
+      }
+      at_line_start_ = false;
+      return;
+    }
+  }
+
+  void skip_comment() {
+    while (!at_end() && peek() != '\n') advance();
+  }
+
+  void lex_one() {
+    // Skip horizontal whitespace between tokens.
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\r')) advance();
+    if (at_end()) return;
+
+    tok_line_ = line_;
+    tok_col_ = col_;
+    const char c = peek();
+
+    if (c == '#') {
+      skip_comment();
+      return;
+    }
+    if (c == '\n') {
+      advance();
+      if (bracket_depth_ == 0) {
+        if (!last_was_newline() && emitted_any_) emit(TokenKind::kNewline, "");
+        at_line_start_ = true;
+      }
+      return;
+    }
+    if (c == '\\' && peek(1) == '\n') {
+      advance();
+      advance();  // explicit line continuation
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      lex_number();
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      lex_name_or_string_prefix();
+      return;
+    }
+    if (c == '"' || c == '\'') {
+      lex_string("");
+      return;
+    }
+    lex_operator();
+  }
+
+  void lex_number() {
+    std::string text;
+    bool is_float = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X' || peek(1) == 'o' ||
+                          peek(1) == 'O' || peek(1) == 'b' || peek(1) == 'B')) {
+      text += advance();
+      text += advance();
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+        text += advance();
+      }
+      emit(TokenKind::kNumber, std::move(text));
+      return;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '_') text += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '_') text += advance();
+    } else if (peek() == '.' && !std::isalpha(static_cast<unsigned char>(peek(1))) &&
+               peek(1) != '.' && peek(1) != '_') {
+      is_float = true;
+      text += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      const char sign = peek(1);
+      const char digit = (sign == '+' || sign == '-') ? peek(2) : sign;
+      if (std::isdigit(static_cast<unsigned char>(digit))) {
+        is_float = true;
+        text += advance();
+        if (peek() == '+' || peek() == '-') text += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+      }
+    }
+    if (peek() == 'j' || peek() == 'J') text += advance();  // imaginary literal
+    (void)is_float;
+    emit(TokenKind::kNumber, std::move(text));
+  }
+
+  void lex_name_or_string_prefix() {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+      text += advance();
+    }
+    // String prefixes: r, b, f, u and two-letter combinations, directly
+    // followed by a quote character.
+    if (text.size() <= 2 && (peek() == '"' || peek() == '\'')) {
+      std::string lowered;
+      bool all_prefix = true;
+      for (char ch : text) {
+        const char lc = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+        if (lc != 'r' && lc != 'b' && lc != 'f' && lc != 'u') {
+          all_prefix = false;
+          break;
+        }
+        lowered += lc;
+      }
+      if (all_prefix && !text.empty()) {
+        lex_string(lowered);
+        return;
+      }
+    }
+    if (is_python_keyword(text)) {
+      emit(TokenKind::kKeyword, std::move(text));
+    } else {
+      emit(TokenKind::kName, std::move(text));
+    }
+  }
+
+  void lex_string(const std::string& prefix) {
+    const char quote = advance();
+    bool triple = false;
+    if (peek() == quote && peek(1) == quote) {
+      advance();
+      advance();
+      triple = true;
+    }
+    const bool raw = prefix.find('r') != std::string::npos;
+    std::string value;
+    while (true) {
+      if (at_end()) fail("unterminated string literal");
+      const char c = peek();
+      if (!triple && c == '\n') fail("newline in single-quoted string");
+      if (c == quote) {
+        if (!triple) {
+          advance();
+          break;
+        }
+        if (peek(1) == quote && peek(2) == quote) {
+          advance();
+          advance();
+          advance();
+          break;
+        }
+        value += advance();
+        continue;
+      }
+      if (c == '\\' && !raw) {
+        advance();
+        if (at_end()) fail("unterminated escape sequence");
+        const char esc = advance();
+        switch (esc) {
+          case 'n': value += '\n'; break;
+          case 't': value += '\t'; break;
+          case 'r': value += '\r'; break;
+          case '0': value += '\0'; break;
+          case '\\': value += '\\'; break;
+          case '\'': value += '\''; break;
+          case '"': value += '"'; break;
+          case '\n': break;  // escaped newline joins lines
+          default:
+            value += '\\';
+            value += esc;  // keep unknown escapes verbatim, like Python warns
+        }
+        continue;
+      }
+      value += advance();
+    }
+    emit(TokenKind::kString, std::move(value), prefix);
+  }
+
+  void lex_operator() {
+    for (const char* op : kMultiOps) {
+      const size_t n = std::string_view(op).size();
+      if (src_.substr(pos_).substr(0, n) == op) {
+        for (size_t i = 0; i < n; ++i) advance();
+        emit(TokenKind::kOp, op);
+        return;
+      }
+    }
+    const char c = peek();
+    if (std::string_view(kSingleOps).find(c) != std::string_view::npos) {
+      advance();
+      if (c == '(' || c == '[' || c == '{') ++bracket_depth_;
+      if (c == ')' || c == ']' || c == '}') {
+        if (bracket_depth_ == 0) fail("unmatched closing bracket");
+        --bracket_depth_;
+      }
+      emit(TokenKind::kOp, std::string(1, c));
+      return;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int tok_line_ = 1;
+  int tok_col_ = 1;
+  int bracket_depth_ = 0;
+  bool at_line_start_ = true;
+  bool emitted_any_ = false;
+  std::vector<int> indents_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kName: return "NAME";
+    case TokenKind::kKeyword: return "KEYWORD";
+    case TokenKind::kNumber: return "NUMBER";
+    case TokenKind::kString: return "STRING";
+    case TokenKind::kOp: return "OP";
+    case TokenKind::kNewline: return "NEWLINE";
+    case TokenKind::kIndent: return "INDENT";
+    case TokenKind::kDedent: return "DEDENT";
+    case TokenKind::kEnd: return "END";
+  }
+  return "?";
+}
+
+bool is_python_keyword(const std::string& word) {
+  return std::find_if(kKeywords.begin(), kKeywords.end(),
+                      [&](const char* k) { return word == k; }) != kKeywords.end();
+}
+
+std::vector<Token> tokenize(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace lfm::pysrc

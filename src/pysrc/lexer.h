@@ -1,0 +1,34 @@
+// Mini-Python lexer: converts source text into a token stream with Python's
+// significant-indentation structure (NEWLINE / INDENT / DEDENT tokens).
+//
+// Supported surface: identifiers, keywords, int/float literals, string
+// literals (single/double/triple quotes with r/b/f/u prefixes and escape
+// decoding), all operators and delimiters used by the parser, comments,
+// explicit (backslash) and implicit (bracket) line continuation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pysrc/token.h"
+#include "util/error.h"
+
+namespace lfm::pysrc {
+
+// Raised with file/line/column context on malformed source.
+class SyntaxError : public Error {
+ public:
+  SyntaxError(const std::string& message, int line, int col)
+      : Error("line " + std::to_string(line) + ":" + std::to_string(col) + ": " + message),
+        line(line),
+        col(col) {}
+  int line;
+  int col;
+};
+
+// Tokenize a whole module. The result always ends with kEnd, preceded by
+// enough kDedent tokens to close all open indentation levels.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace lfm::pysrc

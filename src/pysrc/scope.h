@@ -1,0 +1,44 @@
+// Scope analysis: which names a function binds, and which it references
+// freely (i.e. expects from the enclosing module).
+//
+// Parsl apps must be self-contained: the function's source is shipped and
+// re-executed remotely, so references to module-level globals (other than
+// its own imports, parameters, and builtins) break at the worker. This
+// analysis finds those references so the planner can reject or warn before
+// dispatch — the "applications fail with little explanation" failure mode
+// of §IV, caught statically.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "pysrc/ast.h"
+
+namespace lfm::pysrc {
+
+struct ScopeReport {
+  std::set<std::string> bound;     // parameters, assignments, imports, defs
+  std::set<std::string> referenced;  // every Name read in the body
+  std::set<std::string> globals_declared;  // via `global`
+
+  // referenced - bound - builtins: names the function needs from outside.
+  std::set<std::string> free_names(const std::set<std::string>& builtins) const;
+};
+
+// Analyze one function definition.
+ScopeReport analyze_scope(const FunctionDefStmt& fn);
+
+// Convenience: locate `function_name` in the module and analyze it.
+// Throws lfm::Error when the function does not exist.
+ScopeReport analyze_function_scope(const Module& module,
+                                   const std::string& function_name);
+
+// Python's builtin names (the common subset).
+const std::set<std::string>& default_builtins();
+
+// True when the function is self-contained in Parsl's sense: no free names
+// beyond builtins. `offenders` (optional) receives the violating names.
+bool is_self_contained(const Module& module, const std::string& function_name,
+                       std::set<std::string>* offenders = nullptr);
+
+}  // namespace lfm::pysrc

@@ -1,0 +1,40 @@
+// Token definitions for the mini-Python lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfm::pysrc {
+
+enum class TokenKind : uint8_t {
+  kName,     // identifier
+  kKeyword,  // reserved word (def, import, if, ...)
+  kNumber,   // int or float literal (text preserved)
+  kString,   // string literal (decoded value in `text`, prefix in `str_prefix`)
+  kOp,       // operator or delimiter, e.g. "+", "**", "->", "("
+  kNewline,  // logical line terminator
+  kIndent,   // increase of indentation level
+  kDedent,   // decrease of indentation level
+  kEnd,      // end of input
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;        // identifier text, keyword, decoded string, op spelling
+  std::string str_prefix;  // for kString: lowercase prefix letters ("r", "b", "f", ...)
+  int line = 0;            // 1-based source line
+  int col = 0;             // 1-based source column
+
+  bool is_op(const char* spelling) const {
+    return kind == TokenKind::kOp && text == spelling;
+  }
+  bool is_keyword(const char* word) const {
+    return kind == TokenKind::kKeyword && text == word;
+  }
+};
+
+const char* token_kind_name(TokenKind kind);
+bool is_python_keyword(const std::string& word);
+
+}  // namespace lfm::pysrc

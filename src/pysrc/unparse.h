@@ -1,0 +1,29 @@
+// AST -> source rendering (unparse), plus function-source extraction.
+//
+// Parsl ships each @python_app's *source* to the worker, where it is
+// re-parsed and executed inside the LFM. `extract_function_source` is that
+// mechanism: find the named def in a module and render exactly that function
+// (decorators included) as standalone source. The unparser guarantees a
+// stable fixed point: parse(unparse(parse(src))) == parse(unparse(src)).
+#pragma once
+
+#include <string>
+
+#include "pysrc/ast.h"
+
+namespace lfm::pysrc {
+
+// Render a full module.
+std::string unparse(const Module& module);
+// Render one statement subtree at the given indent depth (4 spaces/level).
+std::string unparse_statement(const Stmt& stmt, int indent = 0);
+// Render an expression.
+std::string unparse_expression(const Expr& expr);
+
+// Extract the named function (searching class bodies and conditional blocks
+// too) and render it as standalone source. Throws lfm::Error if absent.
+std::string extract_function_source(const Module& module, const std::string& name);
+std::string extract_function_source(const std::string& module_source,
+                                    const std::string& name);
+
+}  // namespace lfm::pysrc

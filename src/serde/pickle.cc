@@ -1,0 +1,242 @@
+#include "serde/pickle.h"
+
+#include <cstring>
+
+namespace lfm::serde {
+namespace {
+
+constexpr uint8_t kMagic[4] = {'L', 'F', 'M', 'P'};
+constexpr uint8_t kVersion = 1;
+
+uint64_t zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void put_varint(Bytes& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+size_t varint_size(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    ++n;
+    v >>= 7;
+  }
+  return n;
+}
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  uint64_t varint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (shift > 63) throw Error("pickle: varint overflow");
+      const uint8_t b = u8();
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  double real() {
+    need(8);
+    double d;
+    std::memcpy(&d, data_ + pos_, 8);
+    pos_ += 8;
+    return d;
+  }
+
+  const uint8_t* raw(size_t n) {
+    need(n);
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void need(size_t n) const {
+    if (size_ - pos_ < n) throw Error("pickle: truncated input");
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void encode(const Value& v, Bytes& out);
+
+void encode_string(const std::string& s, Bytes& out) {
+  put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void encode(const Value& v, Bytes& out) {
+  out.push_back(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kNone:
+      break;
+    case ValueKind::kBool:
+      out.push_back(v.as_bool() ? 1 : 0);
+      break;
+    case ValueKind::kInt:
+      put_varint(out, zigzag(v.as_int()));
+      break;
+    case ValueKind::kReal: {
+      const double d = v.as_real();
+      const size_t at = out.size();
+      out.resize(at + 8);
+      std::memcpy(out.data() + at, &d, 8);
+      break;
+    }
+    case ValueKind::kStr:
+      encode_string(v.as_str(), out);
+      break;
+    case ValueKind::kBytes: {
+      const auto& b = v.as_bytes();
+      put_varint(out, b.size());
+      out.insert(out.end(), b.begin(), b.end());
+      break;
+    }
+    case ValueKind::kList: {
+      const auto& l = v.as_list();
+      put_varint(out, l.size());
+      for (const auto& item : l) encode(item, out);
+      break;
+    }
+    case ValueKind::kDict: {
+      const auto& d = v.as_dict();
+      put_varint(out, d.size());
+      for (const auto& [k, val] : d) {
+        encode_string(k, out);
+        encode(val, out);
+      }
+      break;
+    }
+  }
+}
+
+size_t body_size(const Value& v) {
+  size_t n = 1;  // tag
+  switch (v.kind()) {
+    case ValueKind::kNone:
+      break;
+    case ValueKind::kBool:
+      n += 1;
+      break;
+    case ValueKind::kInt:
+      n += varint_size(zigzag(v.as_int()));
+      break;
+    case ValueKind::kReal:
+      n += 8;
+      break;
+    case ValueKind::kStr:
+      n += varint_size(v.as_str().size()) + v.as_str().size();
+      break;
+    case ValueKind::kBytes:
+      n += varint_size(v.as_bytes().size()) + v.as_bytes().size();
+      break;
+    case ValueKind::kList:
+      n += varint_size(v.as_list().size());
+      for (const auto& item : v.as_list()) n += body_size(item);
+      break;
+    case ValueKind::kDict:
+      n += varint_size(v.as_dict().size());
+      for (const auto& [k, val] : v.as_dict()) {
+        n += varint_size(k.size()) + k.size() + body_size(val);
+      }
+      break;
+  }
+  return n;
+}
+
+Value decode(Reader& r, int depth) {
+  if (depth > 256) throw Error("pickle: nesting too deep");
+  const uint8_t tag = r.u8();
+  switch (static_cast<ValueKind>(tag)) {
+    case ValueKind::kNone:
+      return Value();
+    case ValueKind::kBool: {
+      const uint8_t b = r.u8();
+      if (b > 1) throw Error("pickle: bad bool byte");
+      return Value(b == 1);
+    }
+    case ValueKind::kInt:
+      return Value(unzigzag(r.varint()));
+    case ValueKind::kReal:
+      return Value(r.real());
+    case ValueKind::kStr: {
+      const size_t n = r.varint();
+      const uint8_t* p = r.raw(n);
+      return Value(std::string(reinterpret_cast<const char*>(p), n));
+    }
+    case ValueKind::kBytes: {
+      const size_t n = r.varint();
+      const uint8_t* p = r.raw(n);
+      return Value(Bytes(p, p + n));
+    }
+    case ValueKind::kList: {
+      const size_t n = r.varint();
+      ValueList l;
+      l.reserve(std::min<size_t>(n, 4096));
+      for (size_t i = 0; i < n; ++i) l.push_back(decode(r, depth + 1));
+      return Value(std::move(l));
+    }
+    case ValueKind::kDict: {
+      const size_t n = r.varint();
+      ValueDict d;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t klen = r.varint();
+        const uint8_t* p = r.raw(klen);
+        std::string key(reinterpret_cast<const char*>(p), klen);
+        d.emplace(std::move(key), decode(r, depth + 1));
+      }
+      return Value(std::move(d));
+    }
+  }
+  throw Error("pickle: unknown tag " + std::to_string(tag));
+}
+
+}  // namespace
+
+Bytes dumps(const Value& value) {
+  Bytes out;
+  out.reserve(encoded_size(value));
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kVersion);
+  encode(value, out);
+  return out;
+}
+
+Value loads(const Bytes& data) {
+  if (data.size() < 5 || std::memcmp(data.data(), kMagic, 4) != 0) {
+    throw Error("pickle: bad magic");
+  }
+  if (data[4] != kVersion) {
+    throw Error("pickle: unsupported version " + std::to_string(data[4]));
+  }
+  Reader r(data.data() + 5, data.size() - 5);
+  Value v = decode(r, 0);
+  if (r.remaining() != 0) throw Error("pickle: trailing garbage");
+  return v;
+}
+
+size_t encoded_size(const Value& value) { return 5 + body_size(value); }
+
+}  // namespace lfm::serde

@@ -1,0 +1,32 @@
+// Binary serialization of `Value` — the stand-in for Python's pickle.
+//
+// Wire format (little-endian):
+//   frame  := magic(4) version(u8) payload
+//   payload:= tag(u8) body
+//   int    -> zigzag varint        real -> 8 raw bytes (IEEE double)
+//   str/bytes -> varint length + raw bytes
+//   list   -> varint count + payloads
+//   dict   -> varint count + (str payload, value payload) pairs
+//
+// The codec round-trips every Value exactly and rejects truncated or
+// corrupted input with a descriptive Error instead of reading out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serde/value.h"
+
+namespace lfm::serde {
+
+// Serialize a value into a framed byte buffer.
+Bytes dumps(const Value& value);
+
+// Parse a framed byte buffer back into a value. Throws lfm::Error on
+// malformed input (bad magic, unknown tag, truncation, trailing garbage).
+Value loads(const Bytes& data);
+
+// Size in bytes that dumps() would produce, without allocating the buffer.
+size_t encoded_size(const Value& value);
+
+}  // namespace lfm::serde

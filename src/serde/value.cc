@@ -1,0 +1,94 @@
+#include "serde/value.h"
+
+#include <cstdio>
+
+namespace lfm::serde {
+namespace {
+
+void repr_string(const std::string& s, std::string& out) {
+  out += '\'';
+  for (char c : s) {
+    if (c == '\'' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+}
+
+}  // namespace
+
+const Value& Value::at(const std::string& key) const {
+  const auto& d = as_dict();
+  const auto it = d.find(key);
+  if (it == d.end()) throw Error("Value: missing dict key '" + key + "'");
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  if (!is_dict()) return false;
+  return as_dict().count(key) > 0;
+}
+
+std::string Value::repr() const {
+  std::string out;
+  switch (kind()) {
+    case ValueKind::kNone:
+      out = "None";
+      break;
+    case ValueKind::kBool:
+      out = as_bool() ? "True" : "False";
+      break;
+    case ValueKind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(as_int()));
+      out = buf;
+      break;
+    }
+    case ValueKind::kReal: {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%g", std::get<double>(v_));
+      out = buf;
+      break;
+    }
+    case ValueKind::kStr:
+      repr_string(as_str(), out);
+      break;
+    case ValueKind::kBytes: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "b<%zu bytes>", as_bytes().size());
+      out = buf;
+      break;
+    }
+    case ValueKind::kList: {
+      out = "[";
+      const auto& l = as_list();
+      for (size_t i = 0; i < l.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += l[i].repr();
+      }
+      out += "]";
+      break;
+    }
+    case ValueKind::kDict: {
+      out = "{";
+      bool first = true;
+      for (const auto& [k, v] : as_dict()) {
+        if (!first) out += ", ";
+        first = false;
+        repr_string(k, out);
+        out += ": ";
+        out += v.repr();
+      }
+      out += "}";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace lfm::serde

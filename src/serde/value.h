@@ -1,0 +1,100 @@
+// A dynamic value type standing in for Python objects crossing the
+// interpreter/worker boundary. Function arguments and results are `Value`s;
+// the codec in pickle.h turns them into transferable bytes, mirroring the
+// role of Python's pickle in the paper's LFM task wrapper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lfm::serde {
+
+class Value;
+using ValueList = std::vector<Value>;
+using ValueDict = std::map<std::string, Value>;
+using Bytes = std::vector<uint8_t>;
+
+enum class ValueKind : uint8_t {
+  kNone = 0,
+  kBool = 1,
+  kInt = 2,
+  kReal = 3,
+  kStr = 4,
+  kBytes = 5,
+  kList = 6,
+  kDict = 7,
+};
+
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  Value(bool b) : v_(b) {}                        // NOLINT
+  Value(int64_t i) : v_(i) {}                     // NOLINT
+  Value(int i) : v_(static_cast<int64_t>(i)) {}   // NOLINT
+  Value(double d) : v_(d) {}                      // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}    // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}      // NOLINT
+  Value(Bytes b) : v_(std::move(b)) {}            // NOLINT
+  Value(ValueList l) : v_(std::move(l)) {}        // NOLINT
+  Value(ValueDict d) : v_(std::move(d)) {}        // NOLINT
+
+  ValueKind kind() const { return static_cast<ValueKind>(v_.index()); }
+  bool is_none() const { return kind() == ValueKind::kNone; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_real() const { return kind() == ValueKind::kReal; }
+  bool is_str() const { return kind() == ValueKind::kStr; }
+  bool is_bytes() const { return kind() == ValueKind::kBytes; }
+  bool is_list() const { return kind() == ValueKind::kList; }
+  bool is_dict() const { return kind() == ValueKind::kDict; }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  int64_t as_int() const { return get<int64_t>("int"); }
+  double as_real() const {
+    // Ints quietly widen to real, matching Python numeric behaviour.
+    if (is_int()) return static_cast<double>(as_int());
+    return get<double>("real");
+  }
+  const std::string& as_str() const { return get<std::string>("str"); }
+  const Bytes& as_bytes() const { return get<Bytes>("bytes"); }
+  const ValueList& as_list() const { return get<ValueList>("list"); }
+  ValueList& as_list() { return get_mut<ValueList>("list"); }
+  const ValueDict& as_dict() const { return get<ValueDict>("dict"); }
+  ValueDict& as_dict() { return get_mut<ValueDict>("dict"); }
+
+  // Dict field access; throws on missing key or non-dict.
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Human-readable repr for logs and tests (Python-ish literal syntax).
+  std::string repr() const;
+
+ private:
+  template <typename T>
+  const T& get(const char* name) const {
+    if (!std::holds_alternative<T>(v_)) {
+      throw Error(std::string("Value: expected ") + name + ", got " + repr());
+    }
+    return std::get<T>(v_);
+  }
+  template <typename T>
+  T& get_mut(const char* name) {
+    if (!std::holds_alternative<T>(v_)) {
+      throw Error(std::string("Value: expected ") + name + ", got " + repr());
+    }
+    return std::get<T>(v_);
+  }
+
+  std::variant<std::monostate, bool, int64_t, double, std::string, Bytes, ValueList, ValueDict> v_;
+};
+
+}  // namespace lfm::serde

@@ -1,0 +1,59 @@
+#include "sim/engine.h"
+
+#include <cmath>
+
+namespace lfm::sim {
+
+EventId Simulation::schedule(double delay, EventFn fn) {
+  if (delay < 0.0 || std::isnan(delay)) throw Error("Simulation: negative or NaN delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::schedule_at(double time, EventFn fn) {
+  if (time < now_) throw Error("Simulation: scheduling into the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{time, id, std::move(fn)});
+  return id;
+}
+
+void Simulation::cancel(EventId id) { cancelled_.insert(id); }
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+double Simulation::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+double Simulation::run_until(double deadline) {
+  while (!queue_.empty()) {
+    // Peek; skip cancelled entries without advancing time.
+    Event ev = queue_.top();
+    if (cancelled_.count(ev.id) > 0) {
+      queue_.pop();
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    if (ev.time > deadline) break;
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace lfm::sim

@@ -1,0 +1,63 @@
+// Discrete-event simulation engine.
+//
+// All cluster-scale experiments (Figs 4–9) run on this engine: time is
+// virtual, events execute in (time, insertion-order) priority, and handlers
+// schedule further events. Deterministic given deterministic handlers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lfm::sim {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+class Simulation {
+ public:
+  double now() const { return now_; }
+
+  // Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule(double delay, EventFn fn);
+  // Schedule at an absolute time (>= now).
+  EventId schedule_at(double time, EventFn fn);
+  // Cancel a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  // Run until no events remain. Returns the final clock value.
+  double run();
+  // Run until the clock would pass `deadline`; events at exactly `deadline`
+  // execute. Returns the clock.
+  double run_until(double deadline);
+
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  bool step();
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::set<EventId> cancelled_;
+};
+
+}  // namespace lfm::sim

@@ -1,0 +1,74 @@
+// Cost models for creating, packaging, and distributing Python environments
+// (paper §V.C–§V.E).
+//
+// Three distribution methods from §V.D:
+//   kSharedFsDirect  — every worker imports straight from the shared FS,
+//                      touching every file (metadata storm).
+//   kDynamicInstall  — ship the requirements list; workers download packages
+//                      over the site's outbound network and install locally.
+//   kPackedTransfer  — master builds + packs once; workers fetch ONE archive
+//                      (streaming-friendly) and unpack to local disk.
+#pragma once
+
+#include "pkg/environment.h"
+#include "sim/site.h"
+
+namespace lfm::sim {
+
+enum class DistributionMethod {
+  kSharedFsDirect,
+  kDynamicInstall,
+  kPackedTransfer,
+};
+
+const char* distribution_method_name(DistributionMethod method);
+
+// Table II columns for one environment at one site.
+struct PackagingCosts {
+  double analyze_seconds = 0.0;  // static dependency analysis of user code
+  double create_seconds = 0.0;   // conda env creation on the master
+  double pack_seconds = 0.0;     // conda-pack archive creation
+  double run_seconds = 0.0;      // cold "hello world" via the shared FS
+  int64_t packed_size_bytes = 0; // archive size (compressed)
+  int dependency_count = 0;      // transitive package count
+};
+
+class EnvDistModel {
+ public:
+  explicit EnvDistModel(const Site& site) : site_(site), fs_(site.shared_fs),
+                                            disk_(site.local_disk) {}
+
+  // Compression conda-pack achieves on typical environments.
+  static constexpr double kPackRatio = 0.42;
+  // Fraction of an installation's bytes actually read by `import`.
+  static constexpr double kImportReadFraction = 0.35;
+
+  // Time for one worker to make the environment usable, when `nodes` workers
+  // do so concurrently. For kPackedTransfer this includes fetch + unpack +
+  // relocation; for kSharedFsDirect it is the cost of the *first* import.
+  double setup_seconds(const pkg::Environment& env, DistributionMethod method,
+                       int nodes) const;
+
+  // Time for a task to import its libraries once the environment is set up:
+  // direct method pays the shared FS on every import; local methods read
+  // from node-local disk.
+  double import_seconds(const pkg::Environment& env, DistributionMethod method,
+                        int concurrent_importers) const;
+
+  // Time to import a SINGLE package's files from the shared FS with
+  // `concurrent` simultaneous importers (Fig 4's per-module experiment).
+  double module_import_seconds(const pkg::PackageMeta& meta, int concurrent) const;
+
+  PackagingCosts packaging_costs(const pkg::Environment& env) const;
+
+  const Site& site() const { return site_; }
+
+ private:
+  double create_install_seconds(const pkg::Environment& env) const;
+
+  const Site& site_;
+  SharedFilesystem fs_;
+  LocalDisk disk_;
+};
+
+}  // namespace lfm::sim

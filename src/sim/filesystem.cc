@@ -1,0 +1,60 @@
+#include "sim/filesystem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace lfm::sim {
+
+double SharedFilesystem::access_seconds(int concurrent_nodes, int64_t metadata_ops,
+                                        int64_t bytes) const {
+  if (concurrent_nodes < 1) throw Error("SharedFilesystem: concurrency < 1");
+  double metadata_time = 0.0;
+  if (metadata_ops > 0 && params_.metadata_op_seconds > 0.0) {
+    // N nodes each pushing `ops` lookups over the storm window; past the
+    // MDS capacity, per-op latency grows super-linearly (queueing collapse),
+    // clamped because real clients back off and serialize.
+    const double demand = static_cast<double>(concurrent_nodes) *
+                          static_cast<double>(metadata_ops) / params_.demand_window;
+    const double utilization = demand / params_.metadata_capacity;
+    double slowdown = utilization <= 1.0
+                          ? 1.0
+                          : std::pow(utilization, params_.contention_exponent);
+    slowdown = std::min(slowdown, params_.max_slowdown);
+    metadata_time =
+        static_cast<double>(metadata_ops) * params_.metadata_op_seconds * slowdown;
+  }
+
+  const double fair_share =
+      params_.aggregate_bandwidth / static_cast<double>(concurrent_nodes);
+  const double bandwidth = std::min(fair_share, params_.per_client_bandwidth);
+  const double data_time = static_cast<double>(bytes) / bandwidth;
+  return metadata_time + data_time;
+}
+
+double SharedFilesystem::direct_import_seconds(int concurrent_nodes, int file_count,
+                                               int64_t size_bytes,
+                                               double read_fraction) const {
+  const int64_t ops = 2LL * std::max(file_count, 1);
+  const auto bytes = static_cast<int64_t>(static_cast<double>(size_bytes) * read_fraction);
+  return access_seconds(concurrent_nodes, ops, bytes);
+}
+
+double SharedFilesystem::archive_fetch_seconds(int concurrent_nodes,
+                                               int64_t size_bytes) const {
+  // One file: lookup + open + a few block-map ops.
+  return access_seconds(concurrent_nodes, 4, size_bytes);
+}
+
+double LocalDisk::unpack_seconds(int file_count, int64_t bytes) const {
+  return static_cast<double>(file_count) * params_.file_create_seconds +
+         static_cast<double>(bytes) / params_.bandwidth;
+}
+
+double LocalDisk::read_seconds(int file_count, int64_t bytes) const {
+  return static_cast<double>(file_count) * (params_.file_create_seconds * 0.25) +
+         static_cast<double>(bytes) / params_.bandwidth;
+}
+
+}  // namespace lfm::sim

@@ -1,0 +1,78 @@
+// Storage models: the shared parallel filesystem with its metadata-server
+// contention behaviour (paper §V.A: "library loading overhead is primarily
+// the result of heavy concurrent metadata load on the shared file system"),
+// and fast node-local ephemeral disks.
+//
+// Model (per-NODE accounting — the processes of one node share the Lustre
+// client cache, so the contention unit is the node, not the core):
+//   * each metadata op is a cold lookup RPC costing `metadata_op_seconds`
+//     when the server is unloaded;
+//   * N nodes importing concurrently offer `N * ops / demand_window` ops/s;
+//     past `metadata_capacity` the per-op latency grows as
+//     (utilization)^contention_exponent, clamped at `max_slowdown` (clients
+//     self-throttle long before infinity);
+//   * data reads share `aggregate_bandwidth`, capped per node.
+// Loading an environment "directly" touches every file (2 ops each); a
+// packed archive is ONE file — a handful of ops plus a streaming read —
+// which is exactly why pack-and-unpack wins in Fig 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lfm::sim {
+
+struct SharedFsParams {
+  double metadata_op_seconds = 0.0008;  // cold lookup RPC, unloaded
+  double metadata_capacity = 100000.0;  // MDS ops/sec before queueing
+  double demand_window = 30.0;          // seconds an import storm is spread over
+  double contention_exponent = 2.0;     // super-linear queueing growth
+  double max_slowdown = 128.0;          // self-throttling bound on the collapse
+  double aggregate_bandwidth = 8e9;     // bytes/sec across all nodes
+  double per_client_bandwidth = 1.2e9;  // single-node ceiling
+};
+
+class SharedFilesystem {
+ public:
+  explicit SharedFilesystem(SharedFsParams params) : params_(params) {}
+  const SharedFsParams& params() const { return params_; }
+
+  // Seconds for ONE node to complete `metadata_ops` + `bytes` of reads
+  // while `concurrent_nodes` nodes (including itself) do the same.
+  double access_seconds(int concurrent_nodes, int64_t metadata_ops,
+                        int64_t bytes) const;
+
+  // Convenience: loading a Python environment directly from the shared FS.
+  // Touches `file_count` files (2 metadata ops each: lookup + open) and
+  // reads `read_fraction` of `size_bytes` (imports only touch part of an
+  // installation).
+  double direct_import_seconds(int concurrent_nodes, int file_count,
+                               int64_t size_bytes, double read_fraction = 0.35) const;
+
+  // Convenience: streaming one packed archive of `size_bytes`.
+  double archive_fetch_seconds(int concurrent_nodes, int64_t size_bytes) const;
+
+ private:
+  SharedFsParams params_;
+};
+
+struct LocalDiskParams {
+  double bandwidth = 500e6;       // bytes/sec (node-local SSD / ephemeral)
+  double file_create_seconds = 2e-5;  // inode creation cost during unpack
+};
+
+class LocalDisk {
+ public:
+  explicit LocalDisk(LocalDiskParams params) : params_(params) {}
+  const LocalDiskParams& params() const { return params_; }
+
+  // Seconds to unpack an archive with `file_count` files totalling `bytes`.
+  double unpack_seconds(int file_count, int64_t bytes) const;
+  // Seconds to read `bytes` (with `file_count` opens) from local disk.
+  double read_seconds(int file_count, int64_t bytes) const;
+
+ private:
+  LocalDiskParams params_;
+};
+
+}  // namespace lfm::sim

@@ -1,0 +1,61 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace lfm::sim {
+
+double Network::fair_share() const {
+  if (flows_.empty()) return params_.per_flow_bandwidth;
+  const double share = params_.bandwidth / static_cast<double>(flows_.size());
+  return std::min(share, params_.per_flow_bandwidth);
+}
+
+void Network::drain_progress() {
+  // Advance every live flow by the bytes moved since the last update.
+  const double dt = sim_.now() - last_update_;
+  if (dt > 0.0 && !flows_.empty()) {
+    const double moved = fair_share() * dt;
+    for (auto& [_, flow] : flows_) {
+      flow.remaining_bytes = std::max(0.0, flow.remaining_bytes - moved);
+    }
+  }
+  last_update_ = sim_.now();
+}
+
+void Network::reschedule_all() {
+  const double share = fair_share();
+  for (auto& [id, flow] : flows_) {
+    if (flow.completion_event != 0) sim_.cancel(flow.completion_event);
+    const double eta = flow.remaining_bytes / share;
+    const uint64_t flow_id = id;
+    flow.completion_event = sim_.schedule(eta, [this, flow_id] { complete(flow_id); });
+  }
+}
+
+void Network::transfer(int64_t bytes, std::function<void()> done) {
+  drain_progress();
+  Flow flow;
+  flow.remaining_bytes = static_cast<double>(std::max<int64_t>(bytes, 0)) +
+                         params_.latency * fair_share();  // fold latency into bytes
+  flow.done = std::move(done);
+  flows_.emplace(next_flow_++, std::move(flow));
+  reschedule_all();
+}
+
+void Network::complete(uint64_t flow_id) {
+  drain_progress();
+  const auto it = flows_.find(flow_id);
+  if (it == flows_.end()) return;
+  auto done = std::move(it->second.done);
+  flows_.erase(it);
+  reschedule_all();
+  if (done) done();
+}
+
+double Network::transfer_seconds(int64_t bytes, int concurrent) const {
+  const double share = std::min(params_.bandwidth / std::max(concurrent, 1),
+                                params_.per_flow_bandwidth);
+  return params_.latency + static_cast<double>(bytes) / share;
+}
+
+}  // namespace lfm::sim

@@ -1,0 +1,84 @@
+#include "sim/provisioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace lfm::sim {
+
+Provisioner::Provisioner(Simulation& sim, ProvisionerPolicy policy,
+                         double batch_submit_latency, LoadFn load,
+                         StartWorkerFn start_worker, ReleaseWorkerFn release_worker)
+    : sim_(sim),
+      policy_(policy),
+      batch_latency_(batch_submit_latency),
+      load_(std::move(load)),
+      start_worker_(std::move(start_worker)),
+      release_worker_(std::move(release_worker)) {
+  if (!load_ || !start_worker_ || !release_worker_) {
+    throw Error("Provisioner: all callbacks are required");
+  }
+  if (policy_.min_workers < 0 || policy_.max_workers < policy_.min_workers) {
+    throw Error("Provisioner: inconsistent worker bounds");
+  }
+}
+
+void Provisioner::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.schedule(0.0, [this] { poll(); });
+}
+
+void Provisioner::stop() { running_ = false; }
+
+void Provisioner::submit_pilot() {
+  ++pilots_submitted_;
+  ++pilots_pending_;
+  sim_.schedule(batch_latency_, [this] {
+    --pilots_pending_;
+    ++workers_started_;
+    start_worker_();
+  });
+}
+
+void Provisioner::poll() {
+  if (!running_) return;
+  const LoadSnapshot load = load_();
+  const int provisioned = load.live_workers + pilots_pending_;
+
+  // Scale up: enough pilots that (workers + pending) covers the demand.
+  const int demand_workers = static_cast<int>(
+      std::ceil(static_cast<double>(load.ready_tasks + load.running_tasks) /
+                std::max(policy_.tasks_per_worker, 1.0)));
+  const int target =
+      std::clamp(demand_workers, policy_.min_workers, policy_.max_workers);
+  int to_submit = std::min(target - provisioned,
+                           policy_.max_pending_pilots - pilots_pending_);
+  while (to_submit-- > 0) submit_pilot();
+
+  // Scale down: after a sustained idle period, release workers one per poll
+  // down to the floor.
+  const bool idle = load.ready_tasks == 0 && load.running_tasks == 0;
+  if (idle) {
+    if (idle_since_ < 0.0) idle_since_ = sim_.now();
+    if (sim_.now() - idle_since_ >= policy_.idle_release_after &&
+        load.live_workers > policy_.min_workers) {
+      if (release_worker_()) ++workers_released_;
+    }
+  } else {
+    idle_since_ = -1.0;
+  }
+
+  // Keep polling while work remains or the pool is above the floor; when
+  // fully quiesced at the floor, stop so the simulation can drain.
+  const bool quiesced = idle && pilots_pending_ == 0 &&
+                        load.live_workers <= policy_.min_workers;
+  if (!quiesced) {
+    sim_.schedule(policy_.poll_interval, [this] { poll(); });
+  } else {
+    running_ = false;
+  }
+}
+
+}  // namespace lfm::sim

@@ -1,0 +1,76 @@
+// Cluster provisioning (paper §III "Cluster provisioning"): worker nodes are
+// provisioned at runtime by observing the workload and submitting pilot jobs
+// to the site's batch scheduler.
+//
+// The provisioner polls a load source (the Work Queue master) on an
+// interval. When ready tasks outnumber what the current pool can absorb it
+// submits pilot jobs — each of which becomes a live worker only after the
+// site's batch submit latency. When the pool has been idle past a holding
+// time it releases workers (pilot jobs exit), modelling the elastic pools
+// the paper uses.
+#pragma once
+
+#include <functional>
+
+#include "sim/engine.h"
+
+namespace lfm::sim {
+
+struct ProvisionerPolicy {
+  int min_workers = 0;
+  int max_workers = 64;
+  // Target this many runnable tasks per worker before growing the pool.
+  double tasks_per_worker = 4.0;
+  // How many pilots may sit in the batch queue at once.
+  int max_pending_pilots = 16;
+  // Poll cadence and idle-release holding time, in sim seconds.
+  double poll_interval = 10.0;
+  double idle_release_after = 120.0;
+};
+
+// What the provisioner observes each poll.
+struct LoadSnapshot {
+  int ready_tasks = 0;    // tasks waiting for a worker
+  int running_tasks = 0;  // tasks currently executing
+  int live_workers = 0;   // connected workers
+};
+
+class Provisioner {
+ public:
+  using LoadFn = std::function<LoadSnapshot()>;
+  using StartWorkerFn = std::function<void()>;    // pilot connected: add worker
+  using ReleaseWorkerFn = std::function<bool()>;  // try releasing an idle worker
+
+  Provisioner(Simulation& sim, ProvisionerPolicy policy, double batch_submit_latency,
+              LoadFn load, StartWorkerFn start_worker, ReleaseWorkerFn release_worker);
+
+  // Begin polling; runs until stop() or the simulation drains other events
+  // and `stop_when_idle` load (no tasks) persists.
+  void start();
+  void stop();
+
+  int pilots_submitted() const { return pilots_submitted_; }
+  int pilots_pending() const { return pilots_pending_; }
+  int workers_started() const { return workers_started_; }
+  int workers_released() const { return workers_released_; }
+
+ private:
+  void poll();
+  void submit_pilot();
+
+  Simulation& sim_;
+  ProvisionerPolicy policy_;
+  double batch_latency_;
+  LoadFn load_;
+  StartWorkerFn start_worker_;
+  ReleaseWorkerFn release_worker_;
+
+  bool running_ = false;
+  double idle_since_ = -1.0;
+  int pilots_submitted_ = 0;
+  int pilots_pending_ = 0;
+  int workers_started_ = 0;
+  int workers_released_ = 0;
+};
+
+}  // namespace lfm::sim

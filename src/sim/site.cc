@@ -1,0 +1,158 @@
+#include "sim/site.h"
+
+#include "util/units.h"
+
+namespace lfm::sim {
+
+RuntimeCosts conda_runtime() {
+  RuntimeCosts r;
+  r.name = "conda";
+  r.env_setup_seconds = 0.05;    // activate = environment-variable changes
+  r.interpreter_seconds = 0.15;  // python -c 'print("hello")'
+  return r;
+}
+
+RuntimeCosts singularity_runtime() {
+  RuntimeCosts r;
+  r.name = "singularity";
+  r.namespace_seconds = 0.9;
+  r.image_mount_seconds = 4.2;  // SIF image mount on Lustre
+  r.controller_seconds = 0.4;
+  r.interpreter_seconds = 0.15;
+  return r;
+}
+
+RuntimeCosts shifter_runtime() {
+  RuntimeCosts r;
+  r.name = "shifter";
+  r.namespace_seconds = 0.5;
+  r.image_mount_seconds = 1.6;  // pre-gateway image, loopback mount
+  r.controller_seconds = 0.3;
+  r.interpreter_seconds = 0.15;
+  return r;
+}
+
+RuntimeCosts docker_runtime() {
+  RuntimeCosts r;
+  r.name = "docker";
+  r.namespace_seconds = 0.35;
+  r.image_mount_seconds = 0.6;  // local overlayfs layers
+  r.controller_seconds = 0.25;
+  r.interpreter_seconds = 0.15;
+  return r;
+}
+
+const RuntimeCosts* Site::runtime(const std::string& runtime_name) const {
+  for (const auto& r : runtimes) {
+    if (r.name == runtime_name) return &r;
+  }
+  return nullptr;
+}
+
+Site theta() {
+  Site s;
+  s.name = "Theta";
+  s.facility = "Argonne LCF";
+  s.batch_system = "Cobalt";
+  s.node = NodeSpec{64, 192_GB, 128_GB};
+  s.max_nodes = 4392;
+  // Lustre: high aggregate bandwidth, but MDS saturates under the many-
+  // thousand-client import storms of Fig 4.
+  s.shared_fs.metadata_op_seconds = 0.0008;
+  s.shared_fs.metadata_capacity = 30000.0;
+  s.shared_fs.contention_exponent = 2.0;
+  s.shared_fs.aggregate_bandwidth = 200e9;
+  s.shared_fs.per_client_bandwidth = 1.5e9;
+  s.local_disk.bandwidth = 650e6;  // node-local SSD
+  s.network.bandwidth = 12.5e9;
+  s.network.per_flow_bandwidth = 1.5e9;
+  s.batch_submit_latency = 120.0;
+  s.runtimes = {conda_runtime(), singularity_runtime()};
+  return s;
+}
+
+Site cori() {
+  Site s;
+  s.name = "Cori";
+  s.facility = "NERSC";
+  s.batch_system = "Slurm";
+  s.node = NodeSpec{32, 128_GB, 0};  // no node-local disk; burst buffer instead
+  s.max_nodes = 2388;
+  s.shared_fs.metadata_op_seconds = 0.0007;
+  s.shared_fs.metadata_capacity = 40000.0;
+  s.shared_fs.contention_exponent = 1.9;
+  s.shared_fs.aggregate_bandwidth = 700e9;
+  s.shared_fs.per_client_bandwidth = 2.0e9;
+  s.local_disk.bandwidth = 1.6e9;  // DataWarp burst buffer stands in for local
+  s.network.bandwidth = 12.5e9;
+  s.network.per_flow_bandwidth = 2.0e9;
+  s.batch_submit_latency = 180.0;
+  s.runtimes = {conda_runtime(), shifter_runtime()};
+  return s;
+}
+
+Site nd_crc() {
+  Site s;
+  s.name = "ND-CRC";
+  s.facility = "Notre Dame CRC";
+  s.batch_system = "HTCondor";
+  s.node = NodeSpec{8, 8_GB, 16_GB};  // condor slots: 2-8 cores in Fig 6
+  s.max_nodes = 1200;
+  // Campus NFS: far lower metadata capacity than Lustre.
+  s.shared_fs.metadata_op_seconds = 0.0015;
+  s.shared_fs.metadata_capacity = 8000.0;
+  s.shared_fs.contention_exponent = 2.0;
+  s.shared_fs.aggregate_bandwidth = 10e9;
+  s.shared_fs.per_client_bandwidth = 0.8e9;
+  s.local_disk.bandwidth = 400e6;
+  s.network.bandwidth = 1.25e9;
+  s.network.per_flow_bandwidth = 1.25e9;
+  s.batch_submit_latency = 15.0;
+  s.runtimes = {conda_runtime(), singularity_runtime()};
+  return s;
+}
+
+Site nscc() {
+  Site s;
+  s.name = "NSCC";
+  s.facility = "NSCC Aspire (Singapore)";
+  s.batch_system = "PBS Pro";
+  s.node = NodeSpec{24, 96_GB, 200_GB};  // 2x12-core CPUs + 96 GB (paper §VI.C.3)
+  s.max_nodes = 1288;
+  s.shared_fs.metadata_op_seconds = 0.0009;
+  s.shared_fs.metadata_capacity = 20000.0;
+  s.shared_fs.contention_exponent = 2.0;
+  s.shared_fs.aggregate_bandwidth = 100e9;
+  s.shared_fs.per_client_bandwidth = 1.2e9;
+  s.local_disk.bandwidth = 550e6;
+  s.network.bandwidth = 12.5e9;
+  s.network.per_flow_bandwidth = 1.2e9;
+  s.batch_submit_latency = 60.0;
+  s.runtimes = {conda_runtime(), singularity_runtime()};
+  return s;
+}
+
+Site aws_ec2() {
+  Site s;
+  s.name = "AWS";
+  s.facility = "AWS EC2 (m5.4xlarge)";
+  s.batch_system = "none";
+  s.node = NodeSpec{16, 64_GB, 500_GB};
+  s.max_nodes = 64;
+  // EFS-like shared FS: modest, but few clients in practice.
+  s.shared_fs.metadata_op_seconds = 0.0025;
+  s.shared_fs.metadata_capacity = 2000.0;
+  s.shared_fs.contention_exponent = 1.8;
+  s.shared_fs.aggregate_bandwidth = 3e9;
+  s.shared_fs.per_client_bandwidth = 0.3e9;
+  s.local_disk.bandwidth = 900e6;  // NVMe instance storage
+  s.network.bandwidth = 1.25e9;
+  s.network.per_flow_bandwidth = 1.25e9;
+  s.batch_submit_latency = 45.0;  // instance boot
+  s.runtimes = {conda_runtime(), docker_runtime()};
+  return s;
+}
+
+std::vector<Site> all_sites() { return {theta(), cori(), nd_crc(), nscc(), aws_ec2()}; }
+
+}  // namespace lfm::sim

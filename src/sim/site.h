@@ -1,0 +1,74 @@
+// Site presets and runtime cold-start models.
+//
+// One `Site` bundles everything the experiments vary across facilities:
+// node shape, shared-filesystem behaviour, network, local disk, batch
+// latency, and which container runtime the site offers (Table III of the
+// paper, plus AWS EC2 used for the Docker measurement in Table I).
+//
+// CALIBRATION: the constants here are the single place where paper-reported
+// magnitudes enter the code. They are chosen so the models reproduce the
+// *shapes* of Figs 4–5 and the orderings of Tables I–II; see EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/filesystem.h"
+#include "sim/network.h"
+
+namespace lfm::sim {
+
+struct NodeSpec {
+  int cores = 24;
+  int64_t memory_bytes = 0;
+  int64_t disk_bytes = 0;
+};
+
+// Cold-start cost model for the environment technologies of Table I.
+// Conda activation only adjusts environment variables of the running
+// process; containers additionally create namespaces, mount images, and
+// prepare IO/resource controllers (paper §V.C).
+struct RuntimeCosts {
+  std::string name;
+  double env_setup_seconds = 0.0;       // conda: env-var changes
+  double namespace_seconds = 0.0;       // container: kernel namespaces
+  double image_mount_seconds = 0.0;     // container: image mount
+  double controller_seconds = 0.0;      // container: cgroups/IO controllers
+  double interpreter_seconds = 0.0;     // python startup itself
+
+  double cold_start_seconds() const {
+    return env_setup_seconds + namespace_seconds + image_mount_seconds +
+           controller_seconds + interpreter_seconds;
+  }
+};
+
+RuntimeCosts conda_runtime();
+RuntimeCosts singularity_runtime();
+RuntimeCosts shifter_runtime();
+RuntimeCosts docker_runtime();
+
+struct Site {
+  std::string name;
+  std::string facility;
+  std::string batch_system;
+  NodeSpec node;
+  int max_nodes = 0;
+  SharedFsParams shared_fs;
+  LocalDiskParams local_disk;
+  NetworkParams network;
+  double batch_submit_latency = 30.0;  // pilot-job queue wait, seconds
+  std::vector<RuntimeCosts> runtimes;  // first entry: conda
+
+  const RuntimeCosts* runtime(const std::string& runtime_name) const;
+};
+
+// Table III sites (+ AWS for the Docker column of Table I).
+Site theta();    // ALCF Theta: KNL, Lustre — large MDS capacity, many clients
+Site cori();     // NERSC Cori: Haswell, Lustre + DataWarp burst buffer
+Site nd_crc();   // Notre Dame CRC: HTCondor campus cluster, NFS-ish FS
+Site nscc();     // NSCC Aspire (Singapore): 2x12 cores, 96 GB nodes
+Site aws_ec2();  // AWS EC2: m5 instances, EBS-ish storage
+
+std::vector<Site> all_sites();
+
+}  // namespace lfm::sim

@@ -1,0 +1,85 @@
+// Error handling primitives shared across the LFM libraries.
+//
+// Recoverable, expected failures (a task exceeding its resource limit, an
+// unresolvable package constraint) are reported through `Result<T>`;
+// programming errors and broken invariants throw `Error`.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lfm {
+
+// Exception type for unrecoverable errors raised by LFM components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A lightweight expected-style result: either a value or an error message.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  static Result failure(std::string message) {
+    return Result(Failure{std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  // Access the value; throws if this result holds an error.
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(state_);
+  }
+  T&& take() && {
+    require_ok();
+    return std::get<T>(std::move(state_));
+  }
+
+  const std::string& error() const {
+    if (ok()) throw Error("Result::error() called on a success value");
+    return std::get<Failure>(state_).message;
+  }
+
+ private:
+  struct Failure {
+    std::string message;
+  };
+  explicit Result(Failure f) : state_(std::move(f)) {}
+  void require_ok() const {
+    if (!ok()) throw Error("Result::value() on failure: " + std::get<Failure>(state_).message);
+  }
+  std::variant<T, Failure> state_;
+};
+
+// Specialization-free helper for operations with no payload.
+class Status {
+ public:
+  static Status success() { return Status(); }
+  static Status failure(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return !message_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const std::string& error() const {
+    if (ok()) throw Error("Status::error() called on success");
+    return *message_;
+  }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+}  // namespace lfm

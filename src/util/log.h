@@ -1,0 +1,27 @@
+// Minimal leveled logger. Components log through LFM_LOG so the verbosity of
+// long simulations can be raised for debugging and silenced in benchmarks.
+#pragma once
+
+#include <string>
+
+namespace lfm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& component, const std::string& message);
+
+}  // namespace lfm
+
+#define LFM_LOG(level, component, message)                                   \
+  do {                                                                       \
+    if (static_cast<int>(level) >= static_cast<int>(::lfm::log_level())) {   \
+      ::lfm::log_message((level), (component), (message));                   \
+    }                                                                        \
+  } while (0)
+
+#define LFM_DEBUG(component, message) LFM_LOG(::lfm::LogLevel::kDebug, component, message)
+#define LFM_INFO(component, message) LFM_LOG(::lfm::LogLevel::kInfo, component, message)
+#define LFM_WARN(component, message) LFM_LOG(::lfm::LogLevel::kWarn, component, message)
+#define LFM_ERROR(component, message) LFM_LOG(::lfm::LogLevel::kError, component, message)

@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace lfm {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  if (values_.empty()) throw Error("Samples::min on empty sample set");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  if (values_.empty()) throw Error("Samples::max on empty sample set");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) throw Error("Samples::percentile on empty sample set");
+  if (p < 0.0 || p > 100.0) throw Error("percentile out of range");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+Histogram::Histogram(double bucket_width, size_t buckets)
+    : width_(bucket_width), counts_(buckets, 0) {
+  if (bucket_width <= 0.0 || buckets == 0) throw Error("Histogram: bad shape");
+}
+
+namespace {
+
+// Buckets are upper-inclusive: bucket k covers ((k)*w excluded-at-top? no —
+// bucket k covers (k*w, (k+1)*w], with values <= 0 in bucket 0. This keeps
+// exact boundary values (e.g. "1 core") in the bucket whose top equals them,
+// so labels land on natural values instead of one bucket above.
+size_t bucket_index(double value, double width, size_t buckets) {
+  if (value <= width) return 0;
+  const auto idx = static_cast<size_t>(std::ceil(value / width)) - 1;
+  return idx >= buckets ? buckets - 1 : idx;
+}
+
+}  // namespace
+
+void Histogram::add(double value) {
+  if (value < 0.0) value = 0.0;
+  ++counts_[bucket_index(value, width_, counts_.size())];
+  ++total_;
+  max_seen_ = std::max(max_seen_, value);
+}
+
+double Histogram::bucket_top(double value) const {
+  const size_t idx = bucket_index(std::max(value, 0.0), width_, counts_.size());
+  return width_ * static_cast<double>(idx + 1);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) throw Error("Histogram::quantile on empty histogram");
+  if (q < 0.0 || q > 1.0) throw Error("Histogram::quantile: q out of range");
+  const auto threshold = static_cast<int64_t>(std::ceil(q * static_cast<double>(total_)));
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= threshold) return width_ * static_cast<double>(i + 1);
+  }
+  return width_ * static_cast<double>(counts_.size());
+}
+
+}  // namespace lfm

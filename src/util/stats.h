@@ -1,0 +1,78 @@
+// Streaming and sample-based statistics used by the resource monitor, the
+// auto-labeling algorithm, and the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lfm {
+
+// Welford's online mean/variance with min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x);
+  int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// A retained-sample distribution supporting exact percentiles.
+class Samples {
+ public:
+  void add(double x);
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // Exact percentile by linear interpolation; p in [0, 100].
+  double percentile(double p) const;
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Fixed-width bucketed histogram over [0, bucket_width * buckets). Values
+// beyond the top land in the last bucket. Used by the first-allocation
+// algorithm to model resource-usage distributions compactly.
+class Histogram {
+ public:
+  Histogram(double bucket_width, size_t buckets);
+
+  void add(double value);
+  int64_t count() const { return total_; }
+  double bucket_width() const { return width_; }
+  size_t bucket_count() const { return counts_.size(); }
+  int64_t bucket(size_t i) const { return counts_.at(i); }
+  // Upper edge of the bucket containing value.
+  double bucket_top(double value) const;
+  // Smallest value v such that P(X <= v) >= q, reported as a bucket top.
+  double quantile(double q) const;
+  double max_seen() const { return max_seen_; }
+
+ private:
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace lfm

@@ -1,0 +1,22 @@
+// Small string utilities shared by the mini-Python front end, the package
+// manager, and log formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfm {
+
+std::vector<std::string> split(std::string_view s, char sep);
+// Split on sep, dropping empty fields.
+std::vector<std::string> split_nonempty(std::string_view s, char sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+std::string to_lower(std::string_view s);
+// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace lfm

@@ -1,0 +1,39 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lfm {
+
+std::string format_bytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes < kKB) {
+    std::snprintf(buf, sizeof buf, "%lld B", static_cast<long long>(bytes));
+  } else if (bytes < kMB) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", b / static_cast<double>(kKB));
+  } else if (bytes < kGB) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", b / static_cast<double>(kMB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GB", b / static_cast<double>(kGB));
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1f s", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof buf, "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f h", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace lfm

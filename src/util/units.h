@@ -1,0 +1,29 @@
+// Byte-size and duration units used throughout the simulator and monitor.
+//
+// All simulator times are `double` seconds; all sizes are `int64_t` bytes.
+// These helpers keep call sites free of raw magic-number conversions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lfm {
+
+constexpr int64_t kKB = 1000;
+constexpr int64_t kMB = 1000 * kKB;
+constexpr int64_t kGB = 1000 * kMB;
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+constexpr int64_t operator"" _KB(unsigned long long v) { return static_cast<int64_t>(v) * kKB; }
+constexpr int64_t operator"" _MB(unsigned long long v) { return static_cast<int64_t>(v) * kMB; }
+constexpr int64_t operator"" _GB(unsigned long long v) { return static_cast<int64_t>(v) * kGB; }
+
+// Render a byte count as a short human string, e.g. "240 MB" or "1.5 GB".
+std::string format_bytes(int64_t bytes);
+
+// Render seconds as a short human string, e.g. "42.1 s" or "3.2 min".
+std::string format_seconds(double seconds);
+
+}  // namespace lfm

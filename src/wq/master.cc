@@ -1,0 +1,430 @@
+#include "wq/master.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace lfm::wq {
+
+Master::Master(sim::Simulation& sim, sim::Network& network, alloc::Labeler& labeler,
+               MasterConfig config)
+    : sim_(sim), network_(network), labeler_(labeler), config_(config) {}
+
+int Master::add_worker(const WorkerSpec& spec) {
+  Worker w;
+  w.id = static_cast<int>(workers_.size());
+  w.capacity = spec.capacity;
+  w.available = spec.capacity;
+  w.ready_time = spec.ready_time;
+  w.cache_capacity_bytes = static_cast<int64_t>(
+      std::max(0.0, spec.capacity.disk_bytes * config_.cache_fraction));
+  // A worker whose ready time has already passed is visible immediately —
+  // otherwise observers polling at this same timestamp (the provisioner)
+  // would undercount the pool and over-provision.
+  if (spec.ready_time <= sim_.now()) w.ready = true;
+  workers_.push_back(std::move(w));
+  const int id = workers_.back().id;
+  if (workers_.back().ready) {
+    try_dispatch();
+  } else {
+    sim_.schedule_at(spec.ready_time, [this, id] { worker_ready(id); });
+  }
+  return id;
+}
+
+void Master::submit(TaskSpec spec) {
+  TaskRecord rec;
+  rec.spec = std::move(spec);
+  rec.submit_time = sim_.now();
+  records_.push_back(std::move(rec));
+  attempt_epoch_.push_back(0);
+  ready_queue_.push_back(records_.size() - 1);
+  try_dispatch();
+}
+
+void Master::worker_ready(int worker_id) {
+  workers_[static_cast<size_t>(worker_id)].ready = true;
+  try_dispatch();
+}
+
+int64_t Master::missing_bytes(const Worker& worker, const TaskSpec& task) const {
+  int64_t bytes = 0;
+  for (const auto& f : task.inputs) {
+    if (!f.cacheable || worker.cache.count(f.name) == 0) bytes += f.size_bytes;
+  }
+  return bytes;
+}
+
+double Master::cached_bytes(const Worker& worker, const TaskSpec& task) const {
+  double bytes = 0;
+  for (const auto& f : task.inputs) {
+    if (f.cacheable && worker.cache.count(f.name) > 0) {
+      bytes += static_cast<double>(f.size_bytes);
+    }
+  }
+  return bytes;
+}
+
+bool Master::make_cache_room(Worker& worker, int64_t bytes) {
+  if (bytes > worker.cache_capacity_bytes) return false;  // never cacheable
+  while (worker.cache_bytes + bytes > worker.cache_capacity_bytes) {
+    // Evict the least-recently-used unpinned entry.
+    auto victim = worker.cache.end();
+    for (auto it = worker.cache.begin(); it != worker.cache.end(); ++it) {
+      if (it->second.pins > 0) continue;
+      if (victim == worker.cache.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == worker.cache.end()) return false;  // everything pinned
+    worker.cache_bytes -= victim->second.size_bytes;
+    worker.cache.erase(victim);
+    ++stats_.cache_evictions;
+  }
+  return true;
+}
+
+void Master::unpin_inputs(int worker_id, const TaskSpec& spec) {
+  Worker& worker = workers_[static_cast<size_t>(worker_id)];
+  for (const auto& f : spec.inputs) {
+    if (!f.cacheable) continue;
+    const auto it = worker.cache.find(f.name);
+    if (it != worker.cache.end() && it->second.pins > 0) it->second.pins -= 1;
+  }
+}
+
+std::optional<int> Master::pick_worker(const TaskSpec& task,
+                                       const alloc::Resources& alloc) const {
+  std::optional<int> best;
+  double best_cached = -1.0;
+  double best_free_cores = 1e300;
+  for (const auto& w : workers_) {
+    if (!w.ready || w.retired || !alloc.fits_in(w.available)) continue;
+    const double cached = config_.cache_affinity ? cached_bytes(w, task) : 0.0;
+    // Prefer more cached bytes; tie-break to the most-loaded fitting worker
+    // (best fit keeps large holes open for big tasks).
+    if (cached > best_cached ||
+        (cached == best_cached && w.available.cores < best_free_cores)) {
+      best = w.id;
+      best_cached = cached;
+      best_free_cores = w.available.cores;
+    }
+  }
+  return best;
+}
+
+void Master::try_dispatch() {
+  if (dispatch_scheduled_) return;
+  dispatch_scheduled_ = true;
+  sim_.schedule(0.0, [this] {
+    dispatch_scheduled_ = false;
+    // Two passes when cache affinity is on: first dispatch queued tasks
+    // whose cacheable inputs are already warm on a free worker (so a freed
+    // slot goes to a matching task even if it is not at the queue head),
+    // then plain FIFO for the rest. One FIFO pass otherwise.
+    const int passes = config_.cache_affinity ? 2 : 1;
+    for (int pass = 0; pass < passes; ++pass) {
+      const bool cached_only = config_.cache_affinity && pass == 0;
+      for (size_t qi = 0; qi < ready_queue_.size();) {
+        const size_t record_index = ready_queue_[qi];
+        TaskRecord& rec = records_[record_index];
+        if (is_cancelled(record_index)) {
+          rec.state = TaskState::kDone;
+          ++stats_.tasks_cancelled;
+          ready_queue_.erase(ready_queue_.begin() + static_cast<long>(qi));
+          if (on_complete_) on_complete_(rec);
+          continue;
+        }
+        alloc::Resources alloc =
+            labeler_.allocation(rec.spec.category, rec.attempt);
+        const auto where = pick_worker(rec.spec, alloc);
+        if (!where ||
+            (cached_only &&
+             cached_bytes(workers_[static_cast<size_t>(*where)], rec.spec) <= 0.0)) {
+          ++qi;
+          continue;
+        }
+        ready_queue_.erase(ready_queue_.begin() + static_cast<long>(qi));
+        dispatch(record_index, *where, alloc);
+      }
+    }
+  });
+}
+
+void Master::dispatch(size_t record_index, int worker_id,
+                      const alloc::Resources& alloc) {
+  TaskRecord& rec = records_[record_index];
+  Worker& worker = workers_[static_cast<size_t>(worker_id)];
+  worker.available -= alloc;
+  worker.running_tasks += 1;
+  ++running_count_;
+  rec.state = TaskState::kTransferring;
+  rec.worker_id = worker_id;
+  rec.last_allocation = alloc;
+  if (rec.start_time < 0.0) rec.start_time = sim_.now();
+
+  // Transfer the inputs this worker lacks; cacheable files enter the cache
+  // (and pay their one-time unpack cost), pinned while the task runs.
+  // Files too large for the cache (or with everything pinned) stream
+  // through and are paid for again next time.
+  int64_t bytes = 0;
+  double unpack = 0.0;
+  for (const auto& f : rec.spec.inputs) {
+    const auto cached = worker.cache.find(f.name);
+    if (f.cacheable && cached != worker.cache.end()) {
+      ++stats_.cache_hits;
+      cached->second.last_use = sim_.now();
+      cached->second.pins += 1;
+      continue;
+    }
+    bytes += f.size_bytes;
+    if (f.cacheable) {
+      unpack += f.unpack_seconds;
+      if (make_cache_room(worker, f.size_bytes)) {
+        CacheEntry entry;
+        entry.size_bytes = f.size_bytes;
+        entry.last_use = sim_.now();
+        entry.pins = 1;
+        worker.cache.emplace(f.name, entry);
+        worker.cache_bytes += f.size_bytes;
+      }
+    }
+  }
+
+  const double overhead = config_.dispatch_overhead;
+  const double extra = unpack + overhead;
+  const uint64_t epoch = ++attempt_epoch_[record_index];
+  if (bytes > 0) {
+    ++stats_.transfers;
+    stats_.transferred_bytes += bytes;
+    network_.transfer(bytes, [this, record_index, worker_id, alloc, extra, epoch] {
+      if (stale(record_index, epoch)) return;
+      sim_.schedule(extra, [this, record_index, worker_id, alloc, epoch] {
+        start_execution(record_index, worker_id, alloc, epoch);
+      });
+    });
+  } else {
+    sim_.schedule(extra, [this, record_index, worker_id, alloc, epoch] {
+      start_execution(record_index, worker_id, alloc, epoch);
+    });
+  }
+}
+
+void Master::start_execution(size_t record_index, int worker_id,
+                             const alloc::Resources& alloc, uint64_t epoch) {
+  if (stale(record_index, epoch)) return;
+  if (is_cancelled(record_index)) {
+    finish_cancelled(record_index, worker_id, alloc);
+    return;
+  }
+  TaskRecord& rec = records_[record_index];
+  rec.state = TaskState::kRunning;
+  const TaskSpec& spec = rec.spec;
+
+  // Cores are compressible: granting fewer cores than the task can use
+  // stretches the runtime. Memory/disk are incompressible: exceeding the
+  // allocation kills the attempt at the moment the peak occurs.
+  const double granted_cores = std::max(std::min(alloc.cores, spec.true_cores), 0.25);
+  const double runtime = spec.exec_seconds * (spec.true_cores / granted_cores);
+
+  std::string exhausted_resource;
+  if (spec.true_peak.memory_bytes > alloc.memory_bytes) {
+    exhausted_resource = "memory";
+  } else if (spec.true_peak.disk_bytes > alloc.disk_bytes) {
+    exhausted_resource = "disk";
+  }
+
+  const bool exhausted = !exhausted_resource.empty();
+  const double duration = exhausted ? runtime * spec.peak_fraction : runtime;
+  sim_.schedule(duration, [this, record_index, worker_id, alloc, exhausted,
+                           exhausted_resource, duration, epoch] {
+    finish_attempt(record_index, worker_id, alloc, exhausted, exhausted_resource,
+                   duration, epoch);
+  });
+}
+
+void Master::finish_cancelled(size_t record_index, int worker_id,
+                              const alloc::Resources& alloc) {
+  TaskRecord& rec = records_[record_index];
+  rec.state = TaskState::kDone;
+  ++stats_.tasks_cancelled;
+  unpin_inputs(worker_id, rec.spec);
+  release(worker_id, alloc);
+  if (on_complete_) on_complete_(rec);
+}
+
+void Master::finish_attempt(size_t record_index, int worker_id,
+                            const alloc::Resources& alloc, bool exhausted,
+                            const std::string& exhausted_resource, double runtime,
+                            uint64_t epoch) {
+  if (stale(record_index, epoch)) return;
+  if (is_cancelled(record_index)) {
+    finish_cancelled(record_index, worker_id, alloc);
+    return;
+  }
+  TaskRecord& rec = records_[record_index];
+  stats_.total_busy_core_seconds += alloc.cores * runtime;
+
+  if (exhausted) {
+    ++rec.exhaustions;
+    ++stats_.exhaustion_retries;
+    labeler_.observe_exhaustion(rec.spec.category, alloc, exhausted_resource);
+    unpin_inputs(worker_id, rec.spec);
+    release(worker_id, alloc);
+    if (rec.exhaustions > config_.max_retries) {
+      rec.state = TaskState::kDone;
+      ++stats_.tasks_failed;
+      if (on_complete_) on_complete_(rec);
+      return;
+    }
+    rec.attempt += 1;
+    rec.state = TaskState::kWaiting;
+    ready_queue_.push_back(record_index);
+    try_dispatch();
+    return;
+  }
+
+  // Success: report observed usage to the labeler, send output back.
+  alloc::Resources observed = rec.spec.true_peak;
+  // The LFM can only observe parallelism up to the granted cores.
+  observed.cores = std::min(observed.cores, alloc.cores);
+  labeler_.observe_success(rec.spec.category, observed);
+
+  rec.state = TaskState::kReturning;
+  const int64_t out = rec.spec.output_bytes;
+  const auto complete = [this, record_index, worker_id, alloc, epoch] {
+    if (stale(record_index, epoch)) return;
+    TaskRecord& r = records_[record_index];
+    r.state = TaskState::kDone;
+    r.finish_time = sim_.now();
+    ++stats_.tasks_completed;
+    unpin_inputs(worker_id, r.spec);
+    release(worker_id, alloc);
+    if (on_complete_) on_complete_(r);
+  };
+  if (out > 0) {
+    ++stats_.transfers;
+    stats_.transferred_bytes += out;
+    network_.transfer(out, complete);
+  } else {
+    sim_.schedule(0.0, complete);
+  }
+}
+
+void Master::release(int worker_id, const alloc::Resources& alloc) {
+  Worker& worker = workers_[static_cast<size_t>(worker_id)];
+  worker.available += alloc;
+  worker.running_tasks -= 1;
+  --running_count_;
+  try_dispatch();
+}
+
+int Master::live_worker_count() const {
+  int count = 0;
+  for (const auto& w : workers_) {
+    if (w.ready && !w.retired) ++count;
+  }
+  return count;
+}
+
+bool Master::release_idle_worker() {
+  for (auto& w : workers_) {
+    if (w.ready && !w.retired && w.running_tasks == 0) {
+      w.retired = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Master::crash_worker(int worker_id) {
+  Worker& worker = workers_[static_cast<size_t>(worker_id)];
+  if (worker.retired) return;
+  worker.retired = true;
+  worker.ready = false;
+  worker.cache.clear();  // node-local storage is gone
+  worker.cache_bytes = 0;
+  ++worker_crashes_;
+
+  // Invalidate and requeue every in-flight attempt on this worker. The lost
+  // attempt is not an exhaustion — the labeler learns nothing from it.
+  for (size_t i = 0; i < records_.size(); ++i) {
+    TaskRecord& rec = records_[i];
+    if (rec.worker_id != worker_id || rec.state == TaskState::kDone ||
+        rec.state == TaskState::kWaiting) {
+      continue;
+    }
+    ++attempt_epoch_[i];  // orphan the scheduled completion events
+    --running_count_;
+    rec.state = TaskState::kWaiting;
+    rec.worker_id = -1;
+    if (is_cancelled(i)) {
+      rec.state = TaskState::kDone;
+      ++stats_.tasks_cancelled;
+      if (on_complete_) on_complete_(rec);
+      continue;
+    }
+    ready_queue_.push_back(i);
+  }
+  worker.running_tasks = 0;
+  worker.available = worker.capacity;
+  try_dispatch();
+}
+
+bool Master::cancel_task(uint64_t task_id) {
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].spec.id != task_id) continue;
+    if (records_[i].state == TaskState::kDone) return false;
+    cancelled_tasks_.insert(task_id);
+    try_dispatch();  // flush it out of the ready queue promptly
+    return true;
+  }
+  return false;
+}
+
+MasterStats Master::run() {
+  first_ready_time_ = sim_.now();
+  sim_.run();
+  stats_.makespan = sim_.now() - first_ready_time_;
+  double pool_cores = 0.0;
+  for (const auto& w : workers_) pool_cores += w.capacity.cores;
+  stats_.total_capacity_core_seconds = pool_cores * stats_.makespan;
+  return stats_;
+}
+
+ScenarioResult run_scenario(alloc::Strategy strategy, const alloc::LabelerConfig& base,
+                            const std::vector<WorkerSpec>& workers,
+                            std::vector<TaskSpec> tasks,
+                            const sim::NetworkParams& net_params,
+                            const MasterConfig& master_config) {
+  sim::Simulation sim;
+  sim::Network network(sim, net_params);
+  alloc::LabelerConfig config = base;
+  config.strategy = strategy;
+  alloc::Labeler labeler(config);
+  // Oracle: perfect per-category knowledge = the true per-category maxima.
+  if (strategy == alloc::Strategy::kOracle) {
+    std::map<std::string, alloc::Resources> maxima;
+    for (const auto& t : tasks) {
+      auto& m = maxima[t.category];
+      m = alloc::Resources::elementwise_max(m, t.true_peak);
+    }
+    for (const auto& [cat, peak] : maxima) {
+      alloc::Resources oracle = peak;
+      oracle.cores = std::max(1.0, std::ceil(oracle.cores));
+      labeler.set_oracle(cat, oracle);
+    }
+  }
+  Master master(sim, network, labeler, master_config);
+  for (const auto& w : workers) master.add_worker(w);
+  for (auto& t : tasks) master.submit(std::move(t));
+  ScenarioResult result;
+  result.stats = master.run();
+  result.strategy = strategy;
+  return result;
+}
+
+}  // namespace lfm::wq

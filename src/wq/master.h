@@ -1,0 +1,184 @@
+// Work Queue master: resource-aware, cache-affine task dispatch over a pool
+// of pilot-job workers (paper §III, §VI.B).
+//
+// The master keeps the ready queue, asks the resource labeler for each
+// task's allocation, packs tasks into workers without oversubscribing any
+// dimension, and transfers missing input files over the shared network
+// model. Task exhaustion (peak usage exceeding the allocation, detected by
+// the per-task LFM) kills the attempt, feeds the observation back to the
+// labeler, and requeues the task — which then escalates per the strategy's
+// retry policy.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "alloc/labeler.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "wq/task.h"
+
+namespace lfm::wq {
+
+struct WorkerSpec {
+  alloc::Resources capacity;
+  double ready_time = 0.0;  // when the pilot job connects back
+};
+
+struct MasterConfig {
+  // Dispatch overhead per task at the master (serialization, bookkeeping).
+  double dispatch_overhead = 0.005;
+  // Abandon a task after this many exhaustion retries (safety valve).
+  int max_retries = 10;
+  // Prefer workers holding more of the task's cached input bytes.
+  bool cache_affinity = true;
+  // Fraction of each worker's disk reserved for the file cache; cached
+  // files beyond it are evicted LRU (files of running tasks are pinned).
+  double cache_fraction = 0.5;
+};
+
+struct MasterStats {
+  double makespan = 0.0;
+  int64_t tasks_completed = 0;
+  int64_t tasks_failed = 0;     // exceeded max_retries
+  int64_t tasks_cancelled = 0;  // cancelled by the user
+  int64_t exhaustion_retries = 0;
+  int64_t transfers = 0;
+  int64_t transferred_bytes = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_evictions = 0;
+  double total_busy_core_seconds = 0.0;     // sum over tasks of alloc.cores*runtime
+  double total_capacity_core_seconds = 0.0; // pool core-seconds over makespan
+  double utilization() const {
+    return total_capacity_core_seconds > 0.0
+               ? total_busy_core_seconds / total_capacity_core_seconds
+               : 0.0;
+  }
+};
+
+class Master {
+ public:
+  Master(sim::Simulation& sim, sim::Network& network, alloc::Labeler& labeler,
+         MasterConfig config = {});
+
+  // Register a worker; it becomes schedulable at spec.ready_time.
+  int add_worker(const WorkerSpec& spec);
+  // Submit a task (before or during the run).
+  void submit(TaskSpec spec);
+
+  // Optional per-task completion hook.
+  void set_on_complete(std::function<void(const TaskRecord&)> fn) {
+    on_complete_ = std::move(fn);
+  }
+
+  // Run the simulation to completion and return aggregate statistics.
+  MasterStats run();
+
+  const std::vector<TaskRecord>& records() const { return records_; }
+
+  // --- load introspection & elasticity (for the Provisioner) ---------------
+  // Tasks waiting for a worker.
+  int ready_count() const { return static_cast<int>(ready_queue_.size()); }
+  // Tasks currently transferring/executing/returning.
+  int running_count() const { return running_count_; }
+  // Connected, non-retired workers.
+  int live_worker_count() const;
+  // Retire one idle worker (pilot job exits). Returns false when every live
+  // worker is busy. Retired workers accept no further tasks.
+  bool release_idle_worker();
+
+  // --- failure injection ----------------------------------------------------
+  // Kill a worker mid-run: its cache is lost, its in-flight tasks requeue
+  // (not counted as exhaustions), and it never accepts tasks again.
+  void crash_worker(int worker_id);
+  // Cancel a submitted task by id. In-flight attempts are discarded when
+  // they finish; queued tasks are dropped immediately. Returns false if the
+  // id is unknown or already done.
+  bool cancel_task(uint64_t task_id);
+  int64_t worker_crashes() const { return worker_crashes_; }
+
+ private:
+  struct CacheEntry {
+    int64_t size_bytes = 0;
+    double last_use = 0.0;
+    int pins = 0;  // running tasks using this file; pinned entries never evict
+  };
+
+  struct Worker {
+    int id = 0;
+    alloc::Resources capacity;
+    alloc::Resources available;
+    double ready_time = 0.0;
+    bool ready = false;
+    bool retired = false;
+    std::map<std::string, CacheEntry> cache;
+    int64_t cache_bytes = 0;
+    int64_t cache_capacity_bytes = 0;
+    int running_tasks = 0;
+  };
+
+  void worker_ready(int worker_id);
+  void try_dispatch();
+  // Bytes of `task`'s inputs NOT cached on `worker`.
+  int64_t missing_bytes(const Worker& worker, const TaskSpec& task) const;
+  double cached_bytes(const Worker& worker, const TaskSpec& task) const;
+  std::optional<int> pick_worker(const TaskSpec& task, const alloc::Resources& alloc) const;
+  void dispatch(size_t record_index, int worker_id, const alloc::Resources& alloc);
+  void start_execution(size_t record_index, int worker_id,
+                       const alloc::Resources& alloc, uint64_t epoch);
+  void finish_attempt(size_t record_index, int worker_id,
+                      const alloc::Resources& alloc, bool exhausted,
+                      const std::string& exhausted_resource, double runtime,
+                      uint64_t epoch);
+  void release(int worker_id, const alloc::Resources& alloc);
+  // True when this attempt was invalidated by a worker crash.
+  bool stale(size_t record_index, uint64_t epoch) const {
+    return attempt_epoch_[record_index] != epoch;
+  }
+  bool is_cancelled(size_t record_index) const {
+    return cancelled_tasks_.count(records_[record_index].spec.id) > 0;
+  }
+  void finish_cancelled(size_t record_index, int worker_id,
+                        const alloc::Resources& alloc);
+  // Unpin the task's cacheable inputs on its worker.
+  void unpin_inputs(int worker_id, const TaskSpec& spec);
+  // Make room for `bytes` in the worker's cache, evicting LRU unpinned
+  // entries. Returns false when the file cannot be cached at all.
+  bool make_cache_room(Worker& worker, int64_t bytes);
+
+  sim::Simulation& sim_;
+  sim::Network& network_;
+  alloc::Labeler& labeler_;
+  MasterConfig config_;
+
+  std::vector<Worker> workers_;
+  std::vector<TaskRecord> records_;
+  std::vector<size_t> ready_queue_;  // indices into records_
+  MasterStats stats_;
+  std::function<void(const TaskRecord&)> on_complete_;
+  bool dispatch_scheduled_ = false;
+  double first_ready_time_ = 0.0;
+  int running_count_ = 0;
+  int64_t worker_crashes_ = 0;
+  std::set<uint64_t> cancelled_tasks_;
+  // Attempts invalidated by a worker crash: (record index, epoch) pairs.
+  std::vector<uint64_t> attempt_epoch_;
+};
+
+// Convenience: run one workload under one strategy and report stats.
+struct ScenarioResult {
+  MasterStats stats;
+  alloc::Strategy strategy;
+};
+
+ScenarioResult run_scenario(alloc::Strategy strategy, const alloc::LabelerConfig& base,
+                            const std::vector<WorkerSpec>& workers,
+                            std::vector<TaskSpec> tasks,
+                            const sim::NetworkParams& net_params = {},
+                            const MasterConfig& master_config = {});
+
+}  // namespace lfm::wq

@@ -1,0 +1,217 @@
+#include "wq/protocol.h"
+
+#include <cctype>
+
+#include "serde/json.h"
+#include "util/strings.h"
+
+namespace lfm::wq {
+namespace {
+
+// Command lines are the only field that may contain spaces; they are
+// percent-escaped so every message line splits safely on whitespace.
+std::string escape_command(const std::string& cmd) {
+  std::string out;
+  for (const char c : cmd) {
+    if (c == '%' || c == ' ' || c == '\n' || c == '\t') {
+      out += strformat("%%%02x", static_cast<unsigned char>(c));
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_command(const std::string& wire) {
+  std::string out;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    if (wire[i] != '%') {
+      out += wire[i];
+      continue;
+    }
+    if (i + 2 >= wire.size()) throw Error("protocol: truncated escape");
+    const auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      throw Error("protocol: bad escape digit");
+    };
+    out += static_cast<char>(hex(wire[i + 1]) * 16 + hex(wire[i + 2]));
+    i += 2;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> parse_lines(const std::string& wire,
+                                                  const char* expected_head) {
+  std::vector<std::vector<std::string>> lines;
+  bool terminated = false;
+  for (const auto& raw : split(wire, '\n')) {
+    if (raw.empty()) continue;
+    auto fields = split_nonempty(raw, ' ');
+    if (fields.empty()) continue;
+    if (fields[0] == "end") {
+      terminated = true;
+      break;
+    }
+    lines.push_back(std::move(fields));
+  }
+  if (!terminated) throw Error("protocol: message not terminated by 'end'");
+  if (lines.empty() || lines[0][0] != expected_head) {
+    throw Error(std::string("protocol: expected '") + expected_head + "' message");
+  }
+  return lines;
+}
+
+uint64_t parse_u64(const std::string& s) {
+  if (s.empty()) throw Error("protocol: empty number");
+  uint64_t v = 0;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw Error("protocol: bad number '" + s + "'");
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+double parse_real(const std::string& s) {
+  try {
+    size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw Error("protocol: bad real '" + s + "'");
+    return v;
+  } catch (const std::exception&) {
+    throw Error("protocol: bad real '" + s + "'");
+  }
+}
+
+void need_fields(const std::vector<std::string>& fields, size_t count) {
+  if (fields.size() != count) {
+    throw Error("protocol: wrong field count in '" + join(fields, " ") + "'");
+  }
+}
+
+}  // namespace
+
+bool valid_token(const std::string& token) {
+  if (token.empty()) return false;
+  for (const char c : token) {
+    if (std::isspace(static_cast<unsigned char>(c)) ||
+        std::iscntrl(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string encode(const TaskMessage& msg) {
+  if (!valid_token(msg.category)) throw Error("protocol: invalid category token");
+  std::string out = strformat("task %llu %s\n",
+                              static_cast<unsigned long long>(msg.task_id),
+                              msg.category.c_str());
+  out += "cmd " + escape_command(msg.command_line) + "\n";
+  out += strformat("alloc %.3f %lld %lld\n", msg.allocation.cores,
+                   static_cast<long long>(msg.allocation.memory_bytes),
+                   static_cast<long long>(msg.allocation.disk_bytes));
+  for (const auto& f : msg.infiles) {
+    if (!valid_token(f.name)) throw Error("protocol: invalid file name " + f.name);
+    out += strformat("infile %s %lld %d\n", f.name.c_str(),
+                     static_cast<long long>(f.size_bytes), f.cacheable ? 1 : 0);
+  }
+  for (const auto& name : msg.outfiles) {
+    if (!valid_token(name)) throw Error("protocol: invalid file name " + name);
+    out += "outfile " + name + "\n";
+  }
+  return out + "end\n";
+}
+
+std::string encode(const ResultMessage& msg) {
+  std::string out = strformat("result %llu %d\n",
+                              static_cast<unsigned long long>(msg.task_id),
+                              msg.exit_code);
+  if (msg.exhausted) {
+    if (!valid_token(msg.exhausted_resource)) {
+      throw Error("protocol: invalid resource token");
+    }
+    out += "exhausted " + msg.exhausted_resource + "\n";
+  }
+  out += strformat("usage %.3f %lld %lld %.3f\n", msg.cores_used,
+                   static_cast<long long>(msg.memory_peak_bytes),
+                   static_cast<long long>(msg.disk_peak_bytes), msg.wall_seconds);
+  if (!msg.payload.empty()) {
+    out += "payload " + serde::base64_encode(msg.payload) + "\n";
+  }
+  return out + "end\n";
+}
+
+TaskMessage decode_task(const std::string& wire) {
+  const auto lines = parse_lines(wire, "task");
+  TaskMessage msg;
+  bool saw_alloc = false;
+  for (const auto& fields : lines) {
+    if (fields[0] == "task") {
+      need_fields(fields, 3);
+      msg.task_id = parse_u64(fields[1]);
+      msg.category = fields[2];
+    } else if (fields[0] == "cmd") {
+      need_fields(fields, 2);
+      msg.command_line = unescape_command(fields[1]);
+    } else if (fields[0] == "alloc") {
+      need_fields(fields, 4);
+      msg.allocation.cores = parse_real(fields[1]);
+      msg.allocation.memory_bytes = parse_real(fields[2]);
+      msg.allocation.disk_bytes = parse_real(fields[3]);
+      saw_alloc = true;
+    } else if (fields[0] == "infile") {
+      need_fields(fields, 4);
+      TaskMessage::FileStanza f;
+      f.name = fields[1];
+      f.size_bytes = static_cast<int64_t>(parse_u64(fields[2]));
+      f.cacheable = fields[3] == "1";
+      msg.infiles.push_back(std::move(f));
+    } else if (fields[0] == "outfile") {
+      need_fields(fields, 2);
+      msg.outfiles.push_back(fields[1]);
+    } else {
+      throw Error("protocol: unknown stanza '" + fields[0] + "'");
+    }
+  }
+  if (msg.task_id == 0) throw Error("protocol: missing task id");
+  if (!saw_alloc) throw Error("protocol: missing alloc stanza");
+  return msg;
+}
+
+ResultMessage decode_result(const std::string& wire) {
+  const auto lines = parse_lines(wire, "result");
+  ResultMessage msg;
+  bool saw_usage = false;
+  for (const auto& fields : lines) {
+    if (fields[0] == "result") {
+      need_fields(fields, 3);
+      msg.task_id = parse_u64(fields[1]);
+      msg.exit_code = static_cast<int>(parse_real(fields[2]));
+    } else if (fields[0] == "exhausted") {
+      need_fields(fields, 2);
+      msg.exhausted = true;
+      msg.exhausted_resource = fields[1];
+    } else if (fields[0] == "usage") {
+      need_fields(fields, 5);
+      msg.cores_used = parse_real(fields[1]);
+      msg.memory_peak_bytes = static_cast<int64_t>(parse_real(fields[2]));
+      msg.disk_peak_bytes = static_cast<int64_t>(parse_real(fields[3]));
+      msg.wall_seconds = parse_real(fields[4]);
+      saw_usage = true;
+    } else if (fields[0] == "payload") {
+      need_fields(fields, 2);
+      msg.payload = serde::base64_decode(fields[1]);
+    } else {
+      throw Error("protocol: unknown stanza '" + fields[0] + "'");
+    }
+  }
+  if (msg.task_id == 0) throw Error("protocol: missing task id");
+  if (!saw_usage) throw Error("protocol: missing usage stanza");
+  return msg;
+}
+
+}  // namespace lfm::wq

@@ -1,0 +1,61 @@
+// Work Queue wire protocol: the line-oriented text messages exchanged
+// between master and workers. Real Work Queue speaks a protocol of exactly
+// this shape ("task <id>", "infile <name> <size> <flags>", ...); here it
+// carries what §III.A describes — a Unix command line, explicit input and
+// output files, and the resource allocation — plus the worker's result
+// report with measured usage for the labeler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/resources.h"
+#include "serde/value.h"
+#include "util/error.h"
+
+namespace lfm::wq {
+
+// Master -> worker: run this task.
+struct TaskMessage {
+  uint64_t task_id = 0;
+  std::string category;
+  std::string command_line;  // e.g. "python lfm_wrapper.py fn.pkl args.pkl"
+  alloc::Resources allocation;
+  struct FileStanza {
+    std::string name;
+    int64_t size_bytes = 0;
+    bool cacheable = false;
+  };
+  std::vector<FileStanza> infiles;
+  std::vector<std::string> outfiles;
+};
+
+// Worker -> master: the attempt finished.
+struct ResultMessage {
+  uint64_t task_id = 0;
+  int exit_code = 0;
+  bool exhausted = false;
+  std::string exhausted_resource;
+  // Measured peaks, for the labeler.
+  double cores_used = 0.0;
+  int64_t memory_peak_bytes = 0;
+  int64_t disk_peak_bytes = 0;
+  double wall_seconds = 0.0;
+  // Pickled function result (Python-function tasks) — travels base64-coded
+  // in an optional "payload" stanza.
+  serde::Bytes payload;
+};
+
+// Serialize to the wire form (LF line endings, terminated by "end\n").
+std::string encode(const TaskMessage& msg);
+std::string encode(const ResultMessage& msg);
+
+// Parse; throws lfm::Error with the offending line on malformed input.
+TaskMessage decode_task(const std::string& wire);
+ResultMessage decode_result(const std::string& wire);
+
+// File/category names travel unquoted; reject whitespace and control chars.
+bool valid_token(const std::string& token);
+
+}  // namespace lfm::wq

@@ -1,0 +1,60 @@
+// Work Queue task model.
+//
+// A task names its input files explicitly (paper §III.A: "Work Queue accepts
+// tasks ... with explicit input and output files used to construct the
+// namespace of the task"). Cacheable inputs (the packed Conda environment,
+// common data files) stay on the worker between tasks; the master prefers
+// dispatching where inputs are already cached.
+//
+// The "true_*" fields describe the task's actual behaviour — known to the
+// workload generator but hidden from the scheduler, which only learns usage
+// through LFM monitoring. This separation is what lets the simulation
+// compare Oracle/Auto/Guess/Unmanaged honestly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/resources.h"
+
+namespace lfm::wq {
+
+struct InputFile {
+  std::string name;
+  int64_t size_bytes = 0;
+  bool cacheable = false;
+  // Extra one-time cost after first transfer (e.g. unpacking a packed
+  // environment onto local disk). Paid only when the file enters the cache.
+  double unpack_seconds = 0.0;
+};
+
+struct TaskSpec {
+  uint64_t id = 0;
+  std::string category;  // labeler key: tasks of a category share behaviour
+  std::vector<InputFile> inputs;
+  int64_t output_bytes = 0;
+
+  // Ground truth (hidden from the scheduler):
+  double exec_seconds = 1.0;        // runtime when granted >= true_cores
+  double true_cores = 1.0;          // parallelism the task can exploit
+  alloc::Resources true_peak;       // actual peak usage (cores/memory/disk)
+  double peak_fraction = 0.6;       // fraction of runtime at which the peak
+                                    // (and thus any exhaustion) occurs
+};
+
+enum class TaskState { kWaiting, kTransferring, kRunning, kReturning, kDone };
+
+struct TaskRecord {
+  TaskSpec spec;
+  TaskState state = TaskState::kWaiting;
+  int attempt = 0;            // current attempt number (0-based)
+  int exhaustions = 0;        // failed attempts due to resource limits
+  double submit_time = 0.0;
+  double start_time = -1.0;   // first dispatch
+  double finish_time = -1.0;  // successful completion
+  alloc::Resources last_allocation;
+  int worker_id = -1;
+};
+
+}  // namespace lfm::wq

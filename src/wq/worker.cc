@@ -1,0 +1,157 @@
+#include "wq/worker.h"
+
+#include <cmath>
+
+#include "pysrc/interp.h"
+#include "serde/pickle.h"
+#include "util/strings.h"
+
+namespace lfm::wq {
+namespace {
+
+monitor::MonitorOptions monitor_options_for(const TaskMessage& task,
+                                            double poll_interval) {
+  monitor::MonitorOptions options;
+  options.poll_interval = poll_interval;
+  // The allocation from the wire becomes enforced LFM limits. Zero/absent
+  // dimensions mean unlimited (a whole-node allocation is encoded as the
+  // node size, which is still a real cap).
+  if (task.allocation.memory_bytes > 0.0) {
+    options.limits.memory_bytes = static_cast<int64_t>(task.allocation.memory_bytes);
+  }
+  if (task.allocation.disk_bytes > 0.0) {
+    options.limits.disk_bytes = static_cast<int64_t>(task.allocation.disk_bytes);
+  }
+  return options;
+}
+
+void fill_usage(ResultMessage& result, const monitor::ResourceUsage& usage) {
+  result.wall_seconds = usage.wall_time;
+  result.cores_used = usage.cores;
+  result.memory_peak_bytes = usage.max_rss_bytes;
+  result.disk_peak_bytes = usage.disk_write_bytes;
+}
+
+}  // namespace
+
+ResultMessage LocalWorker::execute_python(const TaskMessage& task,
+                                          const FileSet& files) {
+  ResultMessage result;
+  result.task_id = task.task_id;
+
+  const auto parts = split_nonempty(task.command_line, ' ');
+  if (parts.size() != 4) {
+    result.exit_code = -1;
+    return result;
+  }
+  const auto module_it = files.find(parts[1]);
+  const auto args_it = files.find(parts[2]);
+  const std::string function = parts[3];
+  if (module_it == files.end() || args_it == files.end()) {
+    result.exit_code = -1;  // missing transferable files
+    return result;
+  }
+  const std::string module_source(module_it->second.begin(), module_it->second.end());
+  const serde::Value args = serde::loads(args_it->second);
+
+  // The function runs in the interpreter INSIDE the forked LFM child; its
+  // pickled result returns over the monitor's pipe.
+  const monitor::TaskFn body = [module_source, function](const serde::Value& a) {
+    std::vector<serde::Value> positional;
+    if (a.is_list()) positional = a.as_list();
+    return pysrc::run_python_function(module_source, function, std::move(positional));
+  };
+  const auto outcome = monitor::run_monitored(
+      body, args, monitor_options_for(task, options_.poll_interval));
+
+  fill_usage(result, outcome.usage);
+  switch (outcome.status) {
+    case monitor::TaskStatus::kSuccess:
+      result.exit_code = 0;
+      result.payload = serde::dumps(outcome.result);
+      break;
+    case monitor::TaskStatus::kLimitExceeded:
+      result.exit_code = -1;
+      result.exhausted = true;
+      result.exhausted_resource = outcome.violated_resource;
+      break;
+    case monitor::TaskStatus::kException: {
+      result.exit_code = 1;
+      // Ship the exception text back as a pickled string payload.
+      result.payload = serde::dumps(serde::Value(outcome.error));
+      break;
+    }
+    case monitor::TaskStatus::kCrashed:
+      result.exit_code = -1;
+      break;
+  }
+  return result;
+}
+
+ResultMessage LocalWorker::execute(const TaskMessage& task, const FileSet& files) {
+  ++tasks_executed_;
+  if (starts_with(task.command_line, "lfm-pyrun ")) {
+    return execute_python(task, files);
+  }
+
+  monitor::CommandOptions command_options;
+  command_options.monitor = monitor_options_for(task, options_.poll_interval);
+  command_options.working_directory = options_.scratch_dir;
+  const auto outcome = monitor::run_command_monitored(
+      {"/bin/sh", "-c", task.command_line}, command_options);
+
+  ResultMessage result;
+  result.task_id = task.task_id;
+  fill_usage(result, outcome.usage);
+  switch (outcome.status) {
+    case monitor::TaskStatus::kSuccess:
+      result.exit_code = outcome.result.exit_code;
+      break;
+    case monitor::TaskStatus::kLimitExceeded:
+      result.exit_code = -1;
+      result.exhausted = true;
+      result.exhausted_resource = outcome.violated_resource;
+      break;
+    case monitor::TaskStatus::kException:
+    case monitor::TaskStatus::kCrashed:
+      result.exit_code = -1;
+      break;
+  }
+  return result;
+}
+
+std::string LocalWorker::handle(const std::string& task_wire, const FileSet& files) {
+  return encode(execute(decode_task(task_wire), files));
+}
+
+std::pair<TaskMessage, FileSet> make_python_task(
+    uint64_t task_id, const std::string& category, const std::string& module_source,
+    const std::string& function, const serde::Value& args,
+    const alloc::Resources& allocation) {
+  if (!valid_token(function)) throw Error("make_python_task: bad function name");
+  TaskMessage task;
+  task.task_id = task_id;
+  task.category = category;
+  task.allocation = allocation;
+
+  const std::string module_file = strformat("fn-%llu.py", (unsigned long long)task_id);
+  const std::string args_file = strformat("args-%llu.pkl", (unsigned long long)task_id);
+  task.command_line = "lfm-pyrun " + module_file + " " + args_file + " " + function;
+
+  FileSet files;
+  files[module_file] = serde::Bytes(module_source.begin(), module_source.end());
+  files[args_file] = serde::dumps(args);
+
+  TaskMessage::FileStanza module_stanza;
+  module_stanza.name = module_file;
+  module_stanza.size_bytes = static_cast<int64_t>(files[module_file].size());
+  module_stanza.cacheable = true;  // the function source is reused across tasks
+  task.infiles.push_back(module_stanza);
+  TaskMessage::FileStanza args_stanza;
+  args_stanza.name = args_file;
+  args_stanza.size_bytes = static_cast<int64_t>(files[args_file].size());
+  task.infiles.push_back(args_stanza);
+  return {std::move(task), std::move(files)};
+}
+
+}  // namespace lfm::wq

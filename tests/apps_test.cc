@@ -1,0 +1,351 @@
+// Tests for the four workload modules: generator shapes (paper §VI.C
+// parameters) and the real compute kernels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/drugscreen.h"
+#include "apps/genomics.h"
+#include "apps/hep.h"
+#include "apps/imageclass.h"
+
+namespace lfm::apps {
+namespace {
+
+// --- HEP ----------------------------------------------------------------------
+
+TEST(HepWorkload, MatchesPaperParameters) {
+  hep::Params params;
+  params.tasks = 50;
+  const auto tasks = hep::generate(params);
+  ASSERT_EQ(tasks.size(), 50u);
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.exec_seconds, 40.0);
+    EXPECT_LE(t.exec_seconds, 70.0);
+    EXPECT_LE(t.true_peak.memory_bytes, 110e6);   // Oracle bound
+    EXPECT_LE(t.true_peak.disk_bytes, 1000e6 + 1);
+    EXPECT_DOUBLE_EQ(t.true_cores, 1.0);
+    // Largest input is the 240 MB conda environment, cacheable.
+    const auto& env = t.inputs[0];
+    EXPECT_EQ(env.size_bytes, 240LL * 1000 * 1000);
+    EXPECT_TRUE(env.cacheable);
+    // Unique per-task data present.
+    bool has_unique = false;
+    for (const auto& in : t.inputs) {
+      if (!in.cacheable) has_unique = true;
+    }
+    EXPECT_TRUE(has_unique);
+    EXPECT_EQ(t.output_bytes, 50LL * 1000 * 1000);
+  }
+}
+
+TEST(HepWorkload, DeterministicForSeed) {
+  hep::Params params;
+  params.tasks = 10;
+  const auto a = hep::generate(params);
+  const auto b = hep::generate(params);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].exec_seconds, b[i].exec_seconds);
+    EXPECT_DOUBLE_EQ(a[i].true_peak.memory_bytes, b[i].true_peak.memory_bytes);
+  }
+}
+
+TEST(HepKernel, HistogramConservesEvents) {
+  const auto result = hep::analyze_column_batch(10000, 50, 0.0, 200.0, 42);
+  const auto& hist = result.at("histogram").as_list();
+  ASSERT_EQ(hist.size(), 50u);
+  int64_t total = 0;
+  for (const auto& bin : hist) total += bin.as_int();
+  EXPECT_LE(total, 10000);        // out-of-range events fall outside
+  EXPECT_GT(total, 9000);         // but most land in range
+  EXPECT_EQ(result.at("events").as_int(), 10000);
+  EXPECT_GT(result.at("mean").as_real(), 0.0);
+}
+
+TEST(HepKernel, ResonancePeakVisible) {
+  // The synthetic spectrum has a resonance near 55% of the range; the bin
+  // there should beat its neighbours well away from the bulk.
+  const auto result = hep::analyze_column_batch(200000, 100, 0.0, 100.0, 7);
+  const auto& hist = result.at("histogram").as_list();
+  const int64_t peak_region = hist[55].as_int() + hist[54].as_int() + hist[56].as_int();
+  const int64_t control = hist[80].as_int() + hist[81].as_int() + hist[82].as_int();
+  EXPECT_GT(peak_region, control * 3);
+}
+
+TEST(HepKernel, RejectsBadParameters) {
+  EXPECT_THROW(hep::analyze_column_batch(0, 10, 0, 1, 1), Error);
+  EXPECT_THROW(hep::analyze_column_batch(10, 0, 0, 1, 1), Error);
+  EXPECT_THROW(hep::analyze_column_batch(10, 10, 5, 1, 1), Error);
+}
+
+TEST(HepKernel, TaskAdapter) {
+  serde::ValueDict args;
+  args["events"] = serde::Value(100);
+  args["bins"] = serde::Value(10);
+  args["lo"] = serde::Value(0.0);
+  args["hi"] = serde::Value(50.0);
+  args["seed"] = serde::Value(1);
+  const auto result = hep::analysis_task(serde::Value(std::move(args)));
+  EXPECT_EQ(result.at("events").as_int(), 100);
+}
+
+// --- Drug screening -------------------------------------------------------------
+
+TEST(DrugWorkload, StageStructure) {
+  drugscreen::Params params;
+  params.molecules = 10;
+  const auto tasks = drugscreen::generate(params);
+  EXPECT_EQ(tasks.size(), 60u);  // 6 stages per molecule batch
+  // Inference stages demand far more memory than featurizers.
+  double max_feat_mem = 0.0, min_inf_mem = 1e18;
+  for (const auto& t : tasks) {
+    if (t.category == "fingerprint") {
+      max_feat_mem = std::max(max_feat_mem, t.true_peak.memory_bytes);
+    }
+    if (t.category == "tf-inference-a") {
+      min_inf_mem = std::min(min_inf_mem, t.true_peak.memory_bytes);
+    }
+  }
+  EXPECT_GT(min_inf_mem, max_feat_mem);
+}
+
+TEST(DrugWorkload, GuessMatchesPaper) {
+  const auto g = drugscreen::guess_allocation();
+  EXPECT_DOUBLE_EQ(g.cores, 16.0);
+  EXPECT_DOUBLE_EQ(g.memory_bytes, 40e9);
+  EXPECT_DOUBLE_EQ(g.disk_bytes, 5e9);
+}
+
+TEST(SmilesKernel, CanonicalizationIdempotent) {
+  for (const char* smiles :
+       {"CCO", "c1ccccc1", "CC(C)C.O", "C1CC1CN", "N(C)(C)C"}) {
+    const std::string once = drugscreen::canonicalize_smiles(smiles);
+    EXPECT_EQ(drugscreen::canonicalize_smiles(once), once) << smiles;
+  }
+}
+
+TEST(SmilesKernel, ComponentOrderNormalized) {
+  EXPECT_EQ(drugscreen::canonicalize_smiles("O.CC"),
+            drugscreen::canonicalize_smiles("CC.O"));
+}
+
+TEST(SmilesKernel, AromaticNormalization) {
+  EXPECT_EQ(drugscreen::canonicalize_smiles("c1ccccc1"),
+            drugscreen::canonicalize_smiles("C1CCCCC1"));
+}
+
+TEST(SmilesKernel, RingRenumbering) {
+  // Ring-closure digits renumber by first use: %2 first becomes 1.
+  const std::string canon = drugscreen::canonicalize_smiles("C2CC2");
+  EXPECT_EQ(canon, "C1CC1");
+}
+
+TEST(FingerprintKernel, DeterministicAndBounded) {
+  const auto bits = drugscreen::fingerprint("CCO");
+  EXPECT_FALSE(bits.empty());
+  EXPECT_TRUE(std::is_sorted(bits.begin(), bits.end()));
+  for (const int b : bits) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 2048);
+  }
+  EXPECT_EQ(drugscreen::fingerprint("CCO"), bits);
+}
+
+TEST(FingerprintKernel, DifferentMoleculesDiffer) {
+  EXPECT_NE(drugscreen::fingerprint("CCO"), drugscreen::fingerprint("CCCCCCN"));
+}
+
+TEST(FingerprintKernel, RejectsBadBits) {
+  EXPECT_THROW(drugscreen::fingerprint("CCO", 0), Error);
+}
+
+TEST(DescriptorKernel, CountsAtoms) {
+  const auto d = drugscreen::descriptor("CCN(C)O");
+  EXPECT_EQ(d.at("carbons").as_int(), 3);
+  EXPECT_EQ(d.at("nitrogens").as_int(), 1);
+  EXPECT_EQ(d.at("oxygens").as_int(), 1);
+  EXPECT_EQ(d.at("branches").as_int(), 1);
+}
+
+TEST(DescriptorKernel, CountsRings) {
+  const auto d = drugscreen::descriptor(drugscreen::canonicalize_smiles("C1CC1C2CC2"));
+  EXPECT_EQ(d.at("rings").as_int(), 2);
+}
+
+TEST(DockingModel, ScoresInRangeAndDeterministic) {
+  const auto bits = drugscreen::fingerprint("CCOC1CC1N");
+  const double a = drugscreen::predict_docking_score(bits, 1);
+  const double b = drugscreen::predict_docking_score(bits, 1);
+  const double other_model = drugscreen::predict_docking_score(bits, 2);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LT(a, 1.0);
+  EXPECT_NE(a, other_model);
+}
+
+TEST(DrugKernels, TaskAdaptersEndToEnd) {
+  serde::ValueDict args;
+  args["smiles"] = serde::Value("c1ccccc1CCO");
+  const auto canon = drugscreen::canonicalize_task(serde::Value(args));
+  EXPECT_FALSE(canon.as_str().empty());
+  const auto feats = drugscreen::featurize_task(serde::Value(args));
+  EXPECT_TRUE(feats.contains("descriptor"));
+  EXPECT_TRUE(feats.contains("fingerprint"));
+  args["model_seed"] = serde::Value(7);
+  const auto pred = drugscreen::inference_task(serde::Value(args));
+  EXPECT_TRUE(pred.contains("docking_score"));
+}
+
+TEST(DrugKernels, RandomSmilesParsesBack) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const std::string s = drugscreen::random_smiles(seed, 12);
+    EXPECT_FALSE(s.empty());
+    // Canonicalizer must accept every generated molecule.
+    EXPECT_NO_THROW(drugscreen::canonicalize_smiles(s));
+  }
+}
+
+// --- Genomics -------------------------------------------------------------------
+
+TEST(GenomicsWorkload, VepMemoryVariesAcrossGenomes) {
+  genomics::Params params;
+  params.genomes = 12;
+  const auto tasks = genomics::generate(params);
+  std::vector<double> vep_mem;
+  for (const auto& t : tasks) {
+    if (t.category == "vep-annotate") vep_mem.push_back(t.true_peak.memory_bytes);
+  }
+  ASSERT_EQ(vep_mem.size(), 12u);
+  const double mx = *std::max_element(vep_mem.begin(), vep_mem.end());
+  const double mn = *std::min_element(vep_mem.begin(), vep_mem.end());
+  EXPECT_GT(mx / mn, 1.5);  // long-tailed: static config cannot capture it
+}
+
+TEST(GenomicsWorkload, PipelineStagesPresent) {
+  genomics::Params params;
+  params.genomes = 2;
+  const auto tasks = genomics::generate(params);
+  std::set<std::string> cats;
+  for (const auto& t : tasks) cats.insert(t.category);
+  EXPECT_EQ(cats, (std::set<std::string>{"align", "co-clean", "variant-call",
+                                         "vep-annotate", "aggregate"}));
+}
+
+TEST(GenomicsKernel, ReferenceDeterministic) {
+  EXPECT_EQ(genomics::make_reference(500, 1), genomics::make_reference(500, 1));
+  EXPECT_NE(genomics::make_reference(500, 1), genomics::make_reference(500, 2));
+  EXPECT_THROW(genomics::make_reference(0, 1), Error);
+}
+
+TEST(GenomicsKernel, AlignmentRecoversPositions) {
+  const std::string ref = genomics::make_reference(5000, 11);
+  const auto rs = genomics::sample_reads(ref, 100, 80, 0.005, 0.0, 13);
+  const auto positions = genomics::align_reads(ref, rs.reads);
+  ASSERT_EQ(positions.size(), rs.reads.size());
+  int correct = 0;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i] == rs.read_positions[i]) ++correct;
+  }
+  // Low error rate: the vast majority must map to the true origin.
+  EXPECT_GT(correct, 90);
+}
+
+TEST(GenomicsKernel, VariantCallerFindsPlantedSnps) {
+  const std::string ref = genomics::make_reference(2000, 21);
+  const auto rs = genomics::sample_reads(ref, 600, 100, 0.002, 0.01, 22);
+  ASSERT_FALSE(rs.variant_positions.empty());
+  const auto positions = genomics::align_reads(ref, rs.reads);
+  const auto calls = genomics::call_variants(ref, rs.reads, positions);
+  // Most planted variants with coverage should be recovered.
+  int recovered = 0;
+  for (const auto& call : calls) {
+    if (std::find(rs.variant_positions.begin(), rs.variant_positions.end(),
+                  call.position) != rs.variant_positions.end()) {
+      ++recovered;
+    }
+  }
+  EXPECT_GT(recovered, static_cast<int>(rs.variant_positions.size()) / 2);
+  // And few false positives relative to calls made.
+  EXPECT_GT(recovered * 2, static_cast<int>(calls.size()));
+}
+
+TEST(GenomicsKernel, NoVariantsNoCalls) {
+  const std::string ref = genomics::make_reference(2000, 31);
+  const auto rs = genomics::sample_reads(ref, 400, 100, 0.0, 0.0, 32);
+  const auto positions = genomics::align_reads(ref, rs.reads);
+  const auto calls = genomics::call_variants(ref, rs.reads, positions);
+  EXPECT_TRUE(calls.empty());
+}
+
+TEST(GenomicsKernel, PipelineTaskAdapter) {
+  serde::ValueDict args;
+  args["ref_len"] = serde::Value(2000);
+  args["reads"] = serde::Value(200);
+  args["read_len"] = serde::Value(80);
+  args["seed"] = serde::Value(5);
+  const auto result = genomics::pipeline_task(serde::Value(std::move(args)));
+  EXPECT_GT(result.at("mapped").as_int(), 150);
+  EXPECT_TRUE(result.contains("annotations"));
+  EXPECT_GE(result.at("variants").as_int(), 0);
+}
+
+// --- Image classification ---------------------------------------------------------
+
+TEST(ImageWorkload, UniformFaasShape) {
+  imageclass::Params params;
+  params.tasks = 30;
+  const auto tasks = imageclass::generate(params);
+  ASSERT_EQ(tasks.size(), 30u);
+  for (const auto& t : tasks) {
+    EXPECT_EQ(t.category, "resnet-classify");
+    EXPECT_LE(t.true_peak.memory_bytes, 3.6e9);
+    EXPECT_GE(t.true_peak.memory_bytes, 1.4e9);
+  }
+}
+
+TEST(ImageKernel, SyntheticImageInRange) {
+  const auto img = imageclass::synthetic_image(16, 3);
+  ASSERT_EQ(img.size(), 256u);
+  for (const double v : img) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  EXPECT_THROW(imageclass::synthetic_image(0, 1), Error);
+}
+
+TEST(ImageKernel, SoftmaxSumsToOne) {
+  const auto img = imageclass::synthetic_image(16, 3);
+  const auto probs = imageclass::classify(img, 16, 99);
+  ASSERT_EQ(probs.size(), 10u);
+  double sum = 0.0;
+  for (const double p : probs) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ImageKernel, DeterministicPerSeeds) {
+  const auto img = imageclass::synthetic_image(16, 3);
+  EXPECT_EQ(imageclass::classify(img, 16, 1), imageclass::classify(img, 16, 1));
+  EXPECT_NE(imageclass::classify(img, 16, 1), imageclass::classify(img, 16, 2));
+}
+
+TEST(ImageKernel, RejectsSizeMismatch) {
+  const auto img = imageclass::synthetic_image(16, 3);
+  EXPECT_THROW(imageclass::classify(img, 8, 1), Error);
+}
+
+TEST(ImageKernel, TaskAdapter) {
+  serde::ValueDict args;
+  args["size"] = serde::Value(16);
+  args["seed"] = serde::Value(4);
+  args["model_seed"] = serde::Value(5);
+  const auto result = imageclass::classify_task(serde::Value(std::move(args)));
+  EXPECT_GE(result.at("label").as_int(), 0);
+  EXPECT_LT(result.at("label").as_int(), 10);
+  EXPECT_GT(result.at("confidence").as_real(), 0.0);
+}
+
+}  // namespace
+}  // namespace lfm::apps

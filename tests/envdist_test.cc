@@ -1,0 +1,123 @@
+// Unit tests for the environment distribution cost model (paper §V.C–E):
+// Table II columns and the Figs 4–5 mechanisms.
+#include <gtest/gtest.h>
+
+#include "pkg/index.h"
+#include "pkg/solver.h"
+#include "sim/envdist.h"
+
+namespace lfm::sim {
+namespace {
+
+pkg::Environment make_env(const std::string& root) {
+  static const pkg::PackageIndex index = pkg::standard_index();
+  pkg::Solver solver(index);
+  auto result = solver.resolve({pkg::Requirement::parse(root)});
+  EXPECT_TRUE(result.ok()) << root;
+  return pkg::Environment(root, result.value());
+}
+
+TEST(EnvDist, MethodNames) {
+  EXPECT_STREQ(distribution_method_name(DistributionMethod::kSharedFsDirect),
+               "shared-fs-direct");
+  EXPECT_STREQ(distribution_method_name(DistributionMethod::kDynamicInstall),
+               "dynamic-install");
+  EXPECT_STREQ(distribution_method_name(DistributionMethod::kPackedTransfer),
+               "packed-transfer");
+}
+
+TEST(EnvDist, PackagingCostsOrdering) {
+  // Table II shape: analyze << create; run is dominated by the import cost.
+  const Site site = theta();
+  const EnvDistModel model(site);
+  const auto env = make_env("tensorflow");
+  const auto costs = model.packaging_costs(env);
+  EXPECT_LT(costs.analyze_seconds, 2.0);
+  EXPECT_GT(costs.create_seconds, costs.analyze_seconds * 5.0);
+  EXPECT_GT(costs.pack_seconds, 0.0);
+  EXPECT_GT(costs.run_seconds, 0.0);
+  EXPECT_GT(costs.dependency_count, 15);
+  EXPECT_LT(costs.packed_size_bytes, env.total_size());
+}
+
+TEST(EnvDist, HeavierEnvironmentsCostMore) {
+  const EnvDistModel model(theta());
+  const auto py = model.packaging_costs(make_env("python"));
+  const auto np = model.packaging_costs(make_env("numpy"));
+  const auto tf = model.packaging_costs(make_env("tensorflow"));
+  EXPECT_LT(py.create_seconds, np.create_seconds);
+  EXPECT_LT(np.create_seconds, tf.create_seconds);
+  EXPECT_LT(py.packed_size_bytes, np.packed_size_bytes);
+  EXPECT_LT(np.packed_size_bytes, tf.packed_size_bytes);
+  EXPECT_LT(py.dependency_count, tf.dependency_count);
+}
+
+TEST(EnvDist, DirectSetupDegradesWithNodes) {
+  const EnvDistModel model(theta());
+  const auto env = make_env("tensorflow");
+  const double at1 = model.setup_seconds(env, DistributionMethod::kSharedFsDirect, 1);
+  const double at64 = model.setup_seconds(env, DistributionMethod::kSharedFsDirect, 64);
+  const double at512 = model.setup_seconds(env, DistributionMethod::kSharedFsDirect, 512);
+  EXPECT_LT(at1, at64);
+  EXPECT_LT(at64, at512);
+  // Super-linear collapse (Fig 4 TensorFlow curve).
+  EXPECT_GT(at512 / at64, 4.0);
+}
+
+TEST(EnvDist, PackedTransferBeatsDirectAtScale) {
+  // Fig 5: transferring the packed environment and unpacking locally
+  // significantly outperforms direct shared-FS access on every site.
+  const auto env = make_env("tensorflow");
+  for (const Site& site : {theta(), cori(), nd_crc()}) {
+    const EnvDistModel model(site);
+    for (const int nodes : {8, 64, 256}) {
+      const double direct =
+          model.setup_seconds(env, DistributionMethod::kSharedFsDirect, nodes);
+      const double packed =
+          model.setup_seconds(env, DistributionMethod::kPackedTransfer, nodes);
+      EXPECT_GT(direct, packed) << site.name << " nodes=" << nodes;
+    }
+  }
+}
+
+TEST(EnvDist, DynamicInstallPaysDownloadContention) {
+  const EnvDistModel model(nd_crc());
+  const auto env = make_env("tensorflow");
+  const double few = model.setup_seconds(env, DistributionMethod::kDynamicInstall, 2);
+  const double many = model.setup_seconds(env, DistributionMethod::kDynamicInstall, 200);
+  EXPECT_GT(many, few);
+}
+
+TEST(EnvDist, LocalImportsCheaperThanSharedFsImports) {
+  const EnvDistModel model(nd_crc());
+  const auto env = make_env("coffea");
+  const int concurrency = 32;
+  const double direct =
+      model.import_seconds(env, DistributionMethod::kSharedFsDirect, concurrency);
+  const double local =
+      model.import_seconds(env, DistributionMethod::kPackedTransfer, concurrency);
+  EXPECT_GT(direct, local * 2.0);
+}
+
+TEST(EnvDist, ModuleImportScaling) {
+  // Fig 4: small modules flat-ish, TensorFlow grows with node count.
+  const EnvDistModel model(theta());
+  const pkg::PackageIndex index = pkg::standard_index();
+  const auto* numpy = index.best("numpy", pkg::VersionSpec::any());
+  const auto* tf = index.best("tensorflow", pkg::VersionSpec::any());
+  ASSERT_NE(numpy, nullptr);
+  ASSERT_NE(tf, nullptr);
+
+  const double np_small = model.module_import_seconds(*numpy, 64);
+  const double np_large = model.module_import_seconds(*numpy, 512);
+  const double tf_small = model.module_import_seconds(*tf, 64);
+  const double tf_large = model.module_import_seconds(*tf, 512);
+
+  EXPECT_GT(tf_small, np_small);                      // TF heavier at any scale
+  EXPECT_GT(tf_large / tf_small, np_large / np_small);  // and degrades faster
+  EXPECT_GT(tf_large, 10.0 * tf_small);               // visible blow-up
+  EXPECT_LT(np_large / np_small, 3.0);                // numpy stays near-flat
+}
+
+}  // namespace
+}  // namespace lfm::sim

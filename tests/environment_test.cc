@@ -1,0 +1,88 @@
+// Unit tests for Environment construction and rendering.
+#include <gtest/gtest.h>
+
+#include "pkg/environment.h"
+#include "pkg/index.h"
+
+namespace lfm::pkg {
+namespace {
+
+Environment resolve_env(const std::string& name, const std::string& root) {
+  static const PackageIndex index = standard_index();
+  Solver solver(index);
+  auto result = solver.resolve({Requirement::parse(root)});
+  EXPECT_TRUE(result.ok());
+  return Environment(name, result.value());
+}
+
+TEST(Environment, AggregatesSizeAndFiles) {
+  const Environment env = resolve_env("np", "numpy");
+  EXPECT_GT(env.total_size(), 0);
+  EXPECT_GT(env.total_files(), 0);
+  EXPECT_GE(env.package_count(), 4u);  // numpy + python + blas stack
+  int64_t sum = 0;
+  for (const auto* p : env.packages()) sum += p->size_bytes;
+  EXPECT_EQ(sum, env.total_size());
+}
+
+TEST(Environment, PackagesSortedByName) {
+  const Environment env = resolve_env("np", "numpy");
+  for (size_t i = 1; i < env.packages().size(); ++i) {
+    EXPECT_LT(env.packages()[i - 1]->name, env.packages()[i]->name);
+  }
+}
+
+TEST(Environment, RequirementsTxtPinned) {
+  const Environment env = resolve_env("np", "numpy");
+  const std::string reqs = env.requirements_txt();
+  EXPECT_NE(reqs.find("numpy==1.19.2"), std::string::npos);
+  EXPECT_NE(reqs.find("python==3.8.5"), std::string::npos);
+  // One line per package.
+  size_t lines = 0;
+  for (const char c : reqs) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, env.package_count());
+}
+
+TEST(Environment, CondaYaml) {
+  const Environment env = resolve_env("hep", "coffea");
+  const std::string yaml = env.conda_yaml();
+  EXPECT_NE(yaml.find("name: hep"), std::string::npos);
+  EXPECT_NE(yaml.find("  - coffea=0.6.47"), std::string::npos);
+}
+
+TEST(Environment, HasNativeLibs) {
+  EXPECT_TRUE(resolve_env("np", "numpy").has_native_libs());
+  EXPECT_TRUE(resolve_env("tf", "tensorflow").has_native_libs());
+}
+
+TEST(Environment, SynthesizeFilesMatchesCounts) {
+  const Environment env = resolve_env("np", "numpy");
+  const auto files = env.synthesize_files();
+  EXPECT_EQ(static_cast<int>(files.size()), env.total_files());
+  // One text (relocatable) entry per package.
+  int text_files = 0;
+  int64_t bytes = 0;
+  for (const auto& f : files) {
+    if (f.is_text) ++text_files;
+    bytes += f.size;
+    EXPECT_FALSE(f.path.empty());
+    EXPECT_GT(f.size, 0);
+  }
+  EXPECT_EQ(text_files, static_cast<int>(env.package_count()));
+  // Sizes are per-file-rounded, so total is within one file size per package.
+  EXPECT_NEAR(static_cast<double>(bytes), static_cast<double>(env.total_size()),
+              static_cast<double>(env.total_files()));
+}
+
+TEST(Environment, SynthesizedPathsUnique) {
+  const Environment env = resolve_env("np", "numpy");
+  const auto files = env.synthesize_files();
+  std::set<std::string> paths;
+  for (const auto& f : files) paths.insert(f.path);
+  EXPECT_EQ(paths.size(), files.size());
+}
+
+}  // namespace
+}  // namespace lfm::pkg

@@ -1,0 +1,178 @@
+// Tests for the funcX-like FaaS layer.
+#include <gtest/gtest.h>
+
+#include "faas/funcx.h"
+#include "serde/pickle.h"
+
+namespace lfm::faas {
+namespace {
+
+using serde::Value;
+using serde::ValueDict;
+
+monitor::TaskFn square() {
+  return [](const Value& args) { return Value(args.as_int() * args.as_int()); };
+}
+
+TEST(Registry, RegisterAndGet) {
+  FunctionRegistry registry;
+  const FunctionId id = registry.register_function("square", square(), {"numpy"});
+  EXPECT_TRUE(registry.contains(id));
+  EXPECT_EQ(registry.size(), 1u);
+  const auto& fn = registry.get(id);
+  EXPECT_EQ(fn.name, "square");
+  ASSERT_EQ(fn.dependencies.size(), 1u);
+  EXPECT_EQ(fn.dependencies[0], "numpy");
+}
+
+TEST(Registry, SerializedDescriptorRoundtrips) {
+  FunctionRegistry registry;
+  const FunctionId id =
+      registry.register_function("classify", square(), {"keras", "tensorflow"});
+  const auto& fn = registry.get(id);
+  const Value descriptor = serde::loads(fn.serialized);
+  EXPECT_EQ(descriptor.at("name").as_str(), "classify");
+  EXPECT_EQ(descriptor.at("dependencies").as_list().size(), 2u);
+}
+
+TEST(Registry, UnknownIdThrows) {
+  FunctionRegistry registry;
+  EXPECT_THROW(registry.get("fn-999999"), Error);
+}
+
+TEST(Registry, IdsAreUnique) {
+  FunctionRegistry registry;
+  const auto a = registry.register_function("a", square());
+  const auto b = registry.register_function("b", square());
+  EXPECT_NE(a, b);
+}
+
+TEST(Service, SubmitToEndpoint) {
+  FuncXService service;
+  flow::InlineExecutor exec;
+  service.add_endpoint(std::make_shared<Endpoint>("theta", exec));
+  const auto id = service.registry().register_function("square", square());
+  const flow::Future f = service.submit(id, "theta", Value(9));
+  EXPECT_EQ(f.result().as_int(), 81);
+  EXPECT_EQ(service.endpoint("theta").invocations(), 1);
+}
+
+TEST(Service, BatchSubmit) {
+  FuncXService service;
+  flow::InlineExecutor exec;
+  service.add_endpoint(std::make_shared<Endpoint>("ep", exec));
+  const auto id = service.registry().register_function("square", square());
+  std::vector<Value> batch;
+  for (int i = 0; i < 10; ++i) batch.push_back(Value(i));
+  auto futures = service.submit_batch(id, "ep", std::move(batch));
+  ASSERT_EQ(futures.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].result().as_int(), i * i);
+  }
+}
+
+TEST(Service, UnknownEndpointThrows) {
+  FuncXService service;
+  const auto id = service.registry().register_function("square", square());
+  EXPECT_THROW(service.submit(id, "nowhere", Value(1)), Error);
+}
+
+TEST(Service, DuplicateEndpointThrows) {
+  FuncXService service;
+  flow::InlineExecutor exec;
+  service.add_endpoint(std::make_shared<Endpoint>("ep", exec));
+  EXPECT_THROW(service.add_endpoint(std::make_shared<Endpoint>("ep", exec)), Error);
+}
+
+TEST(Service, LfmBackedEndpointEnforcesLimits) {
+  // The paper's funcX change: LFMs in place of containers. Limits attached
+  // at registration are enforced per invocation.
+  FuncXService service;
+  flow::LocalLfmExecutor exec(1);
+  service.add_endpoint(std::make_shared<Endpoint>("hpc", exec));
+  monitor::ResourceLimits limits;
+  limits.memory_bytes = 48LL << 20;
+  const auto id = service.registry().register_function(
+      "hog",
+      [](const Value&) {
+        std::vector<std::string> hoard;
+        for (int i = 0; i < 100000; ++i) {
+          hoard.emplace_back(1 << 20, 'x');
+          for (size_t j = 0; j < hoard.back().size(); j += 4096) hoard.back()[j] = 'y';
+        }
+        return Value(1);
+      },
+      {}, limits);
+  const flow::Future f = service.submit(id, "hpc", Value());
+  EXPECT_EQ(f.outcome().status, monitor::TaskStatus::kLimitExceeded);
+  service.drain_all();
+}
+
+TEST(Service, MultipleEndpointsIndependent) {
+  FuncXService service;
+  flow::InlineExecutor exec_a;
+  flow::InlineExecutor exec_b;
+  service.add_endpoint(std::make_shared<Endpoint>("a", exec_a));
+  service.add_endpoint(std::make_shared<Endpoint>("b", exec_b));
+  const auto id = service.registry().register_function("square", square());
+  service.submit(id, "a", Value(2));
+  service.submit(id, "a", Value(3));
+  service.submit(id, "b", Value(4));
+  EXPECT_EQ(service.endpoint("a").invocations(), 2);
+  EXPECT_EQ(service.endpoint("b").invocations(), 1);
+}
+
+
+TEST(Registry, RegisterPythonFunctionDerivesDependencies) {
+  FunctionRegistry registry;
+  const char* src = R"(
+def classify(pixels):
+    import numpy
+    import keras
+    model = keras.load('resnet')
+    return model.run(numpy.asarray(pixels))
+)";
+  const FunctionId id = registry.register_python_function(src, "classify");
+  const auto& fn = registry.get(id);
+  EXPECT_EQ(fn.dependencies, (std::vector<std::string>{"keras", "numpy"}));
+}
+
+TEST(Service, ServesPythonSourceFunction) {
+  FuncXService service;
+  flow::LocalLfmExecutor exec(1);
+  service.add_endpoint(std::make_shared<Endpoint>("ep", exec));
+  const char* src = R"(
+def poly(x, a, b):
+    return a * x * x + b
+)";
+  const auto id = service.registry().register_python_function(src, "poly");
+  const flow::Future f = service.submit(
+      id, "ep", Value(serde::ValueList{Value(3), Value(2), Value(4)}));
+  EXPECT_EQ(f.result().as_int(), 22);
+  service.drain_all();
+}
+
+TEST(Service, PythonFunctionLimitEnforcedAtEndpoint) {
+  FuncXService service;
+  flow::LocalLfmExecutor exec(1);
+  service.add_endpoint(std::make_shared<Endpoint>("ep", exec));
+  const char* src = R"(
+def hoard(n):
+    data = []
+    i = 0
+    while i < n:
+        data.append('y' * 1000000)
+        i = i + 1
+    return len(data)
+)";
+  monitor::ResourceLimits limits;
+  limits.memory_bytes = 48LL << 20;
+  const auto id = service.registry().register_python_function(src, "hoard", limits);
+  const flow::Future f =
+      service.submit(id, "ep", Value(serde::ValueList{Value(int64_t{100000})}));
+  EXPECT_EQ(f.outcome().status, monitor::TaskStatus::kLimitExceeded);
+  service.drain_all();
+}
+
+}  // namespace
+}  // namespace lfm::faas

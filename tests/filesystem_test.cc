@@ -1,0 +1,148 @@
+// Unit tests for the shared-FS contention model and local disk model.
+// These encode the qualitative behaviour of paper §V.A / Figs 4-5.
+#include <gtest/gtest.h>
+
+#include "sim/filesystem.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace lfm::sim {
+namespace {
+
+SharedFsParams default_params() {
+  SharedFsParams p;
+  p.metadata_op_seconds = 0.001;
+  p.metadata_capacity = 10000.0;  // ops/sec at the MDS
+  p.demand_window = 10.0;
+  p.contention_exponent = 2.0;
+  p.max_slowdown = 1000.0;
+  p.aggregate_bandwidth = 8e9;
+  p.per_client_bandwidth = 1.2e9;
+  return p;
+}
+
+TEST(SharedFs, UnloadedLatencyIsServiceTime) {
+  const SharedFilesystem fs(default_params());
+  // One node, one op, no data: just the cold-lookup time.
+  EXPECT_NEAR(fs.access_seconds(1, 1, 0), 0.001, 1e-9);
+}
+
+TEST(SharedFs, MetadataCostScalesWithOps) {
+  const SharedFilesystem fs(default_params());
+  // Below the MDS capacity the per-op latency is constant.
+  const double one = fs.access_seconds(1, 100, 0);
+  const double ten = fs.access_seconds(1, 1000, 0);
+  EXPECT_NEAR(ten / one, 10.0, 1e-6);
+}
+
+TEST(SharedFs, NoContentionBelowCapacity) {
+  const SharedFilesystem fs(default_params());
+  // 10 nodes x 1000 ops / 10 s window = 1000 ops/s << 10000 capacity.
+  EXPECT_NEAR(fs.access_seconds(1, 1000, 0), fs.access_seconds(10, 1000, 0), 1e-9);
+}
+
+TEST(SharedFs, ContentionGrowsSuperlinearlyPastCapacity) {
+  const SharedFilesystem fs(default_params());
+  // Demand = nodes * 10000 ops / 10 s = nodes * 1000 ops/s; capacity 10000.
+  const double at_capacity = fs.access_seconds(10, 10000, 0);
+  const double twice = fs.access_seconds(20, 10000, 0);      // util 2 -> 4x
+  const double eight_times = fs.access_seconds(80, 10000, 0);  // util 8 -> 64x
+  EXPECT_NEAR(twice / at_capacity, 4.0, 1e-6);
+  EXPECT_NEAR(eight_times / at_capacity, 64.0, 1e-6);
+}
+
+TEST(SharedFs, SlowdownClampedAtMaxSlowdown) {
+  SharedFsParams p = default_params();
+  p.max_slowdown = 50.0;
+  const SharedFilesystem fs(p);
+  const double base = fs.access_seconds(1, 10000, 0);
+  // util = 1000 -> unclamped slowdown 1e6; clamp holds it at 50x.
+  const double flooded = fs.access_seconds(10000, 10000, 0);
+  EXPECT_NEAR(flooded / base, 50.0, 1e-6);
+}
+
+TEST(SharedFs, BandwidthSharedFairly) {
+  SharedFsParams p = default_params();
+  p.metadata_op_seconds = 0.0;  // isolate data path
+  const SharedFilesystem fs(p);
+  const double alone = fs.access_seconds(1, 0, 1_GB);
+  const double crowded = fs.access_seconds(100, 0, 1_GB);
+  // 100 nodes -> each gets 80 MB/s vs. the 1.2 GB/s single-node cap.
+  EXPECT_NEAR(alone, 1e9 / 1.2e9, 1e-6);
+  EXPECT_NEAR(crowded, 1e9 / 80e6, 1e-6);
+}
+
+TEST(SharedFs, PerClientBandwidthCeiling) {
+  SharedFsParams p = default_params();
+  p.metadata_op_seconds = 0.0;
+  p.aggregate_bandwidth = 1000e9;  // effectively unlimited aggregate
+  const SharedFilesystem fs(p);
+  // Even alone, a single node cannot exceed its ceiling.
+  EXPECT_NEAR(fs.access_seconds(1, 0, 1_GB), 1e9 / 1.2e9, 1e-6);
+}
+
+TEST(SharedFs, RejectsZeroClients) {
+  const SharedFilesystem fs(default_params());
+  EXPECT_THROW(fs.access_seconds(0, 1, 1), Error);
+}
+
+TEST(SharedFs, DirectImportTouchesEveryFile) {
+  const SharedFilesystem fs(default_params());
+  // 1000-file environment vs 10-file: metadata ops dominate.
+  const double small = fs.direct_import_seconds(1, 10, 1_MB);
+  const double large = fs.direct_import_seconds(1, 1000, 1_MB);
+  EXPECT_GT(large, small * 20.0);
+}
+
+TEST(SharedFs, ArchiveFetchIsMetadataLight) {
+  const SharedFilesystem fs(default_params());
+  // Same bytes, but one file vs 5000 files: the Fig 5 mechanism.
+  const int nodes = 64;
+  const double direct = fs.direct_import_seconds(nodes, 5000, 2_GB);
+  const double packed = fs.archive_fetch_seconds(nodes, 2_GB);
+  EXPECT_GT(direct, packed * 5.0);
+}
+
+TEST(SharedFs, SmallImportsStayFlatLargeImportsCollapse) {
+  // The Fig 4 signature: a small module's import time is nearly constant
+  // with node count while a large package's import blows up.
+  const SharedFilesystem fs(default_params());
+  const double small_1 = fs.direct_import_seconds(1, 150, 30_MB);
+  const double small_512 = fs.direct_import_seconds(512, 150, 30_MB);
+  const double large_1 = fs.direct_import_seconds(1, 15000, 1200_MB);
+  const double large_512 = fs.direct_import_seconds(512, 15000, 1200_MB);
+  EXPECT_LT(small_512 / small_1, 10.0);   // near-flat
+  EXPECT_GT(large_512 / large_1, 50.0);   // collapse
+}
+
+TEST(LocalDisk, UnpackCost) {
+  LocalDiskParams p;
+  p.bandwidth = 500e6;
+  p.file_create_seconds = 2e-5;
+  const LocalDisk disk(p);
+  const double t = disk.unpack_seconds(1000, 500_MB);
+  EXPECT_NEAR(t, 1000 * 2e-5 + 1.0, 1e-6);
+}
+
+TEST(LocalDisk, ReadCheaperThanUnpack) {
+  const LocalDisk disk(LocalDiskParams{});
+  EXPECT_LT(disk.read_seconds(1000, 100_MB), disk.unpack_seconds(1000, 100_MB));
+}
+
+TEST(SharedFs, LocalUnpackBeatsDirectAtScale) {
+  // The headline Fig 5 claim: direct shared-FS import degrades far faster
+  // than packed-transfer + local unpack as the node count rises.
+  const SharedFilesystem fs(default_params());
+  const LocalDisk disk(LocalDiskParams{});
+  const int files = 5000;
+  const int64_t size = 2_GB;
+  for (const int nodes : {16, 64, 256}) {
+    const double direct = fs.direct_import_seconds(nodes, files, size);
+    const double packed =
+        fs.archive_fetch_seconds(nodes, size / 2) + disk.unpack_seconds(files, size);
+    EXPECT_GT(direct, packed) << "nodes=" << nodes;
+  }
+}
+
+}  // namespace
+}  // namespace lfm::sim

@@ -1,0 +1,207 @@
+// Tests for the Parsl-like dataflow layer: futures, DAG-from-futures
+// execution, dependency failure propagation, and the LFM-backed executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "flow/dfk.h"
+
+namespace lfm::flow {
+namespace {
+
+using monitor::TaskOutcome;
+using monitor::TaskStatus;
+using serde::Value;
+using serde::ValueList;
+
+App add_app() {
+  return App::make("add", [](const Value& args) {
+    const auto& list = args.as_list();
+    int64_t sum = 0;
+    for (const auto& v : list) sum += v.as_int();
+    return Value(sum);
+  });
+}
+
+App fail_app() {
+  return App::make("fail", [](const Value&) -> Value {
+    throw std::runtime_error("deliberate");
+  });
+}
+
+TEST(Future, FulfillAndRead) {
+  Future f;
+  EXPECT_FALSE(f.done());
+  TaskOutcome outcome;
+  outcome.status = TaskStatus::kSuccess;
+  outcome.result = Value(7);
+  f.fulfill(std::move(outcome));
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(f.result().as_int(), 7);
+}
+
+TEST(Future, DoubleFulfillThrows) {
+  Future f;
+  TaskOutcome ok;
+  ok.status = TaskStatus::kSuccess;
+  f.fulfill(TaskOutcome(ok));
+  EXPECT_THROW(f.fulfill(TaskOutcome(ok)), Error);
+}
+
+TEST(Future, ResultRethrowsFailure) {
+  Future f;
+  TaskOutcome bad;
+  bad.status = TaskStatus::kException;
+  bad.error = "boom";
+  f.fulfill(std::move(bad));
+  EXPECT_THROW(f.result(), Error);
+}
+
+TEST(Future, CallbackAfterCompletionFiresImmediately) {
+  Future f;
+  TaskOutcome ok;
+  ok.status = TaskStatus::kSuccess;
+  f.fulfill(std::move(ok));
+  bool fired = false;
+  f.on_ready([&](const TaskOutcome&) { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(InlineExecutor, RunsSynchronously) {
+  InlineExecutor exec;
+  DataFlowKernel dfk(exec);
+  const Future f = dfk.submit(add_app(), {Arg(Value(1)), Arg(Value(2))});
+  EXPECT_EQ(f.result().as_int(), 3);
+}
+
+TEST(InlineExecutor, CapturesExceptions) {
+  InlineExecutor exec;
+  DataFlowKernel dfk(exec);
+  const Future f = dfk.submit(fail_app(), {});
+  EXPECT_EQ(f.outcome().status, TaskStatus::kException);
+  EXPECT_NE(f.outcome().error.find("deliberate"), std::string::npos);
+}
+
+TEST(Dfk, FutureArgumentsFormDag) {
+  InlineExecutor exec;
+  DataFlowKernel dfk(exec);
+  const Future a = dfk.submit(add_app(), {Arg(Value(1)), Arg(Value(2))});
+  const Future b = dfk.submit(add_app(), {Arg(a), Arg(Value(10))});
+  const Future c = dfk.submit(add_app(), {Arg(a), Arg(b)});
+  EXPECT_EQ(c.result().as_int(), 16);  // (1+2) + (3+10)
+  EXPECT_EQ(dfk.submitted(), 3);
+  EXPECT_EQ(dfk.completed(), 3);
+}
+
+TEST(Dfk, DependencyFailurePropagatesWithoutRunning) {
+  InlineExecutor exec;
+  std::atomic<int> downstream_ran{0};
+  App probe = App::make("probe", [&](const Value&) {
+    ++downstream_ran;
+    return Value(1);
+  });
+  DataFlowKernel dfk(exec);
+  const Future bad = dfk.submit(fail_app(), {});
+  const Future dependent = dfk.submit(probe, {Arg(bad)});
+  EXPECT_EQ(dependent.outcome().status, TaskStatus::kException);
+  EXPECT_NE(dependent.outcome().error.find("dependency failed"), std::string::npos);
+  EXPECT_EQ(downstream_ran.load(), 0);
+}
+
+TEST(Dfk, WaitAllBlocksUntilDone) {
+  LocalLfmExecutor exec(2);
+  DataFlowKernel dfk(exec);
+  std::vector<Future> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(dfk.submit(add_app(), {Arg(Value(i)), Arg(Value(1))}));
+  }
+  dfk.wait_all();
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].result().as_int(), i + 1);
+  }
+}
+
+// --- LFM-backed executor ------------------------------------------------------
+
+TEST(LocalLfmExecutor, RunsInSeparateProcess) {
+  LocalLfmExecutor exec(1);
+  DataFlowKernel dfk(exec);
+  static int leak_probe = 0;
+  App mutator = App::make("mutator", [](const Value&) {
+    leak_probe = 1234;
+    return Value(leak_probe);
+  });
+  const Future f = dfk.submit(mutator, {});
+  EXPECT_EQ(f.result().as_int(), 1234);
+  EXPECT_EQ(leak_probe, 0);  // mutation stayed in the child process
+}
+
+TEST(LocalLfmExecutor, EnforcesAppLimits) {
+  LocalLfmExecutor exec(1);
+  App hog = App::make("hog", [](const Value&) {
+    std::vector<std::string> hoard;
+    for (int i = 0; i < 100000; ++i) {
+      hoard.emplace_back(1 << 20, 'x');
+      for (size_t j = 0; j < hoard.back().size(); j += 4096) hoard.back()[j] = 'y';
+    }
+    return Value(1);
+  });
+  hog.limits.memory_bytes = 48LL << 20;
+  DataFlowKernel dfk(exec);
+  const Future f = dfk.submit(hog, {});
+  EXPECT_EQ(f.outcome().status, TaskStatus::kLimitExceeded);
+}
+
+TEST(LocalLfmExecutor, ParallelTasksAllComplete) {
+  LocalLfmExecutor exec(3);
+  DataFlowKernel dfk(exec);
+  std::vector<Future> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(dfk.submit(add_app(), {Arg(Value(i)), Arg(Value(i))}));
+  }
+  dfk.wait_all();
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].result().as_int(), 2 * i);
+  }
+}
+
+TEST(LocalLfmExecutor, RecordsObservations) {
+  LocalLfmExecutor exec(1);
+  DataFlowKernel dfk(exec);
+  dfk.submit(add_app(), {Arg(Value(1)), Arg(Value(1))});
+  dfk.wait_all();
+  exec.drain();
+  const auto obs = exec.observations();
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].first, "add");
+  EXPECT_GE(obs[0].second.wall_time, 0.0);
+}
+
+TEST(LocalLfmExecutor, RejectsZeroWorkers) {
+  EXPECT_THROW(LocalLfmExecutor{0}, Error);
+}
+
+TEST(Dfk, DiamondDependencyGraph) {
+  // Diamond: a feeds b and c, which both feed d.
+  InlineExecutor exec;
+  DataFlowKernel dfk(exec);
+  const Future a = dfk.submit(add_app(), {Arg(Value(1)), Arg(Value(1))});
+  const Future b = dfk.submit(add_app(), {Arg(a), Arg(Value(10))});
+  const Future c = dfk.submit(add_app(), {Arg(a), Arg(Value(20))});
+  const Future d = dfk.submit(add_app(), {Arg(b), Arg(c)});
+  EXPECT_EQ(d.result().as_int(), 34);
+}
+
+TEST(Dfk, WideFanOutFanIn) {
+  LocalLfmExecutor exec(2);
+  DataFlowKernel dfk(exec);
+  std::vector<Arg> partials;
+  for (int i = 1; i <= 10; ++i) {
+    partials.emplace_back(dfk.submit(add_app(), {Arg(Value(i)), Arg(Value(0))}));
+  }
+  const Future total = dfk.submit(add_app(), std::move(partials));
+  EXPECT_EQ(total.result().as_int(), 55);
+}
+
+}  // namespace
+}  // namespace lfm::flow

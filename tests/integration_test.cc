@@ -1,0 +1,212 @@
+// Cross-module integration tests: the full pipelines a user of this library
+// would run, spanning analyzer -> solver -> packer, DFK -> LFM, workload ->
+// master -> labeler, and the funcX layer over real kernels.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "apps/drugscreen.h"
+#include "apps/hep.h"
+#include "apps/imageclass.h"
+#include "faas/funcx.h"
+#include "flow/dfk.h"
+#include "flow/plan.h"
+#include "serde/pickle.h"
+#include "pkg/packer.h"
+#include "sim/envdist.h"
+#include "sim/site.h"
+#include "wq/master.h"
+
+namespace lfm {
+namespace {
+
+using serde::Value;
+using serde::ValueDict;
+
+TEST(Integration, AnalyzeSolvePackUnpackRoundtrip) {
+  // Paper §V end to end: user code -> dependency plan -> minimal env ->
+  // packed archive -> worker-side relocation -> byte-exact content.
+  const char* src = R"(
+def stage(batch):
+    import numpy
+    import pandas
+    return pandas.DataFrame(numpy.asarray(batch))
+)";
+  const pkg::PackageIndex index = pkg::standard_index();
+  const auto plan = flow::plan_function_dependencies(src, "stage", index);
+  const auto env = flow::build_environment("stage-env", plan, index);
+  ASSERT_TRUE(env.ok());
+  EXPECT_TRUE(env.value().requirements_txt().find("pandas==") != std::string::npos);
+
+  // Materialize the synthetic file list into a real archive.
+  pkg::Archive archive;
+  const std::string prefix = "/master/envs/stage-env";
+  int text_entries = 0;
+  for (const auto& f : env.value().synthesize_files()) {
+    if (f.is_text) {
+      const std::string content = "prefix=" + prefix + "\n";
+      archive.add_file(f.path, pkg::Bytes(content.begin(), content.end()));
+      ++text_entries;
+    }
+  }
+  ASSERT_GT(text_entries, 3);
+
+  const pkg::Bytes wire = pkg::write_tar(archive);
+  pkg::Archive received = pkg::read_tar(wire);
+  EXPECT_EQ(received.file_count(), archive.file_count());
+  const int relocated = pkg::relocate_prefix(received, prefix, "/worker/scratch/env");
+  EXPECT_EQ(relocated, text_entries);
+}
+
+TEST(Integration, EnvironmentCostsFeedDistributionModel) {
+  // The Table II / Fig 5 path: solve the HEP app env, then cost its
+  // distribution on every site and confirm the packed method always wins
+  // at scale.
+  const pkg::PackageIndex index = pkg::standard_index();
+  pkg::Solver solver(index);
+  auto res = solver.resolve({pkg::Requirement::parse("coffea")});
+  ASSERT_TRUE(res.ok());
+  const pkg::Environment env("hep", std::move(res).take());
+  for (const sim::Site& site : sim::all_sites()) {
+    const sim::EnvDistModel model(site);
+    const double direct =
+        model.setup_seconds(env, sim::DistributionMethod::kSharedFsDirect, 128);
+    const double packed =
+        model.setup_seconds(env, sim::DistributionMethod::kPackedTransfer, 128);
+    EXPECT_GT(direct, packed) << site.name;
+  }
+}
+
+TEST(Integration, DfkRunsRealHepKernelsUnderLfm) {
+  flow::LocalLfmExecutor executor(2);
+  flow::DataFlowKernel dfk(executor);
+  flow::App analyze = flow::App::make("analyze", apps::hep::analysis_task);
+
+  std::vector<flow::Future> futures;
+  for (int i = 0; i < 4; ++i) {
+    ValueDict args;
+    args["events"] = Value(int64_t{20000});
+    args["bins"] = Value(int64_t{20});
+    args["lo"] = Value(0.0);
+    args["hi"] = Value(100.0);
+    args["seed"] = Value(int64_t{i});
+    futures.push_back(dfk.submit(analyze, {flow::Arg(Value(std::move(args)))}));
+  }
+  dfk.wait_all();
+  int64_t events = 0;
+  for (const auto& f : futures) events += f.result().at("events").as_int();
+  EXPECT_EQ(events, 80000);
+  executor.drain();
+  EXPECT_EQ(executor.observations().size(), 4u);
+}
+
+TEST(Integration, FullWorkloadStrategySweepAllApps) {
+  // Every workload generator runs to completion under every strategy.
+  struct Case {
+    std::vector<wq::TaskSpec> tasks;
+    alloc::Resources node;
+    alloc::Resources guess;
+  };
+  apps::hep::Params hep_params;
+  hep_params.tasks = 30;
+  apps::drugscreen::Params drug_params;
+  drug_params.molecules = 5;
+  apps::imageclass::Params img_params;
+  img_params.tasks = 20;
+  std::vector<Case> cases;
+  cases.push_back({apps::hep::generate(hep_params), {8, 8e9, 16e9},
+                   apps::hep::guess_allocation()});
+  cases.push_back({apps::drugscreen::generate(drug_params), {64, 192e9, 128e9},
+                   apps::drugscreen::guess_allocation()});
+  cases.push_back({apps::imageclass::generate(img_params), {16, 64e9, 200e9},
+                   apps::imageclass::guess_allocation()});
+
+  for (const auto& c : cases) {
+    alloc::LabelerConfig cfg;
+    cfg.whole_node = c.node;
+    cfg.guess = c.guess;
+    cfg.warmup_samples = 2;
+    const std::vector<wq::WorkerSpec> workers(4, wq::WorkerSpec{c.node, 0.0});
+    for (const auto strategy :
+         {alloc::Strategy::kOracle, alloc::Strategy::kAuto, alloc::Strategy::kGuess,
+          alloc::Strategy::kUnmanaged}) {
+      const auto result = wq::run_scenario(strategy, cfg, workers, c.tasks, {});
+      EXPECT_EQ(result.stats.tasks_completed + result.stats.tasks_failed,
+                static_cast<int64_t>(c.tasks.size()))
+          << alloc::strategy_name(strategy);
+      EXPECT_EQ(result.stats.tasks_failed, 0) << alloc::strategy_name(strategy);
+    }
+  }
+}
+
+TEST(Integration, StrategyOrderingHoldsPerApp) {
+  // The abstract's claim on every workload: managed strategies beat
+  // Unmanaged by a wide margin.
+  apps::hep::Params params;
+  params.tasks = 60;
+  const auto tasks = apps::hep::generate(params);
+  alloc::LabelerConfig cfg;
+  cfg.whole_node = alloc::Resources{8, 8e9, 16e9};
+  cfg.guess = apps::hep::guess_allocation();
+  cfg.warmup_samples = 2;
+  const std::vector<wq::WorkerSpec> workers(8, wq::WorkerSpec{cfg.whole_node, 0.0});
+  const auto net = sim::nd_crc().network;
+  const double oracle =
+      wq::run_scenario(alloc::Strategy::kOracle, cfg, workers, tasks, net).stats.makespan;
+  const double auto_t =
+      wq::run_scenario(alloc::Strategy::kAuto, cfg, workers, tasks, net).stats.makespan;
+  const double unmanaged =
+      wq::run_scenario(alloc::Strategy::kUnmanaged, cfg, workers, tasks, net)
+          .stats.makespan;
+  EXPECT_LT(oracle, unmanaged);
+  EXPECT_LT(auto_t, unmanaged);
+  EXPECT_GT(unmanaged / oracle, 2.0);
+}
+
+TEST(Integration, FuncXServesRealKernels) {
+  faas::FuncXService service;
+  flow::LocalLfmExecutor executor(2);
+  service.add_endpoint(std::make_shared<faas::Endpoint>("ep", executor));
+  const auto id = service.registry().register_function(
+      "classify", apps::imageclass::classify_task, {"keras"});
+  std::vector<Value> batch;
+  for (int i = 0; i < 4; ++i) {
+    ValueDict args;
+    args["size"] = Value(int64_t{16});
+    args["seed"] = Value(int64_t{i});
+    args["model_seed"] = Value(int64_t{9});
+    batch.push_back(Value(std::move(args)));
+  }
+  auto futures = service.submit_batch(id, "ep", std::move(batch));
+  for (auto& f : futures) {
+    const Value v = f.result();
+    EXPECT_GE(v.at("label").as_int(), 0);
+    EXPECT_LT(v.at("label").as_int(), 10);
+  }
+  service.drain_all();
+}
+
+TEST(Integration, DrugPipelineKernelsChainThroughSerde) {
+  // canonicalize -> featurize -> infer, passing results as pickled bytes
+  // the way the wq wrapper would.
+  const std::string smiles = apps::drugscreen::random_smiles(5, 16);
+  ValueDict args;
+  args["smiles"] = Value(smiles);
+  const serde::Bytes wire1 =
+      serde::dumps(apps::drugscreen::canonicalize_task(Value(args)));
+  const Value canonical = serde::loads(wire1);
+  ASSERT_TRUE(canonical.is_str());
+
+  ValueDict args2;
+  args2["smiles"] = Value(canonical.as_str());
+  args2["model_seed"] = Value(int64_t{3});
+  const serde::Bytes wire2 =
+      serde::dumps(apps::drugscreen::inference_task(Value(std::move(args2))));
+  const Value result = serde::loads(wire2);
+  const double score = result.at("docking_score").as_real();
+  EXPECT_GE(score, 0.0);
+  EXPECT_LT(score, 1.0);
+}
+
+}  // namespace
+}  // namespace lfm

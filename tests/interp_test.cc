@@ -1,0 +1,474 @@
+// Tests for the mini-Python interpreter: Python semantics of the supported
+// subset, error behaviour, and the function-shipping use case.
+#include <gtest/gtest.h>
+
+#include "pysrc/interp.h"
+#include "pysrc/unparse.h"
+
+namespace lfm::pysrc {
+namespace {
+
+using serde::Value;
+using serde::ValueDict;
+using serde::ValueList;
+
+// Evaluate one expression in a fresh interpreter.
+Value ev(const std::string& expr) {
+  Interpreter interp;
+  return interp.eval_expression_source(expr);
+}
+
+// Run a module then return the global `result`.
+Value run(const std::string& source) {
+  Interpreter interp;
+  interp.exec_source(source);
+  return interp.global("result");
+}
+
+TEST(Interp, ArithmeticSemantics) {
+  EXPECT_EQ(ev("1 + 2 * 3").as_int(), 7);
+  EXPECT_EQ(ev("2 ** 10").as_int(), 1024);
+  EXPECT_DOUBLE_EQ(ev("7 / 2").as_real(), 3.5);       // true division
+  EXPECT_EQ(ev("7 // 2").as_int(), 3);                // floor division
+  EXPECT_EQ(ev("-7 // 2").as_int(), -4);              // floors toward -inf
+  EXPECT_EQ(ev("-7 % 3").as_int(), 2);                // sign of divisor
+  EXPECT_EQ(ev("7 % -3").as_int(), -2);
+  EXPECT_DOUBLE_EQ(ev("2 ** -1").as_real(), 0.5);
+  EXPECT_EQ(ev("0x1F + 0b101 + 0o17").as_int(), 31 + 5 + 15);
+  EXPECT_EQ(ev("10_000 + 1").as_int(), 10001);
+  EXPECT_EQ(ev("5 & 3").as_int(), 1);
+  EXPECT_EQ(ev("1 << 10").as_int(), 1024);
+}
+
+TEST(Interp, DivisionByZeroRaises) {
+  EXPECT_THROW(ev("1 / 0"), PyError);
+  EXPECT_THROW(ev("1 // 0"), PyError);
+  EXPECT_THROW(ev("1 % 0"), PyError);
+}
+
+TEST(Interp, StringOperations) {
+  EXPECT_EQ(ev("'ab' + 'cd'").as_str(), "abcd");
+  EXPECT_EQ(ev("'ab' * 3").as_str(), "ababab");
+  EXPECT_EQ(ev("'hello'[1]").as_str(), "e");
+  EXPECT_EQ(ev("'hello'[-1]").as_str(), "o");
+  EXPECT_EQ(ev("'hello'[1:4]").as_str(), "ell");
+  EXPECT_EQ(ev("'hello'[::-1]").as_str(), "olleh");
+  EXPECT_TRUE(ev("'ell' in 'hello'").as_bool());
+  EXPECT_TRUE(ev("'a' < 'b'").as_bool());
+}
+
+TEST(Interp, ComparisonChainsAndBoolOps) {
+  EXPECT_TRUE(ev("1 < 2 < 3").as_bool());
+  EXPECT_FALSE(ev("1 < 2 > 3").as_bool());
+  EXPECT_EQ(ev("0 or 'fallback'").as_str(), "fallback");  // returns operand
+  EXPECT_EQ(ev("1 and 2").as_int(), 2);
+  EXPECT_FALSE(ev("not 1").as_bool());
+  EXPECT_TRUE(ev("None is None").as_bool());
+  EXPECT_TRUE(ev("1 == 1.0").as_bool());  // numeric cross-type equality
+}
+
+TEST(Interp, ListsAndSlices) {
+  EXPECT_EQ(ev("[1, 2] + [3]").repr(), "[1, 2, 3]");
+  EXPECT_EQ(ev("[0] * 3").repr(), "[0, 0, 0]");
+  EXPECT_EQ(ev("[1, 2, 3][-1]").as_int(), 3);
+  EXPECT_EQ(ev("[1, 2, 3, 4][1:3]").repr(), "[2, 3]");
+  EXPECT_EQ(ev("[1, 2, 3, 4][::2]").repr(), "[1, 3]");
+  EXPECT_TRUE(ev("2 in [1, 2]").as_bool());
+  EXPECT_THROW(ev("[1][5]"), PyError);  // IndexError
+}
+
+TEST(Interp, DictOperations) {
+  EXPECT_EQ(ev("{'a': 1}['a']").as_int(), 1);
+  EXPECT_TRUE(ev("'a' in {'a': 1}").as_bool());
+  EXPECT_THROW(ev("{'a': 1}['b']"), PyError);  // KeyError
+  EXPECT_EQ(ev("{'a': 1, **{'b': 2}}").as_dict().size(), 2u);
+}
+
+TEST(Interp, VariablesAndAssignment) {
+  EXPECT_EQ(run("x = 1\ny = x + 1\nresult = x * 10 + y\n").as_int(), 12);
+  EXPECT_EQ(run("a = b = 5\nresult = a + b\n").as_int(), 10);
+  EXPECT_EQ(run("a, b = 1, 2\na, b = b, a\nresult = [a, b]\n").repr(), "[2, 1]");
+  EXPECT_EQ(run("x = 10\nx += 5\nx *= 2\nresult = x\n").as_int(), 30);
+  EXPECT_EQ(run("xs = [1, 2, 3]\nxs[1] = 99\nresult = xs\n").repr(), "[1, 99, 3]");
+  EXPECT_EQ(run("d = {}\nd['k'] = 7\nd['k'] += 1\nresult = d['k']\n").as_int(), 8);
+}
+
+TEST(Interp, ControlFlow) {
+  EXPECT_EQ(run(R"(
+total = 0
+for i in range(10):
+    if i % 2 == 0:
+        continue
+    if i > 7:
+        break
+    total += i
+result = total
+)").as_int(), 1 + 3 + 5 + 7);
+
+  EXPECT_EQ(run(R"(
+n = 0
+while n < 100:
+    n = n * 2 + 1
+result = n
+)").as_int(), 127);
+
+  EXPECT_EQ(run(R"(
+found = False
+for x in [1, 2, 3]:
+    if x == 99:
+        found = True
+        break
+else:
+    found = 'exhausted'
+result = found
+)").as_str(), "exhausted");
+}
+
+TEST(Interp, FunctionsAndRecursion) {
+  Interpreter interp;
+  interp.exec_source(R"(
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def greet(name, punct='!'):
+    return 'hello ' + name + punct
+
+def total(*values):
+    acc = 0
+    for v in values:
+        acc += v
+    return acc
+)");
+  EXPECT_EQ(interp.call("fib", {Value(15)}).as_int(), 610);
+  EXPECT_EQ(interp.call("greet", {Value("world")}).as_str(), "hello world!");
+  EXPECT_EQ(interp.call("greet", {Value("x"), Value("?")}).as_str(), "hello x?");
+  EXPECT_EQ(interp.call("total", {Value(1), Value(2), Value(3)}).as_int(), 6);
+  EXPECT_THROW(interp.call("fib", {}), PyError);  // missing argument
+  EXPECT_THROW(interp.call("nope", {}), PyError);
+}
+
+TEST(Interp, RecursionLimit) {
+  InterpOptions options;
+  options.max_recursion_depth = 16;
+  Interpreter interp(options);
+  interp.exec_source("def loop(n):\n    return loop(n + 1)\n");
+  try {
+    interp.call("loop", {Value(0)});
+    FAIL() << "expected RecursionError";
+  } catch (const PyError& e) {
+    EXPECT_EQ(e.type_name, "RecursionError");
+  }
+}
+
+TEST(Interp, StepBudgetStopsInfiniteLoop) {
+  InterpOptions options;
+  options.max_steps = 10000;
+  Interpreter interp(options);
+  EXPECT_THROW(interp.exec_source("while True:\n    pass\n"), PyError);
+}
+
+TEST(Interp, Comprehensions) {
+  EXPECT_EQ(ev("[x * x for x in range(5)]").repr(), "[0, 1, 4, 9, 16]");
+  EXPECT_EQ(ev("[x for x in range(10) if x % 3 == 0]").repr(), "[0, 3, 6, 9]");
+  EXPECT_EQ(ev("[i * j for i in [1, 2] for j in [10, 20]]").repr(),
+            "[10, 20, 20, 40]");
+  EXPECT_EQ(ev("{str(x): x * 2 for x in range(3)}").repr(),
+            "{'0': 0, '1': 2, '2': 4}");
+  EXPECT_EQ(ev("sum(x for x in range(101))").as_int(), 5050);
+}
+
+TEST(Interp, LambdasAndSortedKey) {
+  EXPECT_EQ(ev("(lambda a, b: a * b)(6, 7)").as_int(), 42);
+  Interpreter interp;
+  interp.exec_source(R"(
+pairs = [['b', 2], ['a', 3], ['c', 1]]
+by_name = sorted(pairs, key=lambda p: p[0])
+by_count = sorted(pairs, key=lambda p: p[1], reverse=True)
+result = [by_name[0][0], by_count[0][0]]
+)");
+  EXPECT_EQ(interp.global("result").repr(), "['a', 'a']");
+}
+
+TEST(Interp, ClosuresCaptureByValue) {
+  EXPECT_EQ(run(R"(
+def make_adder(k):
+    return lambda x: x + k
+
+add5 = make_adder(5)
+result = add5(37)
+)").as_int(), 42);
+}
+
+TEST(Interp, Builtins) {
+  EXPECT_EQ(ev("len('hello')").as_int(), 5);
+  EXPECT_EQ(ev("len([1, 2])").as_int(), 2);
+  EXPECT_EQ(ev("min(3, 1, 2)").as_int(), 1);
+  EXPECT_EQ(ev("max([3, 1, 2])").as_int(), 3);
+  EXPECT_EQ(ev("sum([1, 2, 3])").as_int(), 6);
+  EXPECT_EQ(ev("sorted([3, 1, 2])").repr(), "[1, 2, 3]");
+  EXPECT_EQ(ev("abs(-5)").as_int(), 5);
+  EXPECT_EQ(ev("int('42')").as_int(), 42);
+  EXPECT_EQ(ev("int('ff', 16)").as_int(), 255);
+  EXPECT_DOUBLE_EQ(ev("float('2.5')").as_real(), 2.5);
+  EXPECT_EQ(ev("str(42)").as_str(), "42");
+  EXPECT_EQ(ev("round(2.675, 2)").as_real(), 2.68);
+  EXPECT_EQ(ev("round(2.5)").as_int(), 3);
+  EXPECT_TRUE(ev("any([0, 0, 1])").as_bool());
+  EXPECT_FALSE(ev("all([1, 0])").as_bool());
+  EXPECT_EQ(ev("list(enumerate(['a', 'b']))").repr(), "[[0, 'a'], [1, 'b']]");
+  EXPECT_EQ(ev("list(zip([1, 2], ['a', 'b', 'c']))").repr(), "[[1, 'a'], [2, 'b']]");
+  EXPECT_THROW(ev("int('nope')"), PyError);
+}
+
+TEST(Interp, UserFunctionShadowsBuiltin) {
+  EXPECT_EQ(run("def len(x):\n    return 99\nresult = len('abc')\n").as_int(), 99);
+}
+
+TEST(Interp, MethodsMutateInPlace) {
+  EXPECT_EQ(run(R"(
+xs = [3, 1]
+xs.append(2)
+xs.sort()
+xs.extend([10])
+xs.insert(0, 0)
+popped = xs.pop()
+result = [xs, popped]
+)").repr(), "[[0, 1, 2, 3], 10]");
+
+  EXPECT_EQ(run(R"(
+d = {'a': 1}
+d.update({'b': 2})
+d.setdefault('c', 3)
+result = [d.get('b'), d.get('zz', -1), sorted(d.keys())]
+)").repr(), "[2, -1, ['a', 'b', 'c']]");
+}
+
+TEST(Interp, StringMethods) {
+  EXPECT_EQ(ev("'a,b,,c'.split(',')").repr(), "['a', 'b', '', 'c']");
+  EXPECT_EQ(ev("'  a b  c '.split()").repr(), "['a', 'b', 'c']");
+  EXPECT_EQ(ev("'-'.join(['a', 'b'])").as_str(), "a-b");
+  EXPECT_EQ(ev("'MiXeD'.lower()").as_str(), "mixed");
+  EXPECT_EQ(ev("' pad '.strip()").as_str(), "pad");
+  EXPECT_TRUE(ev("'conda-pack'.startswith('conda')").as_bool());
+  EXPECT_EQ(ev("'aXbXc'.replace('X', '-')").as_str(), "a-b-c");
+  EXPECT_EQ(ev("'hello'.find('ll')").as_int(), 2);
+  EXPECT_EQ(ev("'banana'.count('an')").as_int(), 2);
+  EXPECT_TRUE(ev("'123'.isdigit()").as_bool());
+}
+
+TEST(Interp, ExceptionsRaiseAndCatch) {
+  EXPECT_EQ(run(R"(
+def checked_div(a, b):
+    if b == 0:
+        raise ValueError('b must not be zero')
+    return a / b
+
+try:
+    checked_div(1, 0)
+    result = 'no error'
+except ValueError as e:
+    result = 'caught'
+except:
+    result = 'wrong handler'
+)").as_str(), "caught");
+
+  EXPECT_EQ(run(R"(
+log = []
+try:
+    log.append('body')
+    raise KeyError('k')
+except (TypeError, KeyError):
+    log.append('handler')
+finally:
+    log.append('finally')
+result = log
+)").repr(), "['body', 'handler', 'finally']");
+
+  // Uncaught in-language exceptions surface as PyError.
+  Interpreter interp;
+  try {
+    interp.exec_source("raise RuntimeError('boom')\n");
+    FAIL();
+  } catch (const PyError& e) {
+    EXPECT_EQ(e.type_name, "RuntimeError");
+  }
+}
+
+TEST(Interp, TryExceptImportErrorFallback) {
+  // The exact §V.B pattern: optional dependency with a fallback.
+  EXPECT_EQ(run(R"(
+try:
+    import ujson as json_mod
+    result = 'ujson'
+except ImportError:
+    import json as json_mod
+    result = 'stdlib json'
+)").as_str(), "stdlib json");
+}
+
+TEST(Interp, MathAndJsonModules) {
+  Interpreter interp;
+  interp.exec_source(R"(
+import math
+from math import sqrt
+root = sqrt(16)
+area = math.pi * 2 ** 2
+floored = math.floor(3.9)
+import json
+encoded = json.dumps({'a': [1, 2]})
+)");
+  EXPECT_DOUBLE_EQ(interp.global("root").as_real(), 4.0);
+  EXPECT_NEAR(interp.global("area").as_real(), 12.566, 1e-3);
+  EXPECT_EQ(interp.global("floored").as_int(), 3);
+  EXPECT_EQ(interp.global("encoded").as_str(), "{\"a\":[1,2]}");
+}
+
+TEST(Interp, PrintCaptured) {
+  Interpreter interp;
+  interp.exec_source("print('hello', 42, [1])\nprint('next')\n");
+  EXPECT_EQ(interp.output(), "hello 42 [1]\nnext\n");
+  interp.clear_output();
+  EXPECT_TRUE(interp.output().empty());
+}
+
+TEST(Interp, GlobalStatement) {
+  EXPECT_EQ(run(R"(
+counter = 0
+
+def bump():
+    global counter
+    counter += 1
+
+bump()
+bump()
+result = counter
+)").as_int(), 2);
+}
+
+TEST(Interp, AssertStatement) {
+  EXPECT_NO_THROW(run("assert 1 + 1 == 2\nresult = 1\n"));
+  try {
+    run("assert 1 == 2, 'math is broken'\nresult = 1\n");
+    FAIL();
+  } catch (const PyError& e) {
+    EXPECT_EQ(e.type_name, "AssertionError");
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Interp, DelStatement) {
+  EXPECT_EQ(run(R"(
+xs = [1, 2, 3]
+del xs[1]
+d = {'a': 1, 'b': 2}
+del d['a']
+result = [xs, sorted(d.keys())]
+)").repr(), "[[1, 3], ['b']]");
+  EXPECT_THROW(run("x = 1\ndel x\nresult = x\n"), PyError);
+}
+
+TEST(Interp, UnsupportedConstructsRaiseCleanly) {
+  EXPECT_THROW(run("class C:\n    pass\nresult = 1\n"), PyError);
+  EXPECT_THROW(run("with open('f') as fh:\n    pass\nresult = 1\n"), PyError);
+  EXPECT_THROW(run("def g():\n    yield 1\nresult = g()\n"), PyError);
+}
+
+TEST(Interp, ValueSemanticsDocumentedDivergence) {
+  // ys = xs copies (unlike CPython); mutation of ys leaves xs alone.
+  EXPECT_EQ(run(R"(
+xs = [1]
+ys = xs
+ys.append(2)
+result = [len(xs), len(ys)]
+)").repr(), "[1, 2]");
+}
+
+TEST(Interp, RunShippedFunctionSource) {
+  // The function-shipping flow: extract a def from "user code", run it in a
+  // fresh interpreter with pickled-style args.
+  const char* user_module = R"(
+import parsl
+
+def process(values, threshold):
+    kept = [v for v in values if v >= threshold]
+    return {'count': len(kept), 'total': sum(kept)}
+
+def other():
+    return 0
+)";
+  const std::string shipped = extract_function_source(user_module, "process");
+  const Value result = run_python_function(
+      shipped, "process",
+      {Value(ValueList{Value(1), Value(5), Value(10)}), Value(4)});
+  EXPECT_EQ(result.at("count").as_int(), 2);
+  EXPECT_EQ(result.at("total").as_int(), 15);
+}
+
+TEST(Interp, WalrusOperator) {
+  EXPECT_EQ(run(R"(
+total = 0
+values = [1, 2, 3, 4]
+i = 0
+while (n := len(values) - i) > 0:
+    total += n
+    i += 1
+result = total
+)").as_int(), 10);
+}
+
+TEST(Interp, StarArgsSpread) {
+  Interpreter interp;
+  interp.exec_source(R"(
+def add3(a, b, c):
+    return a + b + c
+
+args = [1, 2, 3]
+result = add3(*args)
+)");
+  EXPECT_EQ(interp.global("result").as_int(), 6);
+}
+
+TEST(Interp, SetLiteralDeduplicates) {
+  EXPECT_EQ(ev("sorted({3, 1, 3, 2, 1})").repr(), "[1, 2, 3]");
+}
+
+
+TEST(Interp, FStrings) {
+  Interpreter interp;
+  interp.exec_source(R"(
+name = 'theta'
+cores = 64
+usage = 0.8567
+msg = f'site {name} has {cores} cores'
+math_field = f'{cores * 2} total'
+pct = f'{usage:.1f} load'
+braces = f'{{literal}} and {name}'
+nested = f'first {sorted([3, 1])[0]}'
+)");
+  EXPECT_EQ(interp.global("msg").as_str(), "site theta has 64 cores");
+  EXPECT_EQ(interp.global("math_field").as_str(), "128 total");
+  EXPECT_EQ(interp.global("pct").as_str(), "0.9 load");
+  EXPECT_EQ(interp.global("braces").as_str(), "{literal} and theta");
+  EXPECT_EQ(interp.global("nested").as_str(), "first 1");
+}
+
+TEST(Interp, FStringErrors) {
+  EXPECT_THROW(run("result = f'broken {x'\n"), Error);  // unterminated field
+  EXPECT_THROW(run("result = f'}'\n"), Error);          // stray close
+  EXPECT_THROW(run("result = f'{}'\n"), Error);         // empty expression
+}
+
+TEST(Interp, FStringInFunction) {
+  const Value v = run(R"(
+def report(task, mem):
+    return f'task {task}: {mem / 1000000:.1f} MB'
+
+result = report('hep-001', 84000000)
+)");
+  EXPECT_EQ(v.as_str(), "task hep-001: 84.0 MB");
+}
+
+}  // namespace
+}  // namespace lfm::pysrc

@@ -1,0 +1,129 @@
+// Tests for the labeling-objective and retry-policy ablation knobs.
+#include <gtest/gtest.h>
+
+#include "alloc/labeler.h"
+#include "util/rng.h"
+
+namespace lfm::alloc {
+namespace {
+
+LabelerConfig cfg() {
+  LabelerConfig c;
+  c.whole_node = Resources{16, 64e9, 200e9};
+  c.guess = Resources{1, 1e9, 1e9};
+  c.strategy = Strategy::kAuto;
+  c.warmup_samples = 1;
+  c.headroom = 1.0;
+  return c;
+}
+
+void feed_bimodal(CategoryLabeler& labeler) {
+  // 90 light (2 GB), 10 heavy (30 GB) observations.
+  for (int i = 0; i < 90; ++i) labeler.observe_success({1.0, 2e9, 1e9});
+  for (int i = 0; i < 10; ++i) labeler.observe_success({1.0, 30e9, 1e9});
+}
+
+TEST(LabelModes, Names) {
+  EXPECT_STREQ(label_mode_name(LabelMode::kExpectedCost), "expected-cost");
+  EXPECT_STREQ(label_mode_name(LabelMode::kMaxSeen), "max-seen");
+  EXPECT_STREQ(label_mode_name(LabelMode::kPercentile95), "p95");
+  EXPECT_STREQ(retry_policy_name(RetryPolicy::kWholeNode), "whole-node");
+  EXPECT_STREQ(retry_policy_name(RetryPolicy::kGeometric), "geometric");
+}
+
+TEST(LabelModes, ExpectedCostPicksLightModeOnBimodal) {
+  LabelerConfig c = cfg();
+  c.label_mode = LabelMode::kExpectedCost;
+  CategoryLabeler labeler(c);
+  feed_bimodal(labeler);
+  EXPECT_LT(labeler.allocation(0).memory_bytes, 4e9);
+}
+
+TEST(LabelModes, MaxSeenCoversEverythingOnBimodal) {
+  LabelerConfig c = cfg();
+  c.label_mode = LabelMode::kMaxSeen;
+  CategoryLabeler labeler(c);
+  feed_bimodal(labeler);
+  EXPECT_GE(labeler.allocation(0).memory_bytes, 30e9);
+}
+
+TEST(LabelModes, P95BetweenTheTwo) {
+  LabelerConfig c = cfg();
+  c.label_mode = LabelMode::kPercentile95;
+  CategoryLabeler labeler(c);
+  feed_bimodal(labeler);
+  const double p95 = labeler.allocation(0).memory_bytes;
+  // 95th percentile of 90/10 bimodal falls inside the heavy mode.
+  EXPECT_GE(p95, 2e9);
+  EXPECT_GE(30e9 + 1e9, p95);
+}
+
+TEST(LabelModes, MaxSeenNeverBelowObservedMax) {
+  LabelerConfig c = cfg();
+  c.label_mode = LabelMode::kMaxSeen;
+  CategoryLabeler labeler(c);
+  Rng rng(5);
+  double max_seen = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double m = rng.uniform(1e9, 50e9);
+    max_seen = std::max(max_seen, m);
+    labeler.observe_success({1.0, m, 1e9});
+    EXPECT_GE(labeler.allocation(0).memory_bytes, max_seen * 0.999);
+  }
+}
+
+TEST(RetryPolicies, WholeNodeJumpsToMax) {
+  LabelerConfig c = cfg();
+  c.retry_policy = RetryPolicy::kWholeNode;
+  CategoryLabeler labeler(c);
+  feed_bimodal(labeler);
+  EXPECT_DOUBLE_EQ(labeler.allocation(1).memory_bytes, 64e9);
+  EXPECT_DOUBLE_EQ(labeler.allocation(5).memory_bytes, 64e9);
+}
+
+TEST(RetryPolicies, GeometricDoublesPerAttempt) {
+  LabelerConfig c = cfg();
+  c.retry_policy = RetryPolicy::kGeometric;
+  CategoryLabeler labeler(c);
+  feed_bimodal(labeler);
+  const double base = labeler.allocation(0).memory_bytes;
+  EXPECT_NEAR(labeler.allocation(1).memory_bytes, base * 2.0, 1.0);
+  EXPECT_NEAR(labeler.allocation(2).memory_bytes, base * 4.0, 1.0);
+  // Capped at the whole node eventually.
+  EXPECT_DOUBLE_EQ(labeler.allocation(10).memory_bytes, 64e9);
+}
+
+TEST(RetryPolicies, GeometricAppliesToGuessStrategyToo) {
+  LabelerConfig c = cfg();
+  c.strategy = Strategy::kGuess;
+  c.guess = Resources{1, 1e9, 1e9};
+  c.retry_policy = RetryPolicy::kGeometric;
+  CategoryLabeler labeler(c);
+  EXPECT_DOUBLE_EQ(labeler.allocation(0).memory_bytes, 1e9);
+  EXPECT_DOUBLE_EQ(labeler.allocation(1).memory_bytes, 2e9);
+  EXPECT_DOUBLE_EQ(labeler.allocation(2).memory_bytes, 4e9);
+}
+
+TEST(RetryPolicies, GeometricCoresStayIntegral) {
+  LabelerConfig c = cfg();
+  c.strategy = Strategy::kGuess;
+  c.guess = Resources{3, 1e9, 1e9};
+  c.retry_policy = RetryPolicy::kGeometric;
+  CategoryLabeler labeler(c);
+  const Resources a1 = labeler.allocation(1);
+  EXPECT_DOUBLE_EQ(a1.cores, 6.0);
+  const Resources a3 = labeler.allocation(3);
+  EXPECT_DOUBLE_EQ(a3.cores, 16.0);  // capped at the node
+}
+
+TEST(RetryPolicies, UnmanagedUnaffectedByPolicies) {
+  LabelerConfig c = cfg();
+  c.strategy = Strategy::kUnmanaged;
+  c.retry_policy = RetryPolicy::kGeometric;
+  CategoryLabeler labeler(c);
+  EXPECT_DOUBLE_EQ(labeler.allocation(0).cores, 16.0);
+  EXPECT_DOUBLE_EQ(labeler.allocation(2).cores, 16.0);
+}
+
+}  // namespace
+}  // namespace lfm::alloc

@@ -1,0 +1,211 @@
+// Unit tests for the automatic resource labeling algorithm (paper §VI.B.2)
+// and the four management strategies.
+#include <gtest/gtest.h>
+
+#include "alloc/labeler.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lfm::alloc {
+namespace {
+
+LabelerConfig base_config() {
+  LabelerConfig c;
+  c.whole_node = Resources{8.0, 8e9, 16e9};
+  c.guess = Resources{1.0, 1.5e9, 2e9};
+  c.warmup_samples = 3;
+  return c;
+}
+
+TEST(Resources, FitsAndArithmetic) {
+  const Resources small{1.0, 1e9, 1e9};
+  const Resources big{4.0, 8e9, 8e9};
+  EXPECT_TRUE(small.fits_in(big));
+  EXPECT_FALSE(big.fits_in(small));
+  const Resources sum = small + big;
+  EXPECT_DOUBLE_EQ(sum.cores, 5.0);
+  Resources acc = big;
+  acc -= small;
+  EXPECT_DOUBLE_EQ(acc.cores, 3.0);
+  EXPECT_TRUE(acc.nonnegative());
+  const Resources mx = Resources::elementwise_max(small, big);
+  EXPECT_DOUBLE_EQ(mx.memory_bytes, 8e9);
+}
+
+TEST(Resources, PartialFitFailsPerDimension) {
+  const Resources task{1.0, 9e9, 1e9};  // memory too big
+  const Resources node{8.0, 8e9, 16e9};
+  EXPECT_FALSE(task.fits_in(node));
+}
+
+TEST(Strategy, Names) {
+  EXPECT_STREQ(strategy_name(Strategy::kOracle), "oracle");
+  EXPECT_STREQ(strategy_name(Strategy::kAuto), "auto");
+  EXPECT_STREQ(strategy_name(Strategy::kGuess), "guess");
+  EXPECT_STREQ(strategy_name(Strategy::kUnmanaged), "unmanaged");
+}
+
+TEST(CategoryLabeler, UnmanagedAlwaysWholeNode) {
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kUnmanaged;
+  CategoryLabeler labeler(c);
+  EXPECT_DOUBLE_EQ(labeler.allocation(0).cores, 8.0);
+  EXPECT_DOUBLE_EQ(labeler.allocation(3).cores, 8.0);
+}
+
+TEST(CategoryLabeler, GuessUsesGuessThenEscalates) {
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kGuess;
+  CategoryLabeler labeler(c);
+  EXPECT_DOUBLE_EQ(labeler.allocation(0).memory_bytes, 1.5e9);
+  EXPECT_DOUBLE_EQ(labeler.allocation(1).memory_bytes, 8e9);  // whole node
+}
+
+TEST(CategoryLabeler, OracleUsesConfiguredKnowledge) {
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kOracle;
+  c.oracle = Resources{1.0, 110e6, 1e9};
+  CategoryLabeler labeler(c);
+  EXPECT_DOUBLE_EQ(labeler.allocation(0).memory_bytes, 110e6);
+}
+
+TEST(CategoryLabeler, AutoWarmupRunsWholeNode) {
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kAuto;
+  CategoryLabeler labeler(c);
+  EXPECT_DOUBLE_EQ(labeler.allocation(0).cores, 8.0);  // no samples yet
+  labeler.observe_success(Resources{1.0, 100e6, 1e9});
+  EXPECT_DOUBLE_EQ(labeler.allocation(0).cores, 8.0);  // still warming up
+}
+
+TEST(CategoryLabeler, AutoLearnsTightLabel) {
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kAuto;
+  CategoryLabeler labeler(c);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    labeler.observe_success(
+        Resources{1.0, rng.uniform(70e6, 110e6), rng.uniform(700e6, 1000e6)});
+  }
+  const Resources label = labeler.allocation(0);
+  // Tight label: far below whole node, at or above typical usage.
+  EXPECT_LT(label.memory_bytes, 1e9);
+  EXPECT_GT(label.memory_bytes, 70e6);
+  EXPECT_LT(label.disk_bytes, 3e9);
+  EXPECT_DOUBLE_EQ(label.cores, 1.0);
+}
+
+TEST(CategoryLabeler, AutoEscalatesToWholeNodeOnRetry) {
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kAuto;
+  CategoryLabeler labeler(c);
+  for (int i = 0; i < 10; ++i) labeler.observe_success(Resources{1.0, 100e6, 1e9});
+  const Resources retry = labeler.allocation(1);
+  EXPECT_DOUBLE_EQ(retry.memory_bytes, 8e9);
+  EXPECT_DOUBLE_EQ(retry.cores, 8.0);
+}
+
+TEST(CategoryLabeler, ExhaustionGrowsLabel) {
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kAuto;
+  c.warmup_samples = 1;
+  CategoryLabeler labeler(c);
+  for (int i = 0; i < 20; ++i) labeler.observe_success(Resources{1.0, 1e9, 1e9});
+  const double before = labeler.allocation(0).memory_bytes;
+  // A stream of exhaustions at the current label must push it up.
+  for (int i = 0; i < 40; ++i) {
+    labeler.observe_exhaustion(Resources{1.0, before, 1e9}, "memory");
+  }
+  const double after = labeler.allocation(0).memory_bytes;
+  EXPECT_GT(after, before);
+  EXPECT_EQ(labeler.exhaustions(), 40);
+}
+
+TEST(CategoryLabeler, CostObjectivePrefersPackingWhenUsageIsBimodal) {
+  // 90% of tasks use 1 GB, 10% use 7 GB. The throughput-optimal label is the
+  // small one (cost 1 + 0.1*8 = 1.8) not the big one (cost ~7.1).
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kAuto;
+  c.headroom = 1.0;
+  CategoryLabeler labeler(c);
+  for (int i = 0; i < 90; ++i) labeler.observe_success(Resources{1.0, 1e9, 1e9});
+  for (int i = 0; i < 10; ++i) labeler.observe_success(Resources{1.0, 7e9, 1e9});
+  const double label = labeler.allocation(0).memory_bytes;
+  EXPECT_LT(label, 2e9);
+}
+
+TEST(CategoryLabeler, CostObjectivePrefersLargeWhenRetriesDominate) {
+  // Usage uniform near the node size: a small label would fail everything.
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kAuto;
+  CategoryLabeler labeler(c);
+  for (int i = 0; i < 50; ++i) labeler.observe_success(Resources{1.0, 7.5e9, 1e9});
+  EXPECT_GE(labeler.allocation(0).memory_bytes, 7.5e9);
+}
+
+TEST(CategoryLabeler, RejectsBadConfig) {
+  LabelerConfig c;
+  c.whole_node = Resources{0.0, 0.0, 0.0};
+  EXPECT_THROW(CategoryLabeler{c}, Error);
+}
+
+TEST(CategoryLabeler, RejectsNegativeAttempt) {
+  CategoryLabeler labeler(base_config());
+  EXPECT_THROW(labeler.allocation(-1), Error);
+}
+
+TEST(Labeler, PerCategoryIsolation) {
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kAuto;
+  c.warmup_samples = 1;
+  Labeler labeler(c);
+  for (int i = 0; i < 20; ++i) {
+    labeler.observe_success("light", Resources{1.0, 100e6, 500e6});
+    labeler.observe_success("heavy", Resources{4.0, 6e9, 8e9});
+  }
+  EXPECT_LT(labeler.allocation("light", 0).memory_bytes,
+            labeler.allocation("heavy", 0).memory_bytes / 5.0);
+  EXPECT_EQ(labeler.total_samples(), 40);
+}
+
+TEST(Labeler, OracleOverridesPerCategory) {
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kOracle;
+  Labeler labeler(c);
+  labeler.set_oracle("vep", Resources{2.0, 20e9, 3e9});
+  EXPECT_DOUBLE_EQ(labeler.allocation("vep", 0).memory_bytes, 20e9);
+  // Unknown category without oracle: falls back to whole node.
+  EXPECT_DOUBLE_EQ(labeler.allocation("unknown", 0).memory_bytes, 8e9);
+  // Setting the oracle after first use still takes effect.
+  labeler.set_oracle("unknown", Resources{1.0, 1e9, 1e9});
+  EXPECT_DOUBLE_EQ(labeler.allocation("unknown", 0).memory_bytes, 1e9);
+}
+
+TEST(Labeler, AutoConvergesUnderRealisticStream) {
+  // End-to-end behaviour: warmup at whole node, then tight labels with a
+  // low exhaustion rate on a stationary workload (the <1% HEP claim).
+  LabelerConfig c = base_config();
+  c.strategy = Strategy::kAuto;
+  Labeler labeler(c);
+  Rng rng(99);
+  int exhaustions = 0;
+  const int tasks = 500;
+  for (int i = 0; i < tasks; ++i) {
+    const Resources need{1.0, rng.truncated_normal(84e6, 10e6, 50e6, 110e6),
+                         rng.truncated_normal(880e6, 60e6, 700e6, 1000e6)};
+    Resources alloc = labeler.allocation("hep", 0);
+    if (need.memory_bytes > alloc.memory_bytes || need.disk_bytes > alloc.disk_bytes) {
+      ++exhaustions;
+      labeler.observe_exhaustion("hep", alloc,
+                                 need.memory_bytes > alloc.memory_bytes ? "memory" : "disk");
+      alloc = labeler.allocation("hep", 1);  // whole-node retry always fits
+    }
+    labeler.observe_success("hep", need);
+  }
+  EXPECT_LT(exhaustions, tasks / 20);  // < 5% retries
+  const Resources final_label = labeler.allocation("hep", 0);
+  EXPECT_LT(final_label.memory_bytes, 500e6);  // far tighter than the node
+}
+
+}  // namespace
+}  // namespace lfm::alloc

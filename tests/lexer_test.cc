@@ -1,0 +1,200 @@
+// Unit tests for the mini-Python lexer: token classes, indentation handling,
+// string forms, continuations, and error reporting.
+#include <gtest/gtest.h>
+
+#include "pysrc/lexer.h"
+
+namespace lfm::pysrc {
+namespace {
+
+std::vector<Token> lex(const std::string& src) { return tokenize(src); }
+
+std::vector<TokenKind> kinds(const std::vector<Token>& toks) {
+  std::vector<TokenKind> out;
+  for (const auto& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, SimpleStatement) {
+  const auto toks = lex("x = 1\n");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kName);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_TRUE(toks[1].is_op("="));
+  EXPECT_EQ(toks[2].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[3].kind, TokenKind::kNewline);
+  EXPECT_EQ(toks[4].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, KeywordsRecognized) {
+  const auto toks = lex("import numpy\n");
+  EXPECT_EQ(toks[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(toks[0].text, "import");
+  EXPECT_EQ(toks[1].kind, TokenKind::kName);
+}
+
+TEST(Lexer, IndentDedent) {
+  const auto toks = lex("if x:\n    y = 1\nz = 2\n");
+  const auto k = kinds(toks);
+  // if x : NEWLINE INDENT y = 1 NEWLINE DEDENT z = 2 NEWLINE END
+  EXPECT_EQ(k, (std::vector<TokenKind>{
+                   TokenKind::kKeyword, TokenKind::kName, TokenKind::kOp,
+                   TokenKind::kNewline, TokenKind::kIndent, TokenKind::kName,
+                   TokenKind::kOp, TokenKind::kNumber, TokenKind::kNewline,
+                   TokenKind::kDedent, TokenKind::kName, TokenKind::kOp,
+                   TokenKind::kNumber, TokenKind::kNewline, TokenKind::kEnd}));
+}
+
+TEST(Lexer, NestedIndentationClosesAtEof) {
+  const auto toks = lex("def f():\n  if x:\n    return 1");
+  int indents = 0, dedents = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::kIndent) ++indents;
+    if (t.kind == TokenKind::kDedent) ++dedents;
+  }
+  EXPECT_EQ(indents, 2);
+  EXPECT_EQ(dedents, 2);
+  EXPECT_EQ(toks.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, BlankLinesAndCommentsIgnored) {
+  const auto toks = lex("x = 1\n\n# comment only\n   \ny = 2\n");
+  int newlines = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::kNewline) ++newlines;
+  }
+  EXPECT_EQ(newlines, 2);  // one per real statement
+}
+
+TEST(Lexer, TrailingCommentOnLine) {
+  const auto toks = lex("x = 1  # set x\n");
+  EXPECT_EQ(toks[3].kind, TokenKind::kNewline);
+}
+
+TEST(Lexer, ImplicitContinuationInBrackets) {
+  const auto toks = lex("f(a,\n  b)\n");
+  // No NEWLINE between a and b.
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text == "a") {
+      EXPECT_TRUE(toks[i + 1].is_op(","));
+      EXPECT_EQ(toks[i + 2].kind, TokenKind::kName);
+    }
+  }
+}
+
+TEST(Lexer, ExplicitBackslashContinuation) {
+  const auto toks = lex("x = 1 + \\\n    2\n");
+  int newlines = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::kNewline) ++newlines;
+  }
+  EXPECT_EQ(newlines, 1);
+}
+
+TEST(Lexer, StringForms) {
+  auto toks = lex("a = 'single'\n");
+  EXPECT_EQ(toks[2].kind, TokenKind::kString);
+  EXPECT_EQ(toks[2].text, "single");
+
+  toks = lex("a = \"double\"\n");
+  EXPECT_EQ(toks[2].text, "double");
+
+  toks = lex("a = '''triple\nline'''\n");
+  EXPECT_EQ(toks[2].text, "triple\nline");
+
+  toks = lex("a = 'esc\\n\\t\\''\n");
+  EXPECT_EQ(toks[2].text, "esc\n\t'");
+
+  toks = lex("a = r'raw\\n'\n");
+  EXPECT_EQ(toks[2].text, "raw\\n");
+  EXPECT_EQ(toks[2].str_prefix, "r");
+
+  toks = lex("a = b'bytes'\n");
+  EXPECT_EQ(toks[2].str_prefix, "b");
+
+  toks = lex("a = f'fstr'\n");
+  EXPECT_EQ(toks[2].str_prefix, "f");
+}
+
+TEST(Lexer, TripleQuoteContainingQuotes) {
+  const auto toks = lex("a = '''it's \"fine\"'''\n");
+  EXPECT_EQ(toks[2].text, "it's \"fine\"");
+}
+
+TEST(Lexer, Numbers) {
+  const auto toks = lex("a = 1 + 2.5 + 1e-3 + 0xFF + 0b101 + 3j + 10_000\n");
+  std::vector<std::string> numbers;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::kNumber) numbers.push_back(t.text);
+  }
+  EXPECT_EQ(numbers, (std::vector<std::string>{"1", "2.5", "1e-3", "0xFF",
+                                               "0b101", "3j", "10_000"}));
+}
+
+TEST(Lexer, MultiCharOperators) {
+  const auto toks = lex("a **= b // c != d -> e := f\n");
+  std::vector<std::string> ops;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::kOp) ops.push_back(t.text);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"**=", "//", "!=", "->", ":="}));
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto toks = lex("x = 1\ny = 2\n");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  // 'y' is the first token of line 2.
+  bool found = false;
+  for (const auto& t : toks) {
+    if (t.text == "y") {
+      EXPECT_EQ(t.line, 2);
+      EXPECT_EQ(t.col, 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("a = 'oops\n"), SyntaxError);
+  EXPECT_THROW(lex("a = '''oops"), SyntaxError);
+}
+
+TEST(Lexer, BadIndentThrows) {
+  EXPECT_THROW(lex("if x:\n    y = 1\n  z = 2\n"), SyntaxError);
+}
+
+TEST(Lexer, UnmatchedCloseBracketThrows) {
+  EXPECT_THROW(lex("a = )\n"), SyntaxError);
+}
+
+TEST(Lexer, UnexpectedCharThrows) {
+  EXPECT_THROW(lex("a = $\n"), SyntaxError);
+}
+
+TEST(Lexer, EmptyInput) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, AdjacentStringsKeptSeparate) {
+  const auto toks = lex("a = 'x' 'y'\n");
+  int strings = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 2);  // concatenation happens in the parser
+}
+
+TEST(Lexer, KeywordListSanity) {
+  EXPECT_TRUE(is_python_keyword("import"));
+  EXPECT_TRUE(is_python_keyword("lambda"));
+  EXPECT_TRUE(is_python_keyword("None"));
+  EXPECT_FALSE(is_python_keyword("numpy"));
+  EXPECT_FALSE(is_python_keyword("print"));  // not a keyword in py3
+}
+
+}  // namespace
+}  // namespace lfm::pysrc

@@ -1,0 +1,109 @@
+// Unit tests for the fluid-flow shared network model.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "util/units.h"
+
+namespace lfm::sim {
+namespace {
+
+NetworkParams fast_params() {
+  NetworkParams p;
+  p.bandwidth = 100e6;  // 100 MB/s aggregate
+  p.per_flow_bandwidth = 100e6;
+  p.latency = 0.0;
+  return p;
+}
+
+TEST(Network, SingleTransferTime) {
+  Simulation sim;
+  Network net(sim, fast_params());
+  double done_at = -1.0;
+  net.transfer(100_MB, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-6);
+}
+
+TEST(Network, ConcurrentTransfersShareBandwidth) {
+  Simulation sim;
+  Network net(sim, fast_params());
+  double first = -1.0, second = -1.0;
+  net.transfer(100_MB, [&] { first = sim.now(); });
+  net.transfer(100_MB, [&] { second = sim.now(); });
+  sim.run();
+  // Two equal flows at half bandwidth each: both finish at ~2 s.
+  EXPECT_NEAR(first, 2.0, 1e-6);
+  EXPECT_NEAR(second, 2.0, 1e-6);
+}
+
+TEST(Network, LateArrivalSlowsExistingFlow) {
+  Simulation sim;
+  Network net(sim, fast_params());
+  double big_done = -1.0, small_done = -1.0;
+  net.transfer(100_MB, [&] { big_done = sim.now(); });
+  sim.schedule(0.5, [&] { net.transfer(25_MB, [&] { small_done = sim.now(); }); });
+  sim.run();
+  // First 0.5 s: flow A moves 50 MB. Then both share: A needs 50 MB at
+  // 50 MB/s = 1 s more if B stays. B needs 25 MB at 50 MB/s = 0.5 s, done at
+  // t=1.0. Then A alone: 25 MB left at full rate = 0.25 s -> 1.25 s total.
+  EXPECT_NEAR(small_done, 1.0, 1e-6);
+  EXPECT_NEAR(big_done, 1.25, 1e-6);
+}
+
+TEST(Network, PerFlowCeilingLimitsLoneFlow) {
+  NetworkParams p = fast_params();
+  p.per_flow_bandwidth = 10e6;
+  Simulation sim;
+  Network net(sim, p);
+  double done = -1.0;
+  net.transfer(10_MB, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 1.0, 1e-6);  // capped at 10 MB/s despite 100 MB/s link
+}
+
+TEST(Network, ZeroByteTransferCompletes) {
+  Simulation sim;
+  Network net(sim, fast_params());
+  bool done = false;
+  net.transfer(0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Network, ManySmallTransfers) {
+  Simulation sim;
+  Network net(sim, fast_params());
+  int completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    net.transfer(1_MB, [&] { ++completed; });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 200);
+  EXPECT_EQ(net.active_flows(), 0);
+  // 200 MB total at 100 MB/s aggregate: exactly 2 s regardless of sharing.
+  EXPECT_NEAR(sim.now(), 2.0, 1e-6);
+}
+
+TEST(Network, ClosedFormTransferSeconds) {
+  Simulation sim;
+  NetworkParams p = fast_params();
+  p.latency = 0.001;
+  Network net(sim, p);
+  EXPECT_NEAR(net.transfer_seconds(100_MB, 1), 1.001, 1e-9);
+  EXPECT_NEAR(net.transfer_seconds(100_MB, 4), 4.001, 1e-9);
+}
+
+TEST(Network, LatencyAddsToTransfers) {
+  NetworkParams p = fast_params();
+  p.latency = 0.1;
+  Simulation sim;
+  Network net(sim, p);
+  double done = -1.0;
+  net.transfer(100_MB, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 1.1, 1e-6);
+}
+
+}  // namespace
+}  // namespace lfm::sim

@@ -1,0 +1,220 @@
+// Unit tests for the conda-pack-style packer: in-memory archives, the ustar
+// writer/reader (round-trip and interop with tar(1) format rules), on-disk
+// pack/unpack, and prefix relocation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "pkg/packer.h"
+
+namespace lfm::pkg {
+namespace {
+
+namespace fs = std::filesystem;
+
+Bytes text_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(Archive, BasicAccounting) {
+  Archive a;
+  a.add_directory("dir");
+  a.add_file("dir/file1", text_bytes("hello"));
+  a.add_file("dir/file2", text_bytes("world!"));
+  EXPECT_EQ(a.file_count(), 2u);
+  EXPECT_EQ(a.total_bytes(), 11);
+  ASSERT_NE(a.find("dir/file1"), nullptr);
+  EXPECT_EQ(a.find("missing"), nullptr);
+}
+
+TEST(Tar, RoundtripSimple) {
+  Archive a;
+  a.add_directory("env");
+  a.add_directory("env/lib");
+  a.add_file("env/lib/mod.py", text_bytes("import os\n"), 0644);
+  a.add_file("env/bin/python", text_bytes("\x7f""ELF..."), 0755);
+
+  const Bytes tar = write_tar(a);
+  EXPECT_EQ(tar.size() % 512, 0u);
+
+  const Archive back = read_tar(tar);
+  ASSERT_EQ(back.entries().size(), 4u);
+  const auto* mod = back.find("env/lib/mod.py");
+  ASSERT_NE(mod, nullptr);
+  EXPECT_EQ(mod->data, text_bytes("import os\n"));
+  EXPECT_EQ(mod->mode, 0644u);
+  const auto* python = back.find("env/bin/python");
+  ASSERT_NE(python, nullptr);
+  EXPECT_EQ(python->mode, 0755u);
+}
+
+TEST(Tar, RoundtripEmptyFileAndEmptyArchive) {
+  Archive a;
+  a.add_file("empty", Bytes{});
+  const Archive back = read_tar(write_tar(a));
+  ASSERT_NE(back.find("empty"), nullptr);
+  EXPECT_TRUE(back.find("empty")->data.empty());
+
+  const Archive none = read_tar(write_tar(Archive{}));
+  EXPECT_TRUE(none.entries().empty());
+}
+
+TEST(Tar, RoundtripBinaryPayload) {
+  Bytes payload;
+  for (int i = 0; i < 100000; ++i) payload.push_back(static_cast<uint8_t>(i * 31));
+  Archive a;
+  a.add_file("blob.bin", payload);
+  const Archive back = read_tar(write_tar(a));
+  EXPECT_EQ(back.find("blob.bin")->data, payload);
+}
+
+TEST(Tar, LongPathsUsePrefixSplit) {
+  // >100 chars but splittable at a '/' boundary.
+  std::string dir = "very/long/path";
+  for (int i = 0; i < 10; ++i) dir += "/component" + std::to_string(i);
+  Archive a;
+  a.add_file(dir + "/leaf.txt", text_bytes("x"));
+  ASSERT_GT(dir.size(), 100u);
+  const Archive back = read_tar(write_tar(a));
+  ASSERT_EQ(back.entries().size(), 1u);
+  EXPECT_EQ(back.entries()[0].path, dir + "/leaf.txt");
+}
+
+TEST(Tar, RejectsOverlongPath) {
+  Archive a;
+  a.add_file(std::string(300, 'x'), text_bytes("y"));  // no '/' to split at
+  EXPECT_THROW(write_tar(a), Error);
+}
+
+TEST(Tar, RejectsCorruptedChecksum) {
+  Archive a;
+  a.add_file("f", text_bytes("data"));
+  Bytes tar = write_tar(a);
+  tar[0] ^= 0xff;  // clobber the name field -> checksum mismatch
+  EXPECT_THROW(read_tar(tar), Error);
+}
+
+TEST(Tar, RejectsTruncatedData) {
+  Archive a;
+  a.add_file("f", text_bytes(std::string(600, 'a')));
+  Bytes tar = write_tar(a);
+  tar.resize(512 + 100);  // header + partial data
+  EXPECT_THROW(read_tar(tar), Error);
+}
+
+TEST(Tar, SystemTarCanList) {
+  // Interop check: the ustar output is readable by tar(1).
+  Archive a;
+  a.add_directory("envdir");
+  a.add_file("envdir/hello.txt", text_bytes("hi from lfm\n"));
+  const Bytes tar = write_tar(a);
+
+  const fs::path tmp = fs::temp_directory_path() / "lfm_tar_interop.tar";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(tar.data()),
+              static_cast<std::streamsize>(tar.size()));
+  }
+  const std::string cmd = "tar -tf " + tmp.string() + " > " + tmp.string() + ".lst 2>/dev/null";
+  if (std::system(cmd.c_str()) == 0) {
+    std::ifstream in(tmp.string() + ".lst");
+    std::string listing((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(listing.find("envdir/hello.txt"), std::string::npos);
+  }
+  fs::remove(tmp);
+  fs::remove(tmp.string() + ".lst");
+}
+
+TEST(Packer, PackUnpackDirectoryRoundtrip) {
+  const fs::path root = fs::temp_directory_path() / "lfm_pack_src";
+  const fs::path dest = fs::temp_directory_path() / "lfm_pack_dst";
+  fs::remove_all(root);
+  fs::remove_all(dest);
+  fs::create_directories(root / "lib" / "pkg");
+  {
+    std::ofstream(root / "lib" / "pkg" / "a.py") << "print('a')\n";
+    std::ofstream(root / "lib" / "pkg" / "b.so") << std::string(1000, '\x01');
+    std::ofstream(root / "activate") << "#!/bin/sh\nexport PREFIX=/home/user/env\n";
+  }
+
+  const Archive a = pack_directory(root.string());
+  EXPECT_EQ(a.file_count(), 3u);
+  unpack_to(a, dest.string());
+
+  std::ifstream in(dest / "lib" / "pkg" / "a.py");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "print('a')\n");
+  fs::remove_all(root);
+  fs::remove_all(dest);
+}
+
+TEST(Packer, PackDirectoryRejectsMissing) {
+  EXPECT_THROW(pack_directory("/nonexistent/lfm/path"), Error);
+}
+
+TEST(Packer, UnpackRejectsTraversal) {
+  Archive a;
+  a.add_file("../escape.txt", text_bytes("evil"));
+  EXPECT_THROW(unpack_to(a, (fs::temp_directory_path() / "lfm_safe").string()), Error);
+}
+
+TEST(Packer, RelocatePrefixRewritesTextOnly) {
+  Archive a;
+  a.add_file("activate", text_bytes("export PREFIX=/home/user/miniconda3/envs/hep\n"));
+  a.add_file("pip.conf", text_bytes("prefix=/home/user/miniconda3/envs/hep"));
+  Bytes binary = text_bytes("/home/user/miniconda3/envs/hep");
+  binary.insert(binary.begin(), 0);  // NUL byte -> treated as binary
+  a.add_file("lib.so", binary);
+
+  const int rewritten =
+      relocate_prefix(a, "/home/user/miniconda3/envs/hep", "/tmp/worker42/env");
+  EXPECT_EQ(rewritten, 2);
+  EXPECT_EQ(a.find("activate")->data,
+            text_bytes("export PREFIX=/tmp/worker42/env\n"));
+  // Binary entry untouched.
+  EXPECT_EQ(a.find("lib.so")->data[0], 0);
+}
+
+TEST(Packer, RelocatePrefixHandlesMultipleOccurrences) {
+  Archive a;
+  a.add_file("cfg", text_bytes("/old /old/bin /old/lib"));
+  relocate_prefix(a, "/old", "/brand-new");
+  EXPECT_EQ(a.find("cfg")->data,
+            text_bytes("/brand-new /brand-new/bin /brand-new/lib"));
+}
+
+TEST(Packer, RelocateEmptyPrefixThrows) {
+  Archive a;
+  EXPECT_THROW(relocate_prefix(a, "", "/x"), Error);
+}
+
+TEST(Packer, FullCondaPackFlow) {
+  // The §V.D mechanism end to end: pack on "master", ship bytes, unpack on
+  // "worker", relocate for the worker's prefix.
+  const fs::path master_env = fs::temp_directory_path() / "lfm_master_env";
+  const fs::path worker_env = fs::temp_directory_path() / "lfm_worker_env";
+  fs::remove_all(master_env);
+  fs::remove_all(worker_env);
+  fs::create_directories(master_env / "bin");
+  std::ofstream(master_env / "bin" / "activate")
+      << "export CONDA_PREFIX=" << master_env.string() << "\n";
+
+  Archive packed = pack_directory(master_env.string());
+  const Bytes wire = write_tar(packed);  // what travels to the worker
+
+  Archive received = read_tar(wire);
+  relocate_prefix(received, master_env.string(), worker_env.string());
+  unpack_to(received, worker_env.string());
+
+  std::ifstream in(worker_env / "bin" / "activate");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "export CONDA_PREFIX=" + worker_env.string() + "\n");
+  fs::remove_all(master_env);
+  fs::remove_all(worker_env);
+}
+
+}  // namespace
+}  // namespace lfm::pkg

@@ -1,0 +1,274 @@
+// Property-based tests (parameterized sweeps) on the core invariants:
+//   * pickle round-trips arbitrary generated values byte-exactly
+//   * tar round-trips arbitrary archives
+//   * the solver's output is closed, version-consistent, and minimal-rooted
+//   * the labeler never emits an allocation exceeding the node and never
+//     livelocks (whole-node retry always succeeds)
+//   * the master conserves tasks and never oversubscribes a worker
+//   * canonicalize_smiles is idempotent on random molecules
+#include <gtest/gtest.h>
+
+#include "apps/drugscreen.h"
+#include "pkg/index.h"
+#include "pkg/packer.h"
+#include "pkg/solver.h"
+#include "serde/pickle.h"
+#include "util/rng.h"
+#include "wq/master.h"
+
+namespace lfm {
+namespace {
+
+// --- pickle round-trip over random value trees --------------------------------
+
+serde::Value random_value(Rng& rng, int depth) {
+  const int kind = static_cast<int>(rng.uniform_int(0, depth > 3 ? 5 : 7));
+  switch (kind) {
+    case 0: return serde::Value();
+    case 1: return serde::Value(rng.chance(0.5));
+    case 2: return serde::Value(static_cast<int64_t>(rng.next()));
+    case 3: return serde::Value(rng.normal(0.0, 1e6));
+    case 4: {
+      std::string s;
+      const int len = static_cast<int>(rng.uniform_int(0, 40));
+      for (int i = 0; i < len; ++i) s += static_cast<char>(rng.uniform_int(32, 126));
+      return serde::Value(std::move(s));
+    }
+    case 5: {
+      serde::Bytes b;
+      const int len = static_cast<int>(rng.uniform_int(0, 64));
+      for (int i = 0; i < len; ++i) b.push_back(static_cast<uint8_t>(rng.next()));
+      return serde::Value(std::move(b));
+    }
+    case 6: {
+      serde::ValueList l;
+      const int len = static_cast<int>(rng.uniform_int(0, 6));
+      for (int i = 0; i < len; ++i) l.push_back(random_value(rng, depth + 1));
+      return serde::Value(std::move(l));
+    }
+    default: {
+      serde::ValueDict d;
+      const int len = static_cast<int>(rng.uniform_int(0, 6));
+      for (int i = 0; i < len; ++i) {
+        d["k" + std::to_string(i)] = random_value(rng, depth + 1);
+      }
+      return serde::Value(std::move(d));
+    }
+  }
+}
+
+class PickleRoundtrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PickleRoundtrip, RandomValueTreeSurvives) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const serde::Value v = random_value(rng, 0);
+    const serde::Bytes wire = serde::dumps(v);
+    EXPECT_EQ(wire.size(), serde::encoded_size(v));
+    EXPECT_EQ(serde::loads(wire), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PickleRoundtrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- tar round-trip over random archives ---------------------------------------
+
+class TarRoundtrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TarRoundtrip, RandomArchiveSurvives) {
+  Rng rng(GetParam());
+  pkg::Archive archive;
+  const int entries = static_cast<int>(rng.uniform_int(1, 20));
+  for (int i = 0; i < entries; ++i) {
+    if (rng.chance(0.2)) {
+      archive.add_directory("dir" + std::to_string(i));
+      continue;
+    }
+    pkg::Bytes data;
+    const int len = static_cast<int>(rng.uniform_int(0, 3000));
+    for (int j = 0; j < len; ++j) data.push_back(static_cast<uint8_t>(rng.next()));
+    archive.add_file("path/to/file" + std::to_string(i) + ".bin", std::move(data),
+                     rng.chance(0.5) ? 0644 : 0755);
+  }
+  const pkg::Archive back = pkg::read_tar(pkg::write_tar(archive));
+  ASSERT_EQ(back.entries().size(), archive.entries().size());
+  for (size_t i = 0; i < archive.entries().size(); ++i) {
+    EXPECT_EQ(back.entries()[i].path, archive.entries()[i].path);
+    EXPECT_EQ(back.entries()[i].data, archive.entries()[i].data);
+    EXPECT_EQ(back.entries()[i].is_directory, archive.entries()[i].is_directory);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TarRoundtrip, ::testing::Range<uint64_t>(100, 112));
+
+// --- solver closure invariants --------------------------------------------------
+
+class SolverClosure : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SolverClosure, ResolutionIsClosedAndConsistent) {
+  const pkg::PackageIndex index = pkg::standard_index();
+  pkg::Solver solver(index);
+  const auto result = solver.resolve({pkg::Requirement::parse(GetParam())});
+  ASSERT_TRUE(result.ok()) << result.error();
+  const auto& packages = result.value().packages;
+
+  // Root present.
+  EXPECT_TRUE(packages.count(GetParam()));
+  for (const auto& [name, meta] : packages) {
+    EXPECT_EQ(meta->name, name);
+    for (const auto& dep : meta->depends) {
+      // Closure: every dependency is in the set...
+      ASSERT_TRUE(packages.count(dep.name))
+          << name << " depends on missing " << dep.name;
+      // ...at a version satisfying the constraint.
+      EXPECT_TRUE(dep.spec.matches(packages.at(dep.name)->version))
+          << name << " -> " << dep.str() << " got "
+          << packages.at(dep.name)->version.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SolverClosure,
+                         ::testing::Values("numpy", "scipy", "pandas",
+                                           "scikit-learn", "matplotlib",
+                                           "tensorflow", "mxnet", "coffea",
+                                           "candle-drugscreen",
+                                           "gdc-dnaseq-pipeline", "parsl",
+                                           "funcx"));
+
+// --- labeler invariants -----------------------------------------------------------
+
+class LabelerInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabelerInvariants, AllocationsNeverExceedNodeAndRetryTerminates) {
+  Rng rng(GetParam());
+  alloc::LabelerConfig cfg;
+  cfg.whole_node = alloc::Resources{8, 8e9, 16e9};
+  cfg.guess = alloc::Resources{1, 1e9, 1e9};
+  cfg.strategy = alloc::Strategy::kAuto;
+  cfg.warmup_samples = 2;
+  alloc::CategoryLabeler labeler(cfg);
+
+  for (int i = 0; i < 300; ++i) {
+    // Feed arbitrary observations, including nonsense-heavy ones.
+    const alloc::Resources peak{rng.uniform(0.1, 8.0), rng.uniform(1e6, 8e9),
+                                rng.uniform(1e6, 16e9)};
+    if (rng.chance(0.2)) {
+      labeler.observe_exhaustion(labeler.allocation(0),
+                                 rng.chance(0.5) ? "memory" : "disk");
+    } else {
+      labeler.observe_success(peak);
+    }
+    for (const int attempt : {0, 1, 2}) {
+      const alloc::Resources a = labeler.allocation(attempt);
+      EXPECT_TRUE(a.fits_in(cfg.whole_node));
+      EXPECT_TRUE(a.nonnegative());
+      EXPECT_GE(a.cores, 1.0);
+      if (attempt >= 1) {
+        // Retry escalates to the whole node: any task that fits the node
+        // at all succeeds on attempt 1 -> no livelock.
+        EXPECT_DOUBLE_EQ(a.memory_bytes, cfg.whole_node.memory_bytes);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelerInvariants,
+                         ::testing::Values(7, 11, 13, 17, 19, 23));
+
+// --- master conservation ----------------------------------------------------------
+
+class MasterConservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MasterConservation, TasksConservedAndWorkersNeverOversubscribed) {
+  Rng rng(GetParam());
+  alloc::LabelerConfig cfg;
+  cfg.whole_node = alloc::Resources{8, 8e9, 16e9};
+  cfg.guess = alloc::Resources{2, 2e9, 3e9};
+  cfg.strategy = rng.chance(0.5) ? alloc::Strategy::kAuto : alloc::Strategy::kGuess;
+  cfg.warmup_samples = 2;
+  alloc::Labeler labeler(cfg);
+
+  sim::Simulation sim;
+  sim::Network net(sim, {});
+  wq::Master master(sim, net, labeler);
+  const int n_workers = static_cast<int>(rng.uniform_int(1, 5));
+  for (int w = 0; w < n_workers; ++w) {
+    master.add_worker({cfg.whole_node, rng.uniform(0.0, 5.0)});
+  }
+  const int n_tasks = static_cast<int>(rng.uniform_int(5, 60));
+  for (int i = 0; i < n_tasks; ++i) {
+    wq::TaskSpec t;
+    t.id = static_cast<uint64_t>(i + 1);
+    t.category = rng.chance(0.5) ? "a" : "b";
+    t.exec_seconds = rng.uniform(0.5, 20.0);
+    t.true_cores = rng.uniform(0.5, 4.0);
+    t.true_peak = alloc::Resources{t.true_cores, rng.uniform(1e8, 6e9),
+                                   rng.uniform(1e8, 10e9)};
+    t.peak_fraction = rng.uniform(0.2, 0.95);
+    master.submit(std::move(t));
+  }
+  const wq::MasterStats stats = master.run();
+  EXPECT_EQ(stats.tasks_completed + stats.tasks_failed, n_tasks);
+  // Every record reached a terminal state with sane timestamps.
+  for (const auto& rec : master.records()) {
+    EXPECT_EQ(rec.state, wq::TaskState::kDone);
+    if (rec.finish_time >= 0.0) {
+      EXPECT_GE(rec.finish_time, rec.start_time);
+      EXPECT_GE(rec.start_time, rec.submit_time);
+    }
+  }
+  EXPECT_LE(stats.utilization(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MasterConservation,
+                         ::testing::Range<uint64_t>(40, 56));
+
+// --- smiles idempotence -------------------------------------------------------------
+
+class SmilesIdempotence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SmilesIdempotence, CanonicalFormIsFixedPoint) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const std::string s =
+        apps::drugscreen::random_smiles(rng.next(), static_cast<int>(rng.uniform_int(3, 30)));
+    const std::string once = apps::drugscreen::canonicalize_smiles(s);
+    const std::string twice = apps::drugscreen::canonicalize_smiles(once);
+    EXPECT_EQ(once, twice) << "input: " << s;
+    // Fingerprints of canonical forms are stable under re-canonicalization.
+    EXPECT_EQ(apps::drugscreen::fingerprint(once), apps::drugscreen::fingerprint(twice));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmilesIdempotence, ::testing::Values(3, 6, 9, 12));
+
+// --- histogram/quantile coherence -----------------------------------------------------
+
+class HistogramQuantiles : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramQuantiles, QuantileBoundsMassBelow) {
+  Rng rng(GetParam());
+  Histogram h(1.0, 100);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.0, 100.0);
+    values.push_back(v);
+    h.add(v);
+  }
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double cut = h.quantile(q);
+    int below = 0;
+    for (const double v : values) {
+      if (v <= cut) ++below;
+    }
+    // At least a q-fraction of the mass lies at or below the quantile.
+    EXPECT_GE(static_cast<double>(below) / 500.0, q - 1e-9) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramQuantiles, ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace lfm

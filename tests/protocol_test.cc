@@ -1,0 +1,134 @@
+// Tests for the Work Queue wire protocol codec.
+#include <gtest/gtest.h>
+
+#include "wq/protocol.h"
+
+namespace lfm::wq {
+namespace {
+
+TaskMessage sample_task() {
+  TaskMessage msg;
+  msg.task_id = 42;
+  msg.category = "hep-analysis";
+  msg.command_line = "python lfm_wrapper.py fn.pkl 'arg one' --flag";
+  msg.allocation = alloc::Resources{2.0, 1500000000.0, 2000000000.0};
+  msg.infiles.push_back({"hep-conda-env.tar.gz", 240000000, true});
+  msg.infiles.push_back({"events-00001.root", 500000, false});
+  msg.outfiles.push_back("hist-00001.pkl");
+  return msg;
+}
+
+TEST(Protocol, TaskRoundtrip) {
+  const TaskMessage original = sample_task();
+  const TaskMessage back = decode_task(encode(original));
+  EXPECT_EQ(back.task_id, 42u);
+  EXPECT_EQ(back.category, "hep-analysis");
+  EXPECT_EQ(back.command_line, original.command_line);
+  EXPECT_DOUBLE_EQ(back.allocation.cores, 2.0);
+  EXPECT_DOUBLE_EQ(back.allocation.memory_bytes, 1.5e9);
+  ASSERT_EQ(back.infiles.size(), 2u);
+  EXPECT_EQ(back.infiles[0].name, "hep-conda-env.tar.gz");
+  EXPECT_TRUE(back.infiles[0].cacheable);
+  EXPECT_FALSE(back.infiles[1].cacheable);
+  ASSERT_EQ(back.outfiles.size(), 1u);
+  EXPECT_EQ(back.outfiles[0], "hist-00001.pkl");
+}
+
+TEST(Protocol, ResultRoundtrip) {
+  ResultMessage msg;
+  msg.task_id = 7;
+  msg.exit_code = 0;
+  msg.cores_used = 1.85;
+  msg.memory_peak_bytes = 88000000;
+  msg.disk_peak_bytes = 880000000;
+  msg.wall_seconds = 63.25;
+  const ResultMessage back = decode_result(encode(msg));
+  EXPECT_EQ(back.task_id, 7u);
+  EXPECT_EQ(back.exit_code, 0);
+  EXPECT_FALSE(back.exhausted);
+  EXPECT_DOUBLE_EQ(back.cores_used, 1.85);
+  EXPECT_EQ(back.memory_peak_bytes, 88000000);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, 63.25);
+}
+
+TEST(Protocol, ExhaustionReport) {
+  ResultMessage msg;
+  msg.task_id = 9;
+  msg.exit_code = -1;
+  msg.exhausted = true;
+  msg.exhausted_resource = "memory";
+  msg.wall_seconds = 10.0;
+  const ResultMessage back = decode_result(encode(msg));
+  EXPECT_TRUE(back.exhausted);
+  EXPECT_EQ(back.exhausted_resource, "memory");
+}
+
+TEST(Protocol, CommandEscaping) {
+  TaskMessage msg = sample_task();
+  msg.command_line = "sh -c 'echo 100% done\ttab\nnewline'";
+  const TaskMessage back = decode_task(encode(msg));
+  EXPECT_EQ(back.command_line, msg.command_line);
+}
+
+TEST(Protocol, WireIsLineOriented) {
+  const std::string wire = encode(sample_task());
+  EXPECT_EQ(wire.substr(0, 5), "task ");
+  EXPECT_EQ(wire.substr(wire.size() - 4), "end\n");
+  // One stanza per line; no raw spaces inside the cmd payload.
+  EXPECT_NE(wire.find("\ninfile hep-conda-env.tar.gz 240000000 1\n"),
+            std::string::npos);
+}
+
+TEST(Protocol, RejectsUnterminated) {
+  std::string wire = encode(sample_task());
+  wire = wire.substr(0, wire.size() - 4);  // chop "end\n"
+  EXPECT_THROW(decode_task(wire), Error);
+}
+
+TEST(Protocol, RejectsWrongMessageKind) {
+  EXPECT_THROW(decode_result(encode(sample_task())), Error);
+  ResultMessage r;
+  r.task_id = 1;
+  r.wall_seconds = 1.0;
+  EXPECT_THROW(decode_task(encode(r)), Error);
+}
+
+TEST(Protocol, RejectsUnknownStanza) {
+  EXPECT_THROW(decode_task("task 1 cat\nbogus stanza\nend\n"), Error);
+}
+
+TEST(Protocol, RejectsMissingAllocOrUsage) {
+  EXPECT_THROW(decode_task("task 1 cat\ncmd x\nend\n"), Error);
+  EXPECT_THROW(decode_result("result 1 0\nend\n"), Error);
+}
+
+TEST(Protocol, RejectsMalformedNumbers) {
+  EXPECT_THROW(decode_task("task abc cat\nalloc 1 1 1\nend\n"), Error);
+  EXPECT_THROW(decode_task("task 1 cat\nalloc x 1 1\nend\n"), Error);
+  EXPECT_THROW(decode_result("result 1 0\nusage 1 nope 1 1\nend\n"), Error);
+}
+
+TEST(Protocol, RejectsInvalidTokens) {
+  TaskMessage msg = sample_task();
+  msg.category = "has space";
+  EXPECT_THROW(encode(msg), Error);
+  msg = sample_task();
+  msg.infiles[0].name = "bad\nname";
+  EXPECT_THROW(encode(msg), Error);
+}
+
+TEST(Protocol, ValidTokenRules) {
+  EXPECT_TRUE(valid_token("env.tar.gz"));
+  EXPECT_TRUE(valid_token("a-b_c.1"));
+  EXPECT_FALSE(valid_token(""));
+  EXPECT_FALSE(valid_token("a b"));
+  EXPECT_FALSE(valid_token("a\tb"));
+}
+
+TEST(Protocol, FieldCountValidation) {
+  EXPECT_THROW(decode_task("task 1\nalloc 1 1 1\nend\n"), Error);
+  EXPECT_THROW(decode_task("task 1 cat extra_field\nalloc 1 1 1\nend\n"), Error);
+}
+
+}  // namespace
+}  // namespace lfm::wq

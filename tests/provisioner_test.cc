@@ -1,0 +1,176 @@
+// Tests for runtime cluster provisioning: pilot submission under load,
+// batch latency, idle release, and end-to-end elasticity with the master.
+#include <gtest/gtest.h>
+
+#include "apps/hep.h"
+#include "sim/provisioner.h"
+#include "util/error.h"
+#include "wq/master.h"
+
+namespace lfm::sim {
+namespace {
+
+TEST(Provisioner, RequiresCallbacks) {
+  Simulation sim;
+  EXPECT_THROW(Provisioner(sim, {}, 10.0, nullptr, [] {}, [] { return false; }),
+               Error);
+}
+
+TEST(Provisioner, RejectsBadBounds) {
+  Simulation sim;
+  ProvisionerPolicy policy;
+  policy.min_workers = 5;
+  policy.max_workers = 2;
+  EXPECT_THROW(Provisioner(sim, policy, 10.0, [] { return LoadSnapshot{}; }, [] {},
+                           [] { return false; }),
+               Error);
+}
+
+TEST(Provisioner, SubmitsPilotsForLoad) {
+  Simulation sim;
+  int live = 0;
+  int tasks = 40;
+  ProvisionerPolicy policy;
+  policy.tasks_per_worker = 4.0;
+  policy.max_workers = 8;
+  policy.poll_interval = 5.0;
+  Provisioner prov(
+      sim, policy, /*batch latency=*/30.0,
+      [&] { return LoadSnapshot{tasks, 0, live}; },
+      [&] { ++live; }, [&] { return false; });
+  prov.start();
+  sim.run_until(100.0);
+  // 40 tasks / 4 per worker = 10, capped at max_workers 8.
+  EXPECT_EQ(prov.pilots_submitted(), 8);
+  EXPECT_EQ(live, 8);
+  prov.stop();
+  sim.run();
+}
+
+TEST(Provisioner, BatchLatencyDelaysWorkers) {
+  Simulation sim;
+  int live = 0;
+  double first_worker_at = -1.0;
+  ProvisionerPolicy policy;
+  policy.poll_interval = 1.0;
+  Provisioner prov(
+      sim, policy, /*batch latency=*/120.0,
+      [&] { return LoadSnapshot{10, 0, live}; },
+      [&] {
+        ++live;
+        if (first_worker_at < 0.0) first_worker_at = sim.now();
+      },
+      [&] { return false; });
+  prov.start();
+  sim.run_until(300.0);
+  EXPECT_GE(first_worker_at, 120.0);
+  prov.stop();
+  sim.run();
+}
+
+TEST(Provisioner, PendingPilotsCapped) {
+  Simulation sim;
+  int live = 0;
+  ProvisionerPolicy policy;
+  policy.max_pending_pilots = 3;
+  policy.max_workers = 100;
+  policy.tasks_per_worker = 1.0;
+  policy.poll_interval = 1.0;
+  Provisioner prov(
+      sim, policy, /*batch latency=*/1000.0,  // pilots never connect in window
+      [&] { return LoadSnapshot{500, 0, live}; },
+      [&] { ++live; }, [&] { return false; });
+  prov.start();
+  sim.run_until(5.5);
+  EXPECT_EQ(prov.pilots_pending(), 3);
+  prov.stop();
+}
+
+TEST(Provisioner, ReleasesIdleWorkersAfterHold) {
+  Simulation sim;
+  int live = 5;
+  ProvisionerPolicy policy;
+  policy.min_workers = 1;
+  policy.poll_interval = 10.0;
+  policy.idle_release_after = 60.0;
+  Provisioner prov(
+      sim, policy, 10.0, [&] { return LoadSnapshot{0, 0, live}; }, [&] { ++live; },
+      [&] {
+        --live;
+        return true;
+      });
+  prov.start();
+  sim.run();
+  EXPECT_EQ(live, 1);  // drained to the floor, then quiesced
+  EXPECT_EQ(prov.workers_released(), 4);
+}
+
+TEST(Provisioner, NoReleaseBeforeHoldExpires) {
+  Simulation sim;
+  int live = 5;
+  ProvisionerPolicy policy;
+  policy.min_workers = 0;
+  policy.poll_interval = 10.0;
+  policy.idle_release_after = 1000.0;
+  Provisioner prov(
+      sim, policy, 10.0, [&] { return LoadSnapshot{0, 0, live}; }, [&] { ++live; },
+      [&] {
+        --live;
+        return true;
+      });
+  prov.start();
+  sim.run_until(500.0);
+  EXPECT_EQ(live, 5);
+  prov.stop();
+  sim.run();
+}
+
+TEST(Provisioner, ElasticPoolRunsWorkloadEndToEnd) {
+  // Full loop: the master starts with ZERO workers; the provisioner watches
+  // its queue, submits pilots through the batch system, and the workload
+  // completes on the dynamically grown pool.
+  Simulation sim;
+  Network net(sim, {});
+  alloc::LabelerConfig cfg;
+  cfg.whole_node = alloc::Resources{8, 8e9, 16e9};
+  cfg.guess = alloc::Resources{1, 1e9, 2e9};
+  cfg.strategy = alloc::Strategy::kGuess;
+  alloc::Labeler labeler(cfg);
+  wq::Master master(sim, net, labeler);
+
+  ProvisionerPolicy policy;
+  policy.max_workers = 10;
+  policy.tasks_per_worker = 4.0;
+  policy.poll_interval = 5.0;
+  policy.idle_release_after = 50.0;
+  Provisioner prov(
+      sim, policy, /*batch latency=*/15.0,
+      [&] {
+        return LoadSnapshot{master.ready_count(), master.running_count(),
+                            master.live_worker_count()};
+      },
+      [&] { master.add_worker({cfg.whole_node, sim.now()}); },
+      [&] { return master.release_idle_worker(); });
+
+  for (int i = 0; i < 40; ++i) {
+    wq::TaskSpec t;
+    t.id = static_cast<uint64_t>(i + 1);
+    t.category = "u";
+    t.exec_seconds = 10.0;
+    t.true_cores = 1.0;
+    t.true_peak = alloc::Resources{1.0, 500e6, 1e9};
+    master.submit(std::move(t));
+  }
+  prov.start();
+  const wq::MasterStats stats = master.run();
+  EXPECT_EQ(stats.tasks_completed, 40);
+  EXPECT_GT(prov.workers_started(), 0);
+  // Pool scaled up (several pilots) and released back down when idle.
+  EXPECT_GE(prov.pilots_submitted(), 5);
+  EXPECT_GT(prov.workers_released(), 0);
+  // First tasks could not start before the batch latency elapsed.
+  EXPECT_GE(master.records()[0].start_time, 15.0);
+}
+
+}  // namespace
+}  // namespace lfm::sim

@@ -1,0 +1,152 @@
+// Tests for python_app: shipped Python source running through the
+// DataFlowKernel, including under real LFM isolation and limits.
+#include <gtest/gtest.h>
+
+#include "flow/dfk.h"
+#include "flow/pyapp.h"
+
+namespace lfm::flow {
+namespace {
+
+using serde::Value;
+using serde::ValueList;
+
+const char* kUserModule = R"(
+import parsl
+from parsl import python_app
+
+CONFIG = 'module level state that must not ship'
+
+@python_app
+def keep(values, threshold):
+    kept = [v for v in values if v >= threshold]
+    return {'count': len(kept), 'total': sum(kept)}
+
+@python_app
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+@python_app
+def fails(x):
+    raise ValueError('bad input: ' + str(x))
+)";
+
+TEST(PythonApp, RunsThroughInlineExecutor) {
+  InlineExecutor exec;
+  DataFlowKernel dfk(exec);
+  App app = python_app(kUserModule, "keep");
+  const Future f =
+      dfk.submit(app, {Arg(Value(ValueList{Value(3), Value(8), Value(5)})),
+                       Arg(Value(5))});
+  const Value result = f.result();
+  EXPECT_EQ(result.at("count").as_int(), 2);
+  EXPECT_EQ(result.at("total").as_int(), 13);
+}
+
+TEST(PythonApp, RecursionWorksInShippedSource) {
+  InlineExecutor exec;
+  DataFlowKernel dfk(exec);
+  const Future f = dfk.submit(python_app(kUserModule, "fib"), {Arg(Value(12))});
+  EXPECT_EQ(f.result().as_int(), 144);
+}
+
+TEST(PythonApp, PythonExceptionBecomesTaskException) {
+  InlineExecutor exec;
+  DataFlowKernel dfk(exec);
+  const Future f = dfk.submit(python_app(kUserModule, "fails"), {Arg(Value(7))});
+  EXPECT_EQ(f.outcome().status, monitor::TaskStatus::kException);
+  EXPECT_NE(f.outcome().error.find("ValueError"), std::string::npos);
+  EXPECT_NE(f.outcome().error.find("bad input: 7"), std::string::npos);
+}
+
+TEST(PythonApp, MissingFunctionThrowsAtConstruction) {
+  EXPECT_THROW(python_app(kUserModule, "ghost"), Error);
+}
+
+TEST(PythonApp, DecoratorsAndModuleStateDoNotShip) {
+  const App app = python_app(kUserModule, "keep");
+  EXPECT_EQ(app.python_source.find("@python_app"), std::string::npos);
+  EXPECT_EQ(app.python_source.find("CONFIG"), std::string::npos);
+  EXPECT_NE(app.python_source.find("def keep"), std::string::npos);
+}
+
+TEST(PythonApp, RunsInsideRealLfm) {
+  // The full paper pipeline: shipped source, fresh interpreter, forked LFM
+  // child, pickled result back over the pipe.
+  LocalLfmExecutor exec(2);
+  DataFlowKernel dfk(exec);
+  const Future f = dfk.submit(python_app(kUserModule, "fib"), {Arg(Value(14))});
+  EXPECT_EQ(f.result().as_int(), 377);
+  exec.drain();
+}
+
+TEST(PythonApp, StepBudgetContainsRunawayPython) {
+  PythonAppOptions options;
+  options.interpreter.max_steps = 50000;
+  const char* runaway = "def spin():\n    while True:\n        pass\n";
+  InlineExecutor exec;
+  DataFlowKernel dfk(exec);
+  const Future f = dfk.submit(python_app(runaway, "spin", options), {});
+  EXPECT_EQ(f.outcome().status, monitor::TaskStatus::kException);
+  EXPECT_NE(f.outcome().error.find("step budget"), std::string::npos);
+}
+
+TEST(PythonApp, LfmMemoryLimitKillsLeakyPython) {
+  // A Python loop hoarding strings allocates real memory in the LFM child;
+  // the monitor kills it without harming this process.
+  const char* leaky = R"(
+def hoard(chunks):
+    data = []
+    i = 0
+    while i < chunks:
+        data.append('x' * 1000000)
+        i = i + 1
+    return len(data)
+)";
+  PythonAppOptions options;
+  options.limits.memory_bytes = 64LL << 20;
+  options.limits.wall_time = 60.0;
+  LocalLfmExecutor exec(1);
+  DataFlowKernel dfk(exec);
+  const Future f = dfk.submit(python_app(leaky, "hoard", options),
+                              {Arg(Value(int64_t{100000}))});
+  EXPECT_EQ(f.outcome().status, monitor::TaskStatus::kLimitExceeded);
+  EXPECT_EQ(f.outcome().violated_resource, "memory");
+  exec.drain();
+}
+
+TEST(PythonApp, ChainedPythonAppsFormDag) {
+  InlineExecutor exec;
+  DataFlowKernel dfk(exec);
+  const char* stages = R"(
+def double_all(xs):
+    return [x * 2 for x in xs]
+
+def total(xs):
+    return sum(xs)
+)";
+  const Future doubled =
+      dfk.submit(python_app(stages, "double_all"),
+                 {Arg(Value(ValueList{Value(1), Value(2), Value(3)}))});
+  // The DAG at work: the first stage's future is the second stage's arg.
+  const Future summed = dfk.submit(python_app(stages, "total"), {Arg(doubled)});
+  EXPECT_EQ(summed.result().as_int(), 12);
+}
+
+
+TEST(PythonApp, FStringsSurviveShipping) {
+  const char* src = R"(
+def label(task, mem):
+    return f'{task}: {mem / 1000000:.1f} MB'
+)";
+  InlineExecutor exec;
+  DataFlowKernel dfk(exec);
+  const Future f = dfk.submit(python_app(src, "label"),
+                              {Arg(Value("hep")), Arg(Value(int64_t{84000000}))});
+  EXPECT_EQ(f.result().as_str(), "hep: 84.0 MB");
+}
+
+}  // namespace
+}  // namespace lfm::flow

@@ -1,0 +1,166 @@
+// Unit tests for the Value type and the pickle-like codec, including
+// malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "serde/pickle.h"
+#include "serde/value.h"
+
+namespace lfm::serde {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_none());
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_real(), 2.5);
+  EXPECT_EQ(Value("hi").as_str(), "hi");
+  EXPECT_EQ(Value(Bytes{1, 2, 3}).as_bytes().size(), 3u);
+}
+
+TEST(Value, IntWidensToReal) {
+  EXPECT_DOUBLE_EQ(Value(7).as_real(), 7.0);
+}
+
+TEST(Value, WrongAccessorThrows) {
+  EXPECT_THROW(Value(1).as_str(), Error);
+  EXPECT_THROW(Value("x").as_int(), Error);
+  EXPECT_THROW(Value().as_list(), Error);
+}
+
+TEST(Value, DictAccess) {
+  ValueDict d;
+  d["a"] = Value(1);
+  Value v(std::move(d));
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("b"));
+  EXPECT_THROW(v.at("b"), Error);
+  EXPECT_FALSE(Value(1).contains("a"));
+}
+
+TEST(Value, EqualityDeep) {
+  ValueList l1{Value(1), Value("x")};
+  ValueList l2{Value(1), Value("x")};
+  EXPECT_EQ(Value(l1), Value(l2));
+  l2.push_back(Value());
+  EXPECT_NE(Value(l1), Value(l2));
+}
+
+TEST(Value, Repr) {
+  EXPECT_EQ(Value().repr(), "None");
+  EXPECT_EQ(Value(true).repr(), "True");
+  EXPECT_EQ(Value(-3).repr(), "-3");
+  EXPECT_EQ(Value("a'b").repr(), "'a\\'b'");
+  ValueList l{Value(1), Value(2)};
+  EXPECT_EQ(Value(l).repr(), "[1, 2]");
+  ValueDict d;
+  d["k"] = Value(1);
+  EXPECT_EQ(Value(d).repr(), "{'k': 1}");
+}
+
+Value roundtrip(const Value& v) { return loads(dumps(v)); }
+
+TEST(Pickle, RoundtripScalars) {
+  EXPECT_EQ(roundtrip(Value()), Value());
+  EXPECT_EQ(roundtrip(Value(true)), Value(true));
+  EXPECT_EQ(roundtrip(Value(false)), Value(false));
+  EXPECT_EQ(roundtrip(Value(int64_t{0})), Value(int64_t{0}));
+  EXPECT_EQ(roundtrip(Value(int64_t{-1})), Value(int64_t{-1}));
+  EXPECT_EQ(roundtrip(Value(INT64_MAX)), Value(INT64_MAX));
+  EXPECT_EQ(roundtrip(Value(INT64_MIN)), Value(INT64_MIN));
+  EXPECT_EQ(roundtrip(Value(3.14159)), Value(3.14159));
+  EXPECT_EQ(roundtrip(Value(-0.0)).as_real(), 0.0);
+  EXPECT_EQ(roundtrip(Value("")), Value(""));
+  EXPECT_EQ(roundtrip(Value("hello \n world")), Value("hello \n world"));
+}
+
+TEST(Pickle, RoundtripContainers) {
+  ValueList inner{Value(1), Value("two"), Value(3.0)};
+  ValueDict d;
+  d["list"] = Value(inner);
+  d["nested"] = Value(ValueDict{{"x", Value(Bytes{0, 255, 10})}});
+  const Value v{std::move(d)};
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(Pickle, RoundtripDeepNesting) {
+  Value v(int64_t{42});
+  for (int i = 0; i < 100; ++i) v = Value(ValueList{std::move(v)});
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(Pickle, EncodedSizeMatches) {
+  ValueDict d;
+  d["k"] = Value(ValueList{Value(1), Value("str"), Value(2.5)});
+  const Value v(std::move(d));
+  EXPECT_EQ(dumps(v).size(), encoded_size(v));
+}
+
+TEST(Pickle, RejectsBadMagic) {
+  Bytes b = dumps(Value(1));
+  b[0] = 'X';
+  EXPECT_THROW(loads(b), Error);
+}
+
+TEST(Pickle, RejectsBadVersion) {
+  Bytes b = dumps(Value(1));
+  b[4] = 99;
+  EXPECT_THROW(loads(b), Error);
+}
+
+TEST(Pickle, RejectsTruncation) {
+  const Bytes b = dumps(Value(std::string(100, 'a')));
+  for (const size_t cut : {size_t{4}, b.size() / 2, b.size() - 1}) {
+    Bytes t(b.begin(), b.begin() + static_cast<long>(cut));
+    EXPECT_THROW(loads(t), Error) << "cut=" << cut;
+  }
+}
+
+TEST(Pickle, RejectsTrailingGarbage) {
+  Bytes b = dumps(Value(1));
+  b.push_back(0);
+  EXPECT_THROW(loads(b), Error);
+}
+
+TEST(Pickle, RejectsUnknownTag) {
+  Bytes b = dumps(Value(1));
+  b[5] = 200;  // tag byte
+  EXPECT_THROW(loads(b), Error);
+}
+
+TEST(Pickle, RejectsBadBoolByte) {
+  Bytes b = dumps(Value(true));
+  b[6] = 7;
+  EXPECT_THROW(loads(b), Error);
+}
+
+TEST(Pickle, RejectsEmpty) {
+  EXPECT_THROW(loads(Bytes{}), Error);
+}
+
+
+TEST(Pickle, RejectsExcessiveNesting) {
+  // The decoder guards against stack exhaustion at depth > 256.
+  Value v(int64_t{1});
+  for (int i = 0; i < 300; ++i) v = Value(ValueList{std::move(v)});
+  const Bytes wire = dumps(v);  // encoding recurses but 300 frames is fine
+  EXPECT_THROW(loads(wire), Error);
+}
+
+TEST(Pickle, AcceptsNestingAtGuardBoundary) {
+  Value v(int64_t{7});
+  for (int i = 0; i < 250; ++i) v = Value(ValueList{std::move(v)});
+  EXPECT_EQ(loads(dumps(v)), v);
+}
+
+TEST(Pickle, LargePayload) {
+  ValueList big;
+  for (int i = 0; i < 10000; ++i) big.push_back(Value(int64_t{i} * 1000003));
+  const Value v(std::move(big));
+  const Value back = roundtrip(v);
+  ASSERT_EQ(back.as_list().size(), 10000u);
+  EXPECT_EQ(back.as_list()[9999].as_int(), 9999LL * 1000003);
+}
+
+}  // namespace
+}  // namespace lfm::serde

@@ -1,0 +1,132 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace lfm::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Engine, SameTimeEventsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, HandlersScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule(1.0, chain);
+  };
+  sim.schedule(1.0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.schedule(1.0, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelAfterRunIsNoop) {
+  Simulation sim;
+  const EventId id = sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_NO_THROW(sim.cancel(id));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule(t, [&times, &sim] { times.push_back(sim.now()); });
+  }
+  sim.run_until(2.5);
+  EXPECT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  sim.run();
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(Engine, RunUntilExecutesEventsAtDeadline) {
+  Simulation sim;
+  bool ran = false;
+  sim.schedule(2.0, [&] { ran = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, RejectsNegativeDelay) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), Error);
+  EXPECT_THROW(sim.schedule(std::nan(""), [] {}), Error);
+}
+
+TEST(Engine, RejectsSchedulingIntoPast) {
+  Simulation sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), Error);
+}
+
+TEST(Engine, ZeroDelayRunsAtCurrentTime) {
+  Simulation sim;
+  double when = -1.0;
+  sim.schedule(1.0, [&] {
+    sim.schedule(0.0, [&] { when = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(when, 1.0);
+}
+
+TEST(Engine, ExecutedEventCount) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(1.0, [] {});
+  const EventId id = sim.schedule(2.0, [] {});
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Engine, ManyEventsStress) {
+  Simulation sim;
+  int64_t sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sim.schedule(static_cast<double>(i % 1000), [&sum] { ++sum; });
+  }
+  sim.run();
+  EXPECT_EQ(sum, 100000);
+}
+
+}  // namespace
+}  // namespace lfm::sim

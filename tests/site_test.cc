@@ -1,0 +1,79 @@
+// Unit tests for site presets and runtime cold-start models (Tables I, III).
+#include <gtest/gtest.h>
+
+#include "sim/site.h"
+#include "util/units.h"
+
+namespace lfm::sim {
+namespace {
+
+TEST(Runtimes, CondaIsEnvVarOnly) {
+  const RuntimeCosts conda = conda_runtime();
+  EXPECT_EQ(conda.namespace_seconds, 0.0);
+  EXPECT_EQ(conda.image_mount_seconds, 0.0);
+  EXPECT_GT(conda.cold_start_seconds(), 0.0);
+}
+
+TEST(Runtimes, CondaBeatsEveryContainer) {
+  // Table I's headline: "Conda is significantly faster than containers".
+  const double conda = conda_runtime().cold_start_seconds();
+  for (const RuntimeCosts& container :
+       {singularity_runtime(), shifter_runtime(), docker_runtime()}) {
+    EXPECT_GT(container.cold_start_seconds(), conda * 3.0) << container.name;
+  }
+}
+
+TEST(Runtimes, ContainersPayNamespaceAndMountCosts) {
+  for (const RuntimeCosts& container :
+       {singularity_runtime(), shifter_runtime(), docker_runtime()}) {
+    EXPECT_GT(container.namespace_seconds, 0.0) << container.name;
+    EXPECT_GT(container.image_mount_seconds, 0.0) << container.name;
+    EXPECT_GT(container.controller_seconds, 0.0) << container.name;
+  }
+}
+
+TEST(Sites, AllFivePresent) {
+  const auto sites = all_sites();
+  ASSERT_EQ(sites.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& s : sites) names.insert(s.name);
+  EXPECT_EQ(names, (std::set<std::string>{"Theta", "Cori", "ND-CRC", "NSCC", "AWS"}));
+}
+
+TEST(Sites, PaperNodeShapes) {
+  EXPECT_EQ(theta().node.cores, 64);       // KNL
+  EXPECT_EQ(cori().node.cores, 32);        // Haswell
+  EXPECT_EQ(nscc().node.cores, 24);        // 2x12 (paper §VI.C.3)
+  EXPECT_EQ(nscc().node.memory_bytes, 96_GB);
+}
+
+TEST(Sites, RuntimePairingsMatchTableI) {
+  EXPECT_NE(theta().runtime("conda"), nullptr);
+  EXPECT_NE(theta().runtime("singularity"), nullptr);
+  EXPECT_NE(cori().runtime("shifter"), nullptr);
+  EXPECT_NE(aws_ec2().runtime("docker"), nullptr);
+  EXPECT_EQ(theta().runtime("docker"), nullptr);
+  EXPECT_EQ(theta().runtime("bogus"), nullptr);
+}
+
+TEST(Sites, CampusClusterHasWeakestMetadataServer) {
+  // ND-CRC's NFS should saturate before the Lustre installations.
+  EXPECT_LT(nd_crc().shared_fs.metadata_capacity, theta().shared_fs.metadata_capacity);
+  EXPECT_LT(nd_crc().shared_fs.metadata_capacity, cori().shared_fs.metadata_capacity);
+}
+
+TEST(Sites, PositiveParameters) {
+  for (const auto& s : all_sites()) {
+    EXPECT_GT(s.node.cores, 0) << s.name;
+    EXPECT_GT(s.max_nodes, 0) << s.name;
+    EXPECT_GT(s.shared_fs.metadata_capacity, 0.0) << s.name;
+    EXPECT_GT(s.shared_fs.aggregate_bandwidth, 0.0) << s.name;
+    EXPECT_GT(s.local_disk.bandwidth, 0.0) << s.name;
+    EXPECT_GT(s.network.bandwidth, 0.0) << s.name;
+    EXPECT_FALSE(s.runtimes.empty()) << s.name;
+    EXPECT_EQ(s.runtimes[0].name, "conda") << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace lfm::sim

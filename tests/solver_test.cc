@@ -1,0 +1,217 @@
+// Unit tests for the package index and the dependency solver, including the
+// paper-calibrated standard corpus.
+#include <gtest/gtest.h>
+
+#include "pkg/index.h"
+#include "pkg/solver.h"
+
+namespace lfm::pkg {
+namespace {
+
+PackageMeta make(const std::string& name, const std::string& version,
+                 std::vector<std::string> deps = {}, int64_t size = 1000,
+                 int files = 3) {
+  PackageMeta m;
+  m.name = name;
+  m.version = Version::parse(version);
+  for (const auto& d : deps) m.depends.push_back(Requirement::parse(d));
+  m.size_bytes = size;
+  m.file_count = files;
+  return m;
+}
+
+TEST(PackageIndex, AddAndLookup) {
+  PackageIndex index;
+  index.add(make("a", "1.0"));
+  index.add(make("a", "2.0"));
+  EXPECT_TRUE(index.contains("a"));
+  EXPECT_FALSE(index.contains("b"));
+  const auto versions = index.versions("a");
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0]->version.str(), "2.0");  // newest first
+}
+
+TEST(PackageIndex, RejectsDuplicates) {
+  PackageIndex index;
+  index.add(make("a", "1.0"));
+  EXPECT_THROW(index.add(make("a", "1.0")), Error);
+}
+
+TEST(PackageIndex, BestRespectsSpec) {
+  PackageIndex index;
+  index.add(make("a", "1.0"));
+  index.add(make("a", "1.5"));
+  index.add(make("a", "2.0"));
+  const auto* best = index.best("a", VersionSpec::parse("<2.0"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->version.str(), "1.5");
+  EXPECT_EQ(index.best("a", VersionSpec::parse(">3.0")), nullptr);
+  EXPECT_EQ(index.best("nope", VersionSpec::any()), nullptr);
+}
+
+TEST(PackageIndex, BestSkipsPrereleasesByDefault) {
+  PackageIndex index;
+  index.add(make("a", "1.0"));
+  index.add(make("a", "2.0rc1"));
+  EXPECT_EQ(index.best("a", VersionSpec::any())->version.str(), "1.0");
+  // Explicit constraint can still select the pre-release.
+  EXPECT_EQ(index.best("a", VersionSpec::parse("==2.0rc1"))->version.str(), "2.0rc1");
+}
+
+TEST(Solver, SimpleChain) {
+  PackageIndex index;
+  index.add(make("a", "1.0", {"b>=1.0"}));
+  index.add(make("b", "1.2", {"c"}));
+  index.add(make("c", "0.1"));
+  Solver solver(index);
+  const auto result = solver.resolve({Requirement::parse("a")});
+  ASSERT_TRUE(result.ok());
+  const auto& pkgs = result.value().packages;
+  EXPECT_EQ(pkgs.size(), 3u);
+  EXPECT_EQ(pkgs.at("b")->version.str(), "1.2");
+}
+
+TEST(Solver, PicksNewestSatisfying) {
+  PackageIndex index;
+  index.add(make("a", "1.0"));
+  index.add(make("a", "1.5"));
+  index.add(make("a", "2.0"));
+  Solver solver(index);
+  const auto result = solver.resolve({Requirement::parse("a<2.0")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().packages.at("a")->version.str(), "1.5");
+}
+
+TEST(Solver, SharedDependencyConstraintsIntersect) {
+  PackageIndex index;
+  index.add(make("app", "1.0", {"x>=1.0", "y>=1.0"}));
+  index.add(make("x", "1.0", {"z>=1.5"}));
+  index.add(make("y", "1.0", {"z<2.0"}));
+  index.add(make("z", "1.0"));
+  index.add(make("z", "1.7"));
+  index.add(make("z", "2.5"));
+  Solver solver(index);
+  const auto result = solver.resolve({Requirement::parse("app")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().packages.at("z")->version.str(), "1.7");
+}
+
+TEST(Solver, BacktracksOnConflict) {
+  // Newest b requires z>=2, but a requires z<2: solver must fall back to
+  // the older b that accepts z 1.x.
+  PackageIndex index;
+  index.add(make("a", "1.0", {"b", "z<2.0"}));
+  index.add(make("b", "2.0", {"z>=2.0"}));
+  index.add(make("b", "1.0", {"z>=1.0"}));
+  index.add(make("z", "1.5"));
+  index.add(make("z", "2.5"));
+  Solver solver(index);
+  const auto result = solver.resolve({Requirement::parse("a")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().packages.at("b")->version.str(), "1.0");
+  EXPECT_EQ(result.value().packages.at("z")->version.str(), "1.5");
+}
+
+TEST(Solver, ReportsUnknownPackage) {
+  PackageIndex index;
+  index.add(make("a", "1.0", {"ghost"}));
+  Solver solver(index);
+  const auto result = solver.resolve({Requirement::parse("a")});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("ghost"), std::string::npos);
+}
+
+TEST(Solver, ReportsUnsatisfiableConstraint) {
+  PackageIndex index;
+  index.add(make("a", "1.0"));
+  Solver solver(index);
+  const auto result = solver.resolve({Requirement::parse("a>=2.0")});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("a"), std::string::npos);
+}
+
+TEST(Solver, HandlesDependencyCycles) {
+  // Real Python metadata contains cycles; the solver must terminate.
+  PackageIndex index;
+  index.add(make("a", "1.0", {"b"}));
+  index.add(make("b", "1.0", {"a"}));
+  Solver solver(index);
+  const auto result = solver.resolve({Requirement::parse("a")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().packages.size(), 2u);
+}
+
+TEST(Solver, EmptyRootsYieldEmptyResolution) {
+  PackageIndex index;
+  Solver solver(index);
+  const auto result = solver.resolve({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().packages.empty());
+}
+
+TEST(Solver, ResolutionAggregates) {
+  PackageIndex index;
+  index.add(make("a", "1.0", {"b"}, 100, 2));
+  index.add(make("b", "1.0", {}, 50, 3));
+  Solver solver(index);
+  const auto result = solver.resolve({Requirement::parse("a")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().total_size(), 150);
+  EXPECT_EQ(result.value().total_files(), 5);
+}
+
+// --- the calibrated standard corpus ------------------------------------------
+
+TEST(StandardIndex, CorpusIsResolvable) {
+  const PackageIndex index = standard_index();
+  Solver solver(index);
+  // Every package in the corpus must resolve on its own (closure exists).
+  for (const auto& name : index.package_names()) {
+    const auto result = solver.resolve({Requirement::parse(name)});
+    EXPECT_TRUE(result.ok()) << name << ": " << (result.ok() ? "" : result.error());
+  }
+}
+
+TEST(StandardIndex, TensorFlowHasLargeClosure) {
+  const PackageIndex index = standard_index();
+  Solver solver(index);
+  const auto tf = solver.resolve({Requirement::parse("tensorflow")});
+  ASSERT_TRUE(tf.ok());
+  const auto np = solver.resolve({Requirement::parse("numpy")});
+  ASSERT_TRUE(np.ok());
+  // Table II shape: TF's dependency count and size dominate numpy's.
+  EXPECT_GT(tf.value().packages.size(), np.value().packages.size() + 10);
+  EXPECT_GT(tf.value().total_size(), np.value().total_size() * 5);
+}
+
+TEST(StandardIndex, ApplicationsResolveWithExpectedStacks) {
+  const PackageIndex index = standard_index();
+  Solver solver(index);
+  const auto hep = solver.resolve({Requirement::parse("coffea")});
+  ASSERT_TRUE(hep.ok());
+  EXPECT_TRUE(hep.value().packages.count("numpy"));
+  EXPECT_TRUE(hep.value().packages.count("uproot"));
+
+  const auto drug = solver.resolve({Requirement::parse("candle-drugscreen")});
+  ASSERT_TRUE(drug.ok());
+  EXPECT_TRUE(drug.value().packages.count("tensorflow"));
+  EXPECT_TRUE(drug.value().packages.count("rdkit"));
+
+  const auto gdc = solver.resolve({Requirement::parse("gdc-dnaseq-pipeline")});
+  ASSERT_TRUE(gdc.ok());
+  EXPECT_TRUE(gdc.value().packages.count("ensembl-vep"));
+  EXPECT_TRUE(gdc.value().packages.count("gatk4"));
+}
+
+TEST(StandardIndex, PythonInterpreterClosureIncludesNativeDeps) {
+  const PackageIndex index = standard_index();
+  Solver solver(index);
+  const auto py = solver.resolve({Requirement::parse("python")});
+  ASSERT_TRUE(py.ok());
+  EXPECT_TRUE(py.value().packages.count("openssl"));
+  EXPECT_TRUE(py.value().packages.count("zlib"));
+  EXPECT_EQ(py.value().packages.at("python")->version.str(), "3.8.5");
+}
+
+}  // namespace
+}  // namespace lfm::pkg

@@ -1,0 +1,248 @@
+// Unit tests for util: rng determinism and distributions, statistics,
+// string helpers, unit formatting, error types.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace lfm {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 2), Error);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(5.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.25);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.truncated_normal(50.0, 30.0, 20.0, 60.0);
+    EXPECT_GE(v, 20.0);
+    EXPECT_LE(v, 60.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.truncated_normal(0, 1, 5, 2), Error);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 2);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(1);
+  std::vector<double> empty;
+  EXPECT_THROW(rng.weighted_index(empty), Error);
+  std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zeros), Error);
+  std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(negative), Error);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  Rng b(42);
+  b.next();  // fork consumed one draw
+  // The child stream should not equal the parent's continuation.
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (child.next() != b.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Samples, PercentilesExact) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Samples, PercentileValidation) {
+  Samples s;
+  EXPECT_THROW(s.percentile(50), Error);
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), Error);
+  EXPECT_THROW(s.percentile(101), Error);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.0);
+}
+
+TEST(Samples, AddAfterPercentileResorts) {
+  Samples s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+  s.add(30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
+}
+
+TEST(Histogram, QuantileAndCounts) {
+  Histogram h(10.0, 10);
+  for (int i = 0; i < 90; ++i) h.add(5.0);   // bucket 0
+  for (int i = 0; i < 10; ++i) h.add(95.0);  // bucket 9
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 100.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 95.0);
+}
+
+TEST(Histogram, OverflowGoesToLastBucket) {
+  Histogram h(1.0, 4);
+  h.add(100.0);
+  EXPECT_EQ(h.bucket(3), 1);
+  EXPECT_DOUBLE_EQ(h.bucket_top(100.0), 4.0);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(0.0, 4), Error);
+  EXPECT_THROW(Histogram(1.0, 0), Error);
+  Histogram h(1.0, 4);
+  EXPECT_THROW(h.quantile(0.5), Error);  // empty
+  h.add(1.0);
+  EXPECT_THROW(h.quantile(1.5), Error);
+}
+
+TEST(Strings, SplitAndJoin) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split_nonempty("a,b,,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(join({"a", "b", "c"}, "::"), "a::b::c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(trim("  hi\t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("numpy>=1.19", "numpy"));
+  EXPECT_FALSE(starts_with("np", "numpy"));
+  EXPECT_TRUE(ends_with("env.tar.gz", ".gz"));
+  EXPECT_FALSE(ends_with("x", "longer"));
+}
+
+TEST(Strings, Strformat) {
+  EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strformat("%05.1f", 2.25), "002.2");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(500), "500 B");
+  EXPECT_EQ(format_bytes(240_MB), "240.0 MB");
+  EXPECT_EQ(format_bytes(1500_MB), "1.50 GB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(0.5), "500.0 ms");
+  EXPECT_EQ(format_seconds(42.0), "42.0 s");
+  EXPECT_EQ(format_seconds(600.0), "10.0 min");
+  EXPECT_EQ(format_seconds(7200.0), "2.00 h");
+}
+
+TEST(ResultType, SuccessAndFailure) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_THROW(ok.error(), Error);
+
+  auto bad = Result<int>::failure("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+  EXPECT_THROW(bad.value(), Error);
+}
+
+TEST(StatusType, SuccessAndFailure) {
+  EXPECT_TRUE(Status::success().ok());
+  const Status s = Status::failure("why");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), "why");
+}
+
+}  // namespace
+}  // namespace lfm

@@ -1,0 +1,175 @@
+// Unit tests for version parsing, ordering, and constraint matching.
+#include <gtest/gtest.h>
+
+#include "pkg/requirements.h"
+#include "pkg/version.h"
+
+namespace lfm::pkg {
+namespace {
+
+Version v(const std::string& s) { return Version::parse(s); }
+
+TEST(Version, ParseAndPrint) {
+  EXPECT_EQ(v("1.2.3").str(), "1.2.3");
+  EXPECT_EQ(v("2020.1").str(), "2020.1");
+  EXPECT_EQ(v("1.0rc1").str(), "1.0rc1");
+  EXPECT_EQ(v("1.0a2").str(), "1.0a2");
+  EXPECT_EQ(v("1.0beta3").str(), "1.0b3");
+  EXPECT_EQ(v(" 1.2 ").str(), "1.2");
+}
+
+TEST(Version, ParseRejectsMalformed) {
+  EXPECT_THROW(v(""), Error);
+  EXPECT_THROW(v("abc"), Error);
+  EXPECT_THROW(v("1."), Error);
+  EXPECT_THROW(v("1.2.3garbage4x"), Error);
+  EXPECT_THROW(v("1.0rc1x"), Error);
+}
+
+TEST(Version, Ordering) {
+  EXPECT_LT(v("1.2"), v("1.10"));       // numeric, not lexicographic
+  EXPECT_LT(v("1.2.3"), v("1.2.4"));
+  EXPECT_LT(v("1.9"), v("2.0"));
+  EXPECT_EQ(v("1.2"), v("1.2.0"));      // implicit zero padding
+  EXPECT_EQ(v("1.2.0.0"), v("1.2"));
+  EXPECT_GT(v("3.8.5"), v("3.7.9"));
+}
+
+TEST(Version, PrereleaseOrdering) {
+  EXPECT_LT(v("1.0a1"), v("1.0b1"));
+  EXPECT_LT(v("1.0b1"), v("1.0rc1"));
+  EXPECT_LT(v("1.0rc1"), v("1.0"));
+  EXPECT_LT(v("1.0rc1"), v("1.0rc2"));
+  EXPECT_GT(v("1.0"), v("1.0rc9"));
+  EXPECT_TRUE(v("1.0rc1").is_prerelease());
+  EXPECT_FALSE(v("1.0").is_prerelease());
+}
+
+TEST(Version, CompatibleRelease) {
+  EXPECT_TRUE(v("1.4.7").compatible_with(v("1.4.2")));
+  EXPECT_TRUE(v("1.4.2").compatible_with(v("1.4.2")));
+  EXPECT_FALSE(v("1.5.0").compatible_with(v("1.4.2")));
+  EXPECT_FALSE(v("1.4.1").compatible_with(v("1.4.2")));  // below base
+  EXPECT_TRUE(v("1.9").compatible_with(v("1.4")));       // ~=1.4 allows 1.x
+  EXPECT_FALSE(v("2.0").compatible_with(v("1.4")));
+}
+
+TEST(Constraint, AllOperators) {
+  EXPECT_TRUE((Constraint{ConstraintOp::kEq, v("1.2")}).satisfied_by(v("1.2.0")));
+  EXPECT_TRUE((Constraint{ConstraintOp::kNe, v("1.2")}).satisfied_by(v("1.3")));
+  EXPECT_TRUE((Constraint{ConstraintOp::kGe, v("1.2")}).satisfied_by(v("1.2")));
+  EXPECT_FALSE((Constraint{ConstraintOp::kGt, v("1.2")}).satisfied_by(v("1.2")));
+  EXPECT_TRUE((Constraint{ConstraintOp::kLe, v("1.2")}).satisfied_by(v("1.2")));
+  EXPECT_FALSE((Constraint{ConstraintOp::kLt, v("1.2")}).satisfied_by(v("1.2")));
+  EXPECT_TRUE((Constraint{ConstraintOp::kCompatible, v("1.4.2")}).satisfied_by(v("1.4.9")));
+}
+
+TEST(VersionSpec, ParseAndMatch) {
+  const auto spec = VersionSpec::parse(">=1.19,<2.0");
+  EXPECT_TRUE(spec.matches(v("1.19")));
+  EXPECT_TRUE(spec.matches(v("1.25.3")));
+  EXPECT_FALSE(spec.matches(v("2.0")));
+  EXPECT_FALSE(spec.matches(v("1.18.9")));
+}
+
+TEST(VersionSpec, EmptyMatchesEverything) {
+  EXPECT_TRUE(VersionSpec::any().matches(v("0.0.1")));
+  EXPECT_TRUE(VersionSpec::any().empty());
+}
+
+TEST(VersionSpec, BareVersionMeansExact) {
+  const auto spec = VersionSpec::parse("1.15.0");
+  EXPECT_TRUE(spec.matches(v("1.15")));
+  EXPECT_FALSE(spec.matches(v("1.15.1")));
+}
+
+TEST(VersionSpec, Intersect) {
+  const auto a = VersionSpec::parse(">=1.0");
+  const auto b = VersionSpec::parse("<2.0");
+  const auto both = a.intersect(b);
+  EXPECT_TRUE(both.matches(v("1.5")));
+  EXPECT_FALSE(both.matches(v("2.5")));
+  EXPECT_FALSE(both.matches(v("0.9")));
+}
+
+TEST(VersionSpec, Exactly) {
+  const auto spec = VersionSpec::exactly(v("1.19.2"));
+  EXPECT_TRUE(spec.matches(v("1.19.2")));
+  EXPECT_FALSE(spec.matches(v("1.19.3")));
+}
+
+TEST(VersionSpec, RejectsBadConstraint) {
+  EXPECT_THROW(VersionSpec::parse("=>1.0"), Error);
+  EXPECT_THROW(VersionSpec::parse("banana"), Error);
+}
+
+TEST(VersionSpec, Render) {
+  EXPECT_EQ(VersionSpec::parse(">=1.19,<2.0").str(), ">=1.19,<2.0");
+  EXPECT_EQ(VersionSpec::parse("~=1.4.2").str(), "~=1.4.2");
+}
+
+TEST(Requirement, Parse) {
+  const auto r1 = Requirement::parse("numpy>=1.19,<2.0");
+  EXPECT_EQ(r1.name, "numpy");
+  EXPECT_TRUE(r1.spec.matches(v("1.19.5")));
+
+  const auto r2 = Requirement::parse("scikit-learn");
+  EXPECT_EQ(r2.name, "scikit-learn");
+  EXPECT_TRUE(r2.spec.empty());
+
+  const auto r3 = Requirement::parse("python-dateutil>=2.7");
+  EXPECT_EQ(r3.name, "python-dateutil");
+
+  const auto r4 = Requirement::parse("gast==0.3.3");
+  EXPECT_TRUE(r4.spec.matches(v("0.3.3")));
+  EXPECT_FALSE(r4.spec.matches(v("0.3.4")));
+}
+
+TEST(Requirement, ParseRejectsEmpty) {
+  EXPECT_THROW(Requirement::parse(""), Error);
+  EXPECT_THROW(Requirement::parse(">=1.0"), Error);
+}
+
+TEST(Requirement, Render) {
+  EXPECT_EQ(Requirement::parse("numpy>=1.19").str(), "numpy>=1.19");
+  EXPECT_EQ(Requirement::parse("six").str(), "six");
+}
+
+
+TEST(Requirements, ParseDocument) {
+  const char* doc = R"(# pinned environment
+numpy==1.19.2
+scipy>=1.5,<2.0   # solver input
+
+-r other.txt
+pandas
+)";
+  const auto reqs = pkg::parse_requirements(doc);
+  ASSERT_EQ(reqs.size(), 3u);
+  EXPECT_EQ(reqs[0].str(), "numpy==1.19.2");
+  EXPECT_EQ(reqs[1].name, "scipy");
+  EXPECT_TRUE(reqs[1].spec.matches(v("1.5.2")));
+  EXPECT_TRUE(reqs[2].spec.empty());
+}
+
+TEST(Requirements, RoundTripRender) {
+  const auto reqs = pkg::parse_requirements("a==1.0\nb>=2.0,<3.0\nc\n");
+  EXPECT_EQ(pkg::render_requirements(reqs), "a==1.0\nb>=2.0,<3.0\nc\n");
+}
+
+TEST(Requirements, MalformedLineReportsNumber) {
+  try {
+    pkg::parse_requirements("good==1.0\n>=2.0\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Requirements, EmptyAndCommentOnlyDocuments) {
+  EXPECT_TRUE(pkg::parse_requirements("").empty());
+  EXPECT_TRUE(pkg::parse_requirements("# nothing here\n\n").empty());
+}
+
+}  // namespace
+}  // namespace lfm::pkg

@@ -1,0 +1,166 @@
+// Tests for the worker-side task handler: protocol in, real monitored
+// execution, protocol out.
+#include <gtest/gtest.h>
+
+#include "serde/pickle.h"
+#include "wq/worker.h"
+
+namespace lfm::wq {
+namespace {
+
+TaskMessage make_task(const std::string& command) {
+  TaskMessage task;
+  task.task_id = 1;
+  task.category = "test";
+  task.command_line = command;
+  task.allocation = alloc::Resources{1.0, 512e6, 1e9};
+  return task;
+}
+
+TEST(LocalWorker, ExecutesCommandAndReportsUsage) {
+  LocalWorker worker;
+  const ResultMessage result = worker.execute(make_task("exit 0"));
+  EXPECT_EQ(result.task_id, 1u);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_EQ(worker.tasks_executed(), 1);
+}
+
+TEST(LocalWorker, NonZeroExitPropagates) {
+  LocalWorker worker;
+  EXPECT_EQ(worker.execute(make_task("exit 5")).exit_code, 5);
+}
+
+TEST(LocalWorker, WireRoundtrip) {
+  LocalWorker worker;
+  const std::string reply = worker.handle(encode(make_task("echo hi")));
+  const ResultMessage result = decode_result(reply);
+  EXPECT_EQ(result.task_id, 1u);
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+TEST(LocalWorker, AllocationEnforcedAsLfmLimit) {
+  LocalWorkerOptions options;
+  options.poll_interval = 0.01;
+  LocalWorker worker(options);
+  TaskMessage task = make_task(
+      // Allocate ~128 MB in shell via a base64 blob in memory: use dd into a
+      // shell variable substitute — simplest portable hog: python-free, use
+      // /bin/sh with a recursive variable doubling.
+      "x=0123456789abcdef; i=0; while [ $i -lt 23 ]; do x=\"$x$x\"; i=$((i+1)); done; echo ${#x}");
+  task.allocation = alloc::Resources{1.0, 32e6, 1e9};  // 32 MB cap
+  const ResultMessage result = worker.execute(task);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.exhausted_resource, "memory");
+  EXPECT_GT(result.memory_peak_bytes, 32e6);
+}
+
+TEST(LocalWorker, MeasuredUsageFeedsLabelerShape) {
+  LocalWorkerOptions options;
+  options.poll_interval = 0.01;
+  LocalWorker worker(options);
+  TaskMessage task = make_task("i=0; while [ $i -lt 100000 ]; do i=$((i+1)); done");
+  const ResultMessage result = worker.execute(task);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_GT(result.memory_peak_bytes, 0);
+  EXPECT_GE(result.cores_used, 0.0);
+}
+
+TEST(LocalWorker, HandleRejectsMalformedWire) {
+  LocalWorker worker;
+  EXPECT_THROW(worker.handle("garbage\nend\n"), Error);
+}
+
+TEST(LocalWorker, ScratchDirectoryUsed) {
+  LocalWorkerOptions options;
+  options.scratch_dir = "/tmp";
+  LocalWorker worker(options);
+  TaskMessage task = make_task("pwd");
+  const ResultMessage result = worker.execute(task);
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+
+TEST(LocalWorker, PythonFunctionOverTheWire) {
+  // The paper's actual task form: the Python interpreter invoked with the
+  // function source + pickled inputs as transferable files; pickled result
+  // returned in the reply payload.
+  const char* module = R"(
+def weigh(items, factor):
+    total = 0
+    for item in items:
+        total += item * factor
+    return {'total': total, 'n': len(items)}
+)";
+  serde::ValueList args;
+  args.push_back(serde::Value(serde::ValueList{serde::Value(1), serde::Value(2),
+                                               serde::Value(3)}));
+  args.push_back(serde::Value(10));
+  auto [task, files] = make_python_task(7, "weigh", module, "weigh",
+                                        serde::Value(std::move(args)),
+                                        alloc::Resources{1.0, 512e6, 1e9});
+  ASSERT_EQ(task.infiles.size(), 2u);
+  EXPECT_TRUE(task.infiles[0].cacheable);  // function source reused
+
+  LocalWorkerOptions options;
+  options.poll_interval = 0.01;
+  LocalWorker worker(options);
+  // Full wire round trip, exactly as master<->worker would exchange.
+  const std::string reply = worker.handle(encode(task), files);
+  const ResultMessage result = decode_result(reply);
+  EXPECT_EQ(result.exit_code, 0);
+  ASSERT_FALSE(result.payload.empty());
+  const serde::Value value = serde::loads(result.payload);
+  EXPECT_EQ(value.at("total").as_int(), 60);
+  EXPECT_EQ(value.at("n").as_int(), 3);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(LocalWorker, PythonExceptionShipsBack) {
+  const char* module = "def bad(x):\n    raise ValueError('no ' + str(x))\n";
+  auto [task, files] =
+      make_python_task(8, "bad", module, "bad",
+                       serde::Value(serde::ValueList{serde::Value(5)}),
+                       alloc::Resources{1.0, 512e6, 1e9});
+  LocalWorker worker;
+  const ResultMessage result = worker.execute(task, files);
+  EXPECT_EQ(result.exit_code, 1);
+  const serde::Value error = serde::loads(result.payload);
+  EXPECT_NE(error.as_str().find("ValueError"), std::string::npos);
+  EXPECT_NE(error.as_str().find("no 5"), std::string::npos);
+}
+
+TEST(LocalWorker, PythonMemoryHogExhaustsAllocation) {
+  const char* module = R"(
+def hoard(n):
+    data = []
+    i = 0
+    while i < n:
+        data.append('z' * 1000000)
+        i = i + 1
+    return len(data)
+)";
+  auto [task, files] = make_python_task(
+      9, "hoard", module, "hoard",
+      serde::Value(serde::ValueList{serde::Value(int64_t{100000})}),
+      alloc::Resources{1.0, 48e6, 1e9});
+  LocalWorkerOptions options;
+  options.poll_interval = 0.01;
+  LocalWorker worker(options);
+  const ResultMessage result = worker.execute(task, files);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.exhausted_resource, "memory");
+}
+
+TEST(LocalWorker, PythonTaskMissingFilesFails) {
+  auto [task, files] = make_python_task(10, "c", "def f():\n    return 1\n", "f",
+                                        serde::Value(serde::ValueList{}),
+                                        alloc::Resources{1.0, 1e9, 1e9});
+  LocalWorker worker;
+  const ResultMessage result = worker.execute(task, {});  // no files shipped
+  EXPECT_EQ(result.exit_code, -1);
+}
+
+}  // namespace
+}  // namespace lfm::wq
