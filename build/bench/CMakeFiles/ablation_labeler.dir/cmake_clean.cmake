@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_labeler.dir/ablation_labeler.cc.o"
+  "CMakeFiles/ablation_labeler.dir/ablation_labeler.cc.o.d"
+  "ablation_labeler"
+  "ablation_labeler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_labeler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_env_distribution.dir/fig5_env_distribution.cc.o"
+  "CMakeFiles/fig5_env_distribution.dir/fig5_env_distribution.cc.o.d"
+  "fig5_env_distribution"
+  "fig5_env_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_env_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

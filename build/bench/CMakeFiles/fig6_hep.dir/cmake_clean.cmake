@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hep.dir/fig6_hep.cc.o"
+  "CMakeFiles/fig6_hep.dir/fig6_hep.cc.o.d"
+  "fig6_hep"
+  "fig6_hep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_drugscreen.dir/fig7_drugscreen.cc.o"
+  "CMakeFiles/fig7_drugscreen.dir/fig7_drugscreen.cc.o.d"
+  "fig7_drugscreen"
+  "fig7_drugscreen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_drugscreen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

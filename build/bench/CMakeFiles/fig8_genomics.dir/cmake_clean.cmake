@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_genomics.dir/fig8_genomics.cc.o"
+  "CMakeFiles/fig8_genomics.dir/fig8_genomics.cc.o.d"
+  "fig8_genomics"
+  "fig8_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_funcx.dir/fig9_funcx.cc.o"
+  "CMakeFiles/fig9_funcx.dir/fig9_funcx.cc.o.d"
+  "fig9_funcx"
+  "fig9_funcx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_funcx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

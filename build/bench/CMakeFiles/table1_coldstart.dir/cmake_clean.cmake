@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_coldstart.dir/table1_coldstart.cc.o"
+  "CMakeFiles/table1_coldstart.dir/table1_coldstart.cc.o.d"
+  "table1_coldstart"
+  "table1_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_packaging.dir/table2_packaging.cc.o"
+  "CMakeFiles/table2_packaging.dir/table2_packaging.cc.o.d"
+  "table2_packaging"
+  "table2_packaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_packaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

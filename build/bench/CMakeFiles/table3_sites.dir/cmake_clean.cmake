@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sites.dir/table3_sites.cc.o"
+  "CMakeFiles/table3_sites.dir/table3_sites.cc.o.d"
+  "table3_sites"
+  "table3_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

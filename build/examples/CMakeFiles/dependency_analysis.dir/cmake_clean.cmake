@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_analysis.dir/dependency_analysis.cc.o"
+  "CMakeFiles/dependency_analysis.dir/dependency_analysis.cc.o.d"
+  "dependency_analysis"
+  "dependency_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

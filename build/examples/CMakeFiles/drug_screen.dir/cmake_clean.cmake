@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_screen.dir/drug_screen.cc.o"
+  "CMakeFiles/drug_screen.dir/drug_screen.cc.o.d"
+  "drug_screen"
+  "drug_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

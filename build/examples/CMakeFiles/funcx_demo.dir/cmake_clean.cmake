@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/funcx_demo.dir/funcx_demo.cc.o"
+  "CMakeFiles/funcx_demo.dir/funcx_demo.cc.o.d"
+  "funcx_demo"
+  "funcx_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/funcx_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hep_workflow.dir/hep_workflow.cc.o"
+  "CMakeFiles/hep_workflow.dir/hep_workflow.cc.o.d"
+  "hep_workflow"
+  "hep_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hep_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_run.dir/lfm_run.cc.o"
+  "CMakeFiles/lfm_run.dir/lfm_run.cc.o.d"
+  "lfm_run"
+  "lfm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

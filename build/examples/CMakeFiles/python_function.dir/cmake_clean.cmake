@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/python_function.dir/python_function.cc.o"
+  "CMakeFiles/python_function.dir/python_function.cc.o.d"
+  "python_function"
+  "python_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/python_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("serde")
+subdirs("pysrc")
+subdirs("pkg")
+subdirs("monitor")
+subdirs("sim")
+subdirs("wq")
+subdirs("alloc")
+subdirs("flow")
+subdirs("faas")
+subdirs("apps")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_alloc.dir/labeler.cc.o"
+  "CMakeFiles/lfm_alloc.dir/labeler.cc.o.d"
+  "liblfm_alloc.a"
+  "liblfm_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

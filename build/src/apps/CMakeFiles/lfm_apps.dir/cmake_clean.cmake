@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_apps.dir/drugscreen.cc.o"
+  "CMakeFiles/lfm_apps.dir/drugscreen.cc.o.d"
+  "CMakeFiles/lfm_apps.dir/genomics.cc.o"
+  "CMakeFiles/lfm_apps.dir/genomics.cc.o.d"
+  "CMakeFiles/lfm_apps.dir/hep.cc.o"
+  "CMakeFiles/lfm_apps.dir/hep.cc.o.d"
+  "CMakeFiles/lfm_apps.dir/imageclass.cc.o"
+  "CMakeFiles/lfm_apps.dir/imageclass.cc.o.d"
+  "liblfm_apps.a"
+  "liblfm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

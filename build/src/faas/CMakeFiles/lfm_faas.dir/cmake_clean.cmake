@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_faas.dir/funcx.cc.o"
+  "CMakeFiles/lfm_faas.dir/funcx.cc.o.d"
+  "liblfm_faas.a"
+  "liblfm_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

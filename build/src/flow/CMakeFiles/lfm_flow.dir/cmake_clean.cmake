@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_flow.dir/dfk.cc.o"
+  "CMakeFiles/lfm_flow.dir/dfk.cc.o.d"
+  "CMakeFiles/lfm_flow.dir/plan.cc.o"
+  "CMakeFiles/lfm_flow.dir/plan.cc.o.d"
+  "CMakeFiles/lfm_flow.dir/pyapp.cc.o"
+  "CMakeFiles/lfm_flow.dir/pyapp.cc.o.d"
+  "liblfm_flow.a"
+  "liblfm_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/command.cc" "src/monitor/CMakeFiles/lfm_monitor.dir/command.cc.o" "gcc" "src/monitor/CMakeFiles/lfm_monitor.dir/command.cc.o.d"
+  "/root/repo/src/monitor/lfm.cc" "src/monitor/CMakeFiles/lfm_monitor.dir/lfm.cc.o" "gcc" "src/monitor/CMakeFiles/lfm_monitor.dir/lfm.cc.o.d"
+  "/root/repo/src/monitor/proc_reader.cc" "src/monitor/CMakeFiles/lfm_monitor.dir/proc_reader.cc.o" "gcc" "src/monitor/CMakeFiles/lfm_monitor.dir/proc_reader.cc.o.d"
+  "/root/repo/src/monitor/report.cc" "src/monitor/CMakeFiles/lfm_monitor.dir/report.cc.o" "gcc" "src/monitor/CMakeFiles/lfm_monitor.dir/report.cc.o.d"
+  "/root/repo/src/monitor/resources.cc" "src/monitor/CMakeFiles/lfm_monitor.dir/resources.cc.o" "gcc" "src/monitor/CMakeFiles/lfm_monitor.dir/resources.cc.o.d"
+  "/root/repo/src/monitor/timeline.cc" "src/monitor/CMakeFiles/lfm_monitor.dir/timeline.cc.o" "gcc" "src/monitor/CMakeFiles/lfm_monitor.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/lfm_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_monitor.dir/command.cc.o"
+  "CMakeFiles/lfm_monitor.dir/command.cc.o.d"
+  "CMakeFiles/lfm_monitor.dir/lfm.cc.o"
+  "CMakeFiles/lfm_monitor.dir/lfm.cc.o.d"
+  "CMakeFiles/lfm_monitor.dir/proc_reader.cc.o"
+  "CMakeFiles/lfm_monitor.dir/proc_reader.cc.o.d"
+  "CMakeFiles/lfm_monitor.dir/report.cc.o"
+  "CMakeFiles/lfm_monitor.dir/report.cc.o.d"
+  "CMakeFiles/lfm_monitor.dir/resources.cc.o"
+  "CMakeFiles/lfm_monitor.dir/resources.cc.o.d"
+  "CMakeFiles/lfm_monitor.dir/timeline.cc.o"
+  "CMakeFiles/lfm_monitor.dir/timeline.cc.o.d"
+  "liblfm_monitor.a"
+  "liblfm_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

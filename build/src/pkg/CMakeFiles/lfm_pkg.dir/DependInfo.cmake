@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pkg/environment.cc" "src/pkg/CMakeFiles/lfm_pkg.dir/environment.cc.o" "gcc" "src/pkg/CMakeFiles/lfm_pkg.dir/environment.cc.o.d"
+  "/root/repo/src/pkg/index.cc" "src/pkg/CMakeFiles/lfm_pkg.dir/index.cc.o" "gcc" "src/pkg/CMakeFiles/lfm_pkg.dir/index.cc.o.d"
+  "/root/repo/src/pkg/packer.cc" "src/pkg/CMakeFiles/lfm_pkg.dir/packer.cc.o" "gcc" "src/pkg/CMakeFiles/lfm_pkg.dir/packer.cc.o.d"
+  "/root/repo/src/pkg/requirements.cc" "src/pkg/CMakeFiles/lfm_pkg.dir/requirements.cc.o" "gcc" "src/pkg/CMakeFiles/lfm_pkg.dir/requirements.cc.o.d"
+  "/root/repo/src/pkg/solver.cc" "src/pkg/CMakeFiles/lfm_pkg.dir/solver.cc.o" "gcc" "src/pkg/CMakeFiles/lfm_pkg.dir/solver.cc.o.d"
+  "/root/repo/src/pkg/version.cc" "src/pkg/CMakeFiles/lfm_pkg.dir/version.cc.o" "gcc" "src/pkg/CMakeFiles/lfm_pkg.dir/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/lfm_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_pkg.dir/environment.cc.o"
+  "CMakeFiles/lfm_pkg.dir/environment.cc.o.d"
+  "CMakeFiles/lfm_pkg.dir/index.cc.o"
+  "CMakeFiles/lfm_pkg.dir/index.cc.o.d"
+  "CMakeFiles/lfm_pkg.dir/packer.cc.o"
+  "CMakeFiles/lfm_pkg.dir/packer.cc.o.d"
+  "CMakeFiles/lfm_pkg.dir/requirements.cc.o"
+  "CMakeFiles/lfm_pkg.dir/requirements.cc.o.d"
+  "CMakeFiles/lfm_pkg.dir/solver.cc.o"
+  "CMakeFiles/lfm_pkg.dir/solver.cc.o.d"
+  "CMakeFiles/lfm_pkg.dir/version.cc.o"
+  "CMakeFiles/lfm_pkg.dir/version.cc.o.d"
+  "liblfm_pkg.a"
+  "liblfm_pkg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_pkg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

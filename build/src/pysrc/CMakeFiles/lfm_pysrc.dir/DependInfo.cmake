@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pysrc/ast.cc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/ast.cc.o" "gcc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/ast.cc.o.d"
+  "/root/repo/src/pysrc/imports.cc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/imports.cc.o" "gcc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/imports.cc.o.d"
+  "/root/repo/src/pysrc/interp.cc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/interp.cc.o" "gcc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/interp.cc.o.d"
+  "/root/repo/src/pysrc/lexer.cc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/lexer.cc.o" "gcc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/lexer.cc.o.d"
+  "/root/repo/src/pysrc/parser.cc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/parser.cc.o" "gcc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/parser.cc.o.d"
+  "/root/repo/src/pysrc/scope.cc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/scope.cc.o" "gcc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/scope.cc.o.d"
+  "/root/repo/src/pysrc/unparse.cc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/unparse.cc.o" "gcc" "src/pysrc/CMakeFiles/lfm_pysrc.dir/unparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/lfm_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_pysrc.dir/ast.cc.o"
+  "CMakeFiles/lfm_pysrc.dir/ast.cc.o.d"
+  "CMakeFiles/lfm_pysrc.dir/imports.cc.o"
+  "CMakeFiles/lfm_pysrc.dir/imports.cc.o.d"
+  "CMakeFiles/lfm_pysrc.dir/interp.cc.o"
+  "CMakeFiles/lfm_pysrc.dir/interp.cc.o.d"
+  "CMakeFiles/lfm_pysrc.dir/lexer.cc.o"
+  "CMakeFiles/lfm_pysrc.dir/lexer.cc.o.d"
+  "CMakeFiles/lfm_pysrc.dir/parser.cc.o"
+  "CMakeFiles/lfm_pysrc.dir/parser.cc.o.d"
+  "CMakeFiles/lfm_pysrc.dir/scope.cc.o"
+  "CMakeFiles/lfm_pysrc.dir/scope.cc.o.d"
+  "CMakeFiles/lfm_pysrc.dir/unparse.cc.o"
+  "CMakeFiles/lfm_pysrc.dir/unparse.cc.o.d"
+  "liblfm_pysrc.a"
+  "liblfm_pysrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_pysrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

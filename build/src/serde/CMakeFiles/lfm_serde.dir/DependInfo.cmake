@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serde/json.cc" "src/serde/CMakeFiles/lfm_serde.dir/json.cc.o" "gcc" "src/serde/CMakeFiles/lfm_serde.dir/json.cc.o.d"
+  "/root/repo/src/serde/pickle.cc" "src/serde/CMakeFiles/lfm_serde.dir/pickle.cc.o" "gcc" "src/serde/CMakeFiles/lfm_serde.dir/pickle.cc.o.d"
+  "/root/repo/src/serde/value.cc" "src/serde/CMakeFiles/lfm_serde.dir/value.cc.o" "gcc" "src/serde/CMakeFiles/lfm_serde.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_serde.dir/json.cc.o"
+  "CMakeFiles/lfm_serde.dir/json.cc.o.d"
+  "CMakeFiles/lfm_serde.dir/pickle.cc.o"
+  "CMakeFiles/lfm_serde.dir/pickle.cc.o.d"
+  "CMakeFiles/lfm_serde.dir/value.cc.o"
+  "CMakeFiles/lfm_serde.dir/value.cc.o.d"
+  "liblfm_serde.a"
+  "liblfm_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/lfm_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/lfm_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/envdist.cc" "src/sim/CMakeFiles/lfm_sim.dir/envdist.cc.o" "gcc" "src/sim/CMakeFiles/lfm_sim.dir/envdist.cc.o.d"
+  "/root/repo/src/sim/filesystem.cc" "src/sim/CMakeFiles/lfm_sim.dir/filesystem.cc.o" "gcc" "src/sim/CMakeFiles/lfm_sim.dir/filesystem.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/lfm_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/lfm_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/provisioner.cc" "src/sim/CMakeFiles/lfm_sim.dir/provisioner.cc.o" "gcc" "src/sim/CMakeFiles/lfm_sim.dir/provisioner.cc.o.d"
+  "/root/repo/src/sim/site.cc" "src/sim/CMakeFiles/lfm_sim.dir/site.cc.o" "gcc" "src/sim/CMakeFiles/lfm_sim.dir/site.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkg/CMakeFiles/lfm_pkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/lfm_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_sim.dir/engine.cc.o"
+  "CMakeFiles/lfm_sim.dir/engine.cc.o.d"
+  "CMakeFiles/lfm_sim.dir/envdist.cc.o"
+  "CMakeFiles/lfm_sim.dir/envdist.cc.o.d"
+  "CMakeFiles/lfm_sim.dir/filesystem.cc.o"
+  "CMakeFiles/lfm_sim.dir/filesystem.cc.o.d"
+  "CMakeFiles/lfm_sim.dir/network.cc.o"
+  "CMakeFiles/lfm_sim.dir/network.cc.o.d"
+  "CMakeFiles/lfm_sim.dir/provisioner.cc.o"
+  "CMakeFiles/lfm_sim.dir/provisioner.cc.o.d"
+  "CMakeFiles/lfm_sim.dir/site.cc.o"
+  "CMakeFiles/lfm_sim.dir/site.cc.o.d"
+  "liblfm_sim.a"
+  "liblfm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

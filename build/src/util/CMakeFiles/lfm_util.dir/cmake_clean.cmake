@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_util.dir/log.cc.o"
+  "CMakeFiles/lfm_util.dir/log.cc.o.d"
+  "CMakeFiles/lfm_util.dir/rng.cc.o"
+  "CMakeFiles/lfm_util.dir/rng.cc.o.d"
+  "CMakeFiles/lfm_util.dir/stats.cc.o"
+  "CMakeFiles/lfm_util.dir/stats.cc.o.d"
+  "CMakeFiles/lfm_util.dir/strings.cc.o"
+  "CMakeFiles/lfm_util.dir/strings.cc.o.d"
+  "CMakeFiles/lfm_util.dir/units.cc.o"
+  "CMakeFiles/lfm_util.dir/units.cc.o.d"
+  "liblfm_util.a"
+  "liblfm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_wq.dir/master.cc.o"
+  "CMakeFiles/lfm_wq.dir/master.cc.o.d"
+  "CMakeFiles/lfm_wq.dir/protocol.cc.o"
+  "CMakeFiles/lfm_wq.dir/protocol.cc.o.d"
+  "CMakeFiles/lfm_wq.dir/worker.cc.o"
+  "CMakeFiles/lfm_wq.dir/worker.cc.o.d"
+  "liblfm_wq.a"
+  "liblfm_wq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_wq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/command_test.dir/command_test.cc.o"
+  "CMakeFiles/command_test.dir/command_test.cc.o.d"
+  "command_test"
+  "command_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/command_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envdist_test.dir/envdist_test.cc.o"
+  "CMakeFiles/envdist_test.dir/envdist_test.cc.o.d"
+  "envdist_test"
+  "envdist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envdist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

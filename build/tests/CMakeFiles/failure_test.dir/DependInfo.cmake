@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/failure_test.cc" "tests/CMakeFiles/failure_test.dir/failure_test.cc.o" "gcc" "tests/CMakeFiles/failure_test.dir/failure_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/lfm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/lfm_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/lfm_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/wq/CMakeFiles/lfm_wq.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/lfm_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/lfm_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkg/CMakeFiles/lfm_pkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pysrc/CMakeFiles/lfm_pysrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/lfm_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lfm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

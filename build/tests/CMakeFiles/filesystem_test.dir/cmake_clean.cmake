@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_test.dir/filesystem_test.cc.o"
+  "CMakeFiles/filesystem_test.dir/filesystem_test.cc.o.d"
+  "filesystem_test"
+  "filesystem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

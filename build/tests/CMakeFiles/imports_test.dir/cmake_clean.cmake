@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imports_test.dir/imports_test.cc.o"
+  "CMakeFiles/imports_test.dir/imports_test.cc.o.d"
+  "imports_test"
+  "imports_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

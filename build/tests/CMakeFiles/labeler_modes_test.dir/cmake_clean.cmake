@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeler_modes_test.dir/labeler_modes_test.cc.o"
+  "CMakeFiles/labeler_modes_test.dir/labeler_modes_test.cc.o.d"
+  "labeler_modes_test"
+  "labeler_modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeler_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packer_test.dir/packer_test.cc.o"
+  "CMakeFiles/packer_test.dir/packer_test.cc.o.d"
+  "packer_test"
+  "packer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

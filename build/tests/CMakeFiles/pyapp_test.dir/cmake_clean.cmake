@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyapp_test.dir/pyapp_test.cc.o"
+  "CMakeFiles/pyapp_test.dir/pyapp_test.cc.o.d"
+  "pyapp_test"
+  "pyapp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyapp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

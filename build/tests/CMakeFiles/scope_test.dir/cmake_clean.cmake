@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scope_test.dir/scope_test.cc.o"
+  "CMakeFiles/scope_test.dir/scope_test.cc.o.d"
+  "scope_test"
+  "scope_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

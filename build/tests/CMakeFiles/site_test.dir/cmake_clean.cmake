@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_test.dir/site_test.cc.o"
+  "CMakeFiles/site_test.dir/site_test.cc.o.d"
+  "site_test"
+  "site_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
