@@ -1,0 +1,123 @@
+// Scheduler scaling sweep: dispatch throughput of the WQ master as the pool
+// and the backlog grow (workers x tasks, up to 1,000 x 100,000).
+//
+// Unlike the fig* binaries this does not reproduce a paper figure; it
+// measures the master itself. Each row runs one Auto-strategy scenario on a
+// synthetic multi-category workload (per-category packed environments, so
+// the cache-affinity path is exercised) and reports wall-clock time, engine
+// event throughput, and task throughput next to the simulated makespan.
+//
+// Usage:
+//   scale_master                 # default sweep up to 1000 workers x 100k tasks
+//   scale_master W T [W T ...]   # explicit (workers, tasks) rows (CI smoke)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "alloc/labeler.h"
+#include "sim/network.h"
+#include "util/rng.h"
+#include "wq/master.h"
+
+namespace {
+
+using namespace lfm;
+
+constexpr int kCategories = 8;
+
+alloc::Resources worker_capacity() { return alloc::Resources{16.0, 64e9, 128e9}; }
+
+alloc::LabelerConfig labeler_config() {
+  alloc::LabelerConfig cfg;
+  cfg.strategy = alloc::Strategy::kAuto;
+  cfg.whole_node = worker_capacity();
+  cfg.guess = alloc::Resources{1.0, 2e9, 4e9};
+  cfg.warmup_samples = 3;
+  return cfg;
+}
+
+std::vector<wq::TaskSpec> make_tasks(int count) {
+  Rng rng(42);
+  std::vector<wq::TaskSpec> tasks;
+  tasks.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int cat = i % kCategories;
+    wq::TaskSpec t;
+    t.id = static_cast<uint64_t>(i + 1);
+    t.category = "cat-" + std::to_string(cat);
+    t.exec_seconds = rng.uniform(20.0, 80.0);
+    t.true_cores = 1.0;
+    const double base_mem = (0.5 + 0.25 * cat) * 1e9;
+    t.true_peak = alloc::Resources{1.0, rng.uniform(0.8, 1.2) * base_mem,
+                                   rng.uniform(1e9, 2e9)};
+    wq::InputFile env;
+    env.name = "env-" + std::to_string(cat) + ".tar.gz";
+    env.size_bytes = 300LL * 1000 * 1000;
+    env.cacheable = true;
+    env.unpack_seconds = 0.5;
+    t.inputs.push_back(std::move(env));
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+void run_row(int workers, int tasks) {
+  sim::Simulation sim;
+  sim::NetworkParams np;
+  np.bandwidth = 12.5e9;  // 100 GbE master uplink
+  np.per_flow_bandwidth = 1.25e9;
+  sim::Network network(sim, np);
+  alloc::Labeler labeler(labeler_config());
+  wq::Master master(sim, network, labeler);
+  for (int w = 0; w < workers; ++w) master.add_worker({worker_capacity(), 0.0});
+  for (auto& t : make_tasks(tasks)) master.submit(std::move(t));
+
+  const auto start = std::chrono::steady_clock::now();
+  const wq::MasterStats stats = master.run();
+  const auto end = std::chrono::steady_clock::now();
+  const double wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start).count();
+  const double events = static_cast<double>(sim.executed_events());
+  std::printf("%8d %8d %10.2f %12lld %12.0f %10.0f %12.1f %8lld %10lld\n", workers,
+              tasks, wall, static_cast<long long>(sim.executed_events()),
+              events / wall, static_cast<double>(stats.tasks_completed) / wall,
+              stats.makespan, static_cast<long long>(stats.exhaustion_retries),
+              static_cast<long long>(stats.cache_hits));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::pair<int, int>> rows;
+  if (argc > 1) {
+    if ((argc - 1) % 2 != 0) {
+      std::fprintf(stderr, "usage: %s [workers tasks]...\n", argv[0]);
+      return 1;
+    }
+    for (int i = 1; i + 1 < argc; i += 2) {
+      char* end = nullptr;
+      const long w = std::strtol(argv[i], &end, 10);
+      const bool w_ok = end && *end == '\0' && w > 0;
+      const long t = std::strtol(argv[i + 1], &end, 10);
+      const bool t_ok = end && *end == '\0' && t > 0;
+      if (!w_ok || !t_ok) {
+        std::fprintf(stderr, "%s: '%s %s' is not a positive workers/tasks pair\n",
+                     argv[0], argv[i], argv[i + 1]);
+        return 1;
+      }
+      rows.emplace_back(static_cast<int>(w), static_cast<int>(t));
+    }
+  } else {
+    rows = {{25, 2500}, {100, 10000}, {250, 25000}, {500, 50000}, {1000, 100000}};
+  }
+  std::printf("Scheduler scaling sweep (Auto strategy, %d task categories)\n",
+              kCategories);
+  std::printf("%8s %8s %10s %12s %12s %10s %12s %8s %10s\n", "workers", "tasks",
+              "wall(s)", "events", "events/s", "tasks/s", "makespan", "retries",
+              "hits");
+  for (const auto& [w, t] : rows) run_row(w, t);
+  return 0;
+}

@@ -1,8 +1,18 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace lfm::sim {
+
+namespace {
+constexpr size_t kInitialCapacity = 4096;
+}  // namespace
+
+Simulation::Simulation() {
+  heap_.reserve(kInitialCapacity);
+  state_.reserve(kInitialCapacity);
+}
 
 EventId Simulation::schedule(double delay, EventFn fn) {
   if (delay < 0.0 || std::isnan(delay)) throw Error("Simulation: negative or NaN delay");
@@ -12,17 +22,35 @@ EventId Simulation::schedule(double delay, EventFn fn) {
 EventId Simulation::schedule_at(double time, EventFn fn) {
   if (time < now_) throw Error("Simulation: scheduling into the past");
   const EventId id = next_id_++;
-  queue_.push(Event{time, id, std::move(fn)});
+  state_.push_back(kPending);
+  ++live_pending_;
+  heap_.push_back(Event{time, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return id;
 }
 
-void Simulation::cancel(EventId id) { cancelled_.insert(id); }
+void Simulation::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;  // never issued
+  uint8_t& st = state_[id - 1];
+  if (st != kPending) return;  // already ran or already cancelled
+  st = kCancelled;             // tombstone; the heap entry is skipped later
+  --live_pending_;
+}
+
+void Simulation::pop_top(Event& out) {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  out = std::move(heap_.back());
+  heap_.pop_back();
+}
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(ev.id) > 0) continue;
+  Event ev;
+  while (!heap_.empty()) {
+    pop_top(ev);
+    uint8_t& st = state_[ev.id - 1];
+    if (st == kCancelled) continue;  // discard tombstoned entry
+    st = kExecuted;
+    --live_pending_;
     now_ = ev.time;
     ++executed_;
     ev.fn();
@@ -38,16 +66,17 @@ double Simulation::run() {
 }
 
 double Simulation::run_until(double deadline) {
-  while (!queue_.empty()) {
-    // Peek; skip cancelled entries without advancing time.
-    Event ev = queue_.top();
-    if (cancelled_.count(ev.id) > 0) {
-      queue_.pop();
-      cancelled_.erase(ev.id);
+  Event ev;
+  while (!heap_.empty()) {
+    // Peek; discard tombstoned entries without advancing time.
+    if (state_[heap_.front().id - 1] == kCancelled) {
+      pop_top(ev);
       continue;
     }
-    if (ev.time > deadline) break;
-    queue_.pop();
+    if (heap_.front().time > deadline) break;
+    pop_top(ev);
+    state_[ev.id - 1] = kExecuted;
+    --live_pending_;
     now_ = ev.time;
     ++executed_;
     ev.fn();

@@ -3,12 +3,17 @@
 // All cluster-scale experiments (Figs 4–9) run on this engine: time is
 // virtual, events execute in (time, insertion-order) priority, and handlers
 // schedule further events. Deterministic given deterministic handlers.
+//
+// Cancellation is lazy: cancel() flips a per-event tombstone and the heap
+// entry is discarded when it surfaces, so cancel is O(1) and the heap never
+// needs out-of-band erasure. The heap itself is a binary heap over a flat
+// vector (std::push_heap/pop_heap) so the top entry can be moved out instead
+// of copied — std::priority_queue only exposes a const top(), which forces a
+// std::function copy per event.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <set>
 #include <vector>
 
 #include "util/error.h"
@@ -20,13 +25,16 @@ using EventId = uint64_t;
 
 class Simulation {
  public:
+  Simulation();
+
   double now() const { return now_; }
 
   // Schedule `fn` to run `delay` seconds from now (delay >= 0).
   EventId schedule(double delay, EventFn fn);
   // Schedule at an absolute time (>= now).
   EventId schedule_at(double time, EventFn fn);
-  // Cancel a pending event; no-op if it already ran or was cancelled.
+  // Cancel a pending event; no-op if it already ran, was already cancelled,
+  // or was never issued. Never corrupts the pending count.
   void cancel(EventId id);
 
   // Run until no events remain. Returns the final clock value.
@@ -35,10 +43,13 @@ class Simulation {
   // execute. Returns the clock.
   double run_until(double deadline);
 
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  // Events scheduled but not yet executed or cancelled.
+  size_t pending_events() const { return live_pending_; }
   uint64_t executed_events() const { return executed_; }
 
  private:
+  enum EventState : uint8_t { kPending = 0, kExecuted = 1, kCancelled = 2 };
+
   struct Event {
     double time;
     EventId id;
@@ -52,12 +63,17 @@ class Simulation {
   };
 
   bool step();
+  void pop_top(Event& out);
 
   double now_ = 0.0;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::set<EventId> cancelled_;
+  size_t live_pending_ = 0;
+  // Binary min-heap by (time, id) over a flat, pre-reserved vector.
+  std::vector<Event> heap_;
+  // Lifecycle tombstones indexed by id-1 (ids are dense and sequential).
+  // One byte per event ever scheduled; a 100k-task cluster run is ~1 MB.
+  std::vector<uint8_t> state_;
 };
 
 }  // namespace lfm::sim

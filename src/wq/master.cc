@@ -1,9 +1,9 @@
 #include "wq/master.h"
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 
-#include "util/log.h"
 #include "util/strings.h"
 
 namespace lfm::wq {
@@ -11,6 +11,16 @@ namespace lfm::wq {
 Master::Master(sim::Simulation& sim, sim::Network& network, alloc::Labeler& labeler,
                MasterConfig config)
     : sim_(sim), network_(network), labeler_(labeler), config_(config) {}
+
+void Master::avail_erase(const Worker& worker) {
+  avail_index_.erase({worker.available.cores, worker.id});
+}
+
+void Master::avail_insert(const Worker& worker) {
+  if (worker.ready && !worker.retired) {
+    avail_index_.insert({worker.available.cores, worker.id});
+  }
+}
 
 int Master::add_worker(const WorkerSpec& spec) {
   Worker w;
@@ -27,11 +37,33 @@ int Master::add_worker(const WorkerSpec& spec) {
   workers_.push_back(std::move(w));
   const int id = workers_.back().id;
   if (workers_.back().ready) {
+    ++live_workers_;
+    avail_insert(workers_.back());
+    idle_workers_.insert(id);
     try_dispatch();
   } else {
     sim_.schedule_at(spec.ready_time, [this, id] { worker_ready(id); });
   }
   return id;
+}
+
+int Master::intern_category(const std::string& name) {
+  const auto [it, inserted] =
+      category_ids_.emplace(name, static_cast<int>(category_ids_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+int Master::intern_signature(const TaskSpec& spec) {
+  std::vector<std::string> names;
+  for (const auto& f : spec.inputs) {
+    if (f.cacheable) names.push_back(f.name);
+  }
+  std::sort(names.begin(), names.end());
+  const auto [it, inserted] =
+      signature_ids_.emplace(std::move(names), static_cast<int>(signatures_.size()));
+  if (inserted) signatures_.push_back(it->first);
+  return it->second;
 }
 
 void Master::submit(TaskSpec spec) {
@@ -40,12 +72,34 @@ void Master::submit(TaskSpec spec) {
   rec.submit_time = sim_.now();
   records_.push_back(std::move(rec));
   attempt_epoch_.push_back(0);
-  ready_queue_.push_back(records_.size() - 1);
+  const size_t index = records_.size() - 1;
+  SchedState state;
+  state.category_id = intern_category(records_[index].spec.category);
+  state.signature_id = intern_signature(records_[index].spec);
+  sched_.push_back(std::move(state));
+  record_by_task_id_.emplace(records_[index].spec.id, index);
+  enqueue_ready(index);
   try_dispatch();
 }
 
+void Master::enqueue_ready(size_t record_index) {
+  SchedState& state = sched_[record_index];
+  state.seq = next_seq_++;
+  state.queued = true;
+  ++ready_count_;
+  const GroupKey key{state.category_id, records_[record_index].attempt,
+                     state.signature_id};
+  groups_[key].fifo.push_back({state.seq, record_index});
+  if (in_pass_) pass_grew_ = true;
+}
+
 void Master::worker_ready(int worker_id) {
-  workers_[static_cast<size_t>(worker_id)].ready = true;
+  Worker& worker = workers_[static_cast<size_t>(worker_id)];
+  if (worker.retired) return;  // crashed before the pilot connected
+  worker.ready = true;
+  ++live_workers_;
+  avail_insert(worker);
+  if (worker.running_tasks == 0) idle_workers_.insert(worker.id);
   try_dispatch();
 }
 
@@ -70,21 +124,34 @@ double Master::cached_bytes(const Worker& worker, const TaskSpec& task) const {
 bool Master::make_cache_room(Worker& worker, int64_t bytes) {
   if (bytes > worker.cache_capacity_bytes) return false;  // never cacheable
   while (worker.cache_bytes + bytes > worker.cache_capacity_bytes) {
-    // Evict the least-recently-used unpinned entry.
-    auto victim = worker.cache.end();
-    for (auto it = worker.cache.begin(); it != worker.cache.end(); ++it) {
-      if (it->second.pins > 0) continue;
-      if (victim == worker.cache.end() ||
-          it->second.last_use < victim->second.last_use) {
-        victim = it;
-      }
+    // Evict the least-recently-used unpinned entry: the eviction index is
+    // ordered by (last_use, name), so the victim is simply its minimum.
+    if (worker.evictable.empty()) return false;  // everything pinned
+    const auto victim = worker.evictable.begin();
+    const auto it = worker.cache.find(victim->second);
+    worker.cache_bytes -= it->second.size_bytes;
+    const auto holders = file_holders_.find(victim->second);
+    if (holders != file_holders_.end()) {
+      holders->second.erase(worker.id);
+      if (holders->second.empty()) file_holders_.erase(holders);
     }
-    if (victim == worker.cache.end()) return false;  // everything pinned
-    worker.cache_bytes -= victim->second.size_bytes;
-    worker.cache.erase(victim);
+    worker.cache.erase(it);
+    worker.evictable.erase(victim);
     ++stats_.cache_evictions;
   }
   return true;
+}
+
+void Master::cache_insert(Worker& worker, const std::string& name,
+                          int64_t size_bytes) {
+  CacheEntry entry;
+  entry.size_bytes = size_bytes;
+  entry.last_use = sim_.now();
+  entry.pins = 1;  // pinned by the dispatching task; not evictable yet
+  worker.cache.emplace(name, entry);
+  worker.cache_bytes += size_bytes;
+  file_holders_[name].insert(worker.id);
+  if (in_pass_) newly_cached_names_.push_back(name);
 }
 
 void Master::unpin_inputs(int worker_id, const TaskSpec& spec) {
@@ -92,28 +159,60 @@ void Master::unpin_inputs(int worker_id, const TaskSpec& spec) {
   for (const auto& f : spec.inputs) {
     if (!f.cacheable) continue;
     const auto it = worker.cache.find(f.name);
-    if (it != worker.cache.end() && it->second.pins > 0) it->second.pins -= 1;
+    if (it != worker.cache.end() && it->second.pins > 0) {
+      it->second.pins -= 1;
+      if (it->second.pins == 0) {
+        worker.evictable.insert({it->second.last_use, f.name});
+      }
+    }
   }
 }
 
-std::optional<int> Master::pick_worker(const TaskSpec& task,
-                                       const alloc::Resources& alloc) const {
-  std::optional<int> best;
-  double best_cached = -1.0;
-  double best_free_cores = 1e300;
-  for (const auto& w : workers_) {
-    if (!w.ready || w.retired || !alloc.fits_in(w.available)) continue;
-    const double cached = config_.cache_affinity ? cached_bytes(w, task) : 0.0;
-    // Prefer more cached bytes; tie-break to the most-loaded fitting worker
-    // (best fit keeps large holes open for big tasks).
-    if (cached > best_cached ||
-        (cached == best_cached && w.available.cores < best_free_cores)) {
-      best = w.id;
-      best_cached = cached;
-      best_free_cores = w.available.cores;
+std::optional<Master::Pick> Master::pick_worker(const TaskSpec& task,
+                                                const alloc::Resources& alloc,
+                                                int signature_id) const {
+  // Warm path: only workers already caching one of the task's cacheable
+  // inputs can score cached > 0, and the inverted index names exactly them.
+  if (config_.cache_affinity && signature_id >= 0 &&
+      !signatures_[static_cast<size_t>(signature_id)].empty()) {
+    std::vector<int> candidates;
+    for (const auto& name : signatures_[static_cast<size_t>(signature_id)]) {
+      const auto holders = file_holders_.find(name);
+      if (holders == file_holders_.end()) continue;
+      candidates.insert(candidates.end(), holders->second.begin(),
+                        holders->second.end());
     }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::optional<int> best;
+    double best_cached = -1.0;
+    double best_free_cores = 1e300;
+    for (const int id : candidates) {
+      const Worker& w = workers_[static_cast<size_t>(id)];
+      if (!w.ready || w.retired || !alloc.fits_in(w.available)) continue;
+      const double cached = cached_bytes(w, task);
+      // Prefer more cached bytes; tie-break to the most-loaded fitting
+      // worker (best fit keeps large holes open for big tasks).
+      if (cached > best_cached ||
+          (cached == best_cached && w.available.cores < best_free_cores)) {
+        best = id;
+        best_cached = cached;
+        best_free_cores = w.available.cores;
+      }
+    }
+    if (best && best_cached > 0.0) return Pick{*best, best_cached};
+    // All fitting workers score cached == 0: the argmax over the whole pool
+    // degenerates to best fit, served by the availability index below.
   }
-  return best;
+  // Cold path: workers ordered by (free cores, id); the first fitting entry
+  // is the least-loaded-enough worker — the same min the full scan found.
+  for (auto it = avail_index_.lower_bound({alloc.cores, INT_MIN});
+       it != avail_index_.end(); ++it) {
+    const Worker& w = workers_[static_cast<size_t>(it->second)];
+    if (alloc.fits_in(w.available)) return Pick{w.id, 0.0};
+  }
+  return std::nullopt;
 }
 
 void Master::try_dispatch() {
@@ -121,45 +220,161 @@ void Master::try_dispatch() {
   dispatch_scheduled_ = true;
   sim_.schedule(0.0, [this] {
     dispatch_scheduled_ = false;
-    // Two passes when cache affinity is on: first dispatch queued tasks
-    // whose cacheable inputs are already warm on a free worker (so a freed
-    // slot goes to a matching task even if it is not at the queue head),
-    // then plain FIFO for the rest. One FIFO pass otherwise.
-    const int passes = config_.cache_affinity ? 2 : 1;
-    for (int pass = 0; pass < passes; ++pass) {
-      const bool cached_only = config_.cache_affinity && pass == 0;
-      for (size_t qi = 0; qi < ready_queue_.size();) {
-        const size_t record_index = ready_queue_[qi];
-        TaskRecord& rec = records_[record_index];
-        if (is_cancelled(record_index)) {
-          rec.state = TaskState::kDone;
-          ++stats_.tasks_cancelled;
-          ready_queue_.erase(ready_queue_.begin() + static_cast<long>(qi));
-          if (on_complete_) on_complete_(rec);
-          continue;
-        }
-        alloc::Resources alloc =
-            labeler_.allocation(rec.spec.category, rec.attempt);
-        const auto where = pick_worker(rec.spec, alloc);
-        if (!where ||
-            (cached_only &&
-             cached_bytes(workers_[static_cast<size_t>(*where)], rec.spec) <= 0.0)) {
-          ++qi;
-          continue;
-        }
-        ready_queue_.erase(ready_queue_.begin() + static_cast<long>(qi));
-        dispatch(record_index, *where, alloc);
-      }
-    }
+    run_dispatch_passes();
   });
+}
+
+void Master::run_dispatch_passes() {
+  // Two passes when cache affinity is on: first dispatch queued tasks
+  // whose cacheable inputs are already warm on a free worker (so a freed
+  // slot goes to a matching task even if it is not at the queue head),
+  // then plain FIFO for the rest. One FIFO pass otherwise.
+  const int passes = config_.cache_affinity ? 2 : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+    const bool cached_only = config_.cache_affinity && pass == 0;
+    run_pass(cached_only);
+  }
+  // Groups are only erased here, outside any pass, because the pass scratch
+  // (blocked_by_file_, the heads heap) holds raw Group pointers.
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    advance_head(it->second);
+    it = it->second.fifo.empty() ? groups_.erase(it) : std::next(it);
+  }
+}
+
+void Master::advance_head(Group& group) {
+  while (!group.fifo.empty() && !entry_live(group.fifo.front())) {
+    group.fifo.pop_front();
+  }
+}
+
+void Master::flush_cancelled(size_t record_index) {
+  TaskRecord& rec = records_[record_index];
+  rec.state = TaskState::kDone;
+  ++stats_.tasks_cancelled;
+  sched_[record_index].queued = false;
+  --ready_count_;
+  if (on_complete_) on_complete_(rec);
+}
+
+void Master::run_pass(bool cached_only) {
+  ++pass_token_;
+  in_pass_ = true;
+  pass_grew_ = false;
+  blocked_by_file_.clear();
+  newly_cached_names_.clear();
+
+  // Min-heap of (head seq, group): groups are visited in global submission
+  // order, which is exactly the order the old linear queue scan probed
+  // entries — skipping a blocked group stands in for individually skipping
+  // each of its members, since they share allocation and warm-worker set.
+  using Head = std::pair<uint64_t, Group*>;
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heads;
+  const auto push_group = [&heads](Group& g) {
+    if (!g.fifo.empty()) heads.push({g.fifo.front().seq, &g});
+  };
+  for (auto& [key, group] : groups_) {
+    advance_head(group);
+    push_group(group);
+  }
+
+  while (true) {
+    // Cancelled queued tasks flush in seq order, interleaved with dispatch
+    // exactly as the old scan encountered them (ties go to the flush: the
+    // old code checked is_cancelled before probing the entry).
+    if (!cancel_flush_.empty() &&
+        (heads.empty() || cancel_flush_.top().first <= heads.top().first)) {
+      const auto [seq, record_index] = cancel_flush_.top();
+      cancel_flush_.pop();
+      const SchedState& state = sched_[record_index];
+      if (state.queued && state.cancelled && state.seq == seq) {
+        flush_cancelled(record_index);
+      }
+      continue;
+    }
+    if (heads.empty()) {
+      // Re-entrant submissions (an on_complete hook submitting from inside
+      // the flush above) append to the queue tail; the old scan picked them
+      // up in the same pass, so rebuild the heads heap and keep going.
+      if (pass_grew_) {
+        pass_grew_ = false;
+        for (auto& [key, group] : groups_) {
+          advance_head(group);
+          if (group.blocked_token != pass_token_) push_group(group);
+        }
+        if (!heads.empty() || !cancel_flush_.empty()) continue;
+      }
+      break;
+    }
+
+    const auto [seq, group] = heads.top();
+    heads.pop();
+    advance_head(*group);
+    if (group->fifo.empty()) continue;
+    if (group->fifo.front().seq != seq) {  // stale heap entry; reposition
+      push_group(*group);
+      continue;
+    }
+    if (group->blocked_token == pass_token_) continue;
+
+    const size_t record_index = group->fifo.front().record_index;
+    const TaskRecord& rec = records_[record_index];
+    const alloc::Resources alloc =
+        labeler_.allocation(rec.spec.category, rec.attempt);
+    const auto pick =
+        pick_worker(rec.spec, alloc, sched_[record_index].signature_id);
+    if (!pick || (cached_only && pick->cached <= 0.0)) {
+      // Infeasible for every member this pass: availability only shrinks
+      // while the pass runs. The one exception — a mid-pass dispatch caching
+      // one of this group's signature files on some worker — re-probes below.
+      group->blocked_token = pass_token_;
+      if (cached_only) {
+        for (const auto& name :
+             signatures_[static_cast<size_t>(sched_[record_index].signature_id)]) {
+          blocked_by_file_[name].push_back(group);
+        }
+      }
+      continue;
+    }
+
+    sched_[record_index].queued = false;
+    --ready_count_;
+    group->fifo.pop_front();
+    dispatch(record_index, pick->worker_id, alloc);
+
+    if (cached_only && !newly_cached_names_.empty()) {
+      for (const auto& name : newly_cached_names_) {
+        const auto it = blocked_by_file_.find(name);
+        if (it == blocked_by_file_.end()) continue;
+        for (Group* blocked : it->second) {
+          if (blocked->blocked_token == pass_token_) {
+            blocked->blocked_token = 0;
+            advance_head(*blocked);
+            push_group(*blocked);
+          }
+        }
+        blocked_by_file_.erase(it);
+      }
+      newly_cached_names_.clear();
+    }
+    advance_head(*group);
+    push_group(*group);
+  }
+
+  in_pass_ = false;
+  newly_cached_names_.clear();
 }
 
 void Master::dispatch(size_t record_index, int worker_id,
                       const alloc::Resources& alloc) {
   TaskRecord& rec = records_[record_index];
   Worker& worker = workers_[static_cast<size_t>(worker_id)];
+  avail_erase(worker);
   worker.available -= alloc;
+  avail_insert(worker);
+  if (worker.running_tasks == 0) idle_workers_.erase(worker.id);
   worker.running_tasks += 1;
+  worker.inflight.insert(record_index);
   ++running_count_;
   rec.state = TaskState::kTransferring;
   rec.worker_id = worker_id;
@@ -176,20 +391,17 @@ void Master::dispatch(size_t record_index, int worker_id,
     const auto cached = worker.cache.find(f.name);
     if (f.cacheable && cached != worker.cache.end()) {
       ++stats_.cache_hits;
-      cached->second.last_use = sim_.now();
-      cached->second.pins += 1;
+      CacheEntry& entry = cached->second;
+      if (entry.pins == 0) worker.evictable.erase({entry.last_use, f.name});
+      entry.last_use = sim_.now();
+      entry.pins += 1;
       continue;
     }
     bytes += f.size_bytes;
     if (f.cacheable) {
       unpack += f.unpack_seconds;
       if (make_cache_room(worker, f.size_bytes)) {
-        CacheEntry entry;
-        entry.size_bytes = f.size_bytes;
-        entry.last_use = sim_.now();
-        entry.pins = 1;
-        worker.cache.emplace(f.name, entry);
-        worker.cache_bytes += f.size_bytes;
+        cache_insert(worker, f.name, f.size_bytes);
       }
     }
   }
@@ -252,7 +464,7 @@ void Master::finish_cancelled(size_t record_index, int worker_id,
   rec.state = TaskState::kDone;
   ++stats_.tasks_cancelled;
   unpin_inputs(worker_id, rec.spec);
-  release(worker_id, alloc);
+  release(record_index, worker_id, alloc);
   if (on_complete_) on_complete_(rec);
 }
 
@@ -273,7 +485,7 @@ void Master::finish_attempt(size_t record_index, int worker_id,
     ++stats_.exhaustion_retries;
     labeler_.observe_exhaustion(rec.spec.category, alloc, exhausted_resource);
     unpin_inputs(worker_id, rec.spec);
-    release(worker_id, alloc);
+    release(record_index, worker_id, alloc);
     if (rec.exhaustions > config_.max_retries) {
       rec.state = TaskState::kDone;
       ++stats_.tasks_failed;
@@ -282,7 +494,7 @@ void Master::finish_attempt(size_t record_index, int worker_id,
     }
     rec.attempt += 1;
     rec.state = TaskState::kWaiting;
-    ready_queue_.push_back(record_index);
+    enqueue_ready(record_index);
     try_dispatch();
     return;
   }
@@ -302,7 +514,7 @@ void Master::finish_attempt(size_t record_index, int worker_id,
     r.finish_time = sim_.now();
     ++stats_.tasks_completed;
     unpin_inputs(worker_id, r.spec);
-    release(worker_id, alloc);
+    release(record_index, worker_id, alloc);
     if (on_complete_) on_complete_(r);
   };
   if (out > 0) {
@@ -314,51 +526,67 @@ void Master::finish_attempt(size_t record_index, int worker_id,
   }
 }
 
-void Master::release(int worker_id, const alloc::Resources& alloc) {
+void Master::release(size_t record_index, int worker_id,
+                     const alloc::Resources& alloc) {
   Worker& worker = workers_[static_cast<size_t>(worker_id)];
+  avail_erase(worker);
   worker.available += alloc;
+  avail_insert(worker);
   worker.running_tasks -= 1;
+  worker.inflight.erase(record_index);
+  if (worker.running_tasks == 0 && worker.ready && !worker.retired) {
+    idle_workers_.insert(worker.id);
+  }
   --running_count_;
+  if (running_count_ < 0 || worker.running_tasks < 0) {
+    throw Error("Master: running-task accounting went negative (double release)");
+  }
   try_dispatch();
 }
 
-int Master::live_worker_count() const {
-  int count = 0;
-  for (const auto& w : workers_) {
-    if (w.ready && !w.retired) ++count;
-  }
-  return count;
-}
-
 bool Master::release_idle_worker() {
-  for (auto& w : workers_) {
-    if (w.ready && !w.retired && w.running_tasks == 0) {
-      w.retired = true;
-      return true;
-    }
-  }
-  return false;
+  if (idle_workers_.empty()) return false;
+  Worker& worker = workers_[static_cast<size_t>(*idle_workers_.begin())];
+  idle_workers_.erase(idle_workers_.begin());
+  avail_erase(worker);
+  worker.retired = true;
+  --live_workers_;
+  return true;
 }
 
 void Master::crash_worker(int worker_id) {
   Worker& worker = workers_[static_cast<size_t>(worker_id)];
   if (worker.retired) return;
+  if (worker.ready) --live_workers_;
+  avail_erase(worker);
+  idle_workers_.erase(worker.id);
   worker.retired = true;
   worker.ready = false;
-  worker.cache.clear();  // node-local storage is gone
+  for (const auto& [name, entry] : worker.cache) {  // node-local storage is gone
+    const auto holders = file_holders_.find(name);
+    if (holders != file_holders_.end()) {
+      holders->second.erase(worker.id);
+      if (holders->second.empty()) file_holders_.erase(holders);
+    }
+  }
+  worker.cache.clear();
+  worker.evictable.clear();
   worker.cache_bytes = 0;
   ++worker_crashes_;
 
   // Invalidate and requeue every in-flight attempt on this worker. The lost
-  // attempt is not an exhaustion — the labeler learns nothing from it.
-  for (size_t i = 0; i < records_.size(); ++i) {
+  // attempt is not an exhaustion — the labeler learns nothing from it. The
+  // per-worker in-flight set (ascending) replaces the old scan over every
+  // record ever submitted, preserving its requeue order.
+  const std::vector<size_t> inflight(worker.inflight.begin(), worker.inflight.end());
+  worker.inflight.clear();
+  for (const size_t i : inflight) {
     TaskRecord& rec = records_[i];
-    if (rec.worker_id != worker_id || rec.state == TaskState::kDone ||
-        rec.state == TaskState::kWaiting) {
-      continue;
-    }
     ++attempt_epoch_[i];  // orphan the scheduled completion events
     --running_count_;
+    if (running_count_ < 0) {
+      throw Error("Master: running count went negative in crash_worker");
+    }
     rec.state = TaskState::kWaiting;
     rec.worker_id = -1;
     if (is_cancelled(i)) {
@@ -367,7 +595,7 @@ void Master::crash_worker(int worker_id) {
       if (on_complete_) on_complete_(rec);
       continue;
     }
-    ready_queue_.push_back(i);
+    enqueue_ready(i);
   }
   worker.running_tasks = 0;
   worker.available = worker.capacity;
@@ -375,14 +603,25 @@ void Master::crash_worker(int worker_id) {
 }
 
 bool Master::cancel_task(uint64_t task_id) {
-  for (size_t i = 0; i < records_.size(); ++i) {
-    if (records_[i].spec.id != task_id) continue;
-    if (records_[i].state == TaskState::kDone) return false;
-    cancelled_tasks_.insert(task_id);
-    try_dispatch();  // flush it out of the ready queue promptly
-    return true;
+  const auto it = record_by_task_id_.find(task_id);
+  if (it == record_by_task_id_.end()) return false;
+  const size_t index = it->second;
+  if (records_[index].state == TaskState::kDone) return false;
+  SchedState& state = sched_[index];
+  if (!state.cancelled) {
+    state.cancelled = true;
+    if (state.queued) cancel_flush_.push({state.seq, index});
   }
-  return false;
+  try_dispatch();  // flush it out of the ready queue promptly
+  return true;
+}
+
+bool Master::worker_caches(int worker_id, const std::string& file_name) const {
+  return workers_[static_cast<size_t>(worker_id)].cache.count(file_name) > 0;
+}
+
+int64_t Master::worker_cache_bytes(int worker_id) const {
+  return workers_[static_cast<size_t>(worker_id)].cache_bytes;
 }
 
 MasterStats Master::run() {

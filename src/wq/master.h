@@ -8,13 +8,36 @@
 // the per-task LFM) kills the attempt, feeds the observation back to the
 // labeler, and requeues the task — which then escalates per the strategy's
 // retry policy.
+//
+// The scheduling hot path is index-driven so the master scales to ~100k
+// queued tasks on ~1k workers (see DESIGN.md "Indexed scheduler"):
+//   - The ready queue is a set of per-group FIFOs (group = category ×
+//     attempt × cache signature) merged in global submission order through a
+//     small heap. One feasibility probe per group answers for every queued
+//     member, so a saturated pool costs O(groups) per dispatch event instead
+//     of O(queue × workers). Dequeued/cancelled entries are tombstoned and
+//     skipped lazily — no erase-from-middle.
+//   - pick_worker consults a worker-availability index ordered by free
+//     cores (best-fit = first fitting entry) and an inverted index from
+//     input-file name to the workers caching it (cache affinity starts from
+//     warm workers instead of rescanning the pool).
+//   - cancel_task resolves the task id through a hash map; per-worker
+//     in-flight sets make crash_worker proportional to the worker's own
+//     load; eviction picks its victim from a per-worker (last_use, name)
+//     ordered set instead of rescanning the cache.
+// Scheduling decisions are bit-identical to the pre-index linear-scan
+// implementation; only their cost changed.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
+#include <queue>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "alloc/labeler.h"
@@ -82,11 +105,11 @@ class Master {
 
   // --- load introspection & elasticity (for the Provisioner) ---------------
   // Tasks waiting for a worker.
-  int ready_count() const { return static_cast<int>(ready_queue_.size()); }
+  int ready_count() const { return ready_count_; }
   // Tasks currently transferring/executing/returning.
   int running_count() const { return running_count_; }
   // Connected, non-retired workers.
-  int live_worker_count() const;
+  int live_worker_count() const { return live_workers_; }
   // Retire one idle worker (pilot job exits). Returns false when every live
   // worker is busy. Retired workers accept no further tasks.
   bool release_idle_worker();
@@ -100,6 +123,12 @@ class Master {
   // id is unknown or already done.
   bool cancel_task(uint64_t task_id);
   int64_t worker_crashes() const { return worker_crashes_; }
+
+  // --- cache introspection (tests / diagnostics) ----------------------------
+  // True when `worker_id`'s cache currently holds `file_name`.
+  bool worker_caches(int worker_id, const std::string& file_name) const;
+  // Total bytes currently cached on `worker_id`.
+  int64_t worker_cache_bytes(int worker_id) const;
 
  private:
   struct CacheEntry {
@@ -115,18 +144,77 @@ class Master {
     double ready_time = 0.0;
     bool ready = false;
     bool retired = false;
-    std::map<std::string, CacheEntry> cache;
+    std::unordered_map<std::string, CacheEntry> cache;
+    // Eviction index over the unpinned entries, ordered by (last_use, name)
+    // — begin() is exactly the victim the old full-cache scan selected.
+    std::set<std::pair<double, std::string>> evictable;
     int64_t cache_bytes = 0;
     int64_t cache_capacity_bytes = 0;
     int running_tasks = 0;
+    // Records currently transferring/executing/returning here (ascending, so
+    // a crash requeues in the same order the old whole-table scan did).
+    std::set<size_t> inflight;
+  };
+
+  // Scheduling group: queued tasks of one (category, attempt, cache
+  // signature) share an allocation and a warm-worker set, so one
+  // feasibility probe per dispatch pass answers for all of them.
+  struct GroupKey {
+    int category_id = 0;
+    int attempt = 0;
+    int signature_id = 0;
+    bool operator<(const GroupKey& o) const {
+      if (category_id != o.category_id) return category_id < o.category_id;
+      if (attempt != o.attempt) return attempt < o.attempt;
+      return signature_id < o.signature_id;
+    }
+  };
+  struct QueueEntry {
+    uint64_t seq = 0;
+    size_t record_index = 0;
+  };
+  struct Group {
+    std::deque<QueueEntry> fifo;  // tombstoned entries skipped lazily
+    uint64_t blocked_token = 0;   // pass token when last probed infeasible
+  };
+  // Per-record scheduler state, parallel to records_.
+  struct SchedState {
+    uint64_t seq = 0;  // global FIFO position while queued
+    bool queued = false;
+    bool cancelled = false;
+    int category_id = -1;
+    int signature_id = -1;
+  };
+  struct Pick {
+    int worker_id = -1;
+    double cached = 0.0;
   };
 
   void worker_ready(int worker_id);
   void try_dispatch();
+  void run_dispatch_passes();
+  void run_pass(bool cached_only);
+  void enqueue_ready(size_t record_index);
+  // Pop tombstoned entries off the group's FIFO head.
+  void advance_head(Group& group);
+  bool entry_live(const QueueEntry& e) const {
+    return sched_[e.record_index].queued && sched_[e.record_index].seq == e.seq;
+  }
+  // Mark a queued, cancelled record done (the seed flushed these during its
+  // ready-queue scan; here they arrive through cancel_flush_ in seq order).
+  void flush_cancelled(size_t record_index);
+
+  int intern_category(const std::string& name);
+  int intern_signature(const TaskSpec& spec);
+
   // Bytes of `task`'s inputs NOT cached on `worker`.
   int64_t missing_bytes(const Worker& worker, const TaskSpec& task) const;
   double cached_bytes(const Worker& worker, const TaskSpec& task) const;
-  std::optional<int> pick_worker(const TaskSpec& task, const alloc::Resources& alloc) const;
+  // Index-driven worker choice: warm candidates from the inverted file
+  // index first, else best fit from the availability index. Identical
+  // outcome to the old all-workers argmax of (-cached, free cores, id).
+  std::optional<Pick> pick_worker(const TaskSpec& task, const alloc::Resources& alloc,
+                                  int signature_id) const;
   void dispatch(size_t record_index, int worker_id, const alloc::Resources& alloc);
   void start_execution(size_t record_index, int worker_id,
                        const alloc::Resources& alloc, uint64_t epoch);
@@ -134,13 +222,13 @@ class Master {
                       const alloc::Resources& alloc, bool exhausted,
                       const std::string& exhausted_resource, double runtime,
                       uint64_t epoch);
-  void release(int worker_id, const alloc::Resources& alloc);
+  void release(size_t record_index, int worker_id, const alloc::Resources& alloc);
   // True when this attempt was invalidated by a worker crash.
   bool stale(size_t record_index, uint64_t epoch) const {
     return attempt_epoch_[record_index] != epoch;
   }
   bool is_cancelled(size_t record_index) const {
-    return cancelled_tasks_.count(records_[record_index].spec.id) > 0;
+    return sched_[record_index].cancelled;
   }
   void finish_cancelled(size_t record_index, int worker_id,
                         const alloc::Resources& alloc);
@@ -149,6 +237,11 @@ class Master {
   // Make room for `bytes` in the worker's cache, evicting LRU unpinned
   // entries. Returns false when the file cannot be cached at all.
   bool make_cache_room(Worker& worker, int64_t bytes);
+  void cache_insert(Worker& worker, const std::string& name, int64_t size_bytes);
+
+  // Availability-index maintenance around mutations of Worker::available.
+  void avail_erase(const Worker& worker);
+  void avail_insert(const Worker& worker);
 
   sim::Simulation& sim_;
   sim::Network& network_;
@@ -157,16 +250,47 @@ class Master {
 
   std::vector<Worker> workers_;
   std::vector<TaskRecord> records_;
-  std::vector<size_t> ready_queue_;  // indices into records_
+  std::vector<SchedState> sched_;
   MasterStats stats_;
   std::function<void(const TaskRecord&)> on_complete_;
   bool dispatch_scheduled_ = false;
   double first_ready_time_ = 0.0;
+  int ready_count_ = 0;
   int running_count_ = 0;
+  int live_workers_ = 0;
   int64_t worker_crashes_ = 0;
-  std::set<uint64_t> cancelled_tasks_;
   // Attempts invalidated by a worker crash: (record index, epoch) pairs.
   std::vector<uint64_t> attempt_epoch_;
+
+  // --- scheduler indexes ----------------------------------------------------
+  std::map<GroupKey, Group> groups_;  // node-stable: Group* live across inserts
+  uint64_t next_seq_ = 0;
+  // Queued-and-cancelled records awaiting their seq-ordered flush.
+  std::priority_queue<std::pair<uint64_t, size_t>,
+                      std::vector<std::pair<uint64_t, size_t>>,
+                      std::greater<std::pair<uint64_t, size_t>>>
+      cancel_flush_;
+  // (free cores, id) over ready, non-retired workers.
+  std::set<std::pair<double, int>> avail_index_;
+  // Ready, non-retired workers with no running tasks (for release_idle_worker).
+  std::set<int> idle_workers_;
+  // Inverted cache index: file name -> ids of workers caching it.
+  std::unordered_map<std::string, std::set<int>> file_holders_;
+  // task id -> records_ index (first submission wins, as the old scan did).
+  std::unordered_map<uint64_t, size_t> record_by_task_id_;
+  std::unordered_map<std::string, int> category_ids_;
+  std::map<std::vector<std::string>, int> signature_ids_;
+  std::vector<std::vector<std::string>> signatures_;  // id -> sorted file names
+
+  // --- per-pass scratch -----------------------------------------------------
+  uint64_t pass_token_ = 0;
+  bool in_pass_ = false;
+  bool pass_grew_ = false;  // entries enqueued re-entrantly during the pass
+  // Files newly cached by dispatches within the current cached-only pass;
+  // groups blocked for lack of a warm worker are re-probed when one of
+  // their signature files lands in a cache mid-pass.
+  std::vector<std::string> newly_cached_names_;
+  std::unordered_map<std::string, std::vector<Group*>> blocked_by_file_;
 };
 
 // Convenience: run one workload under one strategy and report stats.

@@ -320,6 +320,238 @@ TEST(Master, OversizedFileStreamsThrough) {
   EXPECT_EQ(result.stats.transferred_bytes, 2LL * 1500 * 1000 * 1000);
 }
 
+TEST(Master, CrashDuringTransferKeepsCountsConsistent) {
+  // Crash a worker while input transfers to it are still in flight: the
+  // in-flight attempts requeue exactly once. The master throws if the
+  // running-task accounting ever double-decrements, and a periodic probe
+  // checks the public counters stay sane throughout.
+  sim::Simulation sim;
+  sim::NetworkParams np;
+  np.bandwidth = 10e6;  // 100 MB input -> 10 s transfer
+  np.per_flow_bandwidth = 10e6;
+  sim::Network net(sim, np);
+  LabelerConfig cfg = node_config(8, 8e9, 16e9);
+  cfg.strategy = Strategy::kGuess;
+  cfg.guess = Resources{4.0, 1e9, 2e9};  // two tasks per worker
+  alloc::Labeler labeler(cfg);
+  Master master(sim, net, labeler);
+  master.add_worker({Resources{8, 8e9, 16e9}, 0.0});
+  master.add_worker({Resources{8, 8e9, 16e9}, 0.0});
+  for (uint64_t i = 1; i <= 4; ++i) {
+    TaskSpec t = simple_task(i, 5.0);
+    InputFile data;
+    data.name = "data-" + std::to_string(i);
+    data.size_bytes = 100LL * 1000 * 1000;
+    t.inputs.push_back(std::move(data));
+    master.submit(std::move(t));
+  }
+  std::function<void()> probe = [&] {
+    EXPECT_GE(master.running_count(), 0);
+    EXPECT_LE(master.running_count(), 4);
+    EXPECT_GE(master.ready_count(), 0);
+    if (sim.now() < 60.0) sim.schedule(1.0, probe);
+  };
+  sim.schedule(0.5, probe);
+  sim.schedule(2.0, [&] { master.crash_worker(0); });  // mid-transfer
+  const MasterStats stats = master.run();
+  EXPECT_EQ(stats.tasks_completed, 4);
+  EXPECT_EQ(master.running_count(), 0);
+  EXPECT_EQ(master.ready_count(), 0);
+}
+
+TEST(Master, CrashDuringReturnKeepsCountsConsistent) {
+  // Crash while a finished task's output is returning: the success was not
+  // yet recorded, so the task reruns and completes exactly once.
+  sim::Simulation sim;
+  sim::NetworkParams np;
+  np.bandwidth = 10e6;  // 100 MB output -> 10 s return
+  np.per_flow_bandwidth = 10e6;
+  sim::Network net(sim, np);
+  LabelerConfig cfg = node_config(8, 8e9, 16e9);
+  cfg.strategy = Strategy::kGuess;
+  cfg.guess = Resources{8.0, 1e9, 2e9};  // serialize: one task per worker
+  alloc::Labeler labeler(cfg);
+  Master master(sim, net, labeler);
+  master.add_worker({Resources{8, 8e9, 16e9}, 0.0});
+  master.add_worker({Resources{8, 8e9, 16e9}, 0.0});
+  for (uint64_t i = 1; i <= 2; ++i) {
+    TaskSpec t = simple_task(i, 5.0);
+    t.output_bytes = 100LL * 1000 * 1000;
+    master.submit(std::move(t));
+  }
+  // t in (5, 15): worker 0's task is in kReturning.
+  sim.schedule(6.0, [&] { master.crash_worker(0); });
+  const MasterStats stats = master.run();
+  EXPECT_EQ(stats.tasks_completed, 2);  // counted once despite the rerun
+  EXPECT_EQ(master.running_count(), 0);
+  EXPECT_EQ(master.ready_count(), 0);
+  for (const auto& rec : master.records()) {
+    EXPECT_EQ(rec.state, TaskState::kDone);
+  }
+}
+
+TEST(Master, CancelThenCrashDuringTransferCountsOnce) {
+  // A task cancelled mid-transfer whose worker then crashes must be
+  // finalized exactly once (through the crash path), with no residual
+  // running or ready entries.
+  sim::Simulation sim;
+  sim::NetworkParams np;
+  np.bandwidth = 10e6;
+  np.per_flow_bandwidth = 10e6;
+  sim::Network net(sim, np);
+  alloc::Labeler labeler(node_config(8, 8e9, 16e9));
+  Master master(sim, net, labeler);
+  master.add_worker({Resources{8, 8e9, 16e9}, 0.0});
+  TaskSpec t = simple_task(1, 5.0);
+  InputFile data;
+  data.name = "data";
+  data.size_bytes = 100LL * 1000 * 1000;
+  t.inputs.push_back(std::move(data));
+  master.submit(std::move(t));
+  sim.schedule(1.0, [&] { EXPECT_TRUE(master.cancel_task(1)); });
+  sim.schedule(2.0, [&] { master.crash_worker(0); });
+  const MasterStats stats = master.run();
+  EXPECT_EQ(stats.tasks_cancelled, 1);
+  EXPECT_EQ(stats.tasks_completed, 0);
+  EXPECT_EQ(master.running_count(), 0);
+  EXPECT_EQ(master.ready_count(), 0);
+  EXPECT_EQ(master.records()[0].state, TaskState::kDone);
+}
+
+TEST(Master, LruEvictionOrderIsLeastRecentlyUsed) {
+  // Cache holds two 400 MB envs (1 GB capacity). Access pattern A B C B A:
+  // C evicts A (the LRU), B's reuse refreshes it, so the final A evicts C —
+  // leaving {B, A} cached. Affinity off so dispatch order stays FIFO, and a
+  // whole-node guess serializes the tasks.
+  LabelerConfig cfg = node_config(8, 8e9, 2e9);
+  cfg.strategy = Strategy::kGuess;
+  cfg.guess = Resources{8.0, 1e9, 0.5e9};
+  sim::Simulation sim;
+  sim::Network net(sim, {});
+  alloc::Labeler labeler(cfg);
+  MasterConfig mc;
+  mc.cache_affinity = false;
+  Master master(sim, net, labeler, mc);
+  master.add_worker({Resources{8, 8e9, 2e9}, 0.0});
+  const char* envs[] = {"env-A", "env-B", "env-C", "env-B", "env-A"};
+  for (uint64_t i = 0; i < 5; ++i) {
+    TaskSpec t = simple_task(i + 1, 2.0, 100e6, 0.1e9);
+    t.inputs.push_back(
+        apps::environment_file(envs[i], 400LL * 1000 * 1000, 0.0));
+    master.submit(std::move(t));
+  }
+  const MasterStats stats = master.run();
+  EXPECT_EQ(stats.tasks_completed, 5);
+  EXPECT_EQ(stats.cache_hits, 1);       // only the B reuse hits
+  EXPECT_EQ(stats.cache_evictions, 2);  // A evicted for C, C evicted for A
+  EXPECT_EQ(stats.transferred_bytes, 4LL * 400 * 1000 * 1000);
+  EXPECT_TRUE(master.worker_caches(0, "env-A"));
+  EXPECT_TRUE(master.worker_caches(0, "env-B"));
+  EXPECT_FALSE(master.worker_caches(0, "env-C"));
+  EXPECT_EQ(master.worker_cache_bytes(0), 2LL * 400 * 1000 * 1000);
+}
+
+TEST(Master, PinsBalanceAcrossExhaustionRetries) {
+  // A task whose first attempt exhausts memory pins its environment twice
+  // (once per attempt) and must unpin it twice; if a pin leaked, the later
+  // eviction for env-2 would refuse and the file would stream through.
+  LabelerConfig cfg = node_config(8, 8e9, 2e9);  // cache capacity 1 GB
+  cfg.strategy = Strategy::kGuess;
+  cfg.guess = Resources{8.0, 1.5e9, 2e9};  // whole-node cores: serialized
+  sim::Simulation sim;
+  sim::Network net(sim, {});
+  alloc::Labeler labeler(cfg);
+  Master master(sim, net, labeler);
+  master.add_worker({Resources{8, 8e9, 2e9}, 0.0});
+  TaskSpec heavy = simple_task(1, 5.0, 3e9, 0.2e9);  // exhausts the 1.5 GB guess
+  heavy.inputs.push_back(
+      apps::environment_file("env-1", 600LL * 1000 * 1000, 0.0));
+  master.submit(std::move(heavy));
+  TaskSpec follower = simple_task(2, 2.0, 100e6, 0.2e9);
+  follower.inputs.push_back(
+      apps::environment_file("env-2", 600LL * 1000 * 1000, 0.0));
+  master.submit(std::move(follower));
+  const MasterStats stats = master.run();
+  EXPECT_EQ(stats.tasks_completed, 2);
+  EXPECT_EQ(stats.exhaustion_retries, 1);
+  EXPECT_GE(stats.cache_hits, 1);       // the retry reuses env-1
+  EXPECT_EQ(stats.cache_evictions, 1);  // env-1 evictable again -> evicted
+  EXPECT_TRUE(master.worker_caches(0, "env-2"));
+  EXPECT_FALSE(master.worker_caches(0, "env-1"));
+}
+
+TEST(Master, PinsBalanceAcrossCancellation) {
+  // Cancelling a running task must unpin its inputs when the attempt is
+  // discarded, leaving the environment evictable for later tasks.
+  LabelerConfig cfg = node_config(8, 8e9, 2e9);  // cache capacity 1 GB
+  cfg.strategy = Strategy::kGuess;
+  cfg.guess = Resources{8.0, 1e9, 2e9};  // serialized
+  sim::Simulation sim;
+  sim::Network net(sim, {});
+  alloc::Labeler labeler(cfg);
+  Master master(sim, net, labeler);
+  master.add_worker({Resources{8, 8e9, 2e9}, 0.0});
+  TaskSpec victim = simple_task(1, 50.0, 100e6, 0.2e9);
+  victim.inputs.push_back(
+      apps::environment_file("env-1", 600LL * 1000 * 1000, 0.0));
+  master.submit(std::move(victim));
+  TaskSpec follower = simple_task(2, 2.0, 100e6, 0.2e9);
+  follower.inputs.push_back(
+      apps::environment_file("env-2", 600LL * 1000 * 1000, 0.0));
+  master.submit(std::move(follower));
+  sim.schedule(1.0, [&] { EXPECT_TRUE(master.cancel_task(1)); });
+  const MasterStats stats = master.run();
+  EXPECT_EQ(stats.tasks_completed, 1);
+  EXPECT_EQ(stats.tasks_cancelled, 1);
+  EXPECT_EQ(stats.cache_evictions, 1);  // env-1 unpinned by the cancel
+  EXPECT_TRUE(master.worker_caches(0, "env-2"));
+  EXPECT_FALSE(master.worker_caches(0, "env-1"));
+}
+
+TEST(Master, MakeCacheRoomRefusesWhenEverythingPinned) {
+  // Two long-running tasks pin the whole 1 GB cache. A third task arriving
+  // while they run cannot cache its environment (everything pinned -> the
+  // file streams through); once the pins drop, a later task with the same
+  // environment caches it by evicting the finished tasks' files.
+  LabelerConfig cfg = node_config(8, 8e9, 2e9);  // cache capacity 1 GB
+  cfg.strategy = Strategy::kGuess;
+  cfg.guess = Resources{2.0, 1e9, 0.1e9};  // three concurrent on 8 cores
+  sim::Simulation sim;
+  sim::Network net(sim, {});
+  alloc::Labeler labeler(cfg);
+  Master master(sim, net, labeler);
+  master.add_worker({Resources{8, 8e9, 2e9}, 0.0});
+  for (uint64_t i = 1; i <= 2; ++i) {
+    TaskSpec t = simple_task(i, 100.0, 100e6, 0.05e9);
+    t.inputs.push_back(apps::environment_file("env-" + std::to_string(i),
+                                              500LL * 1000 * 1000, 0.0));
+    master.submit(std::move(t));
+  }
+  TaskSpec streamer = simple_task(3, 5.0, 100e6, 0.05e9);
+  streamer.inputs.push_back(
+      apps::environment_file("env-3", 500LL * 1000 * 1000, 0.0));
+  master.submit(std::move(streamer));
+  sim.schedule(10.0, [&] {
+    // Both pinned envs plus the streamed task: env-3 must not be cached.
+    EXPECT_TRUE(master.worker_caches(0, "env-1"));
+    EXPECT_TRUE(master.worker_caches(0, "env-2"));
+    EXPECT_FALSE(master.worker_caches(0, "env-3"));
+    EXPECT_EQ(master.worker_cache_bytes(0), 2LL * 500 * 1000 * 1000);
+  });
+  sim.schedule(150.0, [&] {  // after everything finished: pins are gone
+    TaskSpec again = simple_task(4, 5.0, 100e6, 0.05e9);
+    again.inputs.push_back(
+        apps::environment_file("env-3", 500LL * 1000 * 1000, 0.0));
+    master.submit(std::move(again));
+  });
+  const MasterStats stats = master.run();
+  EXPECT_EQ(stats.tasks_completed, 4);
+  EXPECT_GE(stats.cache_evictions, 1);  // room made once the pins dropped
+  EXPECT_TRUE(master.worker_caches(0, "env-3"));
+  // env-3 transferred twice: streamed while pinned, cached afterwards.
+  EXPECT_EQ(stats.transferred_bytes, 4LL * 500 * 1000 * 1000);
+}
+
 TEST(Master, PinnedEntriesSurviveCachePressure) {
   // Two concurrent tasks pin two different 500 MB envs in a 1 GB cache;
   // a third env cannot evict them while they run, so the third task

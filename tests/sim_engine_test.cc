@@ -128,5 +128,76 @@ TEST(Engine, ManyEventsStress) {
   EXPECT_EQ(sum, 100000);
 }
 
+TEST(Engine, CancelAfterExecutionKeepsPendingCountExact) {
+  // Regression: cancelling an already-executed event used to leave a
+  // permanent entry in the cancelled set, so pending_events()
+  // (queue size minus cancelled size) underflowed and wrapped.
+  Simulation sim;
+  const EventId id = sim.schedule(1.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.cancel(id);  // already ran: must be a no-op
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.schedule(1.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);  // not SIZE_MAX
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Engine, CancelNeverIssuedOrRepeatedIsNoop) {
+  Simulation sim;
+  sim.cancel(0);        // the null id
+  sim.cancel(123456);   // never issued
+  EXPECT_EQ(sim.pending_events(), 0u);
+  const EventId id = sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [] {});
+  sim.cancel(id);
+  sim.cancel(id);  // double cancel counts once
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Engine, CancelFromInsideHandler) {
+  Simulation sim;
+  bool second_ran = false;
+  const EventId second = sim.schedule(2.0, [&] { second_ran = true; });
+  sim.schedule(1.0, [&] { sim.cancel(second); });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Engine, TombstoneChurnStress) {
+  // Heavy schedule/cancel churn (the Network's reschedule-all pattern):
+  // tombstoned heap entries must neither execute nor distort the counters.
+  Simulation sim;
+  int64_t fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 50000; ++i) {
+    ids.push_back(sim.schedule(static_cast<double>(i % 100), [&fired] { ++fired; }));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+  EXPECT_EQ(sim.pending_events(), 25000u);
+  sim.run();
+  EXPECT_EQ(fired, 25000);
+  EXPECT_EQ(sim.executed_events(), 25000u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Engine, RunUntilSkipsCancelledWithoutAdvancingClock) {
+  Simulation sim;
+  const EventId id = sim.schedule(1.0, [] {});
+  sim.schedule(5.0, [] {});
+  sim.cancel(id);
+  sim.run_until(2.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.executed_events(), 0u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
 }  // namespace
 }  // namespace lfm::sim
