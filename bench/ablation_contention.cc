@@ -17,7 +17,7 @@ using namespace lfm;
 void print_table() {
   lfm::bench::print_header("Ablation: metadata-server contention exponent",
                            "DESIGN.md ablation (mechanism behind Figs 4-5)");
-  const pkg::PackageIndex index = pkg::standard_index();
+  const pkg::PackageIndex& index = pkg::standard_index();
   pkg::Solver solver(index);
   auto res = solver.resolve({pkg::Requirement::parse("tensorflow")});
   if (!res.ok()) throw Error(res.error());
@@ -42,7 +42,7 @@ void print_table() {
 }
 
 void BM_direct_model(benchmark::State& state) {
-  const pkg::PackageIndex index = pkg::standard_index();
+  const pkg::PackageIndex& index = pkg::standard_index();
   pkg::Solver solver(index);
   const pkg::Environment env(
       "tensorflow", solver.resolve({pkg::Requirement::parse("tensorflow")}).take());

@@ -23,7 +23,7 @@ void print_table() {
   lfm::bench::print_header(
       "Figure 4: import time vs core count on Theta (shared FS direct)",
       "Figure 4 of the paper");
-  const pkg::PackageIndex index = pkg::standard_index();
+  const pkg::PackageIndex& index = pkg::standard_index();
   const sim::Site site = sim::theta();
   const sim::EnvDistModel model(site);
 
@@ -61,7 +61,7 @@ void print_table() {
 }
 
 void BM_import_model_512_nodes(benchmark::State& state) {
-  const pkg::PackageIndex index = pkg::standard_index();
+  const pkg::PackageIndex& index = pkg::standard_index();
   const sim::EnvDistModel model(sim::theta());
   const auto* tensorflow = index.best("tensorflow", pkg::VersionSpec::any());
   for (auto _ : state) {

@@ -19,7 +19,7 @@ void print_table() {
   lfm::bench::print_header(
       "Figure 5: TensorFlow environment load, direct vs packed+local unpack",
       "Figure 5 of the paper");
-  const pkg::PackageIndex index = pkg::standard_index();
+  const pkg::PackageIndex& index = pkg::standard_index();
   pkg::Solver solver(index);
   auto result = solver.resolve({pkg::Requirement::parse("tensorflow")});
   if (!result.ok()) throw Error("fig5: " + result.error());
@@ -45,7 +45,7 @@ void print_table() {
 }
 
 void BM_setup_model(benchmark::State& state) {
-  const pkg::PackageIndex index = pkg::standard_index();
+  const pkg::PackageIndex& index = pkg::standard_index();
   pkg::Solver solver(index);
   const pkg::Environment env("tensorflow",
                              solver.resolve({pkg::Requirement::parse("tensorflow")}).take());

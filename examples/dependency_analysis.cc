@@ -54,7 +54,7 @@ int main() {
   using namespace lfm;
 
   std::printf("== Static dependency analysis & packaging ==\n");
-  const pkg::PackageIndex installed = pkg::standard_index();
+  const pkg::PackageIndex& installed = pkg::standard_index();
 
   for (const char* fn : {"featurize", "predict", "summarize"}) {
     std::printf("\n--- function %s ---\n", fn);

@@ -63,7 +63,7 @@ int main() {
   std::printf("== A Python function through the whole LFM pipeline ==\n");
 
   // 1-2. Analysis and planning.
-  const pkg::PackageIndex installed = pkg::standard_index();
+  const pkg::PackageIndex& installed = pkg::standard_index();
   const auto plan = flow::plan_function_dependencies(kUserModule, "summarize", installed);
   std::printf("\n[analysis] imports:");
   for (const auto& name : plan.import_names) std::printf(" %s", name.c_str());

@@ -1,8 +1,9 @@
 #include "faas/funcx.h"
 
+#include "flow/analysis.h"
 #include "flow/pyapp.h"
 #include "pysrc/imports.h"
-#include "pysrc/parser.h"
+#include "pysrc/parse_cache.h"
 #include "serde/pickle.h"
 #include "util/strings.h"
 
@@ -37,9 +38,10 @@ FunctionId FunctionRegistry::register_python_function(
     const std::string& module_source, const std::string& function_name,
     monitor::ResourceLimits limits) {
   // Derive the dependency list from the function's own imports, as funcX
-  // derives container requirements from the registered function.
-  const pysrc::Module module = pysrc::parse_module(module_source);
-  const auto scan = pysrc::scan_function(module, function_name);
+  // derives container requirements from the registered function. The module
+  // parses through the shared cache: python_app below reuses the same AST.
+  const auto module = pysrc::parse_module_shared(module_source);
+  const auto scan = pysrc::scan_function(*module, function_name);
   std::vector<std::string> dependencies;
   for (const auto& package :
        scan.external_packages(pysrc::default_stdlib_modules())) {
@@ -50,6 +52,28 @@ FunctionId FunctionRegistry::register_python_function(
   flow::App app = flow::python_app(module_source, function_name, options);
   return register_function(function_name, std::move(app.fn),
                            std::move(dependencies), limits);
+}
+
+std::vector<FunctionId> FunctionRegistry::register_python_functions(
+    const std::vector<std::pair<std::string, std::string>>& functions,
+    monitor::ResourceLimits limits) {
+  // Warm the parse/scan caches for the whole corpus in parallel, then run
+  // the (now cache-hit) sequential registration path so per-function
+  // behaviour — dependency derivation, id assignment order — is identical
+  // to calling register_python_function in a loop.
+  std::vector<flow::AnalysisRequest> requests;
+  requests.reserve(functions.size());
+  for (const auto& [source, name] : functions) {
+    requests.push_back({source, name});
+  }
+  flow::analyze_all(requests, pkg::standard_index());
+
+  std::vector<FunctionId> ids;
+  ids.reserve(functions.size());
+  for (const auto& [source, name] : functions) {
+    ids.push_back(register_python_function(source, name, limits));
+  }
+  return ids;
 }
 
 const RegisteredFunction& FunctionRegistry::get(const FunctionId& id) const {

@@ -1,7 +1,11 @@
 #include "flow/plan.h"
 
+#include <mutex>
+
+#include "pysrc/parse_cache.h"
 #include "pysrc/parser.h"
 #include "pysrc/scope.h"
+#include "util/hash.h"
 
 namespace lfm::flow {
 
@@ -61,13 +65,10 @@ DependencyPlan plan_from_scan(const pysrc::ImportScan& scan,
   return plan;
 }
 
-}  // namespace
-
-DependencyPlan plan_function_dependencies(
-    const std::string& python_source, const std::string& function_name,
-    const pkg::PackageIndex& installed,
-    const std::map<std::string, std::string>& aliases) {
-  const pysrc::Module module = pysrc::parse_module(python_source);
+DependencyPlan plan_function_on_module(const pysrc::Module& module,
+                                       const std::string& function_name,
+                                       const pkg::PackageIndex& installed,
+                                       const std::map<std::string, std::string>& aliases) {
   DependencyPlan plan =
       plan_from_scan(pysrc::scan_function(module, function_name), installed, aliases);
   // Self-containment (§IV "applications fail with little explanation"): a
@@ -88,10 +89,105 @@ DependencyPlan plan_function_dependencies(
   return plan;
 }
 
+// The process-wide plan memo. Keys embed the full source text (plus the
+// function name, alias table, and index generation), so a hash collision
+// can never alias two different inputs; values are whole plans, copied out
+// on hit.
+struct PlanCache {
+  std::mutex mu;
+  LruCache<std::string, DependencyPlan, ContentHash> cache{1024};
+};
+
+PlanCache& plan_cache() {
+  static PlanCache* instance = new PlanCache;
+  return *instance;
+}
+
+std::string plan_key(char tag, const std::string& source,
+                     const std::string& function_name, uint64_t generation,
+                     const std::map<std::string, std::string>& aliases) {
+  std::string key;
+  key.reserve(source.size() + function_name.size() + 32 * aliases.size() + 32);
+  key += tag;
+  key += '\x1f';
+  key += std::to_string(generation);
+  key += '\x1f';
+  key += function_name;
+  key += '\x1f';
+  for (const auto& [import_name, package] : aliases) {
+    key += import_name;
+    key += '=';
+    key += package;
+    key += ',';
+  }
+  key += '\x1f';
+  key += source;
+  return key;
+}
+
+DependencyPlan plan_cached(char tag, const std::string& source,
+                           const std::string& function_name,
+                           const pkg::PackageIndex& installed,
+                           const std::map<std::string, std::string>& aliases) {
+  const std::string key =
+      plan_key(tag, source, function_name, installed.generation(), aliases);
+  auto& pc = plan_cache();
+  {
+    std::lock_guard<std::mutex> lock(pc.mu);
+    if (const auto* hit = pc.cache.find(key)) return *hit;
+  }
+  // Miss: parse through the shared parse cache (so python_app construction
+  // and repeat analyses reuse the same AST), then scan and pin.
+  const auto module = pysrc::parse_module_shared(source);
+  DependencyPlan plan =
+      tag == 'f' ? plan_function_on_module(*module, function_name, installed, aliases)
+                 : plan_from_scan(pysrc::scan_module(*module), installed, aliases);
+  {
+    std::lock_guard<std::mutex> lock(pc.mu);
+    pc.cache.insert(key, plan);
+  }
+  return plan;
+}
+
+}  // namespace
+
+DependencyPlan plan_function_dependencies(
+    const std::string& python_source, const std::string& function_name,
+    const pkg::PackageIndex& installed,
+    const std::map<std::string, std::string>& aliases) {
+  return plan_cached('f', python_source, function_name, installed, aliases);
+}
+
 DependencyPlan plan_module_dependencies(
     const std::string& python_source, const pkg::PackageIndex& installed,
     const std::map<std::string, std::string>& aliases) {
+  return plan_cached('m', python_source, "", installed, aliases);
+}
+
+DependencyPlan plan_function_dependencies_uncached(
+    const std::string& python_source, const std::string& function_name,
+    const pkg::PackageIndex& installed,
+    const std::map<std::string, std::string>& aliases) {
+  const pysrc::Module module = pysrc::parse_module(python_source);
+  return plan_function_on_module(module, function_name, installed, aliases);
+}
+
+DependencyPlan plan_module_dependencies_uncached(
+    const std::string& python_source, const pkg::PackageIndex& installed,
+    const std::map<std::string, std::string>& aliases) {
   return plan_from_scan(pysrc::scan_source(python_source), installed, aliases);
+}
+
+CacheStats plan_cache_stats() {
+  auto& pc = plan_cache();
+  std::lock_guard<std::mutex> lock(pc.mu);
+  return pc.cache.stats();
+}
+
+void clear_plan_cache() {
+  auto& pc = plan_cache();
+  std::lock_guard<std::mutex> lock(pc.mu);
+  pc.cache.clear();
 }
 
 Result<pkg::Environment> build_environment(const std::string& name,

@@ -13,6 +13,7 @@
 #include "pkg/environment.h"
 #include "pkg/solver.h"
 #include "pysrc/imports.h"
+#include "util/lru.h"
 
 namespace lfm::flow {
 
@@ -33,6 +34,12 @@ const std::map<std::string, std::string>& default_import_aliases();
 // the version installed in `installed`. Unknown imports produce warning
 // diagnostics and are skipped (matching the analyzer tool's behaviour).
 // The interpreter itself ("python") is always part of the plan.
+//
+// Memoized process-wide by content: the key combines the full source text,
+// the function name, the alias table, and the index generation, so repeat
+// submissions of the same function (the Parsl-scale common case) skip the
+// lex/parse/scan/pin pipeline entirely. Mutating the index invalidates via
+// its generation bump. A cache miss also warms the shared parse cache.
 DependencyPlan plan_function_dependencies(
     const std::string& python_source, const std::string& function_name,
     const pkg::PackageIndex& installed,
@@ -42,6 +49,20 @@ DependencyPlan plan_function_dependencies(
 DependencyPlan plan_module_dependencies(
     const std::string& python_source, const pkg::PackageIndex& installed,
     const std::map<std::string, std::string>& aliases = default_import_aliases());
+
+// The raw, cache-free pipeline (parse + scan + pin on every call): the cold
+// baseline for scale_analysis and for cache-correctness tests.
+DependencyPlan plan_function_dependencies_uncached(
+    const std::string& python_source, const std::string& function_name,
+    const pkg::PackageIndex& installed,
+    const std::map<std::string, std::string>& aliases = default_import_aliases());
+DependencyPlan plan_module_dependencies_uncached(
+    const std::string& python_source, const pkg::PackageIndex& installed,
+    const std::map<std::string, std::string>& aliases = default_import_aliases());
+
+// Observability for the process-wide plan memo.
+CacheStats plan_cache_stats();
+void clear_plan_cache();
 
 // Solve a plan into a concrete minimal environment.
 Result<pkg::Environment> build_environment(const std::string& name,

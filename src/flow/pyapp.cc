@@ -1,6 +1,6 @@
 #include "flow/pyapp.h"
 
-#include "pysrc/parser.h"
+#include "pysrc/parse_cache.h"
 #include "pysrc/unparse.h"
 #include "util/strings.h"
 
@@ -10,9 +10,11 @@ App python_app(const std::string& module_source, const std::string& function_nam
                const PythonAppOptions& options) {
   // Extraction validates the function exists and strips everything else —
   // the "ship only the function's source" model. Decorators are dropped
-  // (the @python_app marker itself must not execute remotely).
-  const pysrc::Module module = pysrc::parse_module(module_source);
-  std::string shipped = pysrc::extract_function_source(module, function_name);
+  // (the @python_app marker itself must not execute remotely). The user
+  // module parses through the shared content-addressed cache, so registering
+  // many functions of one module costs one parse.
+  const auto module = pysrc::parse_module_shared(module_source);
+  std::string shipped = pysrc::extract_function_source(*module, function_name);
   // Drop decorator lines: they reference names (parsl, python_app) that do
   // not exist on the worker.
   std::string body;
@@ -31,14 +33,18 @@ App python_app(const std::string& module_source, const std::string& function_nam
   app.limits = options.limits;
   const pysrc::InterpOptions interp_options = options.interpreter;
   const std::string fn_name = function_name;
-  app.fn = [body, fn_name, interp_options](const serde::Value& args) {
+  // The shipped body parses exactly once, here at construction; every
+  // invocation shares the immutable AST and only pays for a fresh
+  // interpreter (paper §V.B step 1 runs once per function, not per task).
+  const auto body_module = pysrc::parse_module_shared(body);
+  app.fn = [body_module, fn_name, interp_options](const serde::Value& args) {
     std::vector<serde::Value> positional;
     if (args.is_list()) {
       positional = args.as_list();
     } else if (!args.is_none()) {
       positional.push_back(args);
     }
-    return pysrc::run_python_function(body, fn_name, std::move(positional),
+    return pysrc::run_python_function(body_module, fn_name, std::move(positional),
                                       interp_options);
   };
   return app;

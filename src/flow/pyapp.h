@@ -2,7 +2,8 @@
 //
 // Builds a flow::App whose body is SHIPPED PYTHON SOURCE: the named function
 // is extracted from the user's module (decorators dropped, imports kept),
-// and each invocation re-parses and executes it in a fresh mini-Python
+// parsed ONCE through the shared content-addressed parse cache, and each
+// invocation executes the shared immutable AST in a fresh mini-Python
 // interpreter — inside the LFM child process when run on an LFM executor.
 // Arguments arrive as a pickled Value list (positional), exactly like the
 // paper's pickled-inputs wrapper; the return value is the function's result.

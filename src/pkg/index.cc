@@ -1,10 +1,49 @@
 #include "pkg/index.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/units.h"
 
 namespace lfm::pkg {
+
+namespace {
+
+// Never reused, so a generation uniquely identifies one index object in one
+// mutation state for the lifetime of the process.
+uint64_t next_generation() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace
+
+PackageIndex::PackageIndex() : generation_(next_generation()) {}
+
+PackageIndex::PackageIndex(const PackageIndex& other)
+    : packages_(other.packages_), generation_(next_generation()) {}
+
+PackageIndex& PackageIndex::operator=(const PackageIndex& other) {
+  if (this != &other) {
+    packages_ = other.packages_;
+    generation_ = next_generation();
+  }
+  return *this;
+}
+
+PackageIndex::PackageIndex(PackageIndex&& other) noexcept
+    : packages_(std::move(other.packages_)), generation_(next_generation()) {
+  other.generation_ = next_generation();
+}
+
+PackageIndex& PackageIndex::operator=(PackageIndex&& other) noexcept {
+  if (this != &other) {
+    packages_ = std::move(other.packages_);
+    generation_ = next_generation();
+    other.generation_ = next_generation();
+  }
+  return *this;
+}
 
 void PackageIndex::add(PackageMeta meta) {
   auto& versions = packages_[meta.name];
@@ -16,6 +55,7 @@ void PackageIndex::add(PackageMeta meta) {
   versions.push_back(std::move(meta));
   std::sort(versions.begin(), versions.end(),
             [](const PackageMeta& a, const PackageMeta& b) { return a.version > b.version; });
+  generation_ = next_generation();
 }
 
 bool PackageIndex::contains(const std::string& name) const {
@@ -77,7 +117,12 @@ PackageMeta pkg(const std::string& name, const std::string& version,
 
 }  // namespace
 
-PackageIndex standard_index() {
+const PackageIndex& standard_index() {
+  static const PackageIndex* instance = new PackageIndex(make_standard_index());
+  return *instance;
+}
+
+PackageIndex make_standard_index() {
   PackageIndex index;
 
   // --- interpreter and its non-Python Conda dependencies -------------------

@@ -5,11 +5,14 @@
 // and import-cost models), and whether the package carries native shared
 // libraries (these dominate import time on shared filesystems, §V.A).
 //
-// `standard_index()` builds a synthetic corpus whose shape is calibrated to
-// the packages of Table II: python, numpy, five popular scientific PyPI
-// packages, TensorFlow/MXNet-class ML stacks, and the three applications.
+// `standard_index()` lazily builds — once per process — a shared synthetic
+// corpus whose shape is calibrated to the packages of Table II: python,
+// numpy, five popular scientific PyPI packages, TensorFlow/MXNet-class ML
+// stacks, and the three applications. `make_standard_index()` builds a
+// private mutable copy.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -32,6 +35,17 @@ struct PackageMeta {
 
 class PackageIndex {
  public:
+  PackageIndex();
+  // Copies take a fresh generation: a copy has its own storage, so cached
+  // resolutions holding pointers into the original must never match it.
+  PackageIndex(const PackageIndex& other);
+  PackageIndex& operator=(const PackageIndex& other);
+  // Moves transfer storage (node pointers stay valid) but still refresh both
+  // generations so neither the target nor the emptied source can hit cache
+  // entries recorded against the source's old stamp.
+  PackageIndex(PackageIndex&& other) noexcept;
+  PackageIndex& operator=(PackageIndex&& other) noexcept;
+
   // Register a package version. Throws if the same (name, version) is added
   // twice with different contents.
   void add(PackageMeta meta);
@@ -47,12 +61,26 @@ class PackageIndex {
   size_t package_count() const;
   std::vector<std::string> package_names() const;
 
+  // Globally unique, monotonically increasing mutation stamp: refreshed at
+  // construction, on copy, and on every add(). The content-addressed caches
+  // (solver resolutions, dependency plans) key on it, so mutating or
+  // rebuilding an index can never serve stale entries — and entries recorded
+  // against a dead generation are unreachable forever.
+  uint64_t generation() const { return generation_; }
+
  private:
   // name -> versions sorted descending
   std::map<std::string, std::vector<PackageMeta>> packages_;
+  uint64_t generation_;
 };
 
-// Synthetic corpus calibrated to the paper's Table II package set.
-PackageIndex standard_index();
+// The shared immutable synthetic corpus calibrated to the paper's Table II
+// package set. Built lazily exactly once; every call site shares one
+// instance (and therefore one solver/plan cache key space).
+const PackageIndex& standard_index();
+
+// Escape hatch: build a fresh, privately owned copy of the standard corpus
+// for tests that mutate it.
+PackageIndex make_standard_index();
 
 }  // namespace lfm::pkg

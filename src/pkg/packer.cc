@@ -4,6 +4,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+
+#include "pkg/environment.h"
+#include "util/hash.h"
+#include "util/strings.h"
 
 namespace lfm::pkg {
 namespace fs = std::filesystem;
@@ -282,6 +287,77 @@ int relocate_prefix(Archive& archive, const std::string& old_prefix,
     }
   }
   return rewritten;
+}
+
+namespace {
+
+// Packed archives dedup on the pinned requirements list: it fully determines
+// the synthesized file set, so two same-content environments with different
+// names share one archive (and one canonical, relocatable prefix).
+struct PackCache {
+  std::mutex mu;
+  LruCache<std::string, std::shared_ptr<const Bytes>, ContentHash> cache{64};
+};
+
+PackCache& pack_cache() {
+  static PackCache* instance = new PackCache;
+  return *instance;
+}
+
+std::string prefix_for_signature(const std::string& signature) {
+  return strformat("/master/envs/%016llx",
+                   static_cast<unsigned long long>(hash64(signature)));
+}
+
+Bytes pack_environment_cold(const Environment& env, const std::string& signature) {
+  Archive archive;
+  const std::string requirements = env.requirements_txt();
+  archive.add_file("requirements.txt", Bytes(requirements.begin(), requirements.end()));
+  const std::string prefix = prefix_for_signature(signature);
+  std::string manifest;
+  for (const auto& file : env.synthesize_files()) {
+    if (file.is_text) {
+      const std::string content = "prefix=" + prefix + "\n";
+      archive.add_file(file.path, Bytes(content.begin(), content.end()));
+    } else {
+      manifest += file.path + " " + std::to_string(file.size) + "\n";
+    }
+  }
+  archive.add_file("MANIFEST", Bytes(manifest.begin(), manifest.end()));
+  return write_tar(archive);
+}
+
+}  // namespace
+
+std::shared_ptr<const Bytes> packed_environment_tar(const Environment& env) {
+  std::string signature = env.requirements_txt();
+  auto& pc = pack_cache();
+  {
+    std::lock_guard<std::mutex> lock(pc.mu);
+    if (const auto* hit = pc.cache.find(signature)) return *hit;
+  }
+  auto packed = std::make_shared<const Bytes>(pack_environment_cold(env, signature));
+  {
+    std::lock_guard<std::mutex> lock(pc.mu);
+    pc.cache.insert(std::move(signature), packed);
+  }
+  return packed;
+}
+
+std::string packed_environment_prefix(const Environment& env) {
+  return prefix_for_signature(env.requirements_txt());
+}
+
+CacheStats pack_cache_stats() {
+  auto& pc = pack_cache();
+  std::lock_guard<std::mutex> lock(pc.mu);
+  return pc.cache.stats();
+}
+
+void clear_pack_cache() {
+  auto& pc = pack_cache();
+  std::lock_guard<std::mutex> lock(pc.mu);
+  pc.cache.clear();
 }
 
 }  // namespace lfm::pkg

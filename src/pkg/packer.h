@@ -10,13 +10,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "serde/value.h"  // for Bytes
 #include "util/error.h"
+#include "util/lru.h"
 
 namespace lfm::pkg {
+
+class Environment;
 
 using serde::Bytes;
 
@@ -62,5 +66,25 @@ void unpack_to(const Archive& archive, const std::string& root);
 // first 1 KiB). Returns the number of entries rewritten.
 int relocate_prefix(Archive& archive, const std::string& old_prefix,
                     const std::string& new_prefix);
+
+// Synthesize and tar a resolved environment, deduplicated by package
+// signature: every environment with the same pinned package set — whatever
+// its name — shares one immutable archive (the paper's observation that one
+// packed env serves all invocations of a function, §V.D). The archive
+// carries the pinned requirements list, the relocatable text entries
+// (dist-info files embedding a canonical build prefix derived from the
+// signature), and a MANIFEST listing every synthesized payload file with its
+// size; payload bytes themselves are elided so multi-GB environments stay
+// packable in memory (the distribution cost models operate on sizes).
+std::shared_ptr<const Bytes> packed_environment_tar(const Environment& env);
+
+// The canonical build prefix embedded in (and relocatable out of) the text
+// entries of `packed_environment_tar` output for this environment.
+std::string packed_environment_prefix(const Environment& env);
+
+// Observability for the process-wide packed-archive memo. `hits` counts
+// archives served without re-packing.
+CacheStats pack_cache_stats();
+void clear_pack_cache();
 
 }  // namespace lfm::pkg

@@ -1,7 +1,10 @@
 #include "pkg/solver.h"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
+
+#include "util/hash.h"
 
 namespace lfm::pkg {
 
@@ -108,11 +111,68 @@ class Search {
   int64_t& steps_;
 };
 
+// Process-wide resolution memo. Resolutions hold PackageMeta pointers into
+// the index that produced them; the generation component of the key (unique
+// per index object per mutation state, never reused) guarantees an entry is
+// only ever returned to the exact index whose storage it points into.
+struct ResolveCache {
+  std::mutex mu;
+  LruCache<std::string, Result<Resolution>, ContentHash> cache{512};
+};
+
+ResolveCache& resolve_cache() {
+  static ResolveCache* instance = new ResolveCache;
+  return *instance;
+}
+
+std::string resolve_key(uint64_t generation, const std::vector<Requirement>& roots) {
+  std::vector<std::string> parts;
+  parts.reserve(roots.size());
+  for (const auto& req : roots) parts.push_back(req.str());
+  std::sort(parts.begin(), parts.end());
+  std::string key = "gen=" + std::to_string(generation);
+  for (const auto& part : parts) {
+    key += '\x1f';
+    key += part;
+  }
+  return key;
+}
+
 }  // namespace
 
 Result<Resolution> Solver::resolve(const std::vector<Requirement>& roots) const {
+  const std::string key = resolve_key(index_.generation(), roots);
+  auto& rc = resolve_cache();
+  {
+    std::lock_guard<std::mutex> lock(rc.mu);
+    if (const auto* hit = rc.cache.find(key)) {
+      last_steps_ = 0;
+      return *hit;
+    }
+  }
+  Result<Resolution> result = resolve_uncached(roots);
+  {
+    std::lock_guard<std::mutex> lock(rc.mu);
+    rc.cache.insert(key, result);
+  }
+  return result;
+}
+
+Result<Resolution> Solver::resolve_uncached(const std::vector<Requirement>& roots) const {
   last_steps_ = 0;
   return Search(index_, last_steps_).run(roots);
+}
+
+CacheStats solver_cache_stats() {
+  auto& rc = resolve_cache();
+  std::lock_guard<std::mutex> lock(rc.mu);
+  return rc.cache.stats();
+}
+
+void clear_solver_cache() {
+  auto& rc = resolve_cache();
+  std::lock_guard<std::mutex> lock(rc.mu);
+  rc.cache.clear();
 }
 
 }  // namespace lfm::pkg

@@ -14,6 +14,7 @@
 
 #include "pkg/index.h"
 #include "util/error.h"
+#include "util/lru.h"
 
 namespace lfm::pkg {
 
@@ -33,7 +34,18 @@ class Solver {
 
   // Resolve the given requirements. Returns a failure Result with a
   // human-readable conflict explanation when unsatisfiable.
+  //
+  // Memoized: results are cached process-wide under a canonical requirement
+  // signature (roots sorted, so argument order is irrelevant) combined with
+  // the index generation, mirroring the paper's observation that thousands
+  // of tasks share a handful of environments. Mutating the index bumps its
+  // generation and invalidates every prior entry. On a cache hit
+  // last_steps() reports 0.
   Result<Resolution> resolve(const std::vector<Requirement>& roots) const;
+
+  // The raw backtracking search, bypassing the memo (cold-cost measurement
+  // and cache tests).
+  Result<Resolution> resolve_uncached(const std::vector<Requirement>& roots) const;
 
   // Number of candidate assignments explored by the last resolve() call
   // (diagnostic; not thread-safe across concurrent resolves).
@@ -43,5 +55,9 @@ class Solver {
   const PackageIndex& index_;
   mutable int64_t last_steps_ = 0;
 };
+
+// Observability for the process-wide resolution memo.
+CacheStats solver_cache_stats();
+void clear_solver_cache();
 
 }  // namespace lfm::pkg

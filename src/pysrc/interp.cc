@@ -1800,6 +1800,15 @@ serde::Value run_python_function(const std::string& module_source,
   return interp.call(function, std::move(args));
 }
 
+serde::Value run_python_function(const std::shared_ptr<const Module>& module,
+                                 const std::string& function,
+                                 std::vector<serde::Value> args,
+                                 const InterpOptions& options) {
+  Interpreter interp(options);
+  interp.exec(*module);
+  return interp.call(function, std::move(args));
+}
+
 }  // namespace lfm::pysrc
 
 

@@ -99,4 +99,12 @@ serde::Value run_python_function(const std::string& module_source,
                                  std::vector<serde::Value> args,
                                  const InterpOptions& options = {});
 
+// Same, over a pre-parsed shared AST: the interpreter state is still fresh
+// per call, but the parse happens zero times here. flow::python_app parses
+// once at construction and routes every invocation through this overload.
+serde::Value run_python_function(const std::shared_ptr<const Module>& module,
+                                 const std::string& function,
+                                 std::vector<serde::Value> args,
+                                 const InterpOptions& options = {});
+
 }  // namespace lfm::pysrc

@@ -72,6 +72,18 @@ class Lexer {
     emitted_any_ = true;
   }
 
+  // View variant for fixed spellings (operators): builds the token text in
+  // place without an intermediate std::string temporary.
+  void emit_view(TokenKind kind, std::string_view text) {
+    Token t;
+    t.kind = kind;
+    t.text.assign(text);
+    t.line = tok_line_;
+    t.col = tok_col_;
+    tokens_.push_back(std::move(t));
+    emitted_any_ = true;
+  }
+
   bool last_was_newline() const {
     return !tokens_.empty() && (tokens_.back().kind == TokenKind::kNewline ||
                                 tokens_.back().kind == TokenKind::kDedent);
@@ -293,11 +305,12 @@ class Lexer {
   }
 
   void lex_operator() {
-    for (const char* op : kMultiOps) {
-      const size_t n = std::string_view(op).size();
-      if (src_.substr(pos_).substr(0, n) == op) {
-        for (size_t i = 0; i < n; ++i) advance();
-        emit(TokenKind::kOp, op);
+    for (const std::string_view op : kMultiOps) {
+      // compare() probes the operator in place — no substring temporaries
+      // on this per-token hot path.
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        for (size_t i = 0; i < op.size(); ++i) advance();
+        emit_view(TokenKind::kOp, op);
         return;
       }
     }
@@ -309,7 +322,7 @@ class Lexer {
         if (bracket_depth_ == 0) fail("unmatched closing bracket");
         --bracket_depth_;
       }
-      emit(TokenKind::kOp, std::string(1, c));
+      emit_view(TokenKind::kOp, std::string_view(&c, 1));
       return;
     }
     fail(std::string("unexpected character '") + c + "'");

@@ -1,0 +1,64 @@
+#include "pysrc/parse_cache.h"
+
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "pysrc/parser.h"
+#include "util/hash.h"
+
+namespace lfm::pysrc {
+
+namespace {
+
+constexpr size_t kDefaultCapacity = 1024;
+
+struct ParseCache {
+  std::mutex mu;
+  LruCache<std::string, std::shared_ptr<const Module>, ContentHash> cache{
+      kDefaultCapacity};
+};
+
+ParseCache& cache() {
+  static ParseCache* instance = new ParseCache;
+  return *instance;
+}
+
+}  // namespace
+
+std::shared_ptr<const Module> parse_module_shared(std::string_view source) {
+  std::string key(source);
+  auto& c = cache();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (const auto* hit = c.cache.find(key)) return *hit;
+  }
+  // Parse outside the lock: concurrent misses on distinct sources proceed in
+  // parallel; a racing duplicate parse just overwrites with an equal tree.
+  auto module = std::make_shared<const Module>(parse_module(source));
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.cache.insert(std::move(key), module);
+  }
+  return module;
+}
+
+CacheStats parse_cache_stats() {
+  auto& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.cache.stats();
+}
+
+void clear_parse_cache() {
+  auto& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.cache.clear();
+}
+
+void set_parse_cache_capacity(size_t capacity) {
+  auto& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.cache.set_capacity(capacity);
+}
+
+}  // namespace lfm::pysrc

@@ -1,0 +1,36 @@
+// Content-addressed parse cache (paper §V.B, scaled up).
+//
+// Parsl-scale workloads submit the same few functions tens of thousands of
+// times; re-lexing and re-parsing the module per submission dominates the
+// analysis pipeline. This cache maps source text -> one immutable shared
+// `Module` AST. Keys are the full source (hashed for bucketing, compared
+// byte-for-byte on lookup, so hash collisions cannot alias two sources),
+// values are `shared_ptr<const Module>` so every consumer — the planner,
+// `flow::python_app` construction, repeat invocations — shares one tree.
+//
+// Thread-safe: lookups and inserts serialize on an internal mutex; parsing
+// itself runs outside the lock, so concurrent analyzers (flow::analyze_all)
+// parse distinct sources in parallel. `misses` in the stats equals the
+// number of real parses performed through this cache — the parse-count
+// instrumentation used to verify that repeat invocations do not re-parse.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "pysrc/ast.h"
+#include "util/lru.h"
+
+namespace lfm::pysrc {
+
+// Parse `source` or return the cached shared AST. Throws SyntaxError on
+// malformed input (never cached).
+std::shared_ptr<const Module> parse_module_shared(std::string_view source);
+
+CacheStats parse_cache_stats();
+void clear_parse_cache();
+// Default capacity is 1024 distinct sources; tests shrink it to force
+// evictions.
+void set_parse_cache_capacity(size_t capacity);
+
+}  // namespace lfm::pysrc

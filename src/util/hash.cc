@@ -1,0 +1,46 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace lfm {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// splitmix64 finalizer: full avalanche over the accumulated state.
+uint64_t mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+uint64_t hash64(std::string_view data, uint64_t seed) {
+  uint64_t h = kFnvOffset ^ mix(seed);
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint64_t lane;
+    std::memcpy(&lane, p, 8);  // unaligned-safe
+    h = (h ^ lane) * kFnvPrime;
+    p += 8;
+    n -= 8;
+  }
+  uint64_t tail = 0;
+  if (n > 0) std::memcpy(&tail, p, n);
+  h = (h ^ tail) * kFnvPrime;
+  // Length folds in so "a\0" and "a" (tail-padded alike) stay distinct.
+  return mix(h ^ (static_cast<uint64_t>(data.size()) * kFnvPrime));
+}
+
+uint64_t hash_combine64(uint64_t a, uint64_t b) {
+  return mix(a * kFnvPrime + (b ^ kFnvOffset));
+}
+
+}  // namespace lfm

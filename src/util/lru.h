@@ -1,0 +1,89 @@
+// Bounded LRU map shared by the content-addressed caches (parse, plan,
+// solver, packer). Header-only so each layer instantiates its own key/value
+// types without new link dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace lfm {
+
+// Observable cache behaviour, uniform across every cache layer.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+};
+
+// find() refreshes recency; insert() evicts the least recently used entry
+// once `capacity` is exceeded. Lookups compare full keys (the hash only
+// buckets), so content collisions cannot alias entries. Not thread-safe:
+// every cache in this repo wraps one instance behind a mutex.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  // Pointer into the cache, valid until the next mutating call; null on miss.
+  const Value* find(const Key& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  void insert(Key key, Value value) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(std::move(key), order_.begin());
+    trim();
+  }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+    hits_ = misses_ = evictions_ = 0;
+  }
+
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity;
+    trim();
+  }
+
+  CacheStats stats() const {
+    return {hits_, misses_, evictions_, map_.size(), capacity_};
+  }
+
+ private:
+  void trim() {
+    while (map_.size() > capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  size_t capacity_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  std::list<std::pair<Key, Value>> order_;  // front = most recent
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator, Hash>
+      map_;
+};
+
+}  // namespace lfm

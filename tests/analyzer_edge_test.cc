@@ -1,0 +1,179 @@
+// Analyzer edge cases the content-addressed plan cache must key correctly:
+// dynamic imports, star imports, ImportError-guarded fallbacks. For each
+// shape the cached and uncached pipelines must agree byte-for-byte, on every
+// repeat — a cache entry that dropped diagnostics or import flags would make
+// the second submission of a function see a different analysis than the
+// first.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "flow/plan.h"
+#include "pkg/index.h"
+#include "pysrc/imports.h"
+#include "pysrc/parser.h"
+
+namespace lfm {
+namespace {
+
+const pkg::PackageIndex& index() { return pkg::standard_index(); }
+
+std::string plan_fingerprint(const flow::DependencyPlan& plan) {
+  std::ostringstream out;
+  for (const auto& name : plan.import_names) out << name << ';';
+  out << '|';
+  for (const auto& req : plan.requirements) out << req.str() << ';';
+  out << '|';
+  for (const auto& d : plan.diagnostics) {
+    out << static_cast<int>(d.severity) << ':' << d.line << ':' << d.message << ';';
+  }
+  return out.str();
+}
+
+// The core contract: cached and uncached agree on the first call and on
+// every repeat.
+void expect_stable_function_plan(const std::string& src, const std::string& fn) {
+  const auto cold = flow::plan_function_dependencies_uncached(src, fn, index());
+  for (int i = 0; i < 3; ++i) {
+    const auto warm = flow::plan_function_dependencies(src, fn, index());
+    EXPECT_EQ(plan_fingerprint(warm), plan_fingerprint(cold))
+        << "repeat scan " << i << " of " << fn << " diverged";
+  }
+  EXPECT_EQ(plan_fingerprint(flow::plan_function_dependencies_uncached(src, fn, index())),
+            plan_fingerprint(cold))
+      << "uncached pipeline is itself nondeterministic";
+}
+
+TEST(AnalyzerEdge, DunderImportIsRecordedAndWarned) {
+  const std::string src = R"(
+def f(x):
+    numpy = __import__("numpy")
+    return numpy.asarray(x)
+)";
+  const auto scan = pysrc::scan_function(pysrc::parse_module(src), "f");
+  bool dynamic_numpy = false;
+  for (const auto& rec : scan.imports) {
+    if (rec.top_level() == "numpy" && rec.dynamic) dynamic_numpy = true;
+  }
+  EXPECT_TRUE(dynamic_numpy) << "__import__ with a literal name must be resolved";
+
+  const auto plan = flow::plan_function_dependencies(src, "f", index());
+  bool pinned = false;
+  for (const auto& req : plan.requirements) {
+    if (req.name == "numpy") pinned = true;
+  }
+  EXPECT_TRUE(pinned);
+  expect_stable_function_plan(src, "f");
+}
+
+TEST(AnalyzerEdge, ImportlibImportModuleIsRecorded) {
+  const std::string src = R"(
+def g(x):
+    import importlib
+    scipy = importlib.import_module("scipy")
+    return scipy.optimize(x)
+)";
+  const auto plan = flow::plan_function_dependencies(src, "g", index());
+  EXPECT_TRUE(plan.import_names.count("scipy"));
+  expect_stable_function_plan(src, "g");
+}
+
+TEST(AnalyzerEdge, DynamicImportWithNonLiteralNameWarnsEveryTime) {
+  const std::string src = R"(
+def h(name):
+    mod = __import__(name)
+    return mod
+)";
+  const auto first = flow::plan_function_dependencies(src, "h", index());
+  bool warned = false;
+  for (const auto& d : first.diagnostics) {
+    if (d.message.find("cannot be resolved statically") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+  // The warning must survive the cache: a hit that dropped diagnostics would
+  // silently hide the unresolvable dependency on the second submission.
+  const auto second = flow::plan_function_dependencies(src, "h", index());
+  EXPECT_EQ(plan_fingerprint(second), plan_fingerprint(first));
+  expect_stable_function_plan(src, "h");
+}
+
+TEST(AnalyzerEdge, StarImportPinsModuleAndWarns) {
+  const std::string src = R"(
+def stats(x):
+    from numpy import *
+    return mean(x)
+)";
+  const auto plan = flow::plan_function_dependencies(src, "stats", index());
+  EXPECT_TRUE(plan.import_names.count("numpy"));
+  bool star_warning = false;
+  for (const auto& d : plan.diagnostics) {
+    if (d.message.find("star import") != std::string::npos) star_warning = true;
+  }
+  EXPECT_TRUE(star_warning);
+  expect_stable_function_plan(src, "stats");
+}
+
+TEST(AnalyzerEdge, ImportErrorGuardedFallbackKeepsBothCandidates) {
+  const std::string src = R"(
+def load(x):
+    try:
+        import tensorflow as backend
+    except ImportError:
+        import mxnet as backend
+    return backend.array(x)
+)";
+  const auto plan = flow::plan_function_dependencies(src, "load", index());
+  EXPECT_TRUE(plan.import_names.count("tensorflow"));
+  EXPECT_TRUE(plan.import_names.count("mxnet"));
+  const auto scan = pysrc::scan_function(pysrc::parse_module(src), "load");
+  for (const auto& rec : scan.imports) {
+    // The primary import sits in the try body and is marked guarded; the
+    // fallback in the except handler is recorded but not guarded.
+    if (rec.top_level() == "tensorflow") {
+      EXPECT_TRUE(rec.guarded) << "tensorflow should be ImportError-guarded";
+    }
+  }
+  expect_stable_function_plan(src, "load");
+}
+
+TEST(AnalyzerEdge, ModulePlanRepeatsAgreeOnGuardedAndStarImports) {
+  const std::string src = R"(
+import importlib
+from scipy import *
+
+try:
+    import pandas
+except ImportError:
+    pandas = None
+
+backend = importlib.import_module("mxnet")
+)";
+  const auto cold = flow::plan_module_dependencies_uncached(src, index());
+  EXPECT_TRUE(cold.import_names.count("scipy"));
+  EXPECT_TRUE(cold.import_names.count("pandas"));
+  EXPECT_TRUE(cold.import_names.count("mxnet"));
+  for (int i = 0; i < 3; ++i) {
+    const auto warm = flow::plan_module_dependencies(src, index());
+    EXPECT_EQ(plan_fingerprint(warm), plan_fingerprint(cold));
+  }
+}
+
+TEST(AnalyzerEdge, WhitespaceVariantsAreDistinctCacheEntries) {
+  // Two sources that differ only in trailing whitespace are different
+  // content — the cache must not conflate them (full-text keys, not
+  // normalized ones).
+  const std::string a = "def f(x):\n    import numpy\n    return x\n";
+  const std::string b = "def f(x):\n    import numpy\n    return x\n\n";
+  flow::clear_plan_cache();
+  flow::plan_function_dependencies(a, "f", index());
+  flow::plan_function_dependencies(b, "f", index());
+  EXPECT_EQ(flow::plan_cache_stats().misses, 2)
+      << "byte-distinct sources must occupy distinct entries";
+  EXPECT_EQ(flow::plan_cache_stats().hits, 0);
+}
+
+}  // namespace
+}  // namespace lfm

@@ -10,7 +10,7 @@ namespace lfm::sim {
 namespace {
 
 pkg::Environment make_env(const std::string& root) {
-  static const pkg::PackageIndex index = pkg::standard_index();
+  static const pkg::PackageIndex& index = pkg::standard_index();
   pkg::Solver solver(index);
   auto result = solver.resolve({pkg::Requirement::parse(root)});
   EXPECT_TRUE(result.ok()) << root;
@@ -102,7 +102,7 @@ TEST(EnvDist, LocalImportsCheaperThanSharedFsImports) {
 TEST(EnvDist, ModuleImportScaling) {
   // Fig 4: small modules flat-ish, TensorFlow grows with node count.
   const EnvDistModel model(theta());
-  const pkg::PackageIndex index = pkg::standard_index();
+  const pkg::PackageIndex& index = pkg::standard_index();
   const auto* numpy = index.best("numpy", pkg::VersionSpec::any());
   const auto* tf = index.best("tensorflow", pkg::VersionSpec::any());
   ASSERT_NE(numpy, nullptr);

@@ -8,7 +8,7 @@ namespace lfm::pkg {
 namespace {
 
 Environment resolve_env(const std::string& name, const std::string& root) {
-  static const PackageIndex index = standard_index();
+  static const PackageIndex& index = standard_index();
   Solver solver(index);
   auto result = solver.resolve({Requirement::parse(root)});
   EXPECT_TRUE(result.ok());

@@ -32,7 +32,7 @@ def stage(batch):
     import pandas
     return pandas.DataFrame(numpy.asarray(batch))
 )";
-  const pkg::PackageIndex index = pkg::standard_index();
+  const pkg::PackageIndex& index = pkg::standard_index();
   const auto plan = flow::plan_function_dependencies(src, "stage", index);
   const auto env = flow::build_environment("stage-env", plan, index);
   ASSERT_TRUE(env.ok());
@@ -62,7 +62,7 @@ TEST(Integration, EnvironmentCostsFeedDistributionModel) {
   // The Table II / Fig 5 path: solve the HEP app env, then cost its
   // distribution on every site and confirm the packed method always wins
   // at scale.
-  const pkg::PackageIndex index = pkg::standard_index();
+  const pkg::PackageIndex& index = pkg::standard_index();
   pkg::Solver solver(index);
   auto res = solver.resolve({pkg::Requirement::parse("coffea")});
   ASSERT_TRUE(res.ok());

@@ -9,7 +9,7 @@ namespace lfm::flow {
 namespace {
 
 const pkg::PackageIndex& index() {
-  static const pkg::PackageIndex idx = pkg::standard_index();
+  const pkg::PackageIndex& idx = pkg::standard_index();
   return idx;
 }
 

@@ -107,7 +107,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TarRoundtrip, ::testing::Range<uint64_t>(100, 11
 class SolverClosure : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(SolverClosure, ResolutionIsClosedAndConsistent) {
-  const pkg::PackageIndex index = pkg::standard_index();
+  const pkg::PackageIndex& index = pkg::standard_index();
   pkg::Solver solver(index);
   const auto result = solver.resolve({pkg::Requirement::parse(GetParam())});
   ASSERT_TRUE(result.ok()) << result.error();

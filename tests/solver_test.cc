@@ -163,7 +163,7 @@ TEST(Solver, ResolutionAggregates) {
 // --- the calibrated standard corpus ------------------------------------------
 
 TEST(StandardIndex, CorpusIsResolvable) {
-  const PackageIndex index = standard_index();
+  const PackageIndex& index = standard_index();
   Solver solver(index);
   // Every package in the corpus must resolve on its own (closure exists).
   for (const auto& name : index.package_names()) {
@@ -173,7 +173,7 @@ TEST(StandardIndex, CorpusIsResolvable) {
 }
 
 TEST(StandardIndex, TensorFlowHasLargeClosure) {
-  const PackageIndex index = standard_index();
+  const PackageIndex& index = standard_index();
   Solver solver(index);
   const auto tf = solver.resolve({Requirement::parse("tensorflow")});
   ASSERT_TRUE(tf.ok());
@@ -185,7 +185,7 @@ TEST(StandardIndex, TensorFlowHasLargeClosure) {
 }
 
 TEST(StandardIndex, ApplicationsResolveWithExpectedStacks) {
-  const PackageIndex index = standard_index();
+  const PackageIndex& index = standard_index();
   Solver solver(index);
   const auto hep = solver.resolve({Requirement::parse("coffea")});
   ASSERT_TRUE(hep.ok());
@@ -204,7 +204,7 @@ TEST(StandardIndex, ApplicationsResolveWithExpectedStacks) {
 }
 
 TEST(StandardIndex, PythonInterpreterClosureIncludesNativeDeps) {
-  const PackageIndex index = standard_index();
+  const PackageIndex& index = standard_index();
   Solver solver(index);
   const auto py = solver.resolve({Requirement::parse("python")});
   ASSERT_TRUE(py.ok());
