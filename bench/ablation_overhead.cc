@@ -12,13 +12,19 @@
 // and reports what fraction of a 1-second task each containment mode costs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <cstdio>
 
+#include "alloc/labeler.h"
 #include "flow/pyapp.h"
 #include "monitor/lfm.h"
+#include "obs/recorder.h"
+#include "sim/network.h"
 #include "sim/site.h"
+#include "util/rng.h"
+#include "wq/master.h"
 
 namespace {
 
@@ -96,6 +102,78 @@ void print_table() {
       " and negligible against the paper's 40-70 s HEP tasks)\n");
 }
 
+// One Auto-strategy master scenario exercising the dispatch hot path:
+// multi-category workload, cacheable environments, retries. Returns the
+// wall-clock seconds for submit + run.
+double time_master_scenario(int workers, int tasks) {
+  sim::Simulation sim;
+  sim::Network network(sim, {});
+  alloc::LabelerConfig cfg;
+  cfg.strategy = alloc::Strategy::kAuto;
+  cfg.whole_node = alloc::Resources{16.0, 64e9, 128e9};
+  cfg.guess = alloc::Resources{1.0, 2e9, 4e9};
+  cfg.warmup_samples = 3;
+  alloc::Labeler labeler(cfg);
+  wq::Master master(sim, network, labeler);
+  for (int w = 0; w < workers; ++w) {
+    master.add_worker({alloc::Resources{16.0, 64e9, 128e9}, 0.0});
+  }
+  Rng rng(7);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < tasks; ++i) {
+    wq::TaskSpec t;
+    t.id = static_cast<uint64_t>(i + 1);
+    t.category = "cat-" + std::to_string(i % 4);
+    t.exec_seconds = rng.uniform(20.0, 80.0);
+    t.true_cores = 1.0;
+    t.true_peak = alloc::Resources{1.0, rng.uniform(0.5e9, 1.5e9), 1e9};
+    wq::InputFile env;
+    env.name = "env-" + std::to_string(i % 4) + ".tar.gz";
+    env.size_bytes = 100LL * 1000 * 1000;
+    env.cacheable = true;
+    t.inputs.push_back(std::move(env));
+    master.submit(std::move(t));
+  }
+  master.run();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+void print_tracing_overhead() {
+  std::printf("\n================================================================\n");
+  std::printf("Ablation: observability overhead on the dispatch hot path\n");
+  std::printf("(same master scenario, obs::Recorder off vs on; target < 10%%)\n");
+  std::printf("================================================================\n");
+
+  constexpr int kWorkers = 20;
+  constexpr int kTasks = 4000;
+  constexpr int kReps = 5;
+  obs::Recorder& recorder = obs::Recorder::global();
+
+  // Interleaved min-of-N: the minimum is the run least disturbed by the
+  // scheduler/allocator, so the ratio reflects instrumentation cost, not
+  // machine noise.
+  time_master_scenario(kWorkers, kTasks);  // warm caches/allocator once
+  double off = 1e30;
+  double on = 1e30;
+  size_t events = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    recorder.set_enabled(false);
+    off = std::min(off, time_master_scenario(kWorkers, kTasks));
+    recorder.set_enabled(true);
+    recorder.clear();
+    on = std::min(on, time_master_scenario(kWorkers, kTasks));
+    events = recorder.event_count();
+  }
+  recorder.set_enabled(false);
+  recorder.clear();
+
+  std::printf("%-36s %11.1f ms\n", "master dispatch, tracing off", off * 1e3);
+  std::printf("%-36s %11.1f ms   (%zu events)\n", "master dispatch, tracing on",
+              on * 1e3, events);
+  std::printf("%-36s %11.2f %%\n", "tracing overhead",
+              off > 0.0 ? (on - off) / off * 100.0 : 0.0);
+}
+
 void BM_bare_call(benchmark::State& state) {
   const Value args = Value(serde::ValueList{Value(int64_t{80})});
   for (auto _ : state) benchmark::DoNotOptimize(native_fib_task(args));
@@ -116,6 +194,7 @@ BENCHMARK(BM_lfm_invocation)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_table();
+  print_tracing_overhead();
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();

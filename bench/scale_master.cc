@@ -10,6 +10,10 @@
 // Usage:
 //   scale_master                 # default sweep up to 1000 workers x 100k tasks
 //   scale_master W T [W T ...]   # explicit (workers, tasks) rows (CI smoke)
+//   scale_master --trace PATH W T [W T ...]
+//       additionally record the obs trace and write Chrome trace_event JSON
+//       to PATH (virtual-clock timestamps; the file holds the LAST row, so
+//       per-task span stacks are not interleaved across rows)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +21,8 @@
 #include <vector>
 
 #include "alloc/labeler.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 #include "sim/network.h"
 #include "util/rng.h"
 #include "wq/master.h"
@@ -65,6 +71,12 @@ std::vector<wq::TaskSpec> make_tasks(int count) {
 
 void run_row(int workers, int tasks) {
   sim::Simulation sim;
+  if (obs::Recorder::enabled()) {
+    // One trace per row: fold every domain onto the virtual clock and start
+    // from an empty buffer so span stacks never interleave across rows.
+    obs::Recorder::global().clear();
+    obs::Recorder::global().set_clock([&sim] { return sim.now(); });
+  }
   sim::NetworkParams np;
   np.bandwidth = 12.5e9;  // 100 GbE master uplink
   np.per_flow_bandwidth = 1.25e9;
@@ -86,18 +98,28 @@ void run_row(int workers, int tasks) {
               stats.makespan, static_cast<long long>(stats.exhaustion_retries),
               static_cast<long long>(stats.cache_hits));
   std::fflush(stdout);
+  // The clock lambda captures the row-local simulation; detach it before
+  // the simulation is destroyed.
+  if (obs::Recorder::enabled()) obs::Recorder::global().set_clock(nullptr);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string trace_path;
+  int first_row_arg = 1;
+  if (argc > 2 && std::string(argv[1]) == "--trace") {
+    trace_path = argv[2];
+    first_row_arg = 3;
+    obs::Recorder::global().set_enabled(true);
+  }
   std::vector<std::pair<int, int>> rows;
-  if (argc > 1) {
-    if ((argc - 1) % 2 != 0) {
-      std::fprintf(stderr, "usage: %s [workers tasks]...\n", argv[0]);
+  if (argc > first_row_arg) {
+    if ((argc - first_row_arg) % 2 != 0) {
+      std::fprintf(stderr, "usage: %s [--trace PATH] [workers tasks]...\n", argv[0]);
       return 1;
     }
-    for (int i = 1; i + 1 < argc; i += 2) {
+    for (int i = first_row_arg; i + 1 < argc; i += 2) {
       char* end = nullptr;
       const long w = std::strtol(argv[i], &end, 10);
       const bool w_ok = end && *end == '\0' && w > 0;
@@ -119,5 +141,14 @@ int main(int argc, char** argv) {
               "wall(s)", "events", "events/s", "tasks/s", "makespan", "retries",
               "hits");
   for (const auto& [w, t] : rows) run_row(w, t);
+  if (!trace_path.empty()) {
+    const auto slash = trace_path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : trace_path.substr(0, slash);
+    const std::string file =
+        slash == std::string::npos ? trace_path : trace_path.substr(slash + 1);
+    const obs::Recorder& r = obs::Recorder::global();
+    obs::write_text_file(dir, file, obs::chrome_trace_json(r.events()));
+    std::printf("wrote %zu trace events to %s\n", r.event_count(), trace_path.c_str());
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/recorder.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "util/units.h"
@@ -48,6 +49,23 @@ Histogram make_hist(double whole, int buckets) {
   const double width = std::max(whole / std::max(buckets, 1), 1e-9);
   return Histogram(width, static_cast<size_t>(std::max(buckets, 1)));
 }
+
+// Registry handles resolved once; the observe paths run once per completion.
+struct LabelerMetrics {
+  obs::Counter& samples;
+  obs::Counter& exhaustions;
+  obs::HistogramMetric& peak_mem_gb;
+
+  static LabelerMetrics& get() {
+    static LabelerMetrics m{
+        obs::Recorder::global().metrics().counter("labeler.samples"),
+        obs::Recorder::global().metrics().counter("labeler.exhaustions"),
+        obs::Recorder::global().metrics().histogram("labeler.peak_mem_gb", 1e-3,
+                                                    1e4, 70),
+    };
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -184,16 +202,31 @@ CategoryLabeler& Labeler::category(const std::string& name) {
 }
 
 Resources Labeler::allocation(const std::string& cat, int attempt) {
+  // Deliberately not instrumented: the master's dispatch scan probes this
+  // once per candidate group, so events here would record probes, not
+  // decisions. The applied label is traced by Master::dispatch; the
+  // learning signal is counted in the observe paths below.
   return category(cat).allocation(attempt);
 }
 
 void Labeler::observe_success(const std::string& cat, const Resources& peak) {
   category(cat).observe_success(peak);
+  if (obs::Recorder::enabled()) {
+    LabelerMetrics& m = LabelerMetrics::get();
+    m.samples.add();
+    m.peak_mem_gb.observe(peak.memory_bytes / 1e9);
+  }
 }
 
 void Labeler::observe_exhaustion(const std::string& cat, const Resources& allocated,
                                  const std::string& resource) {
   category(cat).observe_exhaustion(allocated, resource);
+  if (obs::Recorder::enabled()) {
+    obs::Recorder& r = obs::Recorder::global();
+    r.instant(obs::kPidSim, 0, r.now(), "label-exhaustion", "alloc", "category",
+              cat + ":" + resource, "allocated_cores", allocated.cores);
+    LabelerMetrics::get().exhaustions.add();
+  }
 }
 
 void Labeler::set_oracle(const std::string& cat, const Resources& oracle) {

@@ -2,6 +2,7 @@
 
 #include "flow/analysis.h"
 #include "flow/pyapp.h"
+#include "obs/recorder.h"
 #include "pysrc/imports.h"
 #include "pysrc/parse_cache.h"
 #include "serde/pickle.h"
@@ -30,6 +31,12 @@ FunctionId FunctionRegistry::register_function(const std::string& name,
   rf.serialized = serde::dumps(serde::Value(std::move(descriptor)));
 
   const FunctionId id = rf.id;
+  if (obs::Recorder::enabled()) {
+    obs::Recorder& r = obs::Recorder::global();
+    r.instant(obs::kPidHost, 0, r.now(), "fn-register", "faas", "name", name,
+              "dependencies", static_cast<double>(rf.dependencies.size()));
+    r.metrics().counter("faas.functions_registered").add();
+  }
   functions_.emplace(id, std::move(rf));
   return id;
 }
@@ -88,6 +95,11 @@ bool FunctionRegistry::contains(const FunctionId& id) const {
 
 flow::Future Endpoint::invoke(const RegisteredFunction& fn, serde::Value args) {
   ++invocations_;
+  if (obs::Recorder::enabled()) {
+    obs::Recorder& r = obs::Recorder::global();
+    r.instant(obs::kPidHost, 0, r.now(), "fn-invoke", "faas", "endpoint", name_);
+    r.metrics().counter("faas.invocations").add();
+  }
   flow::Future future;
   flow::App app;
   app.name = fn.name;

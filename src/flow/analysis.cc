@@ -6,12 +6,34 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/recorder.h"
+
 namespace lfm::flow {
+namespace {
+
+// One complete-span per bulk analysis call, sized by the request count.
+struct AnalysisTrace {
+  bool active = obs::Recorder::enabled();
+  double t0 = active ? obs::Recorder::global().now() : 0.0;
+  size_t count = 0;
+
+  ~AnalysisTrace() {
+    if (!active) return;
+    obs::Recorder& r = obs::Recorder::global();
+    r.complete(obs::kPidHost, 0, t0, r.now() - t0, "flow.analyze_all", "flow",
+               "requests", static_cast<double>(count));
+    r.metrics().counter("flow.analyses").add(static_cast<int64_t>(count));
+  }
+};
+
+}  // namespace
 
 std::vector<DependencyPlan> analyze_all(
     const std::vector<AnalysisRequest>& requests,
     const pkg::PackageIndex& installed, int threads,
     const std::map<std::string, std::string>& aliases) {
+  AnalysisTrace trace;
+  trace.count = requests.size();
   std::vector<DependencyPlan> plans(requests.size());
   if (requests.empty()) return plans;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
+
 namespace lfm::flow {
 
 // --- LocalLfmExecutor --------------------------------------------------------
@@ -92,6 +94,11 @@ void InlineExecutor::execute(const App& app, serde::Value args,
 Future DataFlowKernel::submit(const App& app, std::vector<Arg> args) {
   Future result;
   submitted_.fetch_add(1);
+  if (obs::Recorder::enabled()) {
+    obs::Recorder& r = obs::Recorder::global();
+    r.metrics().counter("flow.apps_submitted").add();
+    r.instant(obs::kPidHost, 0, r.now(), "app-submit", "flow", "app", app.name);
+  }
 
   // Count unresolved future arguments; the task launches when it hits zero.
   auto pending = std::make_shared<std::atomic<int>>(0);
@@ -113,17 +120,29 @@ Future DataFlowKernel::submit(const App& app, std::vector<Arg> args) {
   auto shared_args = std::make_shared<std::vector<Arg>>(std::move(args));
   const App app_copy = app;
   DataFlowKernel* self = this;
+  const double dep_wait_from =
+      obs::Recorder::enabled() ? obs::Recorder::global().now() : 0.0;
   for (const auto& fut : watched) {
-    fut.on_ready([self, app_copy, shared_args, pending, failed_dep,
+    fut.on_ready([self, app_copy, shared_args, pending, failed_dep, dep_wait_from,
                   result](const monitor::TaskOutcome& outcome) {
       if (!outcome.ok()) failed_dep->store(true);
       if (pending->fetch_sub(1) == 1) {
+        if (obs::Recorder::enabled()) {
+          // Time from submit to the last dependency resolving — the app's
+          // dataflow latency, separate from its execution latency.
+          obs::Recorder& r = obs::Recorder::global();
+          r.metrics().histogram("flow.resolve_wait_seconds")
+              .observe(r.now() - dep_wait_from);
+        }
         if (failed_dep->load()) {
           monitor::TaskOutcome dep_failure;
           dep_failure.status = monitor::TaskStatus::kException;
           dep_failure.error = "dependency failed";
           result.fulfill(std::move(dep_failure));
           self->completed_.fetch_add(1);
+          if (obs::Recorder::enabled()) {
+            obs::Recorder::global().metrics().counter("flow.dep_failures").add();
+          }
           self->wait_cv_.notify_all();
           return;
         }
@@ -160,6 +179,10 @@ void DataFlowKernel::launch(const App& app, std::vector<Arg> args, Future result
                     [self, result](monitor::TaskOutcome outcome) {
                       result.fulfill(std::move(outcome));
                       self->completed_.fetch_add(1);
+                      if (obs::Recorder::enabled()) {
+                        obs::Recorder::global().metrics()
+                            .counter("flow.apps_completed").add();
+                      }
                       std::lock_guard lock(self->wait_mutex_);
                       self->wait_cv_.notify_all();
                     });

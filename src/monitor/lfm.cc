@@ -13,6 +13,7 @@
 
 #include "monitor/detail.h"
 #include "monitor/proc_reader.h"
+#include "obs/recorder.h"
 #include "serde/pickle.h"
 #include "util/log.h"
 
@@ -98,6 +99,8 @@ LoopResult monitor_loop(pid_t pid, int read_fd, const MonitorOptions& options,
   ::fcntl(read_fd, F_SETFL, O_NONBLOCK);
   LoopResult result;
   const double start = now_seconds();
+  const uint64_t trace_tid =
+      options.trace_tid != 0 ? options.trace_tid : static_cast<uint64_t>(pid);
 
   while (true) {
     const pid_t w = ::waitpid(pid, &result.wait_status, WNOHANG);
@@ -115,6 +118,19 @@ LoopResult monitor_loop(pid_t pid, int read_fd, const MonitorOptions& options,
       sample.processes = snapshot.processes;
       timeline.add(sample);
     }
+    if (obs::Recorder::enabled()) {
+      // The per-task resource series the paper's evaluation is built from:
+      // one counter sample per poll on the task's trace lane.
+      obs::Recorder& r = obs::Recorder::global();
+      const double ts = r.now();
+      r.counter(obs::kPidHost, trace_tid, ts, "lfm.usage", "rss_mb",
+                static_cast<double>(snapshot.rss_bytes) / 1e6, "cores",
+                usage.cores);
+      r.counter(obs::kPidHost, trace_tid, ts, "lfm.disk", "disk_write_mb",
+                static_cast<double>(snapshot.disk_write_bytes) / 1e6, "processes",
+                static_cast<double>(snapshot.processes));
+      r.metrics().counter("lfm.polls").add();
+    }
     if (options.on_poll) options.on_poll(usage);
 
     if (!result.killed_for_limit) {
@@ -123,6 +139,12 @@ LoopResult monitor_loop(pid_t pid, int read_fd, const MonitorOptions& options,
         result.killed_for_limit = true;
         LFM_INFO("lfm", "killing task " + std::to_string(pid) + ": " + *violation +
                             " limit exceeded (" + usage.summary() + ")");
+        if (obs::Recorder::enabled()) {
+          obs::Recorder& r = obs::Recorder::global();
+          r.instant(obs::kPidHost, trace_tid, r.now(), "limit-kill", "lfm",
+                    "resource", *violation);
+          r.metrics().counter("lfm.limit_kills").add();
+        }
         ::kill(-pid, SIGKILL);  // the whole process group
         ::kill(pid, SIGKILL);   // in case setpgid had not run yet
       }
@@ -178,9 +200,24 @@ TaskOutcome run_monitored(const TaskFn& fn, const serde::Value& args,
   }
   ::close(pipe_fds[1]);
 
+  const uint64_t trace_tid =
+      options.trace_tid != 0 ? options.trace_tid : static_cast<uint64_t>(pid);
+  const bool traced = obs::Recorder::enabled();
+  if (traced) {
+    obs::Recorder& r = obs::Recorder::global();
+    r.begin(obs::kPidHost, trace_tid, r.now(), "lfm.run", "lfm");
+    r.metrics().counter("lfm.invocations").add();
+  }
+
   const detail::LoopResult loop =
       detail::monitor_loop(pid, pipe_fds[0], options, outcome.usage, outcome.timeline);
   const serde::Bytes& report = loop.collected;
+
+  if (traced) {
+    obs::Recorder& r = obs::Recorder::global();
+    r.end(obs::kPidHost, trace_tid, r.now());
+    r.metrics().histogram("lfm.invocation_seconds").observe(outcome.usage.wall_time);
+  }
 
   if (loop.killed_for_limit) {
     outcome.status = TaskStatus::kLimitExceeded;

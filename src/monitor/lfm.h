@@ -31,6 +31,9 @@ struct MonitorOptions {
   double poll_interval = 0.02;   // seconds between /proc polls
   PollCallback on_poll;          // optional
   bool record_timeline = false;  // keep one UsageSample per poll
+  // Trace lane (obs tid) for this invocation's span and per-poll resource
+  // series; 0 uses the child's pid. Only read while the recorder is enabled.
+  uint64_t trace_tid = 0;
 };
 
 enum class TaskStatus {

@@ -1,0 +1,121 @@
+// The process-wide observability recorder: span tracer + metrics registry.
+//
+// Design constraints (DESIGN.md §9):
+//   * Disabled path compiles to one relaxed atomic load per instrumentation
+//     site — no allocation, no locking, no string work — so fig4–fig9 and
+//     table1–3 outputs are byte-identical with observability off.
+//   * Recording is thread-safe: events buffer under one mutex (the simulated
+//     layers are single-threaded; the real LFM / flow layers are not).
+//   * Timestamps are whatever clock the domain owns. Simulation-driven call
+//     sites pass sim::Simulation::now() explicitly (kPidSim events), so
+//     traces of simulated runs are deterministic. Wall-clock call sites
+//     (kPidHost) use now(), which reads an installable clock — benches that
+//     trace a single simulation install the sim clock so every domain shares
+//     virtual time.
+//
+// Usage:
+//   obs::Recorder::global().set_enabled(true);
+//   auto& r = obs::Recorder::global();
+//   if (obs::Recorder::enabled()) r.begin(obs::kPidSim, task_id, sim.now(), "run", "task");
+//   ...
+//   obs::export_all(r, "obs_out");   // export.h
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lfm::obs {
+
+class Recorder {
+ public:
+  // The process-wide instance every instrumentation site records into.
+  static Recorder& global();
+
+  // Fast global gate; every instrumentation site checks this first.
+  static bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+  void set_enabled(bool on);
+
+  // Drop all buffered events and reset metrics (clock and enabled state
+  // survive). Call between traced runs sharing one process.
+  void clear();
+
+  // Clock for call sites without their own time source (kPidHost domains).
+  // Defaults to steady wall seconds; install a simulation clock to fold the
+  // host domains into virtual time, pass nullptr to restore the default.
+  void set_clock(std::function<double()> clock);
+  double now() const;
+  static double wall_now();
+
+  // --- event recording (no-ops while disabled) -----------------------------
+  void begin(uint32_t pid, uint64_t tid, double ts, const char* name, const char* cat);
+  // End the innermost open span on (pid, tid); optional args merge with the
+  // matching begin's in the Chrome viewer (used for per-task outcomes).
+  void end(uint32_t pid, uint64_t tid, double ts, const char* skey = nullptr,
+           std::string_view sval = {}, const char* akey0 = nullptr, double aval0 = 0.0);
+  void complete(uint32_t pid, uint64_t tid, double ts, double dur, const char* name,
+                const char* cat, const char* akey0 = nullptr, double aval0 = 0.0);
+  void instant(uint32_t pid, uint64_t tid, double ts, const char* name, const char* cat,
+               const char* skey = nullptr, std::string_view sval = {},
+               const char* akey0 = nullptr, double aval0 = 0.0);
+  // A sampled series point; up to two named components per sample.
+  void counter(uint32_t pid, uint64_t tid, double ts, const char* name,
+               const char* akey0, double aval0, const char* akey1 = nullptr,
+               double aval1 = 0.0);
+
+  std::vector<TraceEvent> events() const;
+  size_t event_count() const;
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  // Mirror every lfm::log_message record into the trace as an instant event
+  // (name "log", cat "log", level as a numeric arg). Off restores a null
+  // hook — any previously installed hook is replaced either way.
+  void mirror_logs(bool on);
+
+ private:
+  static constexpr size_t kInitialCapacity = 1 << 15;
+
+  void push(TraceEvent&& ev);
+
+  static std::atomic<bool> g_enabled;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::function<double()> clock_;  // empty = wall_now
+  Metrics metrics_;
+};
+
+// RAII span on an arbitrary timeline, timestamped with Recorder::now().
+// Captures the enabled state at construction so a mid-span toggle cannot
+// emit an unbalanced end event.
+class ScopedSpan {
+ public:
+  ScopedSpan(uint32_t pid, uint64_t tid, const char* name, const char* cat)
+      : pid_(pid), tid_(tid), active_(Recorder::enabled()) {
+    if (active_) {
+      Recorder& r = Recorder::global();
+      r.begin(pid_, tid_, r.now(), name, cat);
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      Recorder& r = Recorder::global();
+      r.end(pid_, tid_, r.now());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  uint32_t pid_;
+  uint64_t tid_;
+  bool active_;
+};
+
+}  // namespace lfm::obs

@@ -1,0 +1,68 @@
+// Trace event model for the observability subsystem.
+//
+// Events follow the Chrome trace_event phases so a recorded buffer maps 1:1
+// onto a chrome://tracing / Perfetto-loadable JSON document (export.h). Each
+// `pid` is one timeline domain with its own clock; `tid` is a logical lane
+// within it — for the scheduler domain the lane is the TASK ID, so one
+// task's lifecycle (submit → transfer → run → return) reads as a nested
+// span stack on its own row and its resource series can be reconstructed by
+// filtering a single tid.
+//
+// Names, categories, and argument keys are `const char*` by design, and the
+// one string payload slot is a fixed inline buffer: every instrumentation
+// site passes string literals, so TraceEvent stays trivially copyable and
+// recording an event is a single POD copy — cheap enough for the dispatch
+// hot path (vector growth is a memmove, never element-wise moves). The
+// payload slot carries rare dynamic text (an exhausted resource, a log
+// line), truncated to fit.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+namespace lfm::obs {
+
+// Chrome trace_event phase characters.
+enum class Phase : char {
+  kBegin = 'B',     // span open
+  kEnd = 'E',       // span close (matches the innermost open Begin on the tid)
+  kComplete = 'X',  // self-contained span: ts + dur
+  kInstant = 'i',   // point event
+  kCounter = 'C',   // sampled numeric series
+};
+
+// Timeline domains. Events within one pid share a clock; clocks are NOT
+// comparable across pids (kPidSim carries virtual seconds, kPidHost wall
+// seconds) — each renders as its own process track.
+inline constexpr uint32_t kPidSim = 1;   // virtual clock: master, engine, labeler
+inline constexpr uint32_t kPidHost = 2;  // wall clock: monitor, flow, faas, worker
+
+struct TraceEvent {
+  Phase ph = Phase::kInstant;
+  uint32_t pid = kPidHost;
+  uint64_t tid = 0;
+  double ts = 0.0;   // seconds in the pid's clock
+  double dur = 0.0;  // seconds; kComplete only
+  const char* name = nullptr;  // static string (literal); nullptr on kEnd
+  const char* cat = nullptr;   // static string (literal)
+  // Up to two numeric arguments plus one string argument, all optional.
+  const char* akey0 = nullptr;
+  double aval0 = 0.0;
+  const char* akey1 = nullptr;
+  double aval1 = 0.0;
+  const char* skey = nullptr;
+  char sval[48] = {};  // nul-terminated; set via set_sval
+
+  void set_sval(std::string_view text) {
+    const size_t n = text.size() < sizeof(sval) - 1 ? text.size() : sizeof(sval) - 1;
+    std::memcpy(sval, text.data(), n);
+    sval[n] = '\0';
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent must stay a POD copy on the recording hot path");
+
+}  // namespace lfm::obs

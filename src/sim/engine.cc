@@ -3,10 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/recorder.h"
+
 namespace lfm::sim {
 
 namespace {
 constexpr size_t kInitialCapacity = 4096;
+
+// Engine-level telemetry: executed/cancelled event totals across every
+// Simulation in the process. Handles resolved once, updated atomically.
+void count_executed() {
+  static obs::Counter& c = obs::Recorder::global().metrics().counter("sim.events_executed");
+  c.add();
+}
+
+void count_cancelled() {
+  static obs::Counter& c = obs::Recorder::global().metrics().counter("sim.events_cancelled");
+  c.add();
+}
+
 }  // namespace
 
 Simulation::Simulation() {
@@ -35,6 +50,7 @@ void Simulation::cancel(EventId id) {
   if (st != kPending) return;  // already ran or already cancelled
   st = kCancelled;             // tombstone; the heap entry is skipped later
   --live_pending_;
+  if (obs::Recorder::enabled()) count_cancelled();
 }
 
 void Simulation::pop_top(Event& out) {
@@ -53,6 +69,7 @@ bool Simulation::step() {
     --live_pending_;
     now_ = ev.time;
     ++executed_;
+    if (obs::Recorder::enabled()) count_executed();
     ev.fn();
     return true;
   }
@@ -79,6 +96,7 @@ double Simulation::run_until(double deadline) {
     --live_pending_;
     now_ = ev.time;
     ++executed_;
+    if (obs::Recorder::enabled()) count_executed();
     ev.fn();
   }
   if (now_ < deadline) now_ = deadline;

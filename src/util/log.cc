@@ -8,9 +8,19 @@ namespace lfm {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+std::mutex g_mutex;  // guards the sink, the hook, and stderr itself
+LogSink g_sink;      // empty = default stderr sink
+LogHook g_hook;
 
-const char* level_name(LogLevel level) {
+void default_sink(LogLevel level, const std::string& component,
+                  const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", log_level_name(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -21,15 +31,28 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+void set_log_hook(LogHook hook) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_hook = std::move(hook);
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_message(LogLevel level, const std::string& component, const std::string& message) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(), message.c_str());
+  if (g_sink) {
+    g_sink(level, component, message);
+  } else {
+    default_sink(level, component, message);
+  }
+  if (g_hook) g_hook(level, component, message);
 }
 
 }  // namespace lfm

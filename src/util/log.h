@@ -1,7 +1,13 @@
 // Minimal leveled logger. Components log through LFM_LOG so the verbosity of
 // long simulations can be raised for debugging and silenced in benchmarks.
+//
+// All records funnel through one mutexed sink, so concurrent loggers (the
+// analyze_all worker pool, threaded strategy sweeps) never interleave bytes
+// on stderr. An optional hook observes every record after the sink — the obs
+// subsystem uses it to mirror log lines into the tracer as instant events.
 #pragma once
 
+#include <functional>
 #include <string>
 
 namespace lfm {
@@ -11,6 +17,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 void log_message(LogLevel level, const std::string& component, const std::string& message);
+
+// Observes every record emitted through log_message, called after the sink
+// under the same mutex (so hook output is serialized too). Pass nullptr to
+// remove. The hook must not call log_message (it would self-deadlock).
+using LogHook =
+    std::function<void(LogLevel, const std::string& component, const std::string& message)>;
+void set_log_hook(LogHook hook);
+
+// Replaces the default stderr sink (nullptr restores it). Used by tests to
+// capture output; runs under the sink mutex.
+using LogSink =
+    std::function<void(LogLevel, const std::string& component, const std::string& message)>;
+void set_log_sink(LogSink sink);
+
+const char* log_level_name(LogLevel level);
 
 }  // namespace lfm
 

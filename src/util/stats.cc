@@ -108,4 +108,68 @@ double Histogram::quantile(double q) const {
   return width_ * static_cast<double>(counts_.size());
 }
 
+LogHistogram::LogHistogram(double lo, double hi, size_t buckets) : lo_(lo), hi_(hi) {
+  if (!(lo > 0.0) || !(hi > lo) || buckets == 0) {
+    throw Error("LogHistogram: need 0 < lo < hi and at least one bucket");
+  }
+  counts_.assign(buckets, 0);
+  const double log_ratio = std::log(hi / lo) / static_cast<double>(buckets);
+  inv_log_ratio_ = 1.0 / log_ratio;
+}
+
+size_t LogHistogram::index_of(double value) const {
+  if (!(value > lo_)) return 0;  // underflow, zero/negative, and NaN
+  const double pos = std::log(value / lo_) * inv_log_ratio_;
+  const auto idx = static_cast<size_t>(std::ceil(pos)) - 1;
+  return idx >= counts_.size() ? counts_.size() - 1 : idx;
+}
+
+void LogHistogram::add(double value) {
+  ++counts_[index_of(value)];
+  if (total_ == 0) {
+    min_seen_ = max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  ++total_;
+  sum_ += value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
+    throw Error("LogHistogram::merge: shape mismatch");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.total_ > 0) {
+    if (total_ == 0) {
+      min_seen_ = other.min_seen_;
+      max_seen_ = other.max_seen_;
+    } else {
+      min_seen_ = std::min(min_seen_, other.min_seen_);
+      max_seen_ = std::max(max_seen_, other.max_seen_);
+    }
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::bucket_edge(size_t i) const {
+  if (i >= counts_.size()) throw Error("LogHistogram::bucket_edge: index out of range");
+  if (i + 1 == counts_.size()) return hi_;  // avoid drift on the top edge
+  return lo_ * std::exp(static_cast<double>(i + 1) / inv_log_ratio_);
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) throw Error("LogHistogram::quantile on empty histogram");
+  if (q < 0.0 || q > 1.0) throw Error("LogHistogram::quantile: q out of range");
+  const auto threshold = static_cast<int64_t>(std::ceil(q * static_cast<double>(total_)));
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= threshold) return bucket_edge(i);
+  }
+  return hi_;
+}
+
 }  // namespace lfm

@@ -75,4 +75,49 @@ class Histogram {
   double max_seen_ = 0.0;
 };
 
+// Fixed log-spaced-bucket histogram over (lo, hi]: bucket edges grow
+// geometrically, so one shape covers values spanning many orders of
+// magnitude (latencies from microseconds to hours, bytes from KB to TB) at
+// constant relative resolution. Used by the obs metrics registry.
+//
+// Values <= lo land in bucket 0 (underflow); values > hi land in the last
+// bucket (overflow). Quantiles are estimated as the upper edge of the
+// containing bucket. Two histograms of identical shape can be merged, so
+// per-thread recorders can combine without locks on the hot path.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, size_t buckets);
+
+  void add(double value);
+  // Combine `other` into this; shapes (lo, hi, buckets) must match exactly.
+  void merge(const LogHistogram& other);
+
+  int64_t count() const { return total_; }
+  double sum() const { return sum_; }
+  double mean() const { return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0; }
+  double min_seen() const { return total_ > 0 ? min_seen_ : 0.0; }
+  double max_seen() const { return total_ > 0 ? max_seen_ : 0.0; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  size_t bucket_count() const { return counts_.size(); }
+  int64_t bucket(size_t i) const { return counts_.at(i); }
+  // Upper edge of bucket i: lo * ratio^(i+1); the last edge equals hi.
+  double bucket_edge(size_t i) const;
+  // Smallest bucket edge v with P(X <= v) >= q; throws on empty histogram.
+  double quantile(double q) const;
+
+ private:
+  size_t index_of(double value) const;
+
+  double lo_;
+  double hi_;
+  double inv_log_ratio_;  // 1 / ln(edge[i+1] / edge[i])
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
 }  // namespace lfm

@@ -4,13 +4,82 @@
 #include <climits>
 #include <cmath>
 
+#include "obs/recorder.h"
 #include "util/strings.h"
 
 namespace lfm::wq {
 
+namespace {
+
+// Metric handles resolved once per process; the registry is global, so all
+// Master instances share the same series (scenario sweeps clear between
+// runs when they care).
+struct MasterMetrics {
+  obs::Counter& submitted;
+  obs::Counter& dispatched;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& cancelled;
+  obs::Counter& exhaustions;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_evictions;
+  obs::Counter& worker_crashes;
+  obs::HistogramMetric& first_dispatch_wait;
+  obs::HistogramMetric& run_seconds;
+  obs::HistogramMetric& turnaround;
+
+  static MasterMetrics& get() {
+    static MasterMetrics m{
+        obs::Recorder::global().metrics().counter("wq.tasks_submitted"),
+        obs::Recorder::global().metrics().counter("wq.tasks_dispatched"),
+        obs::Recorder::global().metrics().counter("wq.tasks_completed"),
+        obs::Recorder::global().metrics().counter("wq.tasks_failed"),
+        obs::Recorder::global().metrics().counter("wq.tasks_cancelled"),
+        obs::Recorder::global().metrics().counter("wq.exhaustions"),
+        obs::Recorder::global().metrics().counter("wq.cache_hits"),
+        obs::Recorder::global().metrics().counter("wq.cache_evictions"),
+        obs::Recorder::global().metrics().counter("wq.worker_crashes"),
+        obs::Recorder::global().metrics().histogram("wq.first_dispatch_wait_seconds"),
+        obs::Recorder::global().metrics().histogram("wq.run_seconds"),
+        obs::Recorder::global().metrics().histogram("wq.turnaround_seconds"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 Master::Master(sim::Simulation& sim, sim::Network& network, alloc::Labeler& labeler,
                MasterConfig config)
     : sim_(sim), network_(network), labeler_(labeler), config_(config) {}
+
+void Master::trace_task_begin(size_t record_index) {
+  if (!obs::Recorder::enabled()) return;
+  const TaskRecord& rec = records_[record_index];
+  obs::Recorder::global().begin(obs::kPidSim, rec.spec.id, sim_.now(), "task", "task");
+}
+
+void Master::trace_phase_begin(size_t record_index, TracePhase phase, const char* name) {
+  obs_phase_[record_index] = static_cast<uint8_t>(phase);
+  if (!obs::Recorder::enabled()) return;
+  obs::Recorder::global().begin(obs::kPidSim, records_[record_index].spec.id, sim_.now(),
+                                name, "task");
+}
+
+void Master::trace_phase_close(size_t record_index) {
+  if (obs_phase_[record_index] == static_cast<uint8_t>(TracePhase::kNone)) return;
+  obs_phase_[record_index] = static_cast<uint8_t>(TracePhase::kNone);
+  if (!obs::Recorder::enabled()) return;
+  obs::Recorder::global().end(obs::kPidSim, records_[record_index].spec.id, sim_.now());
+}
+
+void Master::trace_task_end(size_t record_index, const char* outcome) {
+  trace_phase_close(record_index);
+  if (!obs::Recorder::enabled()) return;
+  const TaskRecord& rec = records_[record_index];
+  obs::Recorder::global().end(obs::kPidSim, rec.spec.id, sim_.now(), "outcome",
+                              outcome, "attempt", static_cast<double>(rec.attempt));
+}
 
 void Master::avail_erase(const Worker& worker) {
   avail_index_.erase({worker.available.cores, worker.id});
@@ -72,7 +141,10 @@ void Master::submit(TaskSpec spec) {
   rec.submit_time = sim_.now();
   records_.push_back(std::move(rec));
   attempt_epoch_.push_back(0);
+  obs_phase_.push_back(static_cast<uint8_t>(TracePhase::kNone));
   const size_t index = records_.size() - 1;
+  trace_task_begin(index);
+  if (obs::Recorder::enabled()) MasterMetrics::get().submitted.add();
   SchedState state;
   state.category_id = intern_category(records_[index].spec.category);
   state.signature_id = intern_signature(records_[index].spec);
@@ -138,6 +210,7 @@ bool Master::make_cache_room(Worker& worker, int64_t bytes) {
     worker.cache.erase(it);
     worker.evictable.erase(victim);
     ++stats_.cache_evictions;
+    if (obs::Recorder::enabled()) MasterMetrics::get().cache_evictions.add();
   }
   return true;
 }
@@ -254,6 +327,8 @@ void Master::flush_cancelled(size_t record_index) {
   ++stats_.tasks_cancelled;
   sched_[record_index].queued = false;
   --ready_count_;
+  trace_task_end(record_index, "cancelled");
+  if (obs::Recorder::enabled()) MasterMetrics::get().cancelled.add();
   if (on_complete_) on_complete_(rec);
 }
 
@@ -379,7 +454,19 @@ void Master::dispatch(size_t record_index, int worker_id,
   rec.state = TaskState::kTransferring;
   rec.worker_id = worker_id;
   rec.last_allocation = alloc;
+  if (obs::Recorder::enabled()) {
+    MasterMetrics& m = MasterMetrics::get();
+    m.dispatched.add();
+    if (rec.start_time < 0.0) {
+      m.first_dispatch_wait.observe(sim_.now() - rec.submit_time);
+    }
+    // The label decision as applied: allocated cores and the retry attempt.
+    obs::Recorder::global().instant(obs::kPidSim, rec.spec.id, sim_.now(),
+                                    rec.attempt == 0 ? "label" : "label-retry",
+                                    "alloc", nullptr, {}, "cores", alloc.cores);
+  }
   if (rec.start_time < 0.0) rec.start_time = sim_.now();
+  trace_phase_begin(record_index, TracePhase::kTransfer, "transfer");
 
   // Transfer the inputs this worker lacks; cacheable files enter the cache
   // (and pay their one-time unpack cost), pinned while the task runs.
@@ -391,6 +478,7 @@ void Master::dispatch(size_t record_index, int worker_id,
     const auto cached = worker.cache.find(f.name);
     if (f.cacheable && cached != worker.cache.end()) {
       ++stats_.cache_hits;
+      if (obs::Recorder::enabled()) MasterMetrics::get().cache_hits.add();
       CacheEntry& entry = cached->second;
       if (entry.pins == 0) worker.evictable.erase({entry.last_use, f.name});
       entry.last_use = sim_.now();
@@ -434,6 +522,8 @@ void Master::start_execution(size_t record_index, int worker_id,
   }
   TaskRecord& rec = records_[record_index];
   rec.state = TaskState::kRunning;
+  trace_phase_close(record_index);  // transfer
+  trace_phase_begin(record_index, TracePhase::kRun, "run");
   const TaskSpec& spec = rec.spec;
 
   // Cores are compressible: granting fewer cores than the task can use
@@ -463,6 +553,8 @@ void Master::finish_cancelled(size_t record_index, int worker_id,
   TaskRecord& rec = records_[record_index];
   rec.state = TaskState::kDone;
   ++stats_.tasks_cancelled;
+  trace_task_end(record_index, "cancelled");
+  if (obs::Recorder::enabled()) MasterMetrics::get().cancelled.add();
   unpin_inputs(worker_id, rec.spec);
   release(record_index, worker_id, alloc);
   if (on_complete_) on_complete_(rec);
@@ -479,16 +571,26 @@ void Master::finish_attempt(size_t record_index, int worker_id,
   }
   TaskRecord& rec = records_[record_index];
   stats_.total_busy_core_seconds += alloc.cores * runtime;
+  trace_phase_close(record_index);  // run
 
   if (exhausted) {
     ++rec.exhaustions;
     ++stats_.exhaustion_retries;
+    if (obs::Recorder::enabled()) {
+      MasterMetrics::get().exhaustions.add();
+      obs::Recorder::global().instant(obs::kPidSim, rec.spec.id, sim_.now(),
+                                      "exhausted", "task", "resource",
+                                      exhausted_resource, "attempt",
+                                      static_cast<double>(rec.attempt));
+    }
     labeler_.observe_exhaustion(rec.spec.category, alloc, exhausted_resource);
     unpin_inputs(worker_id, rec.spec);
     release(record_index, worker_id, alloc);
     if (rec.exhaustions > config_.max_retries) {
       rec.state = TaskState::kDone;
       ++stats_.tasks_failed;
+      trace_task_end(record_index, "failed");
+      if (obs::Recorder::enabled()) MasterMetrics::get().failed.add();
       if (on_complete_) on_complete_(rec);
       return;
     }
@@ -504,8 +606,12 @@ void Master::finish_attempt(size_t record_index, int worker_id,
   // The LFM can only observe parallelism up to the granted cores.
   observed.cores = std::min(observed.cores, alloc.cores);
   labeler_.observe_success(rec.spec.category, observed);
+  if (obs::Recorder::enabled()) MasterMetrics::get().run_seconds.observe(runtime);
 
   rec.state = TaskState::kReturning;
+  // The result return rides inside the still-open "task" span (its end time
+  // is the return completion); no dedicated span — dispatch-path event
+  // volume is the observability overhead budget.
   const int64_t out = rec.spec.output_bytes;
   const auto complete = [this, record_index, worker_id, alloc, epoch] {
     if (stale(record_index, epoch)) return;
@@ -513,6 +619,12 @@ void Master::finish_attempt(size_t record_index, int worker_id,
     r.state = TaskState::kDone;
     r.finish_time = sim_.now();
     ++stats_.tasks_completed;
+    trace_task_end(record_index, "completed");
+    if (obs::Recorder::enabled()) {
+      MasterMetrics& m = MasterMetrics::get();
+      m.completed.add();
+      m.turnaround.observe(r.finish_time - r.submit_time);
+    }
     unpin_inputs(worker_id, r.spec);
     release(record_index, worker_id, alloc);
     if (on_complete_) on_complete_(r);
@@ -573,6 +685,12 @@ void Master::crash_worker(int worker_id) {
   worker.evictable.clear();
   worker.cache_bytes = 0;
   ++worker_crashes_;
+  if (obs::Recorder::enabled()) {
+    MasterMetrics::get().worker_crashes.add();
+    obs::Recorder::global().instant(obs::kPidSim, 0, sim_.now(), "worker-crash",
+                                    "worker", nullptr, {}, "worker_id",
+                                    static_cast<double>(worker_id));
+  }
 
   // Invalidate and requeue every in-flight attempt on this worker. The lost
   // attempt is not an exhaustion — the labeler learns nothing from it. The
@@ -589,11 +707,18 @@ void Master::crash_worker(int worker_id) {
     }
     rec.state = TaskState::kWaiting;
     rec.worker_id = -1;
+    trace_phase_close(i);  // the interrupted transfer/run span
     if (is_cancelled(i)) {
       rec.state = TaskState::kDone;
       ++stats_.tasks_cancelled;
+      trace_task_end(i, "cancelled");
+      if (obs::Recorder::enabled()) MasterMetrics::get().cancelled.add();
       if (on_complete_) on_complete_(rec);
       continue;
+    }
+    if (obs::Recorder::enabled()) {
+      obs::Recorder::global().instant(obs::kPidSim, rec.spec.id, sim_.now(),
+                                      "crash-requeue", "task");
     }
     enqueue_ready(i);
   }

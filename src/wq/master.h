@@ -207,6 +207,20 @@ class Master {
   int intern_category(const std::string& name);
   int intern_signature(const TaskSpec& spec);
 
+  // --- observability (src/obs) ---------------------------------------------
+  // Which lifecycle span is currently open on the task's trace lane (tid =
+  // task id), so the crash and cancel paths can close it before the span
+  // stack is abandoned. Tracked unconditionally (1-byte stores); trace
+  // events themselves are emitted only while the recorder is enabled.
+  enum class TracePhase : uint8_t { kNone = 0, kTransfer, kRun };
+  void trace_task_begin(size_t record_index);
+  void trace_phase_begin(size_t record_index, TracePhase phase, const char* name);
+  // Close the open inner phase span, if any.
+  void trace_phase_close(size_t record_index);
+  // Close the inner phase and the outer task span, stamping the outcome
+  // ("completed", "failed", "cancelled") and attempt as end-event args.
+  void trace_task_end(size_t record_index, const char* outcome);
+
   // Bytes of `task`'s inputs NOT cached on `worker`.
   int64_t missing_bytes(const Worker& worker, const TaskSpec& task) const;
   double cached_bytes(const Worker& worker, const TaskSpec& task) const;
@@ -261,6 +275,8 @@ class Master {
   int64_t worker_crashes_ = 0;
   // Attempts invalidated by a worker crash: (record index, epoch) pairs.
   std::vector<uint64_t> attempt_epoch_;
+  // Open trace phase per record (TracePhase), parallel to records_.
+  std::vector<uint8_t> obs_phase_;
 
   // --- scheduler indexes ----------------------------------------------------
   std::map<GroupKey, Group> groups_;  // node-stable: Group* live across inserts

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/recorder.h"
 #include "pysrc/interp.h"
 #include "serde/pickle.h"
 #include "util/strings.h"
@@ -22,6 +23,9 @@ monitor::MonitorOptions monitor_options_for(const TaskMessage& task,
   if (task.allocation.disk_bytes > 0.0) {
     options.limits.disk_bytes = static_cast<int64_t>(task.allocation.disk_bytes);
   }
+  // Put the monitor's span and per-poll resource series on the task's own
+  // trace lane rather than the child pid's.
+  options.trace_tid = task.task_id;
   return options;
 }
 
@@ -90,6 +94,9 @@ ResultMessage LocalWorker::execute_python(const TaskMessage& task,
 
 ResultMessage LocalWorker::execute(const TaskMessage& task, const FileSet& files) {
   ++tasks_executed_;
+  if (obs::Recorder::enabled()) {
+    obs::Recorder::global().metrics().counter("worker.tasks_executed").add();
+  }
   if (starts_with(task.command_line, "lfm-pyrun ")) {
     return execute_python(task, files);
   }

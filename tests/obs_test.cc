@@ -1,0 +1,419 @@
+// Tests for the observability subsystem: recorder gating, the metrics
+// registry, exporter round-trips through serde::json (Chrome trace, JSONL),
+// the Prometheus golden file, and end-to-end span coverage of the WQ master
+// and the real LFM monitor.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor/lfm.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "serde/json.h"
+#include "util/log.h"
+#include "wq/master.h"
+
+namespace lfm::obs {
+namespace {
+
+// The recorder is process-global; every test starts disabled and empty and
+// leaves no clock, hook, or enabled state behind.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Recorder::global().set_enabled(false);
+    Recorder::global().clear();
+  }
+  void TearDown() override {
+    Recorder& r = Recorder::global();
+    r.set_enabled(false);
+    r.mirror_logs(false);
+    r.set_clock(nullptr);
+    r.clear();
+  }
+};
+
+TEST_F(ObsTest, DisabledRecorderRecordsNoEvents) {
+  Recorder& r = Recorder::global();
+  ASSERT_FALSE(Recorder::enabled());
+  r.begin(kPidSim, 1, 0.0, "task", "task");
+  r.end(kPidSim, 1, 1.0);
+  r.complete(kPidHost, 2, 0.0, 0.5, "analyze", "flow");
+  r.instant(kPidSim, 1, 0.5, "label", "alloc");
+  r.counter(kPidHost, 1, 0.5, "lfm.usage", "rss_mb", 12.0);
+  { ScopedSpan span(kPidHost, 3, "scoped", "test"); }
+  EXPECT_EQ(r.event_count(), 0u);
+  EXPECT_TRUE(r.events().empty());
+}
+
+TEST_F(ObsTest, EnableDisableGatesRecording) {
+  Recorder& r = Recorder::global();
+  r.set_enabled(true);
+  r.instant(kPidSim, 1, 0.0, "one", "test");
+  r.set_enabled(false);
+  r.instant(kPidSim, 1, 1.0, "two", "test");
+  ASSERT_EQ(r.event_count(), 1u);
+  EXPECT_STREQ(r.events()[0].name, "one");
+}
+
+TEST_F(ObsTest, InstallableClockDrivesHostTimestamps) {
+  Recorder& r = Recorder::global();
+  double fake_now = 42.0;
+  r.set_clock([&fake_now] { return fake_now; });
+  EXPECT_DOUBLE_EQ(r.now(), 42.0);
+  fake_now = 43.5;
+  EXPECT_DOUBLE_EQ(r.now(), 43.5);
+  r.set_clock(nullptr);
+  // Default clock: steady wall seconds, monotone non-decreasing.
+  const double a = r.now();
+  const double b = r.now();
+  EXPECT_GE(b, a);
+}
+
+TEST_F(ObsTest, MetricsRegistryReturnsStableReferences) {
+  Metrics m;
+  Counter& c1 = m.counter("wq.tasks");
+  Counter& c2 = m.counter("wq.tasks");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  c2.add();
+  EXPECT_EQ(c1.value(), 4);
+
+  Gauge& g = m.gauge("wq.queue_depth");
+  g.set(17.5);
+  EXPECT_DOUBLE_EQ(m.gauge("wq.queue_depth").value(), 17.5);
+
+  HistogramMetric& h1 = m.histogram("wq.run_seconds");
+  HistogramMetric& h2 = m.histogram("wq.run_seconds", 1.0, 2.0, 3);  // shape ignored
+  EXPECT_EQ(&h1, &h2);
+  h1.observe(0.5);
+  EXPECT_EQ(h2.snapshot().count(), 1);
+
+  // Snapshots are name-sorted.
+  m.counter("alpha").add();
+  const auto counters = m.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "alpha");
+  EXPECT_EQ(counters[1].first, "wq.tasks");
+
+  // clear() resets values in place; previously returned references survive.
+  m.clear();
+  EXPECT_EQ(c1.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h1.snapshot().count(), 0);
+  c1.add();
+  EXPECT_EQ(m.counter("wq.tasks").value(), 1);
+}
+
+TEST_F(ObsTest, ChromeTraceRoundTripsThroughSerdeJson) {
+  Recorder& r = Recorder::global();
+  r.set_enabled(true);
+  r.begin(kPidSim, 7, 1.0, "task", "task");
+  r.begin(kPidSim, 7, 1.25, "run", "task");
+  r.instant(kPidSim, 7, 1.5, "label", "alloc", "category", "hep", "cores", 2.0);
+  r.end(kPidSim, 7, 2.0);
+  r.end(kPidSim, 7, 2.5, "outcome", "completed", "attempt", 0.0);
+  r.complete(kPidHost, 0, 0.0, 0.125, "flow.analyze_all", "flow", "requests", 3.0);
+  r.counter(kPidHost, 7, 0.5, "lfm.usage", "rss_mb", 64.0, "cores", 1.5);
+
+  const serde::Value doc = serde::from_json(chrome_trace_json(r.events()));
+  ASSERT_TRUE(doc.is_dict());
+  EXPECT_EQ(doc.as_dict().at("displayTimeUnit").as_str(), "ms");
+  const auto& list = doc.as_dict().at("traceEvents").as_list();
+  ASSERT_EQ(list.size(), r.event_count() + 2);  // + process_name metadata
+
+  // The first two entries label the pid domains.
+  for (size_t i = 0; i < 2; ++i) {
+    const auto& meta = list[i].as_dict();
+    EXPECT_EQ(meta.at("ph").as_str(), "M");
+    EXPECT_EQ(meta.at("name").as_str(), "process_name");
+  }
+
+  // Every recorded event carries the required fields; timestamps are µs.
+  for (size_t i = 2; i < list.size(); ++i) {
+    const auto& ev = list[i].as_dict();
+    EXPECT_EQ(ev.count("ph"), 1u);
+    EXPECT_EQ(ev.count("ts"), 1u);
+    EXPECT_EQ(ev.count("pid"), 1u);
+    EXPECT_EQ(ev.count("tid"), 1u);
+  }
+  const auto& task_begin = list[2].as_dict();
+  EXPECT_EQ(task_begin.at("ph").as_str(), "B");
+  EXPECT_DOUBLE_EQ(task_begin.at("ts").as_real(), 1.0e6);
+  EXPECT_EQ(task_begin.at("pid").as_int(), static_cast<int64_t>(kPidSim));
+  EXPECT_EQ(task_begin.at("tid").as_int(), 7);
+
+  const auto& instant = list[4].as_dict();
+  EXPECT_EQ(instant.at("ph").as_str(), "i");
+  EXPECT_EQ(instant.at("s").as_str(), "t");
+  EXPECT_EQ(instant.at("args").as_dict().at("category").as_str(), "hep");
+  EXPECT_DOUBLE_EQ(instant.at("args").as_dict().at("cores").as_real(), 2.0);
+
+  const auto& outcome_end = list[6].as_dict();
+  EXPECT_EQ(outcome_end.at("ph").as_str(), "E");
+  EXPECT_EQ(outcome_end.at("args").as_dict().at("outcome").as_str(), "completed");
+
+  const auto& complete = list[7].as_dict();
+  EXPECT_EQ(complete.at("ph").as_str(), "X");
+  EXPECT_DOUBLE_EQ(complete.at("dur").as_real(), 0.125e6);
+}
+
+// Walk a parsed trace and check that, per (pid, tid) lane, B/E events nest:
+// depth never goes negative and every lane closes at depth zero.
+void check_span_nesting(const serde::Value& doc) {
+  std::map<std::pair<int64_t, int64_t>, int> depth;
+  for (const auto& item : doc.as_dict().at("traceEvents").as_list()) {
+    const auto& ev = item.as_dict();
+    const std::string ph = ev.at("ph").as_str();
+    if (ph != "B" && ph != "E") continue;
+    const auto lane = std::make_pair(ev.at("pid").as_int(), ev.at("tid").as_int());
+    if (ph == "B") {
+      ++depth[lane];
+    } else {
+      ASSERT_GT(depth[lane], 0) << "E without open B on tid " << lane.second;
+      --depth[lane];
+    }
+  }
+  for (const auto& [lane, d] : depth) {
+    EXPECT_EQ(d, 0) << "unclosed span on tid " << lane.second;
+  }
+}
+
+TEST_F(ObsTest, MasterTraceCoversEveryTaskRecord) {
+  Recorder& r = Recorder::global();
+  r.set_enabled(true);
+
+  sim::Simulation sim;
+  sim::Network net(sim, {});
+  alloc::LabelerConfig cfg;
+  cfg.whole_node = alloc::Resources{8, 8e9, 16e9};
+  cfg.guess = alloc::Resources{1, 1e9, 2e9};
+  cfg.strategy = alloc::Strategy::kGuess;
+  alloc::Labeler labeler(cfg);
+  wq::Master master(sim, net, labeler);
+  master.add_worker({alloc::Resources{8, 8e9, 16e9}, 0.0});
+  master.add_worker({alloc::Resources{8, 8e9, 16e9}, 0.0});
+  for (uint64_t i = 1; i <= 24; ++i) {
+    wq::TaskSpec t;
+    t.id = i;
+    t.category = "u";
+    t.exec_seconds = 20.0;
+    t.true_cores = 1.0;
+    t.true_peak = alloc::Resources{1.0, 500e6, 1e9};
+    master.submit(std::move(t));
+  }
+  // Exercise the unhappy paths the span state machine must close: a worker
+  // crash mid-flight (requeues + cancels) and user cancellations of both a
+  // queued and a running task.
+  sim.schedule(5.0, [&] { master.crash_worker(0); });
+  sim.schedule(1.0, [&] { master.cancel_task(24); });
+  sim.schedule(6.0, [&] { master.cancel_task(3); });
+  const wq::MasterStats stats = master.run();
+
+  const auto events = r.events();
+  ASSERT_GT(events.size(), 0u);
+
+  // Every TaskRecord gets exactly one "task" begin span on its own lane.
+  std::map<uint64_t, int> task_begins;
+  std::map<uint64_t, int> outcome_ends;
+  for (const TraceEvent& ev : events) {
+    if (ev.ph == Phase::kBegin && std::string(ev.name ? ev.name : "") == "task") {
+      ++task_begins[ev.tid];
+    }
+    if (ev.ph == Phase::kEnd && ev.skey && std::string(ev.skey) == "outcome") {
+      ++outcome_ends[ev.tid];
+    }
+  }
+  ASSERT_EQ(task_begins.size(), master.records().size());
+  for (const auto& rec : master.records()) {
+    EXPECT_EQ(task_begins[rec.spec.id], 1) << "task " << rec.spec.id;
+    EXPECT_EQ(outcome_ends[rec.spec.id], 1) << "task " << rec.spec.id;
+  }
+
+  // The exported trace is valid JSON with monotone nesting per lane, even
+  // through the crash/cancel paths.
+  const serde::Value doc = serde::from_json(chrome_trace_json(events));
+  check_span_nesting(doc);
+
+  // Master metrics reconcile with the run's stats.
+  Metrics& m = r.metrics();
+  EXPECT_EQ(m.counter("wq.tasks_submitted").value(), 24);
+  EXPECT_EQ(m.counter("wq.tasks_completed").value(), stats.tasks_completed);
+  EXPECT_EQ(m.counter("wq.tasks_cancelled").value(), stats.tasks_cancelled);
+  EXPECT_EQ(m.counter("wq.worker_crashes").value(), 1);
+  EXPECT_EQ(m.histogram("wq.turnaround_seconds").snapshot().count(),
+            stats.tasks_completed);
+}
+
+TEST_F(ObsTest, MonitorEmitsSpanAndUsageSeries) {
+  Recorder& r = Recorder::global();
+  r.set_enabled(true);
+
+  monitor::MonitorOptions options;
+  options.poll_interval = 0.01;
+  options.trace_tid = 77;
+  const auto outcome = monitor::run_monitored(
+      [](const serde::Value&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        return serde::Value(int64_t{1});
+      },
+      serde::Value(), options);
+  ASSERT_TRUE(outcome.ok());
+
+  int usage_samples = 0;
+  int begins = 0;
+  int ends = 0;
+  for (const TraceEvent& ev : r.events()) {
+    if (ev.pid != kPidHost || ev.tid != 77) continue;
+    if (ev.ph == Phase::kCounter && std::string(ev.name) == "lfm.usage") ++usage_samples;
+    if (ev.ph == Phase::kBegin && std::string(ev.name) == "lfm.run") ++begins;
+    if (ev.ph == Phase::kEnd) ++ends;
+  }
+  EXPECT_GT(usage_samples, 0);
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+  EXPECT_EQ(r.metrics().counter("lfm.invocations").value(), 1);
+  EXPECT_GT(r.metrics().counter("lfm.polls").value(), 0);
+  EXPECT_EQ(r.metrics().histogram("lfm.invocation_seconds").snapshot().count(), 1);
+}
+
+TEST_F(ObsTest, PrometheusTextMatchesGoldenFile) {
+  Metrics m;
+  m.counter("wq.tasks_dispatched").add(128);
+  m.counter("lfm.limit-kills").add(3);  // '-' rewrites to '_'
+  m.gauge("wq.queue_depth").set(17.5);
+  HistogramMetric& h = m.histogram("demo.latency_seconds", 1e-3, 1e3, 12);
+  h.observe(0.0005);  // underflow -> bucket 0
+  h.observe(0.25);
+  h.observe(0.5);
+  h.observe(8.0);
+  h.observe(5000.0);  // overflow -> last bucket
+  const std::string actual = prometheus_text(m);
+
+  const std::string golden_path =
+      std::string(LFM_SOURCE_DIR) + "/tests/golden/metrics.prom";
+  std::FILE* f = std::fopen(golden_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "missing golden file " << golden_path;
+  std::string golden;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) golden.append(buf, n);
+  std::fclose(f);
+
+  EXPECT_EQ(actual, golden) << "regenerate with:\n" << actual;
+}
+
+TEST_F(ObsTest, MetricsJsonlRoundTripsThroughSerdeJson) {
+  Metrics m;
+  m.counter("faas.invocations").add(9);
+  m.gauge("wq.queue_depth").set(3.0);
+  HistogramMetric& h = m.histogram("flow.resolve_wait_seconds", 1e-3, 1e3, 24);
+  h.observe(0.125);
+  h.observe(2.0);
+
+  const std::string jsonl = metrics_jsonl(m);
+  std::vector<serde::Value> lines;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    const size_t nl = jsonl.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);  // every line is newline-terminated
+    lines.push_back(serde::from_json(jsonl.substr(start, nl - start)));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u);
+
+  const auto& counter = lines[0].as_dict();
+  EXPECT_EQ(counter.at("type").as_str(), "counter");
+  EXPECT_EQ(counter.at("name").as_str(), "faas.invocations");
+  EXPECT_EQ(counter.at("value").as_int(), 9);
+
+  const auto& gauge = lines[1].as_dict();
+  EXPECT_EQ(gauge.at("type").as_str(), "gauge");
+  EXPECT_DOUBLE_EQ(gauge.at("value").as_real(), 3.0);
+
+  const auto& hist = lines[2].as_dict();
+  EXPECT_EQ(hist.at("type").as_str(), "histogram");
+  EXPECT_EQ(hist.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_real(), 2.125);
+  EXPECT_DOUBLE_EQ(hist.at("min").as_real(), 0.125);
+  EXPECT_DOUBLE_EQ(hist.at("max").as_real(), 2.0);
+  EXPECT_EQ(hist.count("p50"), 1u);
+  // Sparse buckets: one entry per occupied bucket, aligned with its edge.
+  const auto& edges = hist.at("bucket_edges").as_list();
+  const auto& counts = hist.at("bucket_counts").as_list();
+  ASSERT_EQ(edges.size(), 2u);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].as_int() + counts[1].as_int(), 2);
+}
+
+TEST_F(ObsTest, ExportAllWritesLoadableFiles) {
+  Recorder& r = Recorder::global();
+  r.set_enabled(true);
+  r.begin(kPidSim, 1, 0.0, "task", "task");
+  r.end(kPidSim, 1, 1.0);
+  r.metrics().counter("wq.tasks_completed").add();
+
+  const std::string dir = ::testing::TempDir() + "obs_export_test";
+  export_all(r, dir);
+
+  const auto slurp = [](const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string out;
+    if (f) {
+      char buf[4096];
+      size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+      std::fclose(f);
+    }
+    return out;
+  };
+  const serde::Value trace = serde::from_json(slurp(dir + "/trace.json"));
+  EXPECT_EQ(trace.as_dict().at("traceEvents").as_list().size(), 4u);
+  EXPECT_NE(slurp(dir + "/metrics.prom").find("wq_tasks_completed 1"),
+            std::string::npos);
+  EXPECT_NE(slurp(dir + "/metrics.jsonl").find("wq.tasks_completed"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, LogHookMirrorsRecordsAsInstantEvents) {
+  Recorder& r = Recorder::global();
+  r.set_enabled(true);
+  set_log_sink([](LogLevel, const std::string&, const std::string&) {});  // mute stderr
+  r.mirror_logs(true);
+  log_message(LogLevel::kWarn, "wq", "cache full");
+  r.mirror_logs(false);
+  log_message(LogLevel::kWarn, "wq", "not mirrored");
+  set_log_sink(nullptr);
+
+  const auto events = r.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ph, Phase::kInstant);
+  EXPECT_STREQ(events[0].name, "log");
+  EXPECT_STREQ(events[0].sval, "wq: cache full");
+  EXPECT_DOUBLE_EQ(events[0].aval0, static_cast<double>(static_cast<int>(LogLevel::kWarn)));
+}
+
+TEST_F(ObsTest, LongStringPayloadsTruncateSafely) {
+  Recorder& r = Recorder::global();
+  r.set_enabled(true);
+  const std::string long_text(200, 'x');
+  r.instant(kPidHost, 0, 0.0, "log", "log", "message", long_text);
+  const auto events = r.events();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string stored(events[0].sval);
+  EXPECT_EQ(stored.size(), sizeof(TraceEvent::sval) - 1);
+  EXPECT_EQ(stored, long_text.substr(0, stored.size()));
+  // Still exports as valid JSON.
+  serde::from_json(chrome_trace_json(events));
+}
+
+}  // namespace
+}  // namespace lfm::obs

@@ -2,6 +2,7 @@
 // malformed-input rejection.
 #include <gtest/gtest.h>
 
+#include "serde/json.h"
 #include "serde/pickle.h"
 #include "serde/value.h"
 
@@ -160,6 +161,61 @@ TEST(Pickle, LargePayload) {
   const Value back = roundtrip(v);
   ASSERT_EQ(back.as_list().size(), 10000u);
   EXPECT_EQ(back.as_list()[9999].as_int(), 9999LL * 1000003);
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(from_json("null").is_none());
+  EXPECT_EQ(from_json("true"), Value(true));
+  EXPECT_EQ(from_json("false"), Value(false));
+  EXPECT_EQ(from_json("42"), Value(int64_t{42}));
+  EXPECT_EQ(from_json("-7"), Value(int64_t{-7}));
+  EXPECT_EQ(from_json("\"hi\""), Value(std::string("hi")));
+  EXPECT_TRUE(from_json("2.5").is_real());
+  EXPECT_DOUBLE_EQ(from_json("2.5").as_real(), 2.5);
+  EXPECT_TRUE(from_json("1e3").is_real());
+  EXPECT_DOUBLE_EQ(from_json("1e3").as_real(), 1000.0);
+}
+
+TEST(Json, ParsesContainersAndWhitespace) {
+  const Value v = from_json("  { \"a\" : [ 1 , 2.0 , \"x\" ] , \"b\" : { } }  ");
+  ASSERT_TRUE(v.is_dict());
+  const auto& list = v.as_dict().at("a").as_list();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], Value(int64_t{1}));
+  EXPECT_DOUBLE_EQ(list[1].as_real(), 2.0);
+  EXPECT_EQ(list[2], Value(std::string("x")));
+  EXPECT_TRUE(v.as_dict().at("b").as_dict().empty());
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(from_json(R"("a\"b\\c\/d\n\t")").as_str(), "a\"b\\c/d\n\t");
+  // \u sequences decode to UTF-8, including surrogate pairs.
+  EXPECT_EQ(from_json(R"("\u0041")").as_str(), "A");
+  EXPECT_EQ(from_json(R"("\u00e9")").as_str(), "\xc3\xa9");
+  EXPECT_EQ(from_json(R"("\ud83d\ude00")").as_str(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RoundTripsThroughToJson) {
+  ValueDict d;
+  d["name"] = Value(std::string("task \"1\"\n"));
+  d["count"] = Value(int64_t{3});
+  d["ratio"] = Value(0.125);
+  d["flags"] = Value(ValueList{Value(true), Value(false), Value()});
+  const Value v(std::move(d));
+  EXPECT_EQ(from_json(to_json(v)), v);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(from_json(""), Error);
+  EXPECT_THROW(from_json("{"), Error);
+  EXPECT_THROW(from_json("[1,]"), Error);
+  EXPECT_THROW(from_json("{\"a\":}"), Error);
+  EXPECT_THROW(from_json("{\"a\" 1}"), Error);
+  EXPECT_THROW(from_json("nul"), Error);
+  EXPECT_THROW(from_json("\"unterminated"), Error);
+  EXPECT_THROW(from_json("1 2"), Error);  // trailing content
+  EXPECT_THROW(from_json("\"bad \\q escape\""), Error);
+  EXPECT_THROW(from_json("\"\\ud83d\""), Error);  // lone surrogate
 }
 
 }  // namespace

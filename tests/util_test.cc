@@ -244,5 +244,110 @@ TEST(StatusType, SuccessAndFailure) {
   EXPECT_EQ(s.error(), "why");
 }
 
+TEST(LogHistogram, RejectsBadShape) {
+  EXPECT_THROW(LogHistogram(0.0, 1.0, 8), Error);
+  EXPECT_THROW(LogHistogram(-1.0, 1.0, 8), Error);
+  EXPECT_THROW(LogHistogram(2.0, 1.0, 8), Error);
+  EXPECT_THROW(LogHistogram(1.0, 1.0, 8), Error);
+  EXPECT_THROW(LogHistogram(1e-3, 1e3, 0), Error);
+}
+
+TEST(LogHistogram, Empty) {
+  LogHistogram h(1e-3, 1e3, 12);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 0.0);
+  EXPECT_THROW(h.quantile(0.5), Error);
+}
+
+TEST(LogHistogram, SingleSample) {
+  LogHistogram h(1e-3, 1e3, 12);
+  h.add(2.5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 2.5);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 2.5);
+  // Every quantile is the one occupied bucket's upper edge, which must
+  // bound the sample from above and stay within (lo, hi].
+  const double q = h.quantile(0.5);
+  EXPECT_GE(q, 2.5);
+  EXPECT_LE(q, h.hi());
+  EXPECT_LE(h.quantile(0.0), q);  // q=0 reports the lowest bucket edge
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), q);
+  EXPECT_THROW(h.quantile(-0.1), Error);
+  EXPECT_THROW(h.quantile(1.1), Error);
+  // Exactly one bucket holds the sample.
+  int64_t occupied = 0;
+  for (size_t i = 0; i < h.bucket_count(); ++i) occupied += h.bucket(i);
+  EXPECT_EQ(occupied, 1);
+}
+
+TEST(LogHistogram, OutOfRangeClamps) {
+  LogHistogram h(1.0, 100.0, 4);
+  h.add(0.5);     // below lo: underflow bucket 0
+  h.add(-3.0);    // negative: also bucket 0
+  h.add(1e9);     // beyond hi: clamped to the last bucket
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(h.bucket_count() - 1), 1);
+  // min/max report the raw values even when the bucket clamps.
+  EXPECT_DOUBLE_EQ(h.min_seen(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 1e9);
+  // The last edge is exactly hi.
+  EXPECT_DOUBLE_EQ(h.bucket_edge(h.bucket_count() - 1), 100.0);
+}
+
+TEST(LogHistogram, EdgesGrowGeometrically) {
+  LogHistogram h(1.0, 16.0, 4);  // edges 2, 4, 8, 16
+  EXPECT_NEAR(h.bucket_edge(0), 2.0, 1e-9);
+  EXPECT_NEAR(h.bucket_edge(1), 4.0, 1e-9);
+  EXPECT_NEAR(h.bucket_edge(2), 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.bucket_edge(3), 16.0);
+  h.add(3.0);  // (2, 4] -> bucket 1
+  EXPECT_EQ(h.bucket(1), 1);
+  h.add(2.0);  // boundary lands in the lower bucket: (1, 2] -> bucket 0
+  EXPECT_EQ(h.bucket(0), 1);
+}
+
+TEST(LogHistogram, QuantilesFromManySamples) {
+  LogHistogram h(1e-3, 1e3, 96);
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i) / 100.0);  // 0.01..10
+  // p50 ~ 5.0, p99 ~ 9.9; bucket edges are within one relative step.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 5.0 * 0.16);
+  EXPECT_NEAR(h.quantile(0.99), 9.9, 9.9 * 0.16);
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.5));
+}
+
+TEST(LogHistogram, MergeCombinesAndChecksShape) {
+  LogHistogram a(1.0, 100.0, 8);
+  LogHistogram b(1.0, 100.0, 8);
+  a.add(2.0);
+  a.add(50.0);
+  b.add(7.0);
+  b.add(0.1);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_DOUBLE_EQ(a.sum(), 59.1);
+  EXPECT_DOUBLE_EQ(a.min_seen(), 0.1);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 50.0);
+  // Merging an empty histogram is a no-op; empty.merge(full) adopts stats.
+  LogHistogram empty(1.0, 100.0, 8);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 4);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 4);
+  EXPECT_DOUBLE_EQ(empty.min_seen(), 0.1);
+  // Shape mismatches are rejected in every dimension.
+  LogHistogram wrong_buckets(1.0, 100.0, 9);
+  LogHistogram wrong_lo(2.0, 100.0, 8);
+  LogHistogram wrong_hi(1.0, 200.0, 8);
+  EXPECT_THROW(a.merge(wrong_buckets), Error);
+  EXPECT_THROW(a.merge(wrong_lo), Error);
+  EXPECT_THROW(a.merge(wrong_hi), Error);
+}
+
 }  // namespace
 }  // namespace lfm
