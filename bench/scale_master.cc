@@ -10,6 +10,9 @@
 // Usage:
 //   scale_master                 # default sweep up to 1000 workers x 100k tasks
 //   scale_master W T [W T ...]   # explicit (workers, tasks) rows (CI smoke)
+//   scale_master --seed N W T [W T ...]
+//       generate the synthetic workload from seed N (default 42); the seed
+//       is echoed in the output header so any run can be reproduced
 //   scale_master --trace PATH W T [W T ...]
 //       additionally record the obs trace and write Chrome trace_event JSON
 //       to PATH (virtual-clock timestamps; the file holds the LAST row, so
@@ -44,8 +47,8 @@ alloc::LabelerConfig labeler_config() {
   return cfg;
 }
 
-std::vector<wq::TaskSpec> make_tasks(int count) {
-  Rng rng(42);
+std::vector<wq::TaskSpec> make_tasks(int count, uint64_t seed) {
+  Rng rng(seed);
   std::vector<wq::TaskSpec> tasks;
   tasks.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
@@ -69,7 +72,7 @@ std::vector<wq::TaskSpec> make_tasks(int count) {
   return tasks;
 }
 
-void run_row(int workers, int tasks) {
+void run_row(int workers, int tasks, uint64_t seed) {
   sim::Simulation sim;
   if (obs::Recorder::enabled()) {
     // One trace per row: fold every domain onto the virtual clock and start
@@ -84,7 +87,7 @@ void run_row(int workers, int tasks) {
   alloc::Labeler labeler(labeler_config());
   wq::Master master(sim, network, labeler);
   for (int w = 0; w < workers; ++w) master.add_worker({worker_capacity(), 0.0});
-  for (auto& t : make_tasks(tasks)) master.submit(std::move(t));
+  for (auto& t : make_tasks(tasks, seed)) master.submit(std::move(t));
 
   const auto start = std::chrono::steady_clock::now();
   const wq::MasterStats stats = master.run();
@@ -107,16 +110,27 @@ void run_row(int workers, int tasks) {
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  uint64_t seed = 42;
   int first_row_arg = 1;
-  if (argc > 2 && std::string(argv[1]) == "--trace") {
-    trace_path = argv[2];
-    first_row_arg = 3;
-    obs::Recorder::global().set_enabled(true);
+  while (first_row_arg + 1 < argc) {
+    const std::string arg = argv[first_row_arg];
+    if (arg == "--trace") {
+      trace_path = argv[first_row_arg + 1];
+      first_row_arg += 2;
+      obs::Recorder::global().set_enabled(true);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(argv[first_row_arg + 1], nullptr, 10);
+      first_row_arg += 2;
+    } else {
+      break;
+    }
   }
   std::vector<std::pair<int, int>> rows;
   if (argc > first_row_arg) {
     if ((argc - first_row_arg) % 2 != 0) {
-      std::fprintf(stderr, "usage: %s [--trace PATH] [workers tasks]...\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace PATH] [--seed N] [workers tasks]...\n",
+                   argv[0]);
       return 1;
     }
     for (int i = first_row_arg; i + 1 < argc; i += 2) {
@@ -135,12 +149,13 @@ int main(int argc, char** argv) {
   } else {
     rows = {{25, 2500}, {100, 10000}, {250, 25000}, {500, 50000}, {1000, 100000}};
   }
-  std::printf("Scheduler scaling sweep (Auto strategy, %d task categories)\n",
-              kCategories);
+  std::printf(
+      "Scheduler scaling sweep (Auto strategy, %d task categories, seed %llu)\n",
+      kCategories, static_cast<unsigned long long>(seed));
   std::printf("%8s %8s %10s %12s %12s %10s %12s %8s %10s\n", "workers", "tasks",
               "wall(s)", "events", "events/s", "tasks/s", "makespan", "retries",
               "hits");
-  for (const auto& [w, t] : rows) run_row(w, t);
+  for (const auto& [w, t] : rows) run_row(w, t, seed);
   if (!trace_path.empty()) {
     const auto slash = trace_path.find_last_of('/');
     const std::string dir = slash == std::string::npos ? "." : trace_path.substr(0, slash);

@@ -1,0 +1,84 @@
+// Fault delivery through the simulation event engine (chaos subsystem).
+//
+// The Injector schedules every event of a compiled chaos::Plan into a
+// sim::Simulation and delivers it to a FaultSink (implemented by
+// wq::Master). Window faults (network degradation, partitions, filesystem
+// stalls, stragglers) schedule their own end events; overlapping windows of
+// one class compose multiplicatively, and the sink always receives the
+// absolute composite factor, so delivery order cannot leave drift behind.
+//
+// Every injected fault is observable: a counter per class
+// (chaos.<class>) and, when the obs recorder is on, instant/window span
+// events on the kPidChaos timeline — soak traces show the fault schedule as
+// its own Perfetto track above the per-task lanes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "chaos/plan.h"
+#include "sim/engine.h"
+
+namespace lfm::chaos {
+
+// What the injector needs from the system under test. wq::Master implements
+// this; selectors are resolved against live state modulo pool size, and a
+// selector that lands on a dead/absent target is a logged no-op.
+class FaultSink {
+ public:
+  virtual ~FaultSink() = default;
+  // Crash a worker; rejoin_delay >= 0 schedules a replacement pilot with the
+  // same capacity that many seconds later, < 0 means it never returns.
+  virtual void fault_crash_worker(uint64_t selector, double rejoin_delay) = 0;
+  // Set a worker's absolute speed factor (1.0 = nominal, 0.25 = 4x slower).
+  // Affects attempts that start execution while the factor is in effect.
+  virtual void fault_worker_speed(uint64_t selector, double factor) = 0;
+  // Absolute bandwidth scale on the master uplink (1.0 = nominal).
+  virtual void fault_network_scale(double scale) = 0;
+  // Absolute multiplier on per-dispatch filesystem costs (unpack + dispatch
+  // overhead); 1.0 = nominal.
+  virtual void fault_fs_stall(double factor) = 0;
+  // Kill one in-flight attempt as a spurious monitor limit violation.
+  virtual void fault_spurious_kill(uint64_t selector) = 0;
+};
+
+struct InjectorStats {
+  int64_t crashes = 0;
+  int64_t rejoins_scheduled = 0;
+  int64_t net_slowdowns = 0;
+  int64_t partitions = 0;
+  int64_t fs_stalls = 0;
+  int64_t stragglers = 0;
+  int64_t spurious_kills = 0;
+  int64_t total() const {
+    return crashes + net_slowdowns + partitions + fs_stalls + stragglers +
+           spurious_kills;
+  }
+};
+
+class Injector {
+ public:
+  Injector(sim::Simulation& sim, FaultSink& sink, Plan plan);
+
+  // Schedule every plan event into the simulation (call before sim.run()).
+  void arm();
+
+  const Plan& plan() const { return plan_; }
+  const InjectorStats& stats() const { return stats_; }
+
+ private:
+  void deliver(const FaultEvent& event);
+  void end_window(FaultKind kind, const FaultEvent& event);
+  // Product of the active window factors of a class (1.0 when none).
+  double composite(const std::map<double, int>& active) const;
+
+  sim::Simulation& sim_;
+  FaultSink& sink_;
+  Plan plan_;
+  InjectorStats stats_;
+  // Active window factor -> count (multiset semantics; values repeat).
+  std::map<double, int> active_net_;
+  std::map<double, int> active_fs_;
+};
+
+}  // namespace lfm::chaos

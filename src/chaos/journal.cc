@@ -1,0 +1,305 @@
+#include "chaos/journal.h"
+
+#include <utility>
+
+#include "serde/json.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace lfm::chaos {
+
+using serde::Value;
+using serde::ValueDict;
+using serde::ValueList;
+
+Value resources_to_value(const alloc::Resources& r) {
+  ValueDict d;
+  d.emplace("cores", Value(r.cores));
+  d.emplace("mem", Value(r.memory_bytes));
+  d.emplace("disk", Value(r.disk_bytes));
+  return Value(std::move(d));
+}
+
+alloc::Resources resources_from_value(const Value& value) {
+  alloc::Resources r;
+  r.cores = value.at("cores").as_real();
+  r.memory_bytes = value.at("mem").as_real();
+  r.disk_bytes = value.at("disk").as_real();
+  return r;
+}
+
+Value task_spec_to_value(const wq::TaskSpec& spec) {
+  ValueDict d;
+  d.emplace("id", Value(static_cast<int64_t>(spec.id)));
+  d.emplace("category", Value(spec.category));
+  d.emplace("output_bytes", Value(spec.output_bytes));
+  d.emplace("exec_seconds", Value(spec.exec_seconds));
+  d.emplace("true_cores", Value(spec.true_cores));
+  d.emplace("true_peak", resources_to_value(spec.true_peak));
+  d.emplace("peak_fraction", Value(spec.peak_fraction));
+  ValueList inputs;
+  for (const auto& f : spec.inputs) {
+    ValueDict fd;
+    fd.emplace("name", Value(f.name));
+    fd.emplace("size", Value(f.size_bytes));
+    fd.emplace("cacheable", Value(f.cacheable));
+    fd.emplace("unpack", Value(f.unpack_seconds));
+    inputs.push_back(Value(std::move(fd)));
+  }
+  d.emplace("inputs", Value(std::move(inputs)));
+  return Value(std::move(d));
+}
+
+wq::TaskSpec task_spec_from_value(const Value& value) {
+  wq::TaskSpec spec;
+  spec.id = static_cast<uint64_t>(value.at("id").as_int());
+  spec.category = value.at("category").as_str();
+  spec.output_bytes = value.at("output_bytes").as_int();
+  spec.exec_seconds = value.at("exec_seconds").as_real();
+  spec.true_cores = value.at("true_cores").as_real();
+  spec.true_peak = resources_from_value(value.at("true_peak"));
+  spec.peak_fraction = value.at("peak_fraction").as_real();
+  for (const auto& fv : value.at("inputs").as_list()) {
+    wq::InputFile f;
+    f.name = fv.at("name").as_str();
+    f.size_bytes = fv.at("size").as_int();
+    f.cacheable = fv.at("cacheable").as_bool();
+    f.unpack_seconds = fv.at("unpack").as_real();
+    spec.inputs.push_back(std::move(f));
+  }
+  return spec;
+}
+
+namespace {
+
+const char* kind_tag(EntryKind kind) {
+  switch (kind) {
+    case EntryKind::kWorkerAdded: return "worker";
+    case EntryKind::kWorkerLost: return "worker_lost";
+    case EntryKind::kSubmitted: return "submit";
+    case EntryKind::kDispatched: return "dispatch";
+    case EntryKind::kCompleted: return "done";
+    case EntryKind::kFailed: return "fail";
+    case EntryKind::kCancelled: return "cancel";
+    case EntryKind::kExhaustion: return "exh";
+  }
+  return "unknown";
+}
+
+EntryKind kind_from_tag(const std::string& tag) {
+  if (tag == "worker") return EntryKind::kWorkerAdded;
+  if (tag == "worker_lost") return EntryKind::kWorkerLost;
+  if (tag == "submit") return EntryKind::kSubmitted;
+  if (tag == "dispatch") return EntryKind::kDispatched;
+  if (tag == "done") return EntryKind::kCompleted;
+  if (tag == "fail") return EntryKind::kFailed;
+  if (tag == "cancel") return EntryKind::kCancelled;
+  if (tag == "exh") return EntryKind::kExhaustion;
+  throw Error("Journal: unknown record type '" + tag + "'");
+}
+
+}  // namespace
+
+Value entry_to_value(const JournalEntry& e) {
+  ValueDict d;
+  d.emplace("t", Value(kind_tag(e.kind)));
+  d.emplace("ts", Value(e.ts));
+  switch (e.kind) {
+    case EntryKind::kWorkerAdded:
+      d.emplace("worker", Value(e.worker));
+      d.emplace("capacity", resources_to_value(e.res));
+      d.emplace("ready_time", Value(e.ready_time));
+      break;
+    case EntryKind::kWorkerLost:
+      d.emplace("worker", Value(e.worker));
+      break;
+    case EntryKind::kSubmitted:
+      d.emplace("spec", task_spec_to_value(e.spec));
+      break;
+    case EntryKind::kDispatched:
+      d.emplace("task", Value(static_cast<int64_t>(e.task)));
+      d.emplace("worker", Value(e.worker));
+      d.emplace("attempt", Value(e.attempt));
+      d.emplace("alloc", resources_to_value(e.res));
+      break;
+    case EntryKind::kCompleted:
+      d.emplace("task", Value(static_cast<int64_t>(e.task)));
+      d.emplace("peak", resources_to_value(e.res));
+      break;
+    case EntryKind::kFailed:
+      d.emplace("task", Value(static_cast<int64_t>(e.task)));
+      d.emplace("reason", Value(e.text));
+      break;
+    case EntryKind::kCancelled:
+      d.emplace("task", Value(static_cast<int64_t>(e.task)));
+      break;
+    case EntryKind::kExhaustion:
+      d.emplace("task", Value(static_cast<int64_t>(e.task)));
+      d.emplace("category", Value(e.text));
+      d.emplace("alloc", resources_to_value(e.res));
+      d.emplace("resource", Value(e.text2));
+      break;
+  }
+  return Value(std::move(d));
+}
+
+JournalEntry entry_from_value(const Value& value) {
+  JournalEntry e;
+  e.kind = kind_from_tag(value.at("t").as_str());
+  e.ts = value.at("ts").as_real();
+  switch (e.kind) {
+    case EntryKind::kWorkerAdded:
+      e.worker = static_cast<int>(value.at("worker").as_int());
+      e.res = resources_from_value(value.at("capacity"));
+      e.ready_time = value.at("ready_time").as_real();
+      break;
+    case EntryKind::kWorkerLost:
+      e.worker = static_cast<int>(value.at("worker").as_int());
+      break;
+    case EntryKind::kSubmitted:
+      e.spec = task_spec_from_value(value.at("spec"));
+      e.task = e.spec.id;
+      break;
+    case EntryKind::kDispatched:
+      e.task = static_cast<uint64_t>(value.at("task").as_int());
+      e.worker = static_cast<int>(value.at("worker").as_int());
+      e.attempt = static_cast<int>(value.at("attempt").as_int());
+      e.res = resources_from_value(value.at("alloc"));
+      break;
+    case EntryKind::kCompleted:
+      e.task = static_cast<uint64_t>(value.at("task").as_int());
+      e.res = resources_from_value(value.at("peak"));
+      break;
+    case EntryKind::kFailed:
+      e.task = static_cast<uint64_t>(value.at("task").as_int());
+      e.text = value.at("reason").as_str();
+      break;
+    case EntryKind::kCancelled:
+      e.task = static_cast<uint64_t>(value.at("task").as_int());
+      break;
+    case EntryKind::kExhaustion:
+      e.task = static_cast<uint64_t>(value.at("task").as_int());
+      e.text = value.at("category").as_str();
+      e.res = resources_from_value(value.at("alloc"));
+      e.text2 = value.at("resource").as_str();
+      break;
+  }
+  return e;
+}
+
+Journal::Journal(const std::string& path) {
+  file_ = std::make_unique<std::ofstream>(path, std::ios::out | std::ios::trunc);
+  if (!*file_) throw Error("Journal: cannot open '" + path + "' for writing");
+}
+
+JournalEntry& Journal::next_slot(EntryKind kind, double ts) {
+  if (entries_.size() == entries_.capacity()) {
+    // Grow 4x: entries are ~200 bytes with non-trivial (string) members, so
+    // every reallocation move-constructs the whole log — keep those rare.
+    entries_.reserve(entries_.empty() ? 4096 : entries_.size() * 4);
+  }
+  JournalEntry& e = entries_.emplace_back();
+  e.kind = kind;
+  e.ts = ts;
+  return e;
+}
+
+void Journal::commit(const JournalEntry& entry) {
+  if (file_) {
+    *file_ << serde::to_json(entry_to_value(entry)) << '\n';
+    if (!*file_) throw Error("Journal: write failed");
+  }
+}
+
+void Journal::flush() {
+  if (file_) file_->flush();
+}
+
+void Journal::worker_added(int worker_id, const alloc::Resources& capacity,
+                           double ready_time, double ts) {
+  JournalEntry& e = next_slot(EntryKind::kWorkerAdded, ts);
+  e.worker = worker_id;
+  e.res = capacity;
+  e.ready_time = ready_time;
+  commit(e);
+}
+
+void Journal::worker_lost(int worker_id, double ts) {
+  JournalEntry& e = next_slot(EntryKind::kWorkerLost, ts);
+  e.worker = worker_id;
+  commit(e);
+}
+
+void Journal::submitted(const wq::TaskSpec& spec, double ts) {
+  JournalEntry& e = next_slot(EntryKind::kSubmitted, ts);
+  e.task = spec.id;
+  e.spec = spec;
+  commit(e);
+}
+
+void Journal::dispatched(uint64_t task_id, int worker_id, int attempt,
+                         const alloc::Resources& alloc, double ts) {
+  JournalEntry& e = next_slot(EntryKind::kDispatched, ts);
+  e.task = task_id;
+  e.worker = worker_id;
+  e.attempt = attempt;
+  e.res = alloc;
+  commit(e);
+}
+
+void Journal::completed(uint64_t task_id, const alloc::Resources& observed_peak,
+                        double ts) {
+  JournalEntry& e = next_slot(EntryKind::kCompleted, ts);
+  e.task = task_id;
+  e.res = observed_peak;
+  commit(e);
+}
+
+void Journal::failed(uint64_t task_id, const std::string& reason, double ts) {
+  JournalEntry& e = next_slot(EntryKind::kFailed, ts);
+  e.task = task_id;
+  e.text = reason;
+  commit(e);
+}
+
+void Journal::cancelled(uint64_t task_id, double ts) {
+  JournalEntry& e = next_slot(EntryKind::kCancelled, ts);
+  e.task = task_id;
+  commit(e);
+}
+
+void Journal::observed_exhaustion(uint64_t task_id, const std::string& category,
+                                  const alloc::Resources& allocated,
+                                  const std::string& resource, double ts) {
+  JournalEntry& e = next_slot(EntryKind::kExhaustion, ts);
+  e.task = task_id;
+  e.text = category;
+  e.res = allocated;
+  e.text2 = resource;
+  commit(e);
+}
+
+std::string Journal::to_jsonl() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    out += serde::to_json(entry_to_value(entry));
+    out += '\n';
+  }
+  return out;
+}
+
+Journal Journal::from_jsonl(const std::string& text) {
+  Journal journal;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (trim(line).empty()) continue;
+    journal.entries_.push_back(entry_from_value(serde::from_json(line)));
+  }
+  return journal;
+}
+
+}  // namespace lfm::chaos

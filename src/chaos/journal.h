@@ -1,0 +1,118 @@
+// Master-side write-ahead task-attempt journal (chaos & recovery subsystem).
+//
+// Every durable scheduler decision — worker registration, task submission,
+// dispatch (the label decision as applied), completion, permanent failure,
+// cancellation, and the labeler's exhaustion observations — is appended as
+// one record. The journal is the master's recovery truth: a task counts as
+// done if and only if its terminal record was journaled, so a master that
+// dies mid-run can be rebuilt with Master::recover(journal) and finish the
+// workload with every task completed exactly once (in-flight attempts at
+// crash time were never journaled terminal and simply re-run).
+//
+// Appends are on the dispatch hot path, so records live in memory as compact
+// typed structs; serde::Values are materialized only on the cold paths
+// (JSONL export, the optional file sink, recovery parse). The file sink
+// mirrors each record as one to_json line as it is appended — the
+// write-ahead discipline: the line is written before the state change's
+// downstream effects (completion callbacks, requeues) run. to_jsonl /
+// from_jsonl round-trip the full journal through the serde layer.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/resources.h"
+#include "serde/value.h"
+#include "wq/task.h"
+
+namespace lfm::chaos {
+
+enum class EntryKind {
+  kWorkerAdded,  // worker joined the pool
+  kWorkerLost,   // worker crashed or retired
+  kSubmitted,    // task entered the system
+  kDispatched,   // attempt sent to a worker with its allocation
+  kCompleted,    // terminal: result landed (observed peak attached)
+  kFailed,       // terminal: permanently failed (reason attached)
+  kCancelled,    // terminal: cancelled by the user
+  kExhaustion,   // the labeler's exhaustion observation for one attempt
+};
+
+struct JournalEntry {
+  EntryKind kind = EntryKind::kSubmitted;
+  double ts = 0.0;           // simulation time of the append
+  uint64_t task = 0;         // task id (task-scoped records)
+  int worker = -1;           // worker id (worker-scoped records)
+  int attempt = 0;           // kDispatched
+  double ready_time = 0.0;   // kWorkerAdded
+  // kWorkerAdded: capacity; kDispatched/kExhaustion: the allocation;
+  // kCompleted: the observed peak.
+  alloc::Resources res;
+  std::string text;          // kExhaustion: category; kFailed: reason
+  std::string text2;         // kExhaustion: exhausted resource
+  wq::TaskSpec spec;         // kSubmitted only
+};
+
+class Journal {
+ public:
+  Journal() = default;  // in-memory only
+  // Also mirror every record to `path` as JSONL while appending. The stream
+  // is OS-buffered; call flush() at checkpoints if the file must be current.
+  explicit Journal(const std::string& path);
+
+  Journal(Journal&&) = default;
+  Journal& operator=(Journal&&) = default;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // --- typed appenders (ts = simulation time) ------------------------------
+  void worker_added(int worker_id, const alloc::Resources& capacity,
+                    double ready_time, double ts);
+  // A worker left the pool (crash or idle retirement); recovery re-adds only
+  // workers that were still live when the journal ends.
+  void worker_lost(int worker_id, double ts);
+  void submitted(const wq::TaskSpec& spec, double ts);
+  void dispatched(uint64_t task_id, int worker_id, int attempt,
+                  const alloc::Resources& alloc, double ts);
+  // The "done" record carries the observed peak so recovery can replay the
+  // labeler's success observation exactly once per completed task.
+  void completed(uint64_t task_id, const alloc::Resources& observed_peak,
+                 double ts);
+  void failed(uint64_t task_id, const std::string& reason, double ts);
+  void cancelled(uint64_t task_id, double ts);
+  void observed_exhaustion(uint64_t task_id, const std::string& category,
+                           const alloc::Resources& allocated,
+                           const std::string& resource, double ts);
+
+  const std::vector<JournalEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  void flush();
+
+  std::string to_jsonl() const;
+  // Parse a JSONL journal dump (ignoring blank lines); throws lfm::Error on
+  // malformed lines. The result is in-memory only (no file sink).
+  static Journal from_jsonl(const std::string& text);
+
+ private:
+  // Appenders fill a slot emplaced directly in entries_ (no intermediate
+  // copy — the struct is ~200 bytes and this is the dispatch hot path),
+  // then commit() mirrors it to the file sink if one is attached.
+  JournalEntry& next_slot(EntryKind kind, double ts);
+  void commit(const JournalEntry& entry);
+
+  std::vector<JournalEntry> entries_;
+  std::unique_ptr<std::ofstream> file_;
+};
+
+// JournalEntry / TaskSpec / Resources <-> serde::Value (JSONL and tests).
+serde::Value entry_to_value(const JournalEntry& entry);
+JournalEntry entry_from_value(const serde::Value& value);
+serde::Value task_spec_to_value(const wq::TaskSpec& spec);
+wq::TaskSpec task_spec_from_value(const serde::Value& value);
+serde::Value resources_to_value(const alloc::Resources& r);
+alloc::Resources resources_from_value(const serde::Value& value);
+
+}  // namespace lfm::chaos

@@ -1,0 +1,150 @@
+#include "chaos/plan.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace lfm::chaos {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWorkerCrash: return "worker-crash";
+    case FaultKind::kNetworkSlow: return "net-slow";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kFsStall: return "fs-stall";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kSpuriousKill: return "spurious-kill";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// One independent stream per fault class: adding or re-rating one class
+// never shifts the draws of another, so campaigns compose predictably
+// across config tweaks.
+Rng class_rng(uint64_t seed, FaultKind kind) {
+  return Rng(hash_combine64(seed, static_cast<uint64_t>(kind) + 0x9e37u));
+}
+
+// Walk [0, horizon) by exponential inter-arrivals; call `emit(t, rng)` per
+// arrival.
+template <typename Emit>
+void arrivals(uint64_t seed, FaultKind kind, double mean_every, double horizon,
+              Emit emit) {
+  if (mean_every <= 0.0 || horizon <= 0.0) return;
+  Rng rng = class_rng(seed, kind);
+  double t = rng.exponential(mean_every);
+  while (t < horizon) {
+    emit(t, rng);
+    t += rng.exponential(mean_every);
+  }
+}
+
+}  // namespace
+
+Plan compile_plan(uint64_t seed, const ChaosConfig& config, int worker_pool,
+                  int protected_workers) {
+  Plan plan;
+  plan.seed = seed;
+  plan.config = config;
+  const double horizon = config.horizon;
+  // Selector range for per-worker faults: exempt the protected prefix by
+  // drawing from [protected_workers, worker_pool). With no eligible worker
+  // the class is silently empty.
+  const int64_t lo = std::min<int64_t>(protected_workers, worker_pool);
+  const bool workers_eligible = lo < worker_pool;
+
+  arrivals(seed, FaultKind::kWorkerCrash, config.crash_every, horizon,
+           [&](double t, Rng& rng) {
+             if (!workers_eligible) return;
+             FaultEvent e;
+             e.time = t;
+             e.kind = FaultKind::kWorkerCrash;
+             e.target = static_cast<uint64_t>(rng.uniform_int(lo, worker_pool - 1));
+             e.duration = rng.chance(config.crash_rejoin_probability)
+                              ? rng.uniform(config.crash_rejoin_min,
+                                            config.crash_rejoin_max)
+                              : -1.0;
+             plan.events.push_back(e);
+           });
+
+  arrivals(seed, FaultKind::kNetworkSlow, config.net_slow_every, horizon,
+           [&](double t, Rng& rng) {
+             FaultEvent e;
+             e.time = t;
+             e.kind = FaultKind::kNetworkSlow;
+             e.magnitude =
+                 rng.uniform(config.net_slow_scale_min, config.net_slow_scale_max);
+             e.duration = rng.uniform(config.net_slow_duration_min,
+                                      config.net_slow_duration_max);
+             plan.events.push_back(e);
+           });
+
+  arrivals(seed, FaultKind::kPartition, config.partition_every, horizon,
+           [&](double t, Rng& rng) {
+             FaultEvent e;
+             e.time = t;
+             e.kind = FaultKind::kPartition;
+             e.magnitude = 1e-3;  // fluid model: flows crawl, none complete
+             e.duration = rng.uniform(config.partition_duration_min,
+                                      config.partition_duration_max);
+             plan.events.push_back(e);
+           });
+
+  arrivals(seed, FaultKind::kFsStall, config.fs_stall_every, horizon,
+           [&](double t, Rng& rng) {
+             FaultEvent e;
+             e.time = t;
+             e.kind = FaultKind::kFsStall;
+             e.magnitude =
+                 rng.uniform(config.fs_stall_factor_min, config.fs_stall_factor_max);
+             e.duration = rng.uniform(config.fs_stall_duration_min,
+                                      config.fs_stall_duration_max);
+             plan.events.push_back(e);
+           });
+
+  arrivals(seed, FaultKind::kStraggler, config.straggler_every, horizon,
+           [&](double t, Rng& rng) {
+             if (!workers_eligible) return;
+             FaultEvent e;
+             e.time = t;
+             e.kind = FaultKind::kStraggler;
+             e.target = static_cast<uint64_t>(rng.uniform_int(lo, worker_pool - 1));
+             e.magnitude = rng.uniform(config.straggler_factor_min,
+                                       config.straggler_factor_max);
+             e.duration = rng.uniform(config.straggler_duration_min,
+                                      config.straggler_duration_max);
+             plan.events.push_back(e);
+           });
+
+  arrivals(seed, FaultKind::kSpuriousKill, config.spurious_kill_every, horizon,
+           [&](double t, Rng& rng) {
+             FaultEvent e;
+             e.time = t;
+             e.kind = FaultKind::kSpuriousKill;
+             e.target = rng.next();  // resolved modulo in-flight count on delivery
+             plan.events.push_back(e);
+           });
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return plan;
+}
+
+ChaosConfig default_campaign(double horizon) {
+  ChaosConfig c;
+  c.horizon = horizon;
+  c.crash_every = horizon / 6.0;
+  c.net_slow_every = horizon / 4.0;
+  c.partition_every = horizon / 2.0;
+  c.fs_stall_every = horizon / 3.0;
+  c.straggler_every = horizon / 4.0;
+  c.spurious_kill_every = horizon / 5.0;
+  return c;
+}
+
+}  // namespace lfm::chaos

@@ -1,0 +1,86 @@
+// Deterministic fault-schedule compiler (chaos & recovery subsystem).
+//
+// A chaos::Plan is the *compiled form* of a fault campaign: one seed plus a
+// rate config expand, ahead of time, into a concrete list of timestamped
+// fault events (worker crashes and rejoins, network latency spikes and
+// partitions, filesystem stall windows, straggler slowdowns, spurious
+// monitor limit-kills). Compilation draws every random number up front from
+// one lfm::Rng stream per fault class, so:
+//   * the plan is a pure function of (seed, config) — any run is replayable
+//     from its command line;
+//   * injection order never depends on runtime state — delivering the plan
+//     through the sim::Simulation event queue perturbs the scheduler without
+//     feeding back into what gets injected.
+// Targets are abstract selectors (resolved against the live pool modulo its
+// size at delivery time), so a plan compiles without a master instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lfm::chaos {
+
+enum class FaultKind {
+  kWorkerCrash,   // target selector; duration >= 0 -> pilot rejoins after it
+  kNetworkSlow,   // magnitude = bandwidth scale in (0,1); duration = window
+  kPartition,     // near-total connectivity loss for duration seconds
+  kFsStall,       // magnitude = unpack/dispatch cost multiplier; duration
+  kStraggler,     // target worker slows by magnitude factor for duration
+  kSpuriousKill,  // target selector picks among in-flight attempts
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  double time = 0.0;       // simulation seconds
+  FaultKind kind = FaultKind::kWorkerCrash;
+  uint64_t target = 0;     // abstract selector (worker / running attempt)
+  double magnitude = 1.0;  // kind-specific factor (scale, multiplier)
+  double duration = 0.0;   // window length; for crashes, the rejoin delay
+};
+
+// Rates are mean inter-arrival seconds per fault class; <= 0 disables the
+// class. Magnitude/duration ranges are sampled uniformly.
+struct ChaosConfig {
+  double horizon = 600.0;  // faults are injected in [0, horizon)
+
+  double crash_every = 0.0;           // mean seconds between worker crashes
+  double crash_rejoin_probability = 0.7;
+  double crash_rejoin_min = 5.0, crash_rejoin_max = 60.0;
+
+  double net_slow_every = 0.0;        // latency/bandwidth degradation spikes
+  double net_slow_scale_min = 0.05, net_slow_scale_max = 0.5;
+  double net_slow_duration_min = 2.0, net_slow_duration_max = 20.0;
+
+  double partition_every = 0.0;       // near-total network partitions
+  double partition_duration_min = 1.0, partition_duration_max = 10.0;
+
+  double fs_stall_every = 0.0;        // shared-filesystem stall windows
+  double fs_stall_factor_min = 4.0, fs_stall_factor_max = 32.0;
+  double fs_stall_duration_min = 2.0, fs_stall_duration_max = 15.0;
+
+  double straggler_every = 0.0;       // per-worker slowdowns
+  double straggler_factor_min = 0.1, straggler_factor_max = 0.5;
+  double straggler_duration_min = 10.0, straggler_duration_max = 60.0;
+
+  double spurious_kill_every = 0.0;   // bogus monitor limit-kills
+};
+
+struct Plan {
+  uint64_t seed = 0;
+  ChaosConfig config;
+  std::vector<FaultEvent> events;  // sorted by (time, compile order)
+};
+
+// Expand (seed, config) into the concrete fault schedule. Workers are
+// targeted by selector; pass `protected_workers` > 0 to exempt the first N
+// worker ids from crashes and stragglers — a survivor guarantees liveness,
+// which soak harnesses use so "every task terminates" stays checkable.
+Plan compile_plan(uint64_t seed, const ChaosConfig& config, int worker_pool,
+                  int protected_workers = 0);
+
+// A moderately hostile default campaign scaled to a pool (used by soak and
+// tests): every class enabled at rates that fire several times per horizon.
+ChaosConfig default_campaign(double horizon);
+
+}  // namespace lfm::chaos

@@ -60,9 +60,10 @@ std::string prom_number(double v) { return strformat("%.17g", v); }
 
 serde::Value chrome_trace_value(const std::vector<TraceEvent>& events) {
   serde::ValueList list;
-  list.reserve(events.size() + 2);
+  list.reserve(events.size() + 3);
   list.push_back(process_name_metadata(kPidSim, "sim (virtual clock)"));
   list.push_back(process_name_metadata(kPidHost, "host (wall clock)"));
+  list.push_back(process_name_metadata(kPidChaos, "chaos (injected faults)"));
   for (const TraceEvent& ev : events) list.push_back(event_value(ev));
   serde::ValueDict doc;
   doc["traceEvents"] = std::move(list);

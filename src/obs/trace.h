@@ -36,8 +36,9 @@ enum class Phase : char {
 // Timeline domains. Events within one pid share a clock; clocks are NOT
 // comparable across pids (kPidSim carries virtual seconds, kPidHost wall
 // seconds) — each renders as its own process track.
-inline constexpr uint32_t kPidSim = 1;   // virtual clock: master, engine, labeler
-inline constexpr uint32_t kPidHost = 2;  // wall clock: monitor, flow, faas, worker
+inline constexpr uint32_t kPidSim = 1;    // virtual clock: master, engine, labeler
+inline constexpr uint32_t kPidHost = 2;   // wall clock: monitor, flow, faas, worker
+inline constexpr uint32_t kPidChaos = 3;  // virtual clock: injected fault schedule
 
 struct TraceEvent {
   Phase ph = Phase::kInstant;

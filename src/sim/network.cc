@@ -5,9 +5,19 @@
 namespace lfm::sim {
 
 double Network::fair_share() const {
-  if (flows_.empty()) return params_.per_flow_bandwidth;
+  if (flows_.empty()) return params_.per_flow_bandwidth * scale_;
   const double share = params_.bandwidth / static_cast<double>(flows_.size());
-  return std::min(share, params_.per_flow_bandwidth);
+  return std::min(share, params_.per_flow_bandwidth) * scale_;
+}
+
+void Network::set_bandwidth_scale(double scale) {
+  // Clamp: a true zero would schedule completions at +inf; a tiny positive
+  // scale models a partition (flows crawl until the scale is restored).
+  scale = std::max(scale, 1e-9);
+  if (scale == scale_) return;
+  drain_progress();  // credit progress made at the old rate
+  scale_ = scale;
+  reschedule_all();
 }
 
 void Network::drain_progress() {

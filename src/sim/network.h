@@ -32,6 +32,14 @@ class Network {
   int active_flows() const { return static_cast<int>(flows_.size()); }
   const NetworkParams& params() const { return params_; }
 
+  // Scale the link's effective bandwidth (fault injection: latency spikes
+  // and partitions). 1.0 is nominal; small positive values model a
+  // partition — live flows crawl, and remaining work is re-timed when the
+  // scale is restored. In-flight progress is drained at the old rate first,
+  // so overlapping scale changes compose correctly.
+  void set_bandwidth_scale(double scale);
+  double bandwidth_scale() const { return scale_; }
+
   // Closed-form seconds for a transfer when `concurrent` flows share the
   // link for its whole duration (used by analytic benches).
   double transfer_seconds(int64_t bytes, int concurrent) const;
@@ -52,6 +60,7 @@ class Network {
   std::map<uint64_t, Flow> flows_;
   uint64_t next_flow_ = 1;
   double last_update_ = 0.0;
+  double scale_ = 1.0;  // fault-injection bandwidth multiplier
 
   void drain_progress();
 };

@@ -4,7 +4,9 @@
 #include <climits>
 #include <cmath>
 
+#include "chaos/journal.h"
 #include "obs/recorder.h"
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace lfm::wq {
@@ -105,6 +107,9 @@ int Master::add_worker(const WorkerSpec& spec) {
   if (spec.ready_time <= sim_.now()) w.ready = true;
   workers_.push_back(std::move(w));
   const int id = workers_.back().id;
+  if (journal_) {
+    journal_->worker_added(id, workers_.back().capacity, spec.ready_time, sim_.now());
+  }
   if (workers_.back().ready) {
     ++live_workers_;
     avail_insert(workers_.back());
@@ -135,14 +140,19 @@ int Master::intern_signature(const TaskSpec& spec) {
   return it->second;
 }
 
-void Master::submit(TaskSpec spec) {
+void Master::submit(TaskSpec spec) { submit_record(std::move(spec), 0, 0); }
+
+size_t Master::submit_record(TaskSpec spec, int attempt, int exhaustions) {
   TaskRecord rec;
   rec.spec = std::move(spec);
   rec.submit_time = sim_.now();
+  rec.attempt = attempt;
+  rec.exhaustions = exhaustions;
   records_.push_back(std::move(rec));
   attempt_epoch_.push_back(0);
   obs_phase_.push_back(static_cast<uint8_t>(TracePhase::kNone));
   const size_t index = records_.size() - 1;
+  if (journal_) journal_->submitted(records_[index].spec, sim_.now());
   trace_task_begin(index);
   if (obs::Recorder::enabled()) MasterMetrics::get().submitted.add();
   SchedState state;
@@ -152,6 +162,7 @@ void Master::submit(TaskSpec spec) {
   record_by_task_id_.emplace(records_[index].spec.id, index);
   enqueue_ready(index);
   try_dispatch();
+  return index;
 }
 
 void Master::enqueue_ready(size_t record_index) {
@@ -325,6 +336,7 @@ void Master::flush_cancelled(size_t record_index) {
   TaskRecord& rec = records_[record_index];
   rec.state = TaskState::kDone;
   ++stats_.tasks_cancelled;
+  if (journal_) journal_->cancelled(rec.spec.id, sim_.now());
   sched_[record_index].queued = false;
   --ready_count_;
   trace_task_end(record_index, "cancelled");
@@ -454,6 +466,9 @@ void Master::dispatch(size_t record_index, int worker_id,
   rec.state = TaskState::kTransferring;
   rec.worker_id = worker_id;
   rec.last_allocation = alloc;
+  if (journal_) {
+    journal_->dispatched(rec.spec.id, worker_id, rec.attempt, alloc, sim_.now());
+  }
   if (obs::Recorder::enabled()) {
     MasterMetrics& m = MasterMetrics::get();
     m.dispatched.add();
@@ -495,7 +510,9 @@ void Master::dispatch(size_t record_index, int worker_id,
   }
 
   const double overhead = config_.dispatch_overhead;
-  const double extra = unpack + overhead;
+  // fs_stall_factor_ is 1.0 outside an injected stall window, so the
+  // multiply is exact and the chaos-off event schedule is unchanged.
+  const double extra = (unpack + overhead) * fs_stall_factor_;
   const uint64_t epoch = ++attempt_epoch_[record_index];
   if (bytes > 0) {
     ++stats_.transfers;
@@ -530,7 +547,10 @@ void Master::start_execution(size_t record_index, int worker_id,
   // stretches the runtime. Memory/disk are incompressible: exceeding the
   // allocation kills the attempt at the moment the peak occurs.
   const double granted_cores = std::max(std::min(alloc.cores, spec.true_cores), 0.25);
-  const double runtime = spec.exec_seconds * (spec.true_cores / granted_cores);
+  // Worker speed is 1.0 unless a straggler fault is active, so the divide is
+  // exact in the chaos-off configuration.
+  const double runtime = spec.exec_seconds * (spec.true_cores / granted_cores) /
+                         workers_[static_cast<size_t>(worker_id)].speed;
 
   std::string exhausted_resource;
   if (spec.true_peak.memory_bytes > alloc.memory_bytes) {
@@ -553,6 +573,7 @@ void Master::finish_cancelled(size_t record_index, int worker_id,
   TaskRecord& rec = records_[record_index];
   rec.state = TaskState::kDone;
   ++stats_.tasks_cancelled;
+  if (journal_) journal_->cancelled(rec.spec.id, sim_.now());
   trace_task_end(record_index, "cancelled");
   if (obs::Recorder::enabled()) MasterMetrics::get().cancelled.add();
   unpin_inputs(worker_id, rec.spec);
@@ -584,20 +605,30 @@ void Master::finish_attempt(size_t record_index, int worker_id,
                                       static_cast<double>(rec.attempt));
     }
     labeler_.observe_exhaustion(rec.spec.category, alloc, exhausted_resource);
+    if (journal_) {
+      journal_->observed_exhaustion(rec.spec.id, rec.spec.category, alloc,
+                                    exhausted_resource, sim_.now());
+    }
     unpin_inputs(worker_id, rec.spec);
     release(record_index, worker_id, alloc);
-    if (rec.exhaustions > config_.max_retries) {
-      rec.state = TaskState::kDone;
-      ++stats_.tasks_failed;
-      trace_task_end(record_index, "failed");
-      if (obs::Recorder::enabled()) MasterMetrics::get().failed.add();
-      if (on_complete_) on_complete_(rec);
+    // An exhaustion at an allocation already granting the whole node in the
+    // failed dimension cannot be retried away: the task does not fit.
+    if (config_.retry.classify_permanent &&
+        chaos::RetryPolicy::exhaustion_is_permanent(
+            alloc, labeler_.config().whole_node, exhausted_resource)) {
+      finalize_failed(record_index, "permanent-exhaustion");
+      return;
+    }
+    const chaos::RetryDecision decision = config_.retry.decide(
+        chaos::FailureKind::kExhaustion, rec.spec.id, rec.exhaustions,
+        rec.exhaustions + rec.requeues, config_.max_retries);
+    if (!decision.retry) {
+      finalize_failed(record_index, decision.reason);
       return;
     }
     rec.attempt += 1;
     rec.state = TaskState::kWaiting;
-    enqueue_ready(record_index);
-    try_dispatch();
+    requeue_after(record_index, decision.delay);
     return;
   }
 
@@ -613,12 +644,16 @@ void Master::finish_attempt(size_t record_index, int worker_id,
   // is the return completion); no dedicated span — dispatch-path event
   // volume is the observability overhead budget.
   const int64_t out = rec.spec.output_bytes;
-  const auto complete = [this, record_index, worker_id, alloc, epoch] {
+  const auto complete = [this, record_index, worker_id, alloc, observed, epoch] {
     if (stale(record_index, epoch)) return;
     TaskRecord& r = records_[record_index];
     r.state = TaskState::kDone;
     r.finish_time = sim_.now();
     ++stats_.tasks_completed;
+    // Write-ahead: the terminal record lands before any downstream effect
+    // (the completion callback). A master that dies after this line owes the
+    // user nothing for this task; one that dies before it re-runs the attempt.
+    if (journal_) journal_->completed(r.spec.id, observed, sim_.now());
     trace_task_end(record_index, "completed");
     if (obs::Recorder::enabled()) {
       MasterMetrics& m = MasterMetrics::get();
@@ -663,12 +698,22 @@ bool Master::release_idle_worker() {
   avail_erase(worker);
   worker.retired = true;
   --live_workers_;
+  if (journal_) journal_->worker_lost(worker.id, sim_.now());
   return true;
 }
 
 void Master::crash_worker(int worker_id) {
+  // Out-of-range ids (stale provisioner handles, fuzzed fault selectors) are
+  // a logged no-op rather than out-of-bounds vector access.
+  if (worker_id < 0 || worker_id >= static_cast<int>(workers_.size())) {
+    LFM_WARN("wq", "crash_worker: unknown worker id " +
+                       std::to_string(worker_id) + " (pool size " +
+                       std::to_string(workers_.size()) + "); ignoring");
+    return;
+  }
   Worker& worker = workers_[static_cast<size_t>(worker_id)];
   if (worker.retired) return;
+  if (journal_) journal_->worker_lost(worker_id, sim_.now());
   if (worker.ready) --live_workers_;
   avail_erase(worker);
   idle_workers_.erase(worker.id);
@@ -705,26 +750,146 @@ void Master::crash_worker(int worker_id) {
     if (running_count_ < 0) {
       throw Error("Master: running count went negative in crash_worker");
     }
+    // A crash during result return loses a result the labeler already
+    // observed; the rerun will observe again.
+    if (rec.state == TaskState::kReturning) ++stats_.lost_results;
     rec.state = TaskState::kWaiting;
     rec.worker_id = -1;
     trace_phase_close(i);  // the interrupted transfer/run span
     if (is_cancelled(i)) {
-      rec.state = TaskState::kDone;
-      ++stats_.tasks_cancelled;
-      trace_task_end(i, "cancelled");
-      if (obs::Recorder::enabled()) MasterMetrics::get().cancelled.add();
-      if (on_complete_) on_complete_(rec);
+      finalize_cancelled_idle(i);
       continue;
     }
     if (obs::Recorder::enabled()) {
       obs::Recorder::global().instant(obs::kPidSim, rec.spec.id, sim_.now(),
                                       "crash-requeue", "task");
     }
-    enqueue_ready(i);
+    rec.requeues += 1;
+    requeue_or_fail(i, chaos::FailureKind::kWorkerCrash);
   }
   worker.running_tasks = 0;
   worker.available = worker.capacity;
   try_dispatch();
+}
+
+void Master::finalize_failed(size_t record_index, const char* reason) {
+  TaskRecord& rec = records_[record_index];
+  rec.state = TaskState::kDone;
+  ++stats_.tasks_failed;
+  if (journal_) journal_->failed(rec.spec.id, reason, sim_.now());
+  trace_task_end(record_index, "failed");
+  if (obs::Recorder::enabled()) MasterMetrics::get().failed.add();
+  if (on_complete_) on_complete_(rec);
+}
+
+void Master::finalize_cancelled_idle(size_t record_index) {
+  TaskRecord& rec = records_[record_index];
+  rec.state = TaskState::kDone;
+  ++stats_.tasks_cancelled;
+  if (journal_) journal_->cancelled(rec.spec.id, sim_.now());
+  trace_task_end(record_index, "cancelled");
+  if (obs::Recorder::enabled()) MasterMetrics::get().cancelled.add();
+  if (on_complete_) on_complete_(rec);
+}
+
+void Master::requeue_after(size_t record_index, double delay) {
+  if (delay <= 0.0) {
+    // The seed code path: straight back into the ready queue, no extra
+    // simulation event — keeps the chaos-off event schedule identical.
+    enqueue_ready(record_index);
+    try_dispatch();
+    return;
+  }
+  sim_.schedule(delay, [this, record_index] {
+    // While backing off the record is neither queued nor in flight; only a
+    // user cancellation can reach it, and it resolves here.
+    if (is_cancelled(record_index)) {
+      finalize_cancelled_idle(record_index);
+      return;
+    }
+    enqueue_ready(record_index);
+    try_dispatch();
+  });
+}
+
+void Master::requeue_or_fail(size_t record_index, chaos::FailureKind kind) {
+  TaskRecord& rec = records_[record_index];
+  const chaos::RetryDecision decision = config_.retry.decide(
+      kind, rec.spec.id, rec.exhaustions, rec.exhaustions + rec.requeues,
+      config_.max_retries);
+  if (!decision.retry) {
+    finalize_failed(record_index, decision.reason);
+    return;
+  }
+  rec.state = TaskState::kWaiting;
+  requeue_after(record_index, decision.delay);
+}
+
+void Master::fault_crash_worker(uint64_t selector, double rejoin_delay) {
+  if (workers_.empty()) return;
+  const int id = static_cast<int>(selector % workers_.size());
+  Worker& worker = workers_[static_cast<size_t>(id)];
+  if (worker.retired) {
+    // Routine under a hostile campaign: the schedule outlives its victims.
+    LFM_DEBUG("wq", "fault_crash_worker: worker " + std::to_string(id) +
+                        " already gone; no-op");
+    return;
+  }
+  const alloc::Resources capacity = worker.capacity;
+  crash_worker(id);
+  if (rejoin_delay >= 0.0) {
+    // The pilot resubmits with the same shape; it arrives as a fresh worker
+    // id with a cold cache.
+    sim_.schedule(rejoin_delay,
+                  [this, capacity] { add_worker({capacity, sim_.now()}); });
+  }
+}
+
+void Master::fault_worker_speed(uint64_t selector, double factor) {
+  if (workers_.empty()) return;
+  Worker& worker = workers_[selector % workers_.size()];
+  worker.speed = std::max(factor, 1e-3);
+}
+
+void Master::fault_network_scale(double scale) {
+  network_.set_bandwidth_scale(scale);
+}
+
+void Master::fault_fs_stall(double factor) {
+  fs_stall_factor_ = std::max(factor, 0.0);
+}
+
+void Master::fault_spurious_kill(uint64_t selector) {
+  // Resolve the selector over the in-flight attempts (worker-major,
+  // ascending record index — a deterministic enumeration).
+  std::vector<std::pair<size_t, int>> victims;
+  for (const Worker& w : workers_) {
+    for (const size_t i : w.inflight) victims.emplace_back(i, w.id);
+  }
+  if (victims.empty()) return;  // nothing running; the fault fizzles
+  const auto [record_index, worker_id] = victims[selector % victims.size()];
+  TaskRecord& rec = records_[record_index];
+  ++attempt_epoch_[record_index];  // orphan the attempt's scheduled events
+  ++stats_.spurious_kills;
+  ++rec.requeues;
+  // Killed with the result in flight: the labeler observed a success that
+  // will now re-run (see MasterStats::lost_results).
+  if (rec.state == TaskState::kReturning) ++stats_.lost_results;
+  trace_phase_close(record_index);
+  if (obs::Recorder::enabled()) {
+    obs::Recorder::global().instant(obs::kPidSim, rec.spec.id, sim_.now(),
+                                    "spurious-kill", "task", nullptr, {},
+                                    "attempt", static_cast<double>(rec.attempt));
+  }
+  unpin_inputs(worker_id, rec.spec);
+  release(record_index, worker_id, rec.last_allocation);
+  rec.worker_id = -1;
+  if (is_cancelled(record_index)) {
+    finalize_cancelled_idle(record_index);
+    return;
+  }
+  // The task was innocent: no labeler feedback, no exhaustion counted.
+  requeue_or_fail(record_index, chaos::FailureKind::kSpuriousKill);
 }
 
 bool Master::cancel_task(uint64_t task_id) {
@@ -747,6 +912,118 @@ bool Master::worker_caches(int worker_id, const std::string& file_name) const {
 
 int64_t Master::worker_cache_bytes(int worker_id) const {
   return workers_[static_cast<size_t>(worker_id)].cache_bytes;
+}
+
+void Master::recover(const chaos::Journal& journal) {
+  if (!records_.empty() || !workers_.empty()) {
+    throw Error("Master::recover: requires a fresh master (no workers, no tasks)");
+  }
+  struct PendingTask {
+    TaskSpec spec;
+    int exhaustions = 0;
+    int terminal = 0;  // 0 = in progress, 1 = done, 2 = failed, 3 = cancelled
+    double terminal_ts = -1.0;
+    alloc::Resources peak;  // observed peak from the "done" record
+  };
+  std::vector<uint64_t> order;  // submission order
+  std::unordered_map<uint64_t, PendingTask> tasks;
+  std::map<int, alloc::Resources> live_pool;  // journal worker id -> capacity
+
+  for (const chaos::JournalEntry& entry : journal.entries()) {
+    switch (entry.kind) {
+      case chaos::EntryKind::kWorkerAdded:
+        live_pool[entry.worker] = entry.res;
+        break;
+      case chaos::EntryKind::kWorkerLost:
+        live_pool.erase(entry.worker);
+        break;
+      case chaos::EntryKind::kSubmitted: {
+        if (tasks.count(entry.task) > 0) break;  // first submission wins
+        order.push_back(entry.task);
+        tasks.emplace(entry.task, PendingTask{entry.spec});
+        break;
+      }
+      case chaos::EntryKind::kExhaustion: {
+        // Replay the labeler's exhaustion observation and restore the task's
+        // exhaustion count — the retry ladder resumes where it stopped.
+        const auto it = tasks.find(entry.task);
+        if (it != tasks.end()) it->second.exhaustions += 1;
+        labeler_.observe_exhaustion(entry.text, entry.res, entry.text2);
+        ++stats_.exhaustion_retries;
+        break;
+      }
+      case chaos::EntryKind::kCompleted:
+      case chaos::EntryKind::kFailed:
+      case chaos::EntryKind::kCancelled: {
+        const auto it = tasks.find(entry.task);
+        if (it == tasks.end() || it->second.terminal != 0) break;
+        it->second.terminal_ts = entry.ts;
+        if (entry.kind == chaos::EntryKind::kCompleted) {
+          it->second.terminal = 1;
+          it->second.peak = entry.res;
+          labeler_.observe_success(it->second.spec.category, it->second.peak);
+        } else {
+          it->second.terminal = entry.kind == chaos::EntryKind::kFailed ? 2 : 3;
+        }
+        break;
+      }
+      case chaos::EntryKind::kDispatched:
+        // No replay: an attempt without a journaled terminal simply re-runs,
+        // which is what makes results exactly-once.
+        break;
+    }
+  }
+
+  // Reconnect the surviving pool (ascending journal id; ids are reassigned).
+  for (const auto& [old_id, capacity] : live_pool) {
+    (void)old_id;
+    add_worker({capacity, sim_.now()});
+  }
+
+  // Journaled terminal outcomes replay as done records (on_complete already
+  // fired in the previous incarnation and does NOT re-fire); everything else
+  // resubmits with its attempt/exhaustion counters restored.
+  for (const uint64_t id : order) {
+    PendingTask& p = tasks.at(id);
+    if (p.terminal == 0) {
+      submit_record(std::move(p.spec), p.exhaustions, p.exhaustions);
+      continue;
+    }
+    TaskRecord rec;
+    rec.spec = std::move(p.spec);
+    rec.state = TaskState::kDone;
+    rec.submit_time = sim_.now();
+    if (p.terminal == 1) rec.finish_time = p.terminal_ts;
+    records_.push_back(std::move(rec));
+    attempt_epoch_.push_back(0);
+    obs_phase_.push_back(static_cast<uint8_t>(TracePhase::kNone));
+    const size_t index = records_.size() - 1;
+    SchedState state;
+    state.category_id = intern_category(records_[index].spec.category);
+    state.signature_id = intern_signature(records_[index].spec);
+    sched_.push_back(std::move(state));
+    record_by_task_id_.emplace(records_[index].spec.id, index);
+    ++stats_.tasks_recovered;
+    if (p.terminal == 1) {
+      ++stats_.tasks_completed;
+    } else if (p.terminal == 2) {
+      ++stats_.tasks_failed;
+    } else {
+      ++stats_.tasks_cancelled;
+    }
+    // Mirror the outcome into a newly attached journal so it is
+    // self-contained: a second recovery sees the same terminal set.
+    if (journal_) {
+      journal_->submitted(records_[index].spec, sim_.now());
+      if (p.terminal == 1) {
+        journal_->completed(id, p.peak, sim_.now());
+      } else if (p.terminal == 2) {
+        journal_->failed(id, "recovered-terminal", sim_.now());
+      } else {
+        journal_->cancelled(id, sim_.now());
+      }
+    }
+  }
 }
 
 MasterStats Master::run() {

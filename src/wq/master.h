@@ -41,9 +41,15 @@
 #include <vector>
 
 #include "alloc/labeler.h"
+#include "chaos/injector.h"
+#include "chaos/retry.h"
 #include "sim/engine.h"
 #include "sim/network.h"
 #include "wq/task.h"
+
+namespace lfm::chaos {
+class Journal;
+}  // namespace lfm::chaos
 
 namespace lfm::wq {
 
@@ -62,6 +68,11 @@ struct MasterConfig {
   // Fraction of each worker's disk reserved for the file cache; cached
   // files beyond it are evicted LRU (files of running tasks are pinned).
   double cache_fraction = 0.5;
+  // Retry/backoff policy for failed attempts (exhaustions, crash-lost and
+  // spuriously killed attempts). The default replicates the pre-chaos
+  // hardcoded behaviour bit-for-bit: immediate requeue, failure after
+  // max_retries exhaustions, crashes retried unconditionally.
+  chaos::RetryPolicy retry;
 };
 
 struct MasterStats {
@@ -74,6 +85,13 @@ struct MasterStats {
   int64_t transferred_bytes = 0;
   int64_t cache_hits = 0;
   int64_t cache_evictions = 0;
+  int64_t spurious_kills = 0;    // attempts lost to injected monitor kills
+  int64_t tasks_recovered = 0;   // terminal outcomes replayed from a journal
+  // Attempts killed between the labeler's success observation (run end) and
+  // the result landing at the master (return end): the labeler learned from
+  // them, but the task re-ran. Labeler-consistency checks account for these:
+  //   labeler samples == tasks_completed + lost_results.
+  int64_t lost_results = 0;
   double total_busy_core_seconds = 0.0;     // sum over tasks of alloc.cores*runtime
   double total_capacity_core_seconds = 0.0; // pool core-seconds over makespan
   double utilization() const {
@@ -83,7 +101,7 @@ struct MasterStats {
   }
 };
 
-class Master {
+class Master : public chaos::FaultSink {
  public:
   Master(sim::Simulation& sim, sim::Network& network, alloc::Labeler& labeler,
          MasterConfig config = {});
@@ -124,6 +142,28 @@ class Master {
   bool cancel_task(uint64_t task_id);
   int64_t worker_crashes() const { return worker_crashes_; }
 
+  // --- chaos fault sink (chaos::Injector delivers through these) ------------
+  // Selectors are resolved modulo the live state at delivery time; a
+  // selector with nothing to land on is a no-op.
+  void fault_crash_worker(uint64_t selector, double rejoin_delay) override;
+  void fault_worker_speed(uint64_t selector, double factor) override;
+  void fault_network_scale(double scale) override;
+  void fault_fs_stall(double factor) override;
+  void fault_spurious_kill(uint64_t selector) override;
+
+  // --- write-ahead journal & recovery ---------------------------------------
+  // Attach a journal; every durable decision from now on is appended before
+  // its downstream effects run. Pass nullptr to detach.
+  void set_journal(chaos::Journal* journal) { journal_ = journal; }
+  // Rebuild scheduler state from a journal on a *fresh* master (no workers,
+  // no tasks): live workers re-register, journaled terminal outcomes are
+  // replayed as done (stats_.tasks_recovered counts them; on_complete does
+  // NOT re-fire), the labeler relearns from the journaled observations, and
+  // unfinished tasks are resubmitted with their exhaustion count restored.
+  // Attempts that were in flight when the journal ends simply re-run —
+  // results are exactly-once because only journaled terminals count.
+  void recover(const chaos::Journal& journal);
+
   // --- cache introspection (tests / diagnostics) ----------------------------
   // True when `worker_id`'s cache currently holds `file_name`.
   bool worker_caches(int worker_id, const std::string& file_name) const;
@@ -151,6 +191,9 @@ class Master {
     int64_t cache_bytes = 0;
     int64_t cache_capacity_bytes = 0;
     int running_tasks = 0;
+    // Absolute speed factor (fault injection); runtimes divide by it at
+    // execution start. 1.0 = nominal, so the multiply is exact when unused.
+    double speed = 1.0;
     // Records currently transferring/executing/returning here (ascending, so
     // a crash requeues in the same order the old whole-table scan did).
     std::set<size_t> inflight;
@@ -207,6 +250,21 @@ class Master {
   int intern_category(const std::string& name);
   int intern_signature(const TaskSpec& spec);
 
+  // --- chaos & recovery helpers ---------------------------------------------
+  // Append a task record (shared by submit and recover; recover restores the
+  // attempt/exhaustion counters so the group key and retry accounting match).
+  size_t submit_record(TaskSpec spec, int attempt, int exhaustions);
+  // Re-enter the ready queue now (delay <= 0, the seed code path: no extra
+  // simulation event) or after a backoff delay. Tasks cancelled while
+  // backing off finalize as cancelled when the delay fires.
+  void requeue_after(size_t record_index, double delay);
+  // Consult the retry policy for a failed attempt and either requeue or
+  // finalize as failed. The caller has already released worker resources.
+  void requeue_or_fail(size_t record_index, chaos::FailureKind kind);
+  void finalize_failed(size_t record_index, const char* reason);
+  // Finalize an idle (not queued, not in-flight) record as cancelled.
+  void finalize_cancelled_idle(size_t record_index);
+
   // --- observability (src/obs) ---------------------------------------------
   // Which lifecycle span is currently open on the task's trace lane (tid =
   // task id), so the crash and cancel paths can close it before the span
@@ -261,6 +319,10 @@ class Master {
   sim::Network& network_;
   alloc::Labeler& labeler_;
   MasterConfig config_;
+  chaos::Journal* journal_ = nullptr;
+  // Fault-injection multiplier on per-dispatch filesystem costs (unpack +
+  // dispatch overhead). 1.0 = nominal; the multiply is exact when unused.
+  double fs_stall_factor_ = 1.0;
 
   std::vector<Worker> workers_;
   std::vector<TaskRecord> records_;

@@ -50,6 +50,7 @@ struct TaskRecord {
   TaskState state = TaskState::kWaiting;
   int attempt = 0;            // current attempt number (0-based)
   int exhaustions = 0;        // failed attempts due to resource limits
+  int requeues = 0;           // attempts lost to crashes / spurious kills
   double submit_time = 0.0;
   double start_time = -1.0;   // first dispatch
   double finish_time = -1.0;  // successful completion

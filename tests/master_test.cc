@@ -570,5 +570,26 @@ TEST(Master, PinnedEntriesSurviveCachePressure) {
   EXPECT_EQ(result.stats.tasks_completed, 3);
 }
 
+TEST(Master, CrashWorkerOutOfRangeIdIsLoggedNoOp) {
+  // Regression: crash_worker indexed workers_ without a bounds check, so an
+  // out-of-range id (e.g. from a miscomputed fault selector) was undefined
+  // behaviour. It must be a logged no-op that perturbs nothing.
+  sim::Simulation sim;
+  sim::Network net(sim, {});
+  alloc::Labeler labeler(node_config(8, 8e9, 16e9));
+  Master master(sim, net, labeler);
+  master.add_worker({Resources{8, 8e9, 16e9}, 0.0});
+  master.submit(simple_task(1, 10.0));
+  sim.schedule(2.0, [&] {
+    master.crash_worker(-1);
+    master.crash_worker(1);  // == pool size
+    master.crash_worker(1000);
+  });
+  const MasterStats stats = master.run();
+  EXPECT_EQ(stats.tasks_completed, 1);
+  EXPECT_EQ(master.worker_crashes(), 0);
+  EXPECT_EQ(master.live_worker_count(), 1);
+}
+
 }  // namespace
 }  // namespace lfm::wq

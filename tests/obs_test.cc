@@ -127,40 +127,40 @@ TEST_F(ObsTest, ChromeTraceRoundTripsThroughSerdeJson) {
   ASSERT_TRUE(doc.is_dict());
   EXPECT_EQ(doc.as_dict().at("displayTimeUnit").as_str(), "ms");
   const auto& list = doc.as_dict().at("traceEvents").as_list();
-  ASSERT_EQ(list.size(), r.event_count() + 2);  // + process_name metadata
+  ASSERT_EQ(list.size(), r.event_count() + 3);  // + process_name metadata
 
-  // The first two entries label the pid domains.
-  for (size_t i = 0; i < 2; ++i) {
+  // The first three entries label the pid domains.
+  for (size_t i = 0; i < 3; ++i) {
     const auto& meta = list[i].as_dict();
     EXPECT_EQ(meta.at("ph").as_str(), "M");
     EXPECT_EQ(meta.at("name").as_str(), "process_name");
   }
 
   // Every recorded event carries the required fields; timestamps are µs.
-  for (size_t i = 2; i < list.size(); ++i) {
+  for (size_t i = 3; i < list.size(); ++i) {
     const auto& ev = list[i].as_dict();
     EXPECT_EQ(ev.count("ph"), 1u);
     EXPECT_EQ(ev.count("ts"), 1u);
     EXPECT_EQ(ev.count("pid"), 1u);
     EXPECT_EQ(ev.count("tid"), 1u);
   }
-  const auto& task_begin = list[2].as_dict();
+  const auto& task_begin = list[3].as_dict();
   EXPECT_EQ(task_begin.at("ph").as_str(), "B");
   EXPECT_DOUBLE_EQ(task_begin.at("ts").as_real(), 1.0e6);
   EXPECT_EQ(task_begin.at("pid").as_int(), static_cast<int64_t>(kPidSim));
   EXPECT_EQ(task_begin.at("tid").as_int(), 7);
 
-  const auto& instant = list[4].as_dict();
+  const auto& instant = list[5].as_dict();
   EXPECT_EQ(instant.at("ph").as_str(), "i");
   EXPECT_EQ(instant.at("s").as_str(), "t");
   EXPECT_EQ(instant.at("args").as_dict().at("category").as_str(), "hep");
   EXPECT_DOUBLE_EQ(instant.at("args").as_dict().at("cores").as_real(), 2.0);
 
-  const auto& outcome_end = list[6].as_dict();
+  const auto& outcome_end = list[7].as_dict();
   EXPECT_EQ(outcome_end.at("ph").as_str(), "E");
   EXPECT_EQ(outcome_end.at("args").as_dict().at("outcome").as_str(), "completed");
 
-  const auto& complete = list[7].as_dict();
+  const auto& complete = list[8].as_dict();
   EXPECT_EQ(complete.at("ph").as_str(), "X");
   EXPECT_DOUBLE_EQ(complete.at("dur").as_real(), 0.125e6);
 }
@@ -376,7 +376,7 @@ TEST_F(ObsTest, ExportAllWritesLoadableFiles) {
     return out;
   };
   const serde::Value trace = serde::from_json(slurp(dir + "/trace.json"));
-  EXPECT_EQ(trace.as_dict().at("traceEvents").as_list().size(), 4u);
+  EXPECT_EQ(trace.as_dict().at("traceEvents").as_list().size(), 5u);
   EXPECT_NE(slurp(dir + "/metrics.prom").find("wq_tasks_completed 1"),
             std::string::npos);
   EXPECT_NE(slurp(dir + "/metrics.jsonl").find("wq.tasks_completed"),
