@@ -1,0 +1,242 @@
+// Wire protocol throughput: v1 text vs v2 binary frames, single messages
+// vs batch frames, for the two message shapes the data plane carries —
+// task dispatches (many small stanzas) and payload-bearing results (the
+// pickled function return travels base64-coded in v1, raw in v2).
+//
+// Prints a throughput/bytes table and, with --json, writes the same rows
+// machine-readably (BENCH_wire.json in CI). With --check, exits nonzero
+// unless v2+batching beats v1 by >= 5x on result round-trip throughput and
+// shrinks payload-bearing result bytes by >= 25%.
+//
+// Usage:
+//   scale_wire                        # default: 20000 messages per mode
+//   scale_wire N                      # explicit message count
+//   scale_wire --json BENCH_wire.json --check N
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "serde/pickle.h"
+#include "wq/protocol.h"
+
+namespace {
+
+using namespace lfm;
+
+constexpr size_t kBatch = 128;        // messages per v2 batch frame
+constexpr size_t kPayloadItems = 64;  // entries in the pickled result dict
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// A realistic function result: a pickled dict of scalars and a bytes blob,
+// ~1 KB on the wire — the shape the funcX-style Python tasks return.
+serde::Bytes make_payload(std::mt19937_64& rng) {
+  serde::ValueDict d;
+  serde::ValueList samples;
+  for (size_t i = 0; i < kPayloadItems; ++i) {
+    samples.push_back(serde::Value(static_cast<double>(rng() % 100000) / 100.0));
+  }
+  d["samples"] = serde::Value(std::move(samples));
+  serde::Bytes blob(512);
+  for (auto& b : blob) b = static_cast<uint8_t>(rng());
+  d["blob"] = serde::Value(std::move(blob));
+  d["status"] = serde::Value(std::string("ok"));
+  d["n"] = serde::Value(static_cast<int64_t>(kPayloadItems));
+  return serde::dumps(serde::Value(std::move(d)));
+}
+
+std::vector<wq::TaskMessage> make_tasks(size_t count) {
+  std::vector<wq::TaskMessage> tasks;
+  tasks.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    wq::TaskMessage msg;
+    msg.task_id = i + 1;
+    msg.category = "hep-analysis";
+    msg.command_line = "python lfm_wrapper.py fn.pkl args.pkl --out hist.pkl";
+    msg.allocation = alloc::Resources{2.0, 1.5e9, 2.0e9};
+    msg.infiles.push_back({"hep-conda-env.tar.gz", 240000000, true});
+    msg.infiles.push_back({"events-" + std::to_string(i % 997) + ".root",
+                           static_cast<int64_t>(500000 + i % 4096), false});
+    msg.outfiles.push_back("hist-" + std::to_string(i % 997) + ".pkl");
+    tasks.push_back(std::move(msg));
+  }
+  return tasks;
+}
+
+std::vector<wq::ResultMessage> make_results(size_t count) {
+  std::mt19937_64 rng(0xBEEF);
+  const serde::Bytes payload = make_payload(rng);
+  std::vector<wq::ResultMessage> results;
+  results.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    wq::ResultMessage msg;
+    msg.task_id = i + 1;
+    msg.exit_code = 0;
+    msg.cores_used = 1.85;
+    msg.memory_peak_bytes = 88000000 + static_cast<int64_t>(i % 8192);
+    msg.disk_peak_bytes = 880000000;
+    msg.wall_seconds = 63.25;
+    msg.payload = payload;
+    results.push_back(std::move(msg));
+  }
+  return results;
+}
+
+struct Row {
+  std::string mode;
+  double msgs_per_sec = 0.0;
+  double bytes_per_msg = 0.0;
+};
+
+// Encode + decode every message (round trip, as the master/worker pair pays
+// it); returns per-message throughput and wire bytes.
+template <typename Msg, typename Decode>
+Row run_single(const char* mode, const std::vector<Msg>& msgs,
+               wq::WireVersion version, Decode decode) {
+  size_t bytes = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& msg : msgs) {
+    const std::string wire = wq::encode(msg, version);
+    bytes += wire.size();
+    (void)decode(wire);
+  }
+  const double dt = seconds_since(t0);
+  return {mode, static_cast<double>(msgs.size()) / dt,
+          static_cast<double>(bytes) / static_cast<double>(msgs.size())};
+}
+
+template <typename Msg, typename DecodeBatch>
+Row run_batched(const char* mode, const std::vector<Msg>& msgs,
+                wq::WireVersion version, DecodeBatch decode_batch) {
+  // Partition outside the timed region: the master drains its ready queue
+  // into per-worker vectors anyway, so batch assembly is not wire cost.
+  std::vector<std::vector<Msg>> batches;
+  for (size_t start = 0; start < msgs.size(); start += kBatch) {
+    const size_t end = std::min(msgs.size(), start + kBatch);
+    batches.emplace_back(msgs.begin() + static_cast<long>(start),
+                         msgs.begin() + static_cast<long>(end));
+  }
+  size_t bytes = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& batch : batches) {
+    const std::string wire = wq::encode_batch(batch, version);
+    bytes += wire.size();
+    (void)decode_batch(wire);
+  }
+  const double dt = seconds_since(t0);
+  return {mode, static_cast<double>(msgs.size()) / dt,
+          static_cast<double>(bytes) / static_cast<double>(msgs.size())};
+}
+
+void print_row(const Row& row) {
+  std::printf("%-24s %14.0f %14.1f\n", row.mode.c_str(), row.msgs_per_sec,
+              row.bytes_per_msg);
+}
+
+void write_json(const char* path, size_t count, const std::vector<Row>& rows,
+                double speedup, double reduction) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "scale_wire: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scale_wire\",\n");
+  std::fprintf(f, "  \"messages_per_mode\": %zu,\n", count);
+  std::fprintf(f, "  \"batch_size\": %zu,\n", kBatch);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"msgs_per_sec\": %.0f, "
+                 "\"bytes_per_msg\": %.1f}%s\n",
+                 rows[i].mode.c_str(), rows[i].msgs_per_sec, rows[i].bytes_per_msg,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"result_throughput_speedup_v2_batched_vs_v1\": %.2f,\n",
+               speedup);
+  std::fprintf(f, "  \"result_wire_bytes_reduction_v2_vs_v1\": %.4f\n", reduction);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t count = 20000;
+  const char* json_path = nullptr;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      count = static_cast<size_t>(std::strtoull(argv[i], nullptr, 10));
+    }
+  }
+  if (count == 0) count = 20000;
+
+  const std::vector<wq::TaskMessage> tasks = make_tasks(count);
+  const std::vector<wq::ResultMessage> results = make_results(count);
+
+  const auto decode_task = [](const std::string& w) { return wq::decode_task(w); };
+  const auto decode_result = [](const std::string& w) {
+    return wq::decode_result(w);
+  };
+  const auto decode_task_batch = [](const std::string& w) {
+    return wq::decode_task_batch(w);
+  };
+  const auto decode_result_batch = [](const std::string& w) {
+    return wq::decode_result_batch(w);
+  };
+
+  std::vector<Row> rows;
+  rows.push_back(run_single("task/v1", tasks, wq::WireVersion::kV1, decode_task));
+  rows.push_back(run_single("task/v2", tasks, wq::WireVersion::kV2, decode_task));
+  rows.push_back(run_batched("task/v2+batch", tasks, wq::WireVersion::kV2,
+                             decode_task_batch));
+  rows.push_back(
+      run_single("result/v1", results, wq::WireVersion::kV1, decode_result));
+  rows.push_back(
+      run_single("result/v2", results, wq::WireVersion::kV2, decode_result));
+  rows.push_back(run_batched("result/v2+batch", results, wq::WireVersion::kV2,
+                             decode_result_batch));
+
+  std::printf("wire protocol round-trip throughput (%zu messages per mode, "
+              "batch=%zu)\n",
+              count, kBatch);
+  std::printf("%-24s %14s %14s\n", "mode", "msgs/sec", "bytes/msg");
+  for (const auto& row : rows) print_row(row);
+
+  const Row& v1_result = rows[3];
+  const Row& v2_batched_result = rows[5];
+  const double speedup = v2_batched_result.msgs_per_sec / v1_result.msgs_per_sec;
+  const double reduction = 1.0 - v2_batched_result.bytes_per_msg / v1_result.bytes_per_msg;
+  std::printf("\nresult messages, v2+batch vs v1: %.1fx throughput, %.1f%% "
+              "fewer wire bytes\n",
+              speedup, reduction * 100.0);
+
+  if (json_path) write_json(json_path, count, rows, speedup, reduction);
+
+  if (check) {
+    if (speedup < 5.0) {
+      std::fprintf(stderr, "FAIL: throughput speedup %.2fx < 5x\n", speedup);
+      return 1;
+    }
+    if (reduction < 0.25) {
+      std::fprintf(stderr, "FAIL: wire-bytes reduction %.1f%% < 25%%\n",
+                   reduction * 100.0);
+      return 1;
+    }
+    std::printf("check passed: >=5x throughput, >=25%% bytes reduction\n");
+  }
+  return 0;
+}

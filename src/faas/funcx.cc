@@ -28,7 +28,7 @@ FunctionId FunctionRegistry::register_function(const std::string& name,
   serde::ValueList deps;
   for (const auto& d : rf.dependencies) deps.push_back(serde::Value(d));
   descriptor["dependencies"] = serde::Value(std::move(deps));
-  rf.serialized = serde::dumps(serde::Value(std::move(descriptor)));
+  serde::dumps_into(serde::Value(std::move(descriptor)), rf.serialized);
 
   const FunctionId id = rf.id;
   if (obs::Recorder::enabled()) {

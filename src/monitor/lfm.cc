@@ -62,13 +62,13 @@ double now_seconds() {
   uint8_t status = kReportSuccess;
   serde::Bytes payload;
   try {
-    payload = serde::dumps(fn(args));
+    serde::dumps_into(fn(args), payload);
   } catch (const std::exception& e) {
     status = kReportException;
-    payload = serde::dumps(serde::Value(std::string(e.what())));
+    serde::dumps_into(serde::Value(std::string(e.what())), payload);
   } catch (...) {
     status = kReportException;
-    payload = serde::dumps(serde::Value(std::string("unknown exception")));
+    serde::dumps_into(serde::Value(std::string("unknown exception")), payload);
   }
   write_all(report_fd, &status, 1);
   write_all(report_fd, payload.data(), payload.size());
@@ -239,9 +239,10 @@ TaskOutcome run_monitored(const TaskFn& fn, const serde::Value& args,
   }
 
   const uint8_t report_kind = report[0];
-  serde::Bytes payload(report.begin() + 1, report.end());
   try {
-    serde::Value value = serde::loads(payload);
+    // Decode in place over the pipe buffer — the old copy of the payload
+    // bytes into a fresh vector was pure overhead on every task return.
+    serde::Value value = serde::loads(report.data() + 1, report.size() - 1);
     if (report_kind == kReportSuccess) {
       outcome.status = TaskStatus::kSuccess;
       outcome.result = std::move(value);

@@ -8,81 +8,9 @@ namespace {
 constexpr uint8_t kMagic[4] = {'L', 'F', 'M', 'P'};
 constexpr uint8_t kVersion = 1;
 
-uint64_t zigzag(int64_t v) {
-  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
-}
-
-int64_t unzigzag(uint64_t v) {
-  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
-}
-
-void put_varint(Bytes& out, uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<uint8_t>(v));
-}
-
-size_t varint_size(uint64_t v) {
-  size_t n = 1;
-  while (v >= 0x80) {
-    ++n;
-    v >>= 7;
-  }
-  return n;
-}
-
-class Reader {
- public:
-  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
-
-  uint8_t u8() {
-    need(1);
-    return data_[pos_++];
-  }
-
-  uint64_t varint() {
-    uint64_t v = 0;
-    int shift = 0;
-    while (true) {
-      if (shift > 63) throw Error("pickle: varint overflow");
-      const uint8_t b = u8();
-      v |= static_cast<uint64_t>(b & 0x7f) << shift;
-      if ((b & 0x80) == 0) return v;
-      shift += 7;
-    }
-  }
-
-  double real() {
-    need(8);
-    double d;
-    std::memcpy(&d, data_ + pos_, 8);
-    pos_ += 8;
-    return d;
-  }
-
-  const uint8_t* raw(size_t n) {
-    need(n);
-    const uint8_t* p = data_ + pos_;
-    pos_ += n;
-    return p;
-  }
-
-  size_t remaining() const { return size_ - pos_; }
-
- private:
-  void need(size_t n) const {
-    if (size_ - pos_ < n) throw Error("pickle: truncated input");
-  }
-  const uint8_t* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
-
 void encode(const Value& v, Bytes& out);
 
-void encode_string(const std::string& s, Bytes& out) {
+void encode_string(std::string_view s, Bytes& out) {
   put_varint(out, s.size());
   out.insert(out.end(), s.begin(), s.end());
 }
@@ -106,11 +34,11 @@ void encode(const Value& v, Bytes& out) {
       break;
     }
     case ValueKind::kStr:
-      encode_string(v.as_str(), out);
+      encode_string(v.str_view(), out);
       break;
     case ValueKind::kBytes: {
-      const auto& b = v.as_bytes();
-      put_varint(out, b.size());
+      const BytesView b = v.bytes_view();
+      put_varint(out, b.size);
       out.insert(out.end(), b.begin(), b.end());
       break;
     }
@@ -147,10 +75,10 @@ size_t body_size(const Value& v) {
       n += 8;
       break;
     case ValueKind::kStr:
-      n += varint_size(v.as_str().size()) + v.as_str().size();
+      n += varint_size(v.str_view().size()) + v.str_view().size();
       break;
     case ValueKind::kBytes:
-      n += varint_size(v.as_bytes().size()) + v.as_bytes().size();
+      n += varint_size(v.bytes_view().size) + v.bytes_view().size;
       break;
     case ValueKind::kList:
       n += varint_size(v.as_list().size());
@@ -166,7 +94,7 @@ size_t body_size(const Value& v) {
   return n;
 }
 
-Value decode(Reader& r, int depth) {
+Value decode(Reader& r, int depth, bool borrow) {
   if (depth > 256) throw Error("pickle: nesting too deep");
   const uint8_t tag = r.u8();
   switch (static_cast<ValueKind>(tag)) {
@@ -182,30 +110,32 @@ Value decode(Reader& r, int depth) {
     case ValueKind::kReal:
       return Value(r.real());
     case ValueKind::kStr: {
-      const size_t n = r.varint();
-      const uint8_t* p = r.raw(n);
-      return Value(std::string(reinterpret_cast<const char*>(p), n));
+      const std::string_view s = r.str();
+      if (borrow) return Value(Value::Borrowed{}, s);
+      return Value(std::string(s));
     }
     case ValueKind::kBytes: {
-      const size_t n = r.varint();
-      const uint8_t* p = r.raw(n);
-      return Value(Bytes(p, p + n));
+      const BytesView b = r.bytes();
+      if (borrow) return Value(Value::Borrowed{}, b);
+      return Value(Bytes(b.begin(), b.end()));
     }
     case ValueKind::kList: {
       const size_t n = r.varint();
       ValueList l;
-      l.reserve(std::min<size_t>(n, 4096));
-      for (size_t i = 0; i < n; ++i) l.push_back(decode(r, depth + 1));
+      // Every element costs at least one byte on the wire, so the remaining
+      // input bounds the count — reserve exactly for honest payloads while a
+      // lying header on truncated input cannot force a huge allocation.
+      l.reserve(std::min<size_t>(n, r.remaining()));
+      for (size_t i = 0; i < n; ++i) l.push_back(decode(r, depth + 1, borrow));
       return Value(std::move(l));
     }
     case ValueKind::kDict: {
       const size_t n = r.varint();
       ValueDict d;
       for (size_t i = 0; i < n; ++i) {
-        const size_t klen = r.varint();
-        const uint8_t* p = r.raw(klen);
-        std::string key(reinterpret_cast<const char*>(p), klen);
-        d.emplace(std::move(key), decode(r, depth + 1));
+        // Map keys are owned std::strings by type; only values borrow.
+        std::string key(r.str());
+        d.emplace(std::move(key), decode(r, depth + 1, borrow));
       }
       return Value(std::move(d));
     }
@@ -213,28 +143,85 @@ Value decode(Reader& r, int depth) {
   throw Error("pickle: unknown tag " + std::to_string(tag));
 }
 
-}  // namespace
-
-Bytes dumps(const Value& value) {
-  Bytes out;
-  out.reserve(encoded_size(value));
-  out.insert(out.end(), kMagic, kMagic + 4);
-  out.push_back(kVersion);
-  encode(value, out);
-  return out;
-}
-
-Value loads(const Bytes& data) {
-  if (data.size() < 5 || std::memcmp(data.data(), kMagic, 4) != 0) {
+Value loads_frame(const uint8_t* data, size_t size, bool borrow) {
+  if (size < 5 || std::memcmp(data, kMagic, 4) != 0) {
     throw Error("pickle: bad magic");
   }
   if (data[4] != kVersion) {
     throw Error("pickle: unsupported version " + std::to_string(data[4]));
   }
-  Reader r(data.data() + 5, data.size() - 5);
-  Value v = decode(r, 0);
+  Reader r(data + 5, size - 5);
+  Value v = decode(r, 0, borrow);
   if (r.remaining() != 0) throw Error("pickle: trailing garbage");
   return v;
+}
+
+}  // namespace
+
+void put_varint(Bytes& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+size_t varint_size(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    ++n;
+    v >>= 7;
+  }
+  return n;
+}
+
+uint64_t zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void Writer::real(double d) {
+  const size_t at = out_.size();
+  out_.resize(at + 8);
+  std::memcpy(out_.data() + at, &d, 8);
+}
+
+double Reader::real() {
+  need(8);
+  double d;
+  std::memcpy(&d, data_ + pos_, 8);
+  pos_ += 8;
+  return d;
+}
+
+Bytes dumps(const Value& value) {
+  Bytes out;
+  dumps_into(value, out);
+  return out;
+}
+
+size_t dumps_into(const Value& value, Bytes& out) {
+  out.clear();
+  out.reserve(encoded_size(value));
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kVersion);
+  encode(value, out);
+  return out.size();
+}
+
+Value loads(const Bytes& data) { return loads_frame(data.data(), data.size(), false); }
+
+Value loads(const uint8_t* data, size_t size) { return loads_frame(data, size, false); }
+
+Value loads_view(const Bytes& data) {
+  return loads_frame(data.data(), data.size(), true);
+}
+
+Value loads_view(const uint8_t* data, size_t size) {
+  return loads_frame(data, size, true);
 }
 
 size_t encoded_size(const Value& value) { return 5 + body_size(value); }

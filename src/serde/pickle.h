@@ -10,21 +10,139 @@
 //
 // The codec round-trips every Value exactly and rejects truncated or
 // corrupted input with a descriptive Error instead of reading out of bounds.
+//
+// Two allocation-lean entry points supplement dumps()/loads():
+//   * dumps_into() encodes into a caller-owned buffer, so a loop reusing
+//     one Bytes pays zero allocations after warm-up.
+//   * loads_view() decodes with string/bytes leaves borrowed from the input
+//     buffer (see value.h for borrowed-leaf semantics) — the worker's
+//     read-decode-execute path never copies payload bytes it doesn't touch.
+//
+// The Writer/Reader pair below is the shared primitive layer: the wq
+// binary wire protocol (wq/protocol.h) frames its messages with the same
+// varints and bounds-checked cursor.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "serde/value.h"
 
 namespace lfm::serde {
 
+// --- primitive wire layer ---------------------------------------------------
+
+// LEB128 varint append / size (shared by pickle and the wq protocol).
+void put_varint(Bytes& out, uint64_t v);
+size_t varint_size(uint64_t v);
+
+// Zigzag mapping for signed varints.
+uint64_t zigzag(int64_t v);
+int64_t unzigzag(uint64_t v);
+
+// Appends primitives into a caller-owned, reusable buffer.
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+
+  void u8(uint8_t b) { out_.push_back(b); }
+  void varint(uint64_t v) { put_varint(out_, v); }
+  void svarint(int64_t v) { put_varint(out_, zigzag(v)); }
+  void real(double d);
+  void raw(const uint8_t* data, size_t n) { out_.insert(out_.end(), data, data + n); }
+  // varint length prefix + raw bytes.
+  void str(std::string_view s) {
+    varint(s.size());
+    raw(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+  void bytes(BytesView b) {
+    varint(b.size);
+    raw(b.data, b.size);
+  }
+
+  Bytes& buffer() { return out_; }
+  size_t size() const { return out_.size(); }
+
+ private:
+  Bytes& out_;
+};
+
+// Bounds-checked cursor over a byte buffer; every read throws lfm::Error on
+// truncation instead of running past the end.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const Bytes& data) : Reader(data.data(), data.size()) {}
+
+  uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  uint64_t varint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (shift > 63) throw Error("pickle: varint overflow");
+      const uint8_t b = u8();
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  int64_t svarint() { return unzigzag(varint()); }
+
+  double real();
+
+  const uint8_t* raw(size_t n) {
+    need(n);
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::string_view str() {
+    const size_t n = varint();
+    return std::string_view(reinterpret_cast<const char*>(raw(n)), n);
+  }
+
+  BytesView bytes() {
+    const size_t n = varint();
+    return BytesView(raw(n), n);
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  void need(size_t n) const {
+    if (size_ - pos_ < n) throw Error("pickle: truncated input");
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// --- pickle frames ----------------------------------------------------------
+
 // Serialize a value into a framed byte buffer.
 Bytes dumps(const Value& value);
+
+// Serialize into `out` (cleared first, capacity kept — reuse the buffer
+// across calls to amortize allocation). Returns the encoded size.
+size_t dumps_into(const Value& value, Bytes& out);
 
 // Parse a framed byte buffer back into a value. Throws lfm::Error on
 // malformed input (bad magic, unknown tag, truncation, trailing garbage).
 Value loads(const Bytes& data);
+Value loads(const uint8_t* data, size_t size);
+
+// Zero-copy parse: string/bytes leaves are views into `data`, which must
+// outlive the returned value (or call to_owned() / touch every leaf).
+Value loads_view(const Bytes& data);
+Value loads_view(const uint8_t* data, size_t size);
 
 // Size in bytes that dumps() would produce, without allocating the buffer.
 size_t encoded_size(const Value& value);

@@ -1,11 +1,12 @@
 #include "serde/value.h"
 
 #include <cstdio>
+#include <cstring>
 
 namespace lfm::serde {
 namespace {
 
-void repr_string(const std::string& s, std::string& out) {
+void repr_string(std::string_view s, std::string& out) {
   out += '\'';
   for (char c : s) {
     if (c == '\'' || c == '\\') {
@@ -34,6 +35,61 @@ bool Value::contains(const std::string& key) const {
   return as_dict().count(key) > 0;
 }
 
+bool Value::operator==(const Value& other) const {
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case ValueKind::kNone:
+      return true;
+    case ValueKind::kBool:
+      return as_bool() == other.as_bool();
+    case ValueKind::kInt:
+      return as_int() == other.as_int();
+    case ValueKind::kReal:
+      return std::get<double>(v_) == std::get<double>(other.v_);
+    case ValueKind::kStr:
+      // View-aware content compare; never materializes.
+      return str_view() == other.str_view();
+    case ValueKind::kBytes: {
+      const BytesView a = bytes_view();
+      const BytesView b = other.bytes_view();
+      return a.size == b.size &&
+             (a.size == 0 || std::memcmp(a.data, b.data, a.size) == 0);
+    }
+    case ValueKind::kList:
+      return as_list() == other.as_list();
+    case ValueKind::kDict:
+      return as_dict() == other.as_dict();
+  }
+  return false;
+}
+
+Value Value::to_owned() const {
+  switch (kind()) {
+    case ValueKind::kStr:
+      if (is_borrowed()) return Value(std::string(str_view()));
+      return *this;
+    case ValueKind::kBytes:
+      if (is_borrowed()) {
+        const BytesView b = bytes_view();
+        return Value(Bytes(b.begin(), b.end()));
+      }
+      return *this;
+    case ValueKind::kList: {
+      ValueList out;
+      out.reserve(as_list().size());
+      for (const auto& item : as_list()) out.push_back(item.to_owned());
+      return Value(std::move(out));
+    }
+    case ValueKind::kDict: {
+      ValueDict out;
+      for (const auto& [k, v] : as_dict()) out.emplace(k, v.to_owned());
+      return Value(std::move(out));
+    }
+    default:
+      return *this;
+  }
+}
+
 std::string Value::repr() const {
   std::string out;
   switch (kind()) {
@@ -56,11 +112,11 @@ std::string Value::repr() const {
       break;
     }
     case ValueKind::kStr:
-      repr_string(as_str(), out);
+      repr_string(str_view(), out);
       break;
     case ValueKind::kBytes: {
       char buf[32];
-      std::snprintf(buf, sizeof buf, "b<%zu bytes>", as_bytes().size());
+      std::snprintf(buf, sizeof buf, "b<%zu bytes>", bytes_view().size);
       out = buf;
       break;
     }

@@ -1,12 +1,71 @@
 #include "wq/protocol.h"
 
 #include <cctype>
+#include <cstring>
+#include <limits>
 
+#include "obs/recorder.h"
 #include "serde/json.h"
+#include "serde/pickle.h"
 #include "util/strings.h"
 
 namespace lfm::wq {
 namespace {
+
+// --- v2 frame constants -----------------------------------------------------
+// Frames open with a byte that cannot begin a v1 text message (v1 starts
+// with ASCII 't'/'r'), so decoders can sniff the version from byte 0.
+constexpr uint8_t kFrameMagic0 = 0xF7;
+constexpr uint8_t kFrameMagic1 = 'Q';
+constexpr uint8_t kFrameVersion = 2;
+
+enum FrameType : uint8_t {
+  kFrameTask = 1,
+  kFrameResult = 2,
+  kFrameTaskBatch = 3,
+  kFrameResultBatch = 4,
+};
+
+// Fixed header bytes before the body-length varint: magic(2) ver(1) type(1).
+constexpr size_t kFrameFixedHeader = 4;
+
+// --- wire metrics (recorded only while the obs recorder is enabled) ---------
+struct WireMetrics {
+  obs::Counter& frames_encoded;
+  obs::Counter& bytes_encoded;
+  obs::Counter& frames_decoded;
+  obs::Counter& bytes_decoded;
+  obs::HistogramMetric& batch_size;
+
+  static WireMetrics& get() {
+    static WireMetrics m{
+        obs::Recorder::global().metrics().counter("wire.frames_encoded"),
+        obs::Recorder::global().metrics().counter("wire.bytes_encoded"),
+        obs::Recorder::global().metrics().counter("wire.frames_decoded"),
+        obs::Recorder::global().metrics().counter("wire.bytes_decoded"),
+        obs::Recorder::global().metrics().histogram("wire.encoded_batch_size", 1.0,
+                                                    1e5, 48),
+    };
+    return m;
+  }
+};
+
+void count_encoded(size_t bytes, size_t messages) {
+  if (!obs::Recorder::enabled()) return;
+  WireMetrics& m = WireMetrics::get();
+  m.frames_encoded.add();
+  m.bytes_encoded.add(static_cast<int64_t>(bytes));
+  m.batch_size.observe(static_cast<double>(messages));
+}
+
+void count_decoded(size_t bytes) {
+  if (!obs::Recorder::enabled()) return;
+  WireMetrics& m = WireMetrics::get();
+  m.frames_decoded.add();
+  m.bytes_decoded.add(static_cast<int64_t>(bytes));
+}
+
+// --- v1 text helpers --------------------------------------------------------
 
 // Command lines are the only field that may contain spaces; they are
 // percent-escaped so every message line splits safely on whitespace.
@@ -70,9 +129,27 @@ uint64_t parse_u64(const std::string& s) {
     if (!std::isdigit(static_cast<unsigned char>(c))) {
       throw Error("protocol: bad number '" + s + "'");
     }
-    v = v * 10 + static_cast<uint64_t>(c - '0');
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    // Overflow guard: a field wider than 2^64 must throw, not wrap.
+    if (v > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      throw Error("protocol: number out of range '" + s + "'");
+    }
+    v = v * 10 + digit;
   }
   return v;
+}
+
+// Signed variant of parse_u64. Integer wire fields (byte counts, exit
+// codes) parse through this, not through a double: above 2^53 a double
+// silently drops low bits, and an int has no business round-tripping
+// through floating point at all.
+int64_t parse_i64(const std::string& s) {
+  const bool negative = !s.empty() && s[0] == '-';
+  const uint64_t magnitude = parse_u64(negative ? s.substr(1) : s);
+  const uint64_t limit =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + (negative ? 1 : 0);
+  if (magnitude > limit) throw Error("protocol: number out of range '" + s + "'");
+  return negative ? -static_cast<int64_t>(magnitude) : static_cast<int64_t>(magnitude);
 }
 
 double parse_real(const std::string& s) {
@@ -92,24 +169,12 @@ void need_fields(const std::vector<std::string>& fields, size_t count) {
   }
 }
 
-}  // namespace
+// --- v1 encode/decode (the original line-oriented protocol) -----------------
 
-bool valid_token(const std::string& token) {
-  if (token.empty()) return false;
-  for (const char c : token) {
-    if (std::isspace(static_cast<unsigned char>(c)) ||
-        std::iscntrl(static_cast<unsigned char>(c))) {
-      return false;
-    }
-  }
-  return true;
-}
-
-std::string encode(const TaskMessage& msg) {
+void encode_v1(const TaskMessage& msg, std::string& out) {
   if (!valid_token(msg.category)) throw Error("protocol: invalid category token");
-  std::string out = strformat("task %llu %s\n",
-                              static_cast<unsigned long long>(msg.task_id),
-                              msg.category.c_str());
+  out += strformat("task %llu %s\n", static_cast<unsigned long long>(msg.task_id),
+                   msg.category.c_str());
   out += "cmd " + escape_command(msg.command_line) + "\n";
   out += strformat("alloc %.3f %lld %lld\n", msg.allocation.cores,
                    static_cast<long long>(msg.allocation.memory_bytes),
@@ -123,13 +188,12 @@ std::string encode(const TaskMessage& msg) {
     if (!valid_token(name)) throw Error("protocol: invalid file name " + name);
     out += "outfile " + name + "\n";
   }
-  return out + "end\n";
+  out += "end\n";
 }
 
-std::string encode(const ResultMessage& msg) {
-  std::string out = strformat("result %llu %d\n",
-                              static_cast<unsigned long long>(msg.task_id),
-                              msg.exit_code);
+void encode_v1(const ResultMessage& msg, std::string& out) {
+  out += strformat("result %llu %d\n", static_cast<unsigned long long>(msg.task_id),
+                   msg.exit_code);
   if (msg.exhausted) {
     if (!valid_token(msg.exhausted_resource)) {
       throw Error("protocol: invalid resource token");
@@ -142,10 +206,10 @@ std::string encode(const ResultMessage& msg) {
   if (!msg.payload.empty()) {
     out += "payload " + serde::base64_encode(msg.payload) + "\n";
   }
-  return out + "end\n";
+  out += "end\n";
 }
 
-TaskMessage decode_task(const std::string& wire) {
+TaskMessage decode_task_v1(const std::string& wire) {
   const auto lines = parse_lines(wire, "task");
   TaskMessage msg;
   bool saw_alloc = false;
@@ -160,14 +224,16 @@ TaskMessage decode_task(const std::string& wire) {
     } else if (fields[0] == "alloc") {
       need_fields(fields, 4);
       msg.allocation.cores = parse_real(fields[1]);
-      msg.allocation.memory_bytes = parse_real(fields[2]);
-      msg.allocation.disk_bytes = parse_real(fields[3]);
+      // The wire carries whole bytes; parse as integers (exact to 2^63)
+      // before widening into the double-typed resource vector.
+      msg.allocation.memory_bytes = static_cast<double>(parse_i64(fields[2]));
+      msg.allocation.disk_bytes = static_cast<double>(parse_i64(fields[3]));
       saw_alloc = true;
     } else if (fields[0] == "infile") {
       need_fields(fields, 4);
       TaskMessage::FileStanza f;
       f.name = fields[1];
-      f.size_bytes = static_cast<int64_t>(parse_u64(fields[2]));
+      f.size_bytes = parse_i64(fields[2]);
       f.cacheable = fields[3] == "1";
       msg.infiles.push_back(std::move(f));
     } else if (fields[0] == "outfile") {
@@ -182,7 +248,7 @@ TaskMessage decode_task(const std::string& wire) {
   return msg;
 }
 
-ResultMessage decode_result(const std::string& wire) {
+ResultMessage decode_result_v1(const std::string& wire) {
   const auto lines = parse_lines(wire, "result");
   ResultMessage msg;
   bool saw_usage = false;
@@ -190,7 +256,12 @@ ResultMessage decode_result(const std::string& wire) {
     if (fields[0] == "result") {
       need_fields(fields, 3);
       msg.task_id = parse_u64(fields[1]);
-      msg.exit_code = static_cast<int>(parse_real(fields[2]));
+      const int64_t code = parse_i64(fields[2]);
+      if (code < std::numeric_limits<int>::min() ||
+          code > std::numeric_limits<int>::max()) {
+        throw Error("protocol: number out of range '" + fields[2] + "'");
+      }
+      msg.exit_code = static_cast<int>(code);
     } else if (fields[0] == "exhausted") {
       need_fields(fields, 2);
       msg.exhausted = true;
@@ -198,8 +269,10 @@ ResultMessage decode_result(const std::string& wire) {
     } else if (fields[0] == "usage") {
       need_fields(fields, 5);
       msg.cores_used = parse_real(fields[1]);
-      msg.memory_peak_bytes = static_cast<int64_t>(parse_real(fields[2]));
-      msg.disk_peak_bytes = static_cast<int64_t>(parse_real(fields[3]));
+      // Byte peaks are integers on the wire; a double round-trip would lose
+      // precision above 2^53 (the labeler would learn a wrong peak).
+      msg.memory_peak_bytes = parse_i64(fields[2]);
+      msg.disk_peak_bytes = parse_i64(fields[3]);
       msg.wall_seconds = parse_real(fields[4]);
       saw_usage = true;
     } else if (fields[0] == "payload") {
@@ -212,6 +285,451 @@ ResultMessage decode_result(const std::string& wire) {
   if (msg.task_id == 0) throw Error("protocol: missing task id");
   if (!saw_usage) throw Error("protocol: missing usage stanza");
   return msg;
+}
+
+// Split a v1 concatenation into messages at "end" lines (field-wise, the
+// same rule parse_lines applies).
+std::vector<std::string> split_v1_messages(const std::string& wire) {
+  std::vector<std::string> chunks;
+  std::string current;
+  bool any_content = false;
+  for (const auto& raw : split(wire, '\n')) {
+    current += raw;
+    current += '\n';
+    const auto fields = split_nonempty(raw, ' ');
+    if (!fields.empty() && fields[0] == "end") {
+      chunks.push_back(std::move(current));
+      current.clear();
+      any_content = false;
+    } else if (!fields.empty()) {
+      any_content = true;
+    }
+  }
+  if (any_content) throw Error("protocol: message not terminated by 'end'");
+  return chunks;
+}
+
+// --- v2 binary encode/decode ------------------------------------------------
+
+void validate_task_tokens(const TaskMessage& msg) {
+  if (!valid_token(msg.category)) throw Error("protocol: invalid category token");
+  for (const auto& f : msg.infiles) {
+    if (!valid_token(f.name)) throw Error("protocol: invalid file name " + f.name);
+  }
+  for (const auto& name : msg.outfiles) {
+    if (!valid_token(name)) throw Error("protocol: invalid file name " + name);
+  }
+}
+
+size_t str_field_size(size_t n) { return serde::varint_size(n) + n; }
+
+size_t task_body_size(const TaskMessage& msg) {
+  size_t n = serde::varint_size(msg.task_id);
+  n += str_field_size(msg.category.size());
+  n += str_field_size(msg.command_line.size());
+  n += 24;  // alloc: three IEEE doubles
+  n += serde::varint_size(msg.infiles.size());
+  for (const auto& f : msg.infiles) {
+    n += str_field_size(f.name.size());
+    n += serde::varint_size(serde::zigzag(f.size_bytes));
+    n += 1;  // cacheable
+  }
+  n += serde::varint_size(msg.outfiles.size());
+  for (const auto& name : msg.outfiles) n += str_field_size(name.size());
+  return n;
+}
+
+size_t result_body_size(const ResultMessage& msg) {
+  size_t n = serde::varint_size(msg.task_id);
+  n += serde::varint_size(serde::zigzag(msg.exit_code));
+  n += 1;  // flags
+  if (msg.exhausted) n += str_field_size(msg.exhausted_resource.size());
+  n += 8;  // cores_used
+  n += serde::varint_size(serde::zigzag(msg.memory_peak_bytes));
+  n += serde::varint_size(serde::zigzag(msg.disk_peak_bytes));
+  n += 8;  // wall_seconds
+  if (!msg.payload.empty()) n += str_field_size(msg.payload.size());
+  return n;
+}
+
+void write_task_body(const TaskMessage& msg, serde::Writer& w) {
+  w.varint(msg.task_id);
+  w.str(msg.category);
+  w.str(msg.command_line);
+  w.real(msg.allocation.cores);
+  w.real(msg.allocation.memory_bytes);
+  w.real(msg.allocation.disk_bytes);
+  w.varint(msg.infiles.size());
+  for (const auto& f : msg.infiles) {
+    w.str(f.name);
+    w.svarint(f.size_bytes);
+    w.u8(f.cacheable ? 1 : 0);
+  }
+  w.varint(msg.outfiles.size());
+  for (const auto& name : msg.outfiles) w.str(name);
+}
+
+void write_result_body(const ResultMessage& msg, serde::Writer& w) {
+  w.varint(msg.task_id);
+  w.svarint(msg.exit_code);
+  uint8_t flags = 0;
+  if (msg.exhausted) flags |= 1;
+  if (!msg.payload.empty()) flags |= 2;
+  w.u8(flags);
+  if (msg.exhausted) {
+    if (!valid_token(msg.exhausted_resource)) {
+      throw Error("protocol: invalid resource token");
+    }
+    w.str(msg.exhausted_resource);
+  }
+  w.real(msg.cores_used);
+  w.svarint(msg.memory_peak_bytes);
+  w.svarint(msg.disk_peak_bytes);
+  w.real(msg.wall_seconds);
+  // Raw payload bytes — the v1 base64 detour (+33% bytes, one extra full
+  // copy each way) is exactly what v2 exists to remove.
+  if (!msg.payload.empty()) w.bytes(serde::BytesView(msg.payload));
+}
+
+void write_frame_header(serde::Writer& w, uint8_t type, size_t body_len) {
+  w.u8(kFrameMagic0);
+  w.u8(kFrameMagic1);
+  w.u8(kFrameVersion);
+  w.u8(type);
+  w.varint(body_len);
+}
+
+size_t frame_size(size_t body_len) {
+  return kFrameFixedHeader + serde::varint_size(body_len) + body_len;
+}
+
+std::string bytes_to_string(const serde::Bytes& buf) {
+  return std::string(reinterpret_cast<const char*>(buf.data()), buf.size());
+}
+
+TaskMessage read_task_body(serde::Reader& r) {
+  TaskMessage msg;
+  msg.task_id = r.varint();
+  msg.category = std::string(r.str());
+  msg.command_line = std::string(r.str());
+  msg.allocation.cores = r.real();
+  msg.allocation.memory_bytes = r.real();
+  msg.allocation.disk_bytes = r.real();
+  const size_t n_in = r.varint();
+  msg.infiles.reserve(std::min<size_t>(n_in, r.remaining()));
+  for (size_t i = 0; i < n_in; ++i) {
+    TaskMessage::FileStanza f;
+    f.name = std::string(r.str());
+    f.size_bytes = r.svarint();
+    const uint8_t cacheable = r.u8();
+    if (cacheable > 1) throw Error("protocol: bad cacheable byte");
+    f.cacheable = cacheable == 1;
+    msg.infiles.push_back(std::move(f));
+  }
+  const size_t n_out = r.varint();
+  msg.outfiles.reserve(std::min<size_t>(n_out, r.remaining()));
+  for (size_t i = 0; i < n_out; ++i) msg.outfiles.push_back(std::string(r.str()));
+  if (msg.task_id == 0) throw Error("protocol: missing task id");
+  return msg;
+}
+
+ResultMessage read_result_body(serde::Reader& r) {
+  ResultMessage msg;
+  msg.task_id = r.varint();
+  const int64_t code = r.svarint();
+  if (code < std::numeric_limits<int>::min() ||
+      code > std::numeric_limits<int>::max()) {
+    throw Error("protocol: exit code out of range");
+  }
+  msg.exit_code = static_cast<int>(code);
+  const uint8_t flags = r.u8();
+  if (flags > 3) throw Error("protocol: unknown result flags");
+  if (flags & 1) {
+    msg.exhausted = true;
+    msg.exhausted_resource = std::string(r.str());
+  }
+  msg.cores_used = r.real();
+  msg.memory_peak_bytes = r.svarint();
+  msg.disk_peak_bytes = r.svarint();
+  msg.wall_seconds = r.real();
+  if (flags & 2) {
+    const serde::BytesView payload = r.bytes();
+    msg.payload.assign(payload.begin(), payload.end());
+  }
+  if (msg.task_id == 0) throw Error("protocol: missing task id");
+  return msg;
+}
+
+struct Frame {
+  uint8_t type = 0;
+  serde::Reader body{nullptr, 0};
+};
+
+// Validate the frame header and return a reader over exactly the body.
+Frame parse_frame(const std::string& wire) {
+  serde::Reader r(reinterpret_cast<const uint8_t*>(wire.data()), wire.size());
+  if (r.u8() != kFrameMagic0 || r.u8() != kFrameMagic1) {
+    throw Error("protocol: bad frame magic");
+  }
+  const uint8_t version = r.u8();
+  if (version != kFrameVersion) {
+    throw Error("protocol: unsupported wire version " + std::to_string(version));
+  }
+  Frame frame;
+  frame.type = r.u8();
+  const uint64_t body_len = r.varint();
+  if (body_len != r.remaining()) {
+    throw Error(body_len > r.remaining() ? "protocol: truncated frame"
+                                         : "protocol: trailing garbage after frame");
+  }
+  frame.body = serde::Reader(
+      reinterpret_cast<const uint8_t*>(wire.data()) + r.pos(), r.remaining());
+  return frame;
+}
+
+// Reader errors come branded "pickle:"; rebrand for protocol consumers
+// while passing protocol-originated errors through untouched.
+[[noreturn]] void rethrow_as_protocol(const Error& e) {
+  const std::string what = e.what();
+  if (what.rfind("protocol:", 0) == 0) throw e;
+  throw Error("protocol: malformed v2 frame (" + what + ")");
+}
+
+template <typename Fn>
+auto protocol_guard(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const Error& e) {
+    rethrow_as_protocol(e);
+  }
+}
+
+template <typename Message>
+std::string encode_one_v2(const Message& msg, uint8_t type, size_t body_len,
+                          void (*write_body)(const Message&, serde::Writer&)) {
+  serde::Bytes buf;
+  buf.reserve(frame_size(body_len));
+  serde::Writer w(buf);
+  write_frame_header(w, type, body_len);
+  write_body(msg, w);
+  return bytes_to_string(buf);
+}
+
+template <typename Message>
+std::string encode_batch_v2(const std::vector<Message>& msgs, uint8_t type,
+                            size_t (*body_size)(const Message&),
+                            void (*write_body)(const Message&, serde::Writer&)) {
+  std::vector<size_t> sizes;
+  sizes.reserve(msgs.size());
+  size_t body_len = serde::varint_size(msgs.size());
+  for (const auto& msg : msgs) {
+    sizes.push_back(body_size(msg));
+    body_len += serde::varint_size(sizes.back()) + sizes.back();
+  }
+  serde::Bytes buf;
+  buf.reserve(frame_size(body_len));
+  serde::Writer w(buf);
+  write_frame_header(w, type, body_len);
+  w.varint(msgs.size());
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    w.varint(sizes[i]);
+    write_body(msgs[i], w);
+  }
+  return bytes_to_string(buf);
+}
+
+template <typename Message>
+std::vector<Message> decode_batch_v2(Frame& frame, uint8_t single_type,
+                                     uint8_t batch_type,
+                                     Message (*read_body)(serde::Reader&)) {
+  std::vector<Message> out;
+  if (frame.type == single_type) {
+    out.push_back(read_body(frame.body));
+    if (frame.body.remaining() != 0) throw Error("protocol: trailing garbage after frame");
+    return out;
+  }
+  if (frame.type != batch_type) {
+    throw Error("protocol: unexpected frame type " + std::to_string(frame.type));
+  }
+  const uint64_t count = frame.body.varint();
+  out.reserve(std::min<size_t>(count, frame.body.remaining()));
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t len = frame.body.varint();
+    if (len > frame.body.remaining()) throw Error("protocol: truncated frame");
+    const size_t end = frame.body.pos() + len;
+    out.push_back(read_body(frame.body));
+    if (frame.body.pos() != end) {
+      throw Error("protocol: batch entry length mismatch");
+    }
+  }
+  if (frame.body.remaining() != 0) throw Error("protocol: trailing garbage after frame");
+  return out;
+}
+
+}  // namespace
+
+bool valid_token(const std::string& token) {
+  if (token.empty()) return false;
+  for (const char c : token) {
+    if (std::isspace(static_cast<unsigned char>(c)) ||
+        std::iscntrl(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+WireVersion detect_version(const std::string& wire) {
+  if (wire.empty()) throw Error("protocol: empty message");
+  return static_cast<uint8_t>(wire[0]) == kFrameMagic0 ? WireVersion::kV2
+                                                       : WireVersion::kV1;
+}
+
+std::string encode(const TaskMessage& msg, WireVersion version) {
+  validate_task_tokens(msg);
+  std::string out;
+  if (version == WireVersion::kV1) {
+    encode_v1(msg, out);
+  } else {
+    out = encode_one_v2(msg, kFrameTask, task_body_size(msg), write_task_body);
+  }
+  count_encoded(out.size(), 1);
+  return out;
+}
+
+std::string encode(const ResultMessage& msg, WireVersion version) {
+  std::string out;
+  if (version == WireVersion::kV1) {
+    encode_v1(msg, out);
+  } else {
+    out = encode_one_v2(msg, kFrameResult, result_body_size(msg), write_result_body);
+  }
+  count_encoded(out.size(), 1);
+  return out;
+}
+
+std::string encode_batch(const std::vector<TaskMessage>& msgs, WireVersion version) {
+  for (const auto& msg : msgs) validate_task_tokens(msg);
+  std::string out;
+  if (version == WireVersion::kV1) {
+    for (const auto& msg : msgs) encode_v1(msg, out);
+  } else {
+    out = encode_batch_v2(msgs, kFrameTaskBatch, task_body_size, write_task_body);
+  }
+  count_encoded(out.size(), msgs.size());
+  return out;
+}
+
+std::string encode_batch(const std::vector<ResultMessage>& msgs, WireVersion version) {
+  std::string out;
+  if (version == WireVersion::kV1) {
+    for (const auto& msg : msgs) encode_v1(msg, out);
+  } else {
+    out = encode_batch_v2(msgs, kFrameResultBatch, result_body_size, write_result_body);
+  }
+  count_encoded(out.size(), msgs.size());
+  return out;
+}
+
+TaskMessage decode_task(const std::string& wire) {
+  count_decoded(wire.size());
+  if (detect_version(wire) == WireVersion::kV1) return decode_task_v1(wire);
+  return protocol_guard([&] {
+    Frame frame = parse_frame(wire);
+    if (frame.type != kFrameTask) {
+      throw Error("protocol: expected 'task' message");
+    }
+    TaskMessage msg = read_task_body(frame.body);
+    if (frame.body.remaining() != 0) throw Error("protocol: trailing garbage after frame");
+    return msg;
+  });
+}
+
+ResultMessage decode_result(const std::string& wire) {
+  count_decoded(wire.size());
+  if (detect_version(wire) == WireVersion::kV1) return decode_result_v1(wire);
+  return protocol_guard([&] {
+    Frame frame = parse_frame(wire);
+    if (frame.type != kFrameResult) {
+      throw Error("protocol: expected 'result' message");
+    }
+    ResultMessage msg = read_result_body(frame.body);
+    if (frame.body.remaining() != 0) throw Error("protocol: trailing garbage after frame");
+    return msg;
+  });
+}
+
+std::vector<TaskMessage> decode_task_batch(const std::string& wire) {
+  count_decoded(wire.size());
+  if (detect_version(wire) == WireVersion::kV1) {
+    std::vector<TaskMessage> out;
+    for (const auto& chunk : split_v1_messages(wire)) {
+      out.push_back(decode_task_v1(chunk));
+    }
+    return out;
+  }
+  return protocol_guard([&] {
+    Frame frame = parse_frame(wire);
+    return decode_batch_v2(frame, kFrameTask, kFrameTaskBatch, read_task_body);
+  });
+}
+
+std::vector<ResultMessage> decode_result_batch(const std::string& wire) {
+  count_decoded(wire.size());
+  if (detect_version(wire) == WireVersion::kV1) {
+    std::vector<ResultMessage> out;
+    for (const auto& chunk : split_v1_messages(wire)) {
+      out.push_back(decode_result_v1(chunk));
+    }
+    return out;
+  }
+  return protocol_guard([&] {
+    Frame frame = parse_frame(wire);
+    return decode_batch_v2(frame, kFrameResult, kFrameResultBatch, read_result_body);
+  });
+}
+
+size_t encoded_size(const TaskMessage& msg, WireVersion version) {
+  if (version == WireVersion::kV2) return frame_size(task_body_size(msg));
+  std::string out;
+  encode_v1(msg, out);
+  return out.size();
+}
+
+size_t encoded_size(const ResultMessage& msg, WireVersion version) {
+  if (version == WireVersion::kV2) return frame_size(result_body_size(msg));
+  std::string out;
+  encode_v1(msg, out);
+  return out.size();
+}
+
+size_t task_body_size_v2(uint64_t task_id, const std::string& category,
+                         const std::string& command, const alloc::Resources& alloc,
+                         const std::vector<InputFile>& inputs, size_t outfile_count) {
+  (void)alloc;  // three fixed-width doubles, size-independent
+  size_t n = serde::varint_size(task_id);
+  n += str_field_size(category.size());
+  n += str_field_size(command.size());
+  n += 24;  // alloc
+  n += serde::varint_size(inputs.size());
+  for (const auto& f : inputs) {
+    n += str_field_size(f.name.size());
+    n += serde::varint_size(serde::zigzag(f.size_bytes));
+    n += 1;  // cacheable
+  }
+  n += serde::varint_size(outfile_count);
+  // Simulated tasks carry no outfile names; each would add its own
+  // str_field_size. outfile_count is zero on the master's data plane today.
+  return n;
+}
+
+size_t batch_entry_size(size_t body_size) {
+  return serde::varint_size(body_size) + body_size;
+}
+
+size_t batch_frame_size(size_t count, size_t prefixed_body_bytes) {
+  const size_t body_len = serde::varint_size(count) + prefixed_body_bytes;
+  return kFrameFixedHeader + serde::varint_size(body_len) + body_len;
 }
 
 }  // namespace lfm::wq

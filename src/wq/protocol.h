@@ -1,9 +1,23 @@
-// Work Queue wire protocol: the line-oriented text messages exchanged
-// between master and workers. Real Work Queue speaks a protocol of exactly
-// this shape ("task <id>", "infile <name> <size> <flags>", ...); here it
-// carries what §III.A describes — a Unix command line, explicit input and
-// output files, and the resource allocation — plus the worker's result
-// report with measured usage for the labeler.
+// Work Queue wire protocol: the messages exchanged between master and
+// workers, carrying what §III.A describes — a Unix command line, explicit
+// input and output files, and the resource allocation — plus the worker's
+// result report with measured usage for the labeler.
+//
+// Two wire versions coexist:
+//   * v1 — the original line-oriented text protocol (real Work Queue's
+//     shape: "task <id>", "infile <name> <size> <flags>", ..., "end").
+//     Payload bytes travel base64-coded (+33% bytes, two copies). Kept
+//     encodable behind WireVersion::kV1 for goldens and cross-version
+//     tests; always decodable.
+//   * v2 — length-prefixed binary frames (default): varints and raw — not
+//     base64 — payload bytes, reusing the serde wire primitives
+//     (serde::Writer/Reader). A batch frame packs many task dispatches or
+//     result returns into one network message, which is how the master
+//     amortizes per-message cost when draining its ready queue per worker.
+//
+// Decoders auto-detect the version from the first byte (v2 frames open
+// with a 0xF7 magic byte that can never start a v1 text message), so a v2
+// master interoperates with a v1 worker and vice versa.
 #pragma once
 
 #include <cstdint>
@@ -13,8 +27,11 @@
 #include "alloc/resources.h"
 #include "serde/value.h"
 #include "util/error.h"
+#include "wq/task.h"
 
 namespace lfm::wq {
+
+enum class WireVersion : uint8_t { kV1 = 1, kV2 = 2 };
 
 // Master -> worker: run this task.
 struct TaskMessage {
@@ -42,18 +59,52 @@ struct ResultMessage {
   int64_t memory_peak_bytes = 0;
   int64_t disk_peak_bytes = 0;
   double wall_seconds = 0.0;
-  // Pickled function result (Python-function tasks) — travels base64-coded
-  // in an optional "payload" stanza.
+  // Pickled function result (Python-function tasks). v2 carries it as raw
+  // length-prefixed bytes; v1 base64-codes it into a "payload" stanza.
   serde::Bytes payload;
 };
 
-// Serialize to the wire form (LF line endings, terminated by "end\n").
-std::string encode(const TaskMessage& msg);
-std::string encode(const ResultMessage& msg);
+// Serialize one message (v1: LF lines terminated by "end\n"; v2: one frame).
+std::string encode(const TaskMessage& msg, WireVersion version = WireVersion::kV2);
+std::string encode(const ResultMessage& msg, WireVersion version = WireVersion::kV2);
 
-// Parse; throws lfm::Error with the offending line on malformed input.
+// Serialize many messages into one network send. v2 emits a single batch
+// frame; v1 has no batch framing, so messages are simply concatenated.
+std::string encode_batch(const std::vector<TaskMessage>& msgs,
+                         WireVersion version = WireVersion::kV2);
+std::string encode_batch(const std::vector<ResultMessage>& msgs,
+                         WireVersion version = WireVersion::kV2);
+
+// Parse; throws lfm::Error with the offending input on malformed bytes.
+// Either wire version is accepted (auto-detected).
 TaskMessage decode_task(const std::string& wire);
 ResultMessage decode_result(const std::string& wire);
+
+// Parse a batched send of either version. Single-message frames (and v1
+// concatenations) decode as a batch of their message count.
+std::vector<TaskMessage> decode_task_batch(const std::string& wire);
+std::vector<ResultMessage> decode_result_batch(const std::string& wire);
+
+// Version negotiation: which version a peer spoke. Throws on empty input.
+WireVersion detect_version(const std::string& wire);
+
+// Exact size in bytes that encode(msg, version) would produce. For kV2 this
+// is pure arithmetic (no allocation) — the master's wire accounting uses it
+// on the dispatch hot path; kV1 falls back to encoding.
+size_t encoded_size(const TaskMessage& msg, WireVersion version = WireVersion::kV2);
+size_t encoded_size(const ResultMessage& msg, WireVersion version = WireVersion::kV2);
+
+// Wire accounting for the simulated master, no message objects built:
+// the v2 task-frame body size from dispatch-time fields (`command` is the
+// command line the master would ship — empty in the simulated data plane),
+// its length-prefixed size inside a batch frame, and the exact size of a
+// batch frame holding `count` messages whose prefixed bodies sum to
+// `prefixed_body_bytes`.
+size_t task_body_size_v2(uint64_t task_id, const std::string& category,
+                         const std::string& command, const alloc::Resources& alloc,
+                         const std::vector<InputFile>& inputs, size_t outfile_count);
+size_t batch_entry_size(size_t body_size);
+size_t batch_frame_size(size_t count, size_t prefixed_body_bytes);
 
 // File/category names travel unquoted; reject whitespace and control chars.
 bool valid_token(const std::string& token);

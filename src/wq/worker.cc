@@ -4,6 +4,7 @@
 
 #include "obs/recorder.h"
 #include "pysrc/interp.h"
+#include "pysrc/parse_cache.h"
 #include "serde/pickle.h"
 #include "util/strings.h"
 
@@ -55,15 +56,33 @@ ResultMessage LocalWorker::execute_python(const TaskMessage& task,
     result.exit_code = -1;  // missing transferable files
     return result;
   }
-  const std::string module_source(module_it->second.begin(), module_it->second.end());
-  const serde::Value args = serde::loads(args_it->second);
+  // Read-decode-execute without copying the transferred bytes: the module
+  // parses straight off the file buffer through the shared parse cache (the
+  // AST, not the source, is what the interpreter runs), and the pickled
+  // args decode zero-copy — string/bytes leaves are views into the file
+  // bytes, which outlive the whole monitored run. fork() shares the parent
+  // address space, so the views stay valid inside the LFM child too.
+  const std::string_view module_source(
+      reinterpret_cast<const char*>(module_it->second.data()), module_it->second.size());
+  std::shared_ptr<const pysrc::Module> module;
+  try {
+    module = pysrc::parse_module_shared(module_source);
+  } catch (const Error& e) {
+    // Same shape a parse failure inside the child produced: exception
+    // status with the error text shipped as a pickled string payload.
+    result.exit_code = 1;
+    result.payload = serde::dumps(serde::Value(std::string(e.what())));
+    return result;
+  }
+  const serde::Value args = serde::loads_view(args_it->second);
 
   // The function runs in the interpreter INSIDE the forked LFM child; its
   // pickled result returns over the monitor's pipe.
-  const monitor::TaskFn body = [module_source, function](const serde::Value& a) {
+  const monitor::TaskFn body = [module = std::move(module),
+                                function](const serde::Value& a) {
     std::vector<serde::Value> positional;
     if (a.is_list()) positional = a.as_list();
-    return pysrc::run_python_function(module_source, function, std::move(positional));
+    return pysrc::run_python_function(module, function, std::move(positional));
   };
   const auto outcome = monitor::run_monitored(
       body, args, monitor_options_for(task, options_.poll_interval));
@@ -128,7 +147,20 @@ ResultMessage LocalWorker::execute(const TaskMessage& task, const FileSet& files
 }
 
 std::string LocalWorker::handle(const std::string& task_wire, const FileSet& files) {
-  return encode(execute(decode_task(task_wire), files));
+  // Reply in the version the master spoke — the whole of version
+  // negotiation: each side answers in the dialect it was addressed in.
+  const WireVersion version = detect_version(task_wire);
+  return encode(execute(decode_task(task_wire), files), version);
+}
+
+std::string LocalWorker::handle_batch(const std::string& batch_wire,
+                                      const FileSet& files) {
+  const WireVersion version = detect_version(batch_wire);
+  std::vector<ResultMessage> results;
+  for (auto& task : decode_task_batch(batch_wire)) {
+    results.push_back(execute(task, files));
+  }
+  return encode_batch(results, version);
 }
 
 std::pair<TaskMessage, FileSet> make_python_task(

@@ -1,5 +1,8 @@
-// Tests for the Work Queue wire protocol codec.
+// Tests for the Work Queue wire protocol codec, both wire versions.
 #include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
 
 #include "wq/protocol.h"
 
@@ -18,23 +21,7 @@ TaskMessage sample_task() {
   return msg;
 }
 
-TEST(Protocol, TaskRoundtrip) {
-  const TaskMessage original = sample_task();
-  const TaskMessage back = decode_task(encode(original));
-  EXPECT_EQ(back.task_id, 42u);
-  EXPECT_EQ(back.category, "hep-analysis");
-  EXPECT_EQ(back.command_line, original.command_line);
-  EXPECT_DOUBLE_EQ(back.allocation.cores, 2.0);
-  EXPECT_DOUBLE_EQ(back.allocation.memory_bytes, 1.5e9);
-  ASSERT_EQ(back.infiles.size(), 2u);
-  EXPECT_EQ(back.infiles[0].name, "hep-conda-env.tar.gz");
-  EXPECT_TRUE(back.infiles[0].cacheable);
-  EXPECT_FALSE(back.infiles[1].cacheable);
-  ASSERT_EQ(back.outfiles.size(), 1u);
-  EXPECT_EQ(back.outfiles[0], "hist-00001.pkl");
-}
-
-TEST(Protocol, ResultRoundtrip) {
+ResultMessage sample_result() {
   ResultMessage msg;
   msg.task_id = 7;
   msg.exit_code = 0;
@@ -42,36 +29,158 @@ TEST(Protocol, ResultRoundtrip) {
   msg.memory_peak_bytes = 88000000;
   msg.disk_peak_bytes = 880000000;
   msg.wall_seconds = 63.25;
-  const ResultMessage back = decode_result(encode(msg));
+  msg.payload = serde::Bytes{0x00, 0xFF, 0x7A, 0x0A, 0x20, 0xF7};
+  return msg;
+}
+
+class ProtocolBothVersions : public ::testing::TestWithParam<WireVersion> {};
+
+INSTANTIATE_TEST_SUITE_P(Versions, ProtocolBothVersions,
+                         ::testing::Values(WireVersion::kV1, WireVersion::kV2));
+
+TEST_P(ProtocolBothVersions, TaskRoundtrip) {
+  const TaskMessage original = sample_task();
+  const std::string wire = encode(original, GetParam());
+  EXPECT_EQ(detect_version(wire), GetParam());
+  const TaskMessage back = decode_task(wire);
+  EXPECT_EQ(back.task_id, 42u);
+  EXPECT_EQ(back.category, "hep-analysis");
+  EXPECT_EQ(back.command_line, original.command_line);
+  EXPECT_DOUBLE_EQ(back.allocation.cores, 2.0);
+  EXPECT_DOUBLE_EQ(back.allocation.memory_bytes, 1.5e9);
+  ASSERT_EQ(back.infiles.size(), 2u);
+  EXPECT_EQ(back.infiles[0].name, "hep-conda-env.tar.gz");
+  EXPECT_EQ(back.infiles[0].size_bytes, 240000000);
+  EXPECT_TRUE(back.infiles[0].cacheable);
+  EXPECT_FALSE(back.infiles[1].cacheable);
+  ASSERT_EQ(back.outfiles.size(), 1u);
+  EXPECT_EQ(back.outfiles[0], "hist-00001.pkl");
+}
+
+TEST_P(ProtocolBothVersions, ResultRoundtrip) {
+  const ResultMessage msg = sample_result();
+  const std::string wire = encode(msg, GetParam());
+  EXPECT_EQ(detect_version(wire), GetParam());
+  const ResultMessage back = decode_result(wire);
   EXPECT_EQ(back.task_id, 7u);
   EXPECT_EQ(back.exit_code, 0);
   EXPECT_FALSE(back.exhausted);
   EXPECT_DOUBLE_EQ(back.cores_used, 1.85);
   EXPECT_EQ(back.memory_peak_bytes, 88000000);
   EXPECT_DOUBLE_EQ(back.wall_seconds, 63.25);
+  EXPECT_EQ(back.payload, msg.payload);
 }
 
-TEST(Protocol, ExhaustionReport) {
+TEST_P(ProtocolBothVersions, ExhaustionReport) {
   ResultMessage msg;
   msg.task_id = 9;
   msg.exit_code = -1;
   msg.exhausted = true;
   msg.exhausted_resource = "memory";
   msg.wall_seconds = 10.0;
-  const ResultMessage back = decode_result(encode(msg));
+  const ResultMessage back = decode_result(encode(msg, GetParam()));
   EXPECT_TRUE(back.exhausted);
   EXPECT_EQ(back.exhausted_resource, "memory");
+  EXPECT_EQ(back.exit_code, -1);
 }
 
-TEST(Protocol, CommandEscaping) {
+TEST_P(ProtocolBothVersions, CommandEscaping) {
   TaskMessage msg = sample_task();
   msg.command_line = "sh -c 'echo 100% done\ttab\nnewline'";
-  const TaskMessage back = decode_task(encode(msg));
+  const TaskMessage back = decode_task(encode(msg, GetParam()));
   EXPECT_EQ(back.command_line, msg.command_line);
 }
 
+TEST_P(ProtocolBothVersions, EncodedSizeMatchesEncode) {
+  const TaskMessage t = sample_task();
+  const ResultMessage r = sample_result();
+  EXPECT_EQ(encoded_size(t, GetParam()), encode(t, GetParam()).size());
+  EXPECT_EQ(encoded_size(r, GetParam()), encode(r, GetParam()).size());
+}
+
+TEST_P(ProtocolBothVersions, RejectsInvalidTokens) {
+  TaskMessage msg = sample_task();
+  msg.category = "has space";
+  EXPECT_THROW(encode(msg, GetParam()), Error);
+  msg = sample_task();
+  msg.infiles[0].name = "bad\nname";
+  EXPECT_THROW(encode(msg, GetParam()), Error);
+}
+
+TEST_P(ProtocolBothVersions, TaskBatchRoundtrip) {
+  std::vector<TaskMessage> batch;
+  for (int i = 0; i < 5; ++i) {
+    TaskMessage msg = sample_task();
+    msg.task_id = 100 + static_cast<uint64_t>(i);
+    msg.command_line = "run step " + std::to_string(i);
+    batch.push_back(std::move(msg));
+  }
+  const std::vector<TaskMessage> back = decode_task_batch(encode_batch(batch, GetParam()));
+  ASSERT_EQ(back.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(back[static_cast<size_t>(i)].task_id, 100u + static_cast<uint64_t>(i));
+    EXPECT_EQ(back[static_cast<size_t>(i)].command_line, "run step " + std::to_string(i));
+  }
+}
+
+TEST_P(ProtocolBothVersions, ResultBatchRoundtrip) {
+  std::vector<ResultMessage> batch;
+  for (int i = 0; i < 4; ++i) {
+    ResultMessage msg = sample_result();
+    msg.task_id = 200 + static_cast<uint64_t>(i);
+    batch.push_back(std::move(msg));
+  }
+  const std::vector<ResultMessage> back =
+      decode_result_batch(encode_batch(batch, GetParam()));
+  ASSERT_EQ(back.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(back[static_cast<size_t>(i)].task_id, 200u + static_cast<uint64_t>(i));
+    EXPECT_EQ(back[static_cast<size_t>(i)].payload, sample_result().payload);
+  }
+}
+
+TEST_P(ProtocolBothVersions, SingleMessageDecodesAsBatchOfOne) {
+  const std::vector<TaskMessage> back =
+      decode_task_batch(encode(sample_task(), GetParam()));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].task_id, 42u);
+}
+
+// A v1 peer and a v2 peer exchange the same logical messages: encoding in
+// one version and re-encoding the decoded message in the other must be
+// lossless in both directions.
+TEST(Protocol, CrossVersionDecode) {
+  const TaskMessage t = sample_task();
+  const TaskMessage via_v1 = decode_task(encode(t, WireVersion::kV1));
+  const TaskMessage via_v2 = decode_task(encode(via_v1, WireVersion::kV2));
+  EXPECT_EQ(via_v2.task_id, t.task_id);
+  EXPECT_EQ(via_v2.command_line, t.command_line);
+  EXPECT_EQ(encode(via_v2, WireVersion::kV1), encode(t, WireVersion::kV1));
+
+  const ResultMessage r = sample_result();
+  const ResultMessage rv2 = decode_result(encode(r, WireVersion::kV2));
+  EXPECT_EQ(encode(rv2, WireVersion::kV1), encode(r, WireVersion::kV1));
+  const ResultMessage rv1 = decode_result(encode(r, WireVersion::kV1));
+  EXPECT_EQ(encode(rv1, WireVersion::kV2), encode(r, WireVersion::kV2));
+}
+
+TEST(Protocol, DetectVersion) {
+  EXPECT_EQ(detect_version(encode(sample_task(), WireVersion::kV1)), WireVersion::kV1);
+  EXPECT_EQ(detect_version(encode(sample_task(), WireVersion::kV2)), WireVersion::kV2);
+  EXPECT_THROW(detect_version(""), Error);
+}
+
+TEST(Protocol, V2IsSmallerOnPayloadBearingResults) {
+  ResultMessage msg = sample_result();
+  msg.payload.assign(4096, 0xAB);  // incompressible-looking raw bytes
+  const size_t v1 = encode(msg, WireVersion::kV1).size();
+  const size_t v2 = encode(msg, WireVersion::kV2).size();
+  // v1 base64 inflates the payload by 4/3; v2 ships it raw.
+  EXPECT_LT(v2, v1 * 3 / 4);
+}
+
 TEST(Protocol, WireIsLineOriented) {
-  const std::string wire = encode(sample_task());
+  const std::string wire = encode(sample_task(), WireVersion::kV1);
   EXPECT_EQ(wire.substr(0, 5), "task ");
   EXPECT_EQ(wire.substr(wire.size() - 4), "end\n");
   // One stanza per line; no raw spaces inside the cmd payload.
@@ -80,17 +189,28 @@ TEST(Protocol, WireIsLineOriented) {
 }
 
 TEST(Protocol, RejectsUnterminated) {
-  std::string wire = encode(sample_task());
+  std::string wire = encode(sample_task(), WireVersion::kV1);
   wire = wire.substr(0, wire.size() - 4);  // chop "end\n"
   EXPECT_THROW(decode_task(wire), Error);
 }
 
+TEST(Protocol, RejectsTruncatedFrame) {
+  const std::string wire = encode(sample_task(), WireVersion::kV2);
+  for (const size_t keep : {size_t{1}, size_t{3}, wire.size() / 2, wire.size() - 1}) {
+    EXPECT_THROW(decode_task(wire.substr(0, keep)), Error) << "keep=" << keep;
+  }
+  // Trailing garbage after the frame body is also an error.
+  EXPECT_THROW(decode_task(wire + "x"), Error);
+}
+
 TEST(Protocol, RejectsWrongMessageKind) {
-  EXPECT_THROW(decode_result(encode(sample_task())), Error);
-  ResultMessage r;
-  r.task_id = 1;
-  r.wall_seconds = 1.0;
-  EXPECT_THROW(decode_task(encode(r)), Error);
+  for (const WireVersion v : {WireVersion::kV1, WireVersion::kV2}) {
+    EXPECT_THROW(decode_result(encode(sample_task(), v)), Error);
+    ResultMessage r;
+    r.task_id = 1;
+    r.wall_seconds = 1.0;
+    EXPECT_THROW(decode_task(encode(r, v)), Error);
+  }
 }
 
 TEST(Protocol, RejectsUnknownStanza) {
@@ -108,13 +228,50 @@ TEST(Protocol, RejectsMalformedNumbers) {
   EXPECT_THROW(decode_result("result 1 0\nusage 1 nope 1 1\nend\n"), Error);
 }
 
-TEST(Protocol, RejectsInvalidTokens) {
-  TaskMessage msg = sample_task();
-  msg.category = "has space";
-  EXPECT_THROW(encode(msg), Error);
-  msg = sample_task();
-  msg.infiles[0].name = "bad\nname";
-  EXPECT_THROW(encode(msg), Error);
+// Regression: v1 integer fields (peak bytes, infile sizes, exit codes) used
+// to be parsed through the double path, which silently rounds above 2^53.
+// 2^53 + 1 is the first integer a double cannot represent.
+TEST(Protocol, V1IntegerFieldsExactAboveDoubleRange) {
+  constexpr int64_t kBoundary = (int64_t{1} << 53) + 1;
+  ResultMessage r;
+  r.task_id = 1;
+  r.memory_peak_bytes = kBoundary;
+  r.disk_peak_bytes = kBoundary + 2;
+  r.wall_seconds = 1.0;
+  const ResultMessage back = decode_result(encode(r, WireVersion::kV1));
+  EXPECT_EQ(back.memory_peak_bytes, kBoundary);
+  EXPECT_EQ(back.disk_peak_bytes, kBoundary + 2);
+
+  TaskMessage t = sample_task();
+  t.infiles[0].size_bytes = kBoundary;
+  const TaskMessage tback = decode_task(encode(t, WireVersion::kV1));
+  EXPECT_EQ(tback.infiles[0].size_bytes, kBoundary);
+}
+
+TEST(Protocol, V1NegativeIntegerFields) {
+  ResultMessage r;
+  r.task_id = 3;
+  r.exit_code = -9;  // killed by SIGKILL
+  r.wall_seconds = 0.5;
+  const ResultMessage back = decode_result(encode(r, WireVersion::kV1));
+  EXPECT_EQ(back.exit_code, -9);
+}
+
+// Regression: the v1 integer parser multiplied without an overflow check,
+// so a 25-digit field wrapped around and decoded as garbage.
+TEST(Protocol, V1RejectsOverflowingIntegers) {
+  const std::string huge(25, '9');
+  EXPECT_THROW(decode_task("task " + huge + " cat\nalloc 1 1 1\nend\n"), Error);
+  EXPECT_THROW(
+      decode_result("result 1 0\nusage 1 " + huge + " 1 1\nend\n"), Error);
+  // INT64_MAX itself still parses.
+  const ResultMessage ok = decode_result(
+      "result 1 0\nusage 1.0 9223372036854775807 0 1.0\nend\n");
+  EXPECT_EQ(ok.memory_peak_bytes, INT64_MAX);
+  // One past it does not.
+  EXPECT_THROW(
+      decode_result("result 1 0\nusage 1.0 9223372036854775808 0 1.0\nend\n"),
+      Error);
 }
 
 TEST(Protocol, ValidTokenRules) {
@@ -128,6 +285,25 @@ TEST(Protocol, ValidTokenRules) {
 TEST(Protocol, FieldCountValidation) {
   EXPECT_THROW(decode_task("task 1\nalloc 1 1 1\nend\n"), Error);
   EXPECT_THROW(decode_task("task 1 cat extra_field\nalloc 1 1 1\nend\n"), Error);
+}
+
+TEST(Protocol, BatchSizeArithmeticMatchesEncoder) {
+  std::vector<TaskMessage> batch;
+  size_t prefixed = 0;
+  for (int i = 0; i < 3; ++i) {
+    TaskMessage msg = sample_task();
+    msg.task_id = 1000 + static_cast<uint64_t>(i);
+    msg.outfiles.clear();  // task_body_size_v2 covers only unnamed outfiles
+    const size_t body = task_body_size_v2(msg.task_id, msg.category,
+                                          msg.command_line, msg.allocation,
+                                          {{"hep-conda-env.tar.gz", 240000000, true},
+                                           {"events-00001.root", 500000, false}},
+                                          0);
+    prefixed += batch_entry_size(body);
+    batch.push_back(std::move(msg));
+  }
+  EXPECT_EQ(batch_frame_size(batch.size(), prefixed),
+            encode_batch(batch, WireVersion::kV2).size());
 }
 
 }  // namespace

@@ -218,5 +218,98 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(from_json("\"\\ud83d\""), Error);  // lone surrogate
 }
 
+// --- allocation-lean fast path: dumps_into / loads_view ---------------------
+
+TEST(FastPath, DumpsIntoReusesBuffer) {
+  ValueDict d;
+  d["k"] = Value(ValueList{Value(1), Value("str"), Value(Bytes{9, 8, 7})});
+  const Value v(std::move(d));
+  const Bytes reference = dumps(v);
+
+  Bytes buffer;
+  EXPECT_EQ(dumps_into(v, buffer), reference.size());
+  EXPECT_EQ(buffer, reference);
+
+  // Re-encoding into the same buffer replaces the contents without
+  // shrinking: the capacity from the first pass is kept.
+  const size_t cap = buffer.capacity();
+  EXPECT_EQ(dumps_into(Value(int64_t{5}), buffer), dumps(Value(int64_t{5})).size());
+  EXPECT_EQ(buffer, dumps(Value(int64_t{5})));
+  EXPECT_GE(buffer.capacity(), cap);
+}
+
+TEST(FastPath, LoadsViewBorrowsLeaves) {
+  ValueDict d;
+  d["name"] = Value(std::string("a-rather-long-function-name"));
+  d["blob"] = Value(Bytes{1, 2, 3, 4});
+  const Bytes wire = dumps(Value(std::move(d)));
+
+  const Value v = loads_view(wire);
+  const Value& name = v.at("name");
+  EXPECT_TRUE(name.is_str());
+  EXPECT_TRUE(name.is_borrowed());
+  // The view points into the wire buffer, no copy made.
+  const std::string_view sv = name.str_view();
+  EXPECT_EQ(sv, "a-rather-long-function-name");
+  EXPECT_GE(reinterpret_cast<const uint8_t*>(sv.data()), wire.data());
+  EXPECT_LT(reinterpret_cast<const uint8_t*>(sv.data()), wire.data() + wire.size());
+
+  const Value& blob = v.at("blob");
+  EXPECT_TRUE(blob.is_bytes());
+  EXPECT_TRUE(blob.is_borrowed());
+  EXPECT_EQ(blob.bytes_view().size, 4u);
+}
+
+TEST(FastPath, OwningAccessorMaterializesInPlace) {
+  const Bytes wire = dumps(Value(std::string("lazy")));
+  const Value v = loads_view(wire);
+  EXPECT_TRUE(v.is_borrowed());
+  // as_str promotes the borrowed leaf to an owned string and the result
+  // stays valid after the wire buffer is gone.
+  const std::string& owned = v.as_str();
+  EXPECT_EQ(owned, "lazy");
+  EXPECT_FALSE(v.is_borrowed());
+  EXPECT_EQ(v.str_view(), "lazy");
+}
+
+TEST(FastPath, BorrowedEqualsOwned) {
+  ValueDict d;
+  d["s"] = Value(std::string("twin"));
+  d["b"] = Value(Bytes{5, 6});
+  const Value owned(std::move(d));
+  const Bytes wire = dumps(owned);
+  EXPECT_TRUE(loads_view(wire) == owned);
+  EXPECT_TRUE(owned == loads_view(wire));
+}
+
+TEST(FastPath, ToOwnedSurvivesBufferDeath) {
+  Value copy;
+  {
+    const Bytes wire = dumps(Value(ValueList{Value(std::string("deep")),
+                                             Value(Bytes{42})}));
+    copy = loads_view(wire).to_owned();
+  }  // wire destroyed; views would now dangle
+  EXPECT_FALSE(copy.as_list()[0].is_borrowed());
+  EXPECT_EQ(copy.as_list()[0].as_str(), "deep");
+  EXPECT_EQ(copy.as_list()[1].as_bytes(), (Bytes{42}));
+}
+
+TEST(FastPath, LoadsViewMatchesLoads) {
+  ValueDict d;
+  d["nested"] = Value(ValueDict{{"x", Value(Bytes{0, 255, 10})},
+                                {"y", Value(std::string("why"))}});
+  d["nums"] = Value(ValueList{Value(1), Value(2.5), Value(false)});
+  const Value v(std::move(d));
+  const Bytes wire = dumps(v);
+  EXPECT_EQ(loads_view(wire).to_owned(), loads(wire));
+}
+
+TEST(FastPath, LoadsViewRejectsSameMalformedInput) {
+  Bytes b = dumps(Value(std::string("x")));
+  EXPECT_THROW(loads_view(b.data(), b.size() - 1), Error);
+  b[0] = 'X';
+  EXPECT_THROW(loads_view(b), Error);
+}
+
 }  // namespace
 }  // namespace lfm::serde

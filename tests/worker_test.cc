@@ -153,6 +153,34 @@ def hoard(n):
   EXPECT_EQ(result.exhausted_resource, "memory");
 }
 
+TEST(LocalWorker, RepliesInRequestWireVersion) {
+  // Version negotiation: the worker answers in whatever version the master
+  // spoke, so a v1 master never sees a v2 frame.
+  LocalWorker worker;
+  const std::string v1_reply = worker.handle(encode(make_task("exit 0"), WireVersion::kV1));
+  EXPECT_EQ(detect_version(v1_reply), WireVersion::kV1);
+  const std::string v2_reply = worker.handle(encode(make_task("exit 0"), WireVersion::kV2));
+  EXPECT_EQ(detect_version(v2_reply), WireVersion::kV2);
+}
+
+TEST(LocalWorker, HandleBatchExecutesAllAndRepliesBatched) {
+  LocalWorker worker;
+  std::vector<TaskMessage> batch;
+  for (int i = 0; i < 3; ++i) {
+    TaskMessage task = make_task("exit " + std::to_string(i));
+    task.task_id = 20 + static_cast<uint64_t>(i);
+    batch.push_back(std::move(task));
+  }
+  const std::string reply = worker.handle_batch(encode_batch(batch));
+  const std::vector<ResultMessage> results = decode_result_batch(reply);
+  ASSERT_EQ(results.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].task_id, 20u + static_cast<uint64_t>(i));
+    EXPECT_EQ(results[static_cast<size_t>(i)].exit_code, i);
+  }
+  EXPECT_EQ(worker.tasks_executed(), 3);
+}
+
 TEST(LocalWorker, PythonTaskMissingFilesFails) {
   auto [task, files] = make_python_task(10, "c", "def f():\n    return 1\n", "f",
                                         serde::Value(serde::ValueList{}),
