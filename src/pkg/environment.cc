@@ -42,25 +42,28 @@ std::string Environment::conda_yaml() const {
 std::vector<EnvironmentFile> Environment::synthesize_files() const {
   std::vector<EnvironmentFile> files;
   files.reserve(static_cast<size_t>(total_files_));
-  for (const PackageMeta* meta : packages_) {
-    const int count = std::max(meta->file_count, 1);
-    const int64_t per_file = std::max<int64_t>(meta->size_bytes / count, 1);
-    for (int i = 0; i < count; ++i) {
-      EnvironmentFile f;
-      // The first file of each package is a text entry (metadata/launcher)
-      // that embeds the original prefix; the rest are payload.
-      if (i == 0) {
-        f.path = "lib/" + meta->name + "/" + meta->name + ".dist-info";
-        f.is_text = true;
-      } else {
-        f.path = strformat("lib/%s/data_%04d%s", meta->name.c_str(), i,
-                           meta->has_native_libs && i % 7 == 0 ? ".so" : ".py");
-      }
-      f.size = per_file;
-      files.push_back(std::move(f));
-    }
-  }
+  for (const PackageMeta* meta : packages_) synthesize_package_files(*meta, files);
   return files;
+}
+
+void Environment::synthesize_package_files(const PackageMeta& meta,
+                                           std::vector<EnvironmentFile>& out) {
+  const int count = std::max(meta.file_count, 1);
+  const int64_t per_file = std::max<int64_t>(meta.size_bytes / count, 1);
+  for (int i = 0; i < count; ++i) {
+    EnvironmentFile f;
+    // The first file of each package is a text entry (metadata/launcher)
+    // that embeds the original prefix; the rest are payload.
+    if (i == 0) {
+      f.path = "lib/" + meta.name + "/" + meta.name + ".dist-info";
+      f.is_text = true;
+    } else {
+      f.path = strformat("lib/%s/data_%04d%s", meta.name.c_str(), i,
+                         meta.has_native_libs && i % 7 == 0 ? ".so" : ".py");
+    }
+    f.size = per_file;
+    out.push_back(std::move(f));
+  }
 }
 
 }  // namespace lfm::pkg

@@ -40,7 +40,14 @@ class Environment {
   // Deterministically synthesize the environment's file list: per package,
   // `file_count` files partitioning `size_bytes`, with a few text files
   // (scripts, dist-info) that embed the build prefix for relocation tests.
+  // Equals synthesize_package_files() concatenated over packages() in order.
   std::vector<EnvironmentFile> synthesize_files() const;
+
+  // One package's synthesized files, appended to `out` — the per-package
+  // unit of work the parallel pack pipeline (packer.h) fans out over. A pure
+  // function of the package metadata, so any thread may run any package.
+  static void synthesize_package_files(const PackageMeta& meta,
+                                       std::vector<EnvironmentFile>& out);
 
  private:
   std::string name_;

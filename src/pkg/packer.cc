@@ -1,11 +1,15 @@
 #include "pkg/packer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <thread>
 
+#include "obs/recorder.h"
 #include "pkg/environment.h"
 #include "util/hash.h"
 #include "util/strings.h"
@@ -150,39 +154,58 @@ bool looks_text(const Bytes& data) {
   return true;
 }
 
+// One ustar header block for an entry whose data (if any) follows elsewhere.
+// Split out of append_tar_entry so the parallel packer can emit the MANIFEST
+// header before the per-package line blocks that form its payload.
+void append_tar_header(Bytes& out, const std::string& raw_path, bool is_directory,
+                       uint32_t mode, size_t data_size) {
+  TarHeader h;
+  std::memset(&h, 0, sizeof h);
+  std::string path = raw_path;
+  if (is_directory && !path.empty() && path.back() != '/') path += '/';
+  split_name(path, h);
+  write_octal(h.mode, sizeof(h.mode), mode);
+  write_octal(h.uid, sizeof(h.uid), 0);
+  write_octal(h.gid, sizeof(h.gid), 0);
+  write_octal(h.size, sizeof(h.size), is_directory ? 0 : data_size);
+  write_octal(h.mtime, sizeof(h.mtime), 0);
+  h.typeflag = is_directory ? '5' : '0';
+  std::memcpy(h.magic, "ustar", 6);
+  h.version[0] = '0';
+  h.version[1] = '0';
+  std::snprintf(h.uname, sizeof(h.uname), "lfm");
+  std::snprintf(h.gname, sizeof(h.gname), "lfm");
+  finalize_checksum(h);
+
+  const auto* hp = reinterpret_cast<const uint8_t*>(&h);
+  out.insert(out.end(), hp, hp + kBlock);
+}
+
+void append_padding(Bytes& out, size_t data_size) {
+  const size_t rem = data_size % kBlock;
+  if (rem != 0) out.insert(out.end(), kBlock - rem, 0);
+}
+
+// Full serialization of one entry: header block + data + padding.
+void append_tar_entry(Bytes& out, const ArchiveEntry& entry) {
+  append_tar_header(out, entry.path, entry.is_directory, entry.mode, entry.data.size());
+  if (!entry.is_directory) {
+    out.insert(out.end(), entry.data.begin(), entry.data.end());
+    append_padding(out, entry.data.size());
+  }
+}
+
+void append_tar_trailer(Bytes& out) {
+  // Two terminating zero blocks.
+  out.insert(out.end(), 2 * kBlock, 0);
+}
+
 }  // namespace
 
 Bytes write_tar(const Archive& archive) {
   Bytes out;
-  for (const auto& entry : archive.entries()) {
-    TarHeader h;
-    std::memset(&h, 0, sizeof h);
-    std::string path = entry.path;
-    if (entry.is_directory && !path.empty() && path.back() != '/') path += '/';
-    split_name(path, h);
-    write_octal(h.mode, sizeof(h.mode), entry.mode);
-    write_octal(h.uid, sizeof(h.uid), 0);
-    write_octal(h.gid, sizeof(h.gid), 0);
-    write_octal(h.size, sizeof(h.size), entry.is_directory ? 0 : entry.data.size());
-    write_octal(h.mtime, sizeof(h.mtime), 0);
-    h.typeflag = entry.is_directory ? '5' : '0';
-    std::memcpy(h.magic, "ustar", 6);
-    h.version[0] = '0';
-    h.version[1] = '0';
-    std::snprintf(h.uname, sizeof(h.uname), "lfm");
-    std::snprintf(h.gname, sizeof(h.gname), "lfm");
-    finalize_checksum(h);
-
-    const auto* hp = reinterpret_cast<const uint8_t*>(&h);
-    out.insert(out.end(), hp, hp + kBlock);
-    if (!entry.is_directory) {
-      out.insert(out.end(), entry.data.begin(), entry.data.end());
-      const size_t rem = entry.data.size() % kBlock;
-      if (rem != 0) out.insert(out.end(), kBlock - rem, 0);
-    }
-  }
-  // Two terminating zero blocks.
-  out.insert(out.end(), 2 * kBlock, 0);
+  for (const auto& entry : archive.entries()) append_tar_entry(out, entry);
+  append_tar_trailer(out);
   return out;
 }
 
@@ -250,12 +273,20 @@ void unpack_to(const Archive& archive, const std::string& root) {
   const fs::path base(root);
   fs::create_directories(base);
   for (const auto& entry : archive.entries()) {
-    // Refuse path traversal out of the extraction root.
-    const fs::path target = base / entry.path;
-    const std::string normal = target.lexically_normal().string();
-    if (normal.find("..") == 0 || entry.path.find("..") != std::string::npos) {
-      throw Error("unpack_to: path escapes extraction root: " + entry.path);
+    // Refuse path traversal out of the extraction root. An absolute path is
+    // rejected outright (`base / "/etc/x"` REPLACES base, it doesn't nest),
+    // as is any `..` component — checked per component so `a/../../b` can't
+    // sneak past a prefix test after normalization.
+    const fs::path rel(entry.path);
+    if (entry.path.empty() || rel.is_absolute()) {
+      throw Error("unpack_to: absolute or empty path in archive: " + entry.path);
     }
+    for (const auto& part : rel) {
+      if (part == "..") {
+        throw Error("unpack_to: path escapes extraction root: " + entry.path);
+      }
+    }
+    const fs::path target = base / rel;
     if (entry.is_directory) {
       fs::create_directories(target);
     } else {
@@ -293,10 +324,12 @@ namespace {
 
 // Packed archives dedup on the pinned requirements list: it fully determines
 // the synthesized file set, so two same-content environments with different
-// names share one archive (and one canonical, relocatable prefix).
+// names share one archive (and one canonical, relocatable prefix). Bounded:
+// least-recently-packed signatures fall out past 64 entries, so a campaign
+// cycling through thousands of environments holds at most 64 archives.
 struct PackCache {
   std::mutex mu;
-  LruCache<std::string, std::shared_ptr<const Bytes>, ContentHash> cache{64};
+  LruCache<std::string, PackedEnvironment, ContentHash> cache{64};
 };
 
 PackCache& pack_cache() {
@@ -304,44 +337,204 @@ PackCache& pack_cache() {
   return *instance;
 }
 
+struct PackMetrics {
+  obs::Counter& requests;
+  obs::Counter& cache_hits;
+  obs::Counter& cold_packs;
+  obs::Counter& chunks;
+  obs::HistogramMetric& seconds;
+  obs::HistogramMetric& archive_bytes;
+
+  static PackMetrics& get() {
+    static PackMetrics m{
+        obs::Recorder::global().metrics().counter("pack.requests"),
+        obs::Recorder::global().metrics().counter("pack.cache_hits"),
+        obs::Recorder::global().metrics().counter("pack.cold_packs"),
+        obs::Recorder::global().metrics().counter("pack.chunks"),
+        obs::Recorder::global().metrics().histogram("pack.seconds"),
+        obs::Recorder::global().metrics().histogram("pack.archive_bytes", 1.0, 1e12, 96),
+    };
+    return m;
+  }
+};
+
 std::string prefix_for_signature(const std::string& signature) {
   return strformat("/master/envs/%016llx",
                    static_cast<unsigned long long>(hash64(signature)));
 }
 
-Bytes pack_environment_cold(const Environment& env, const std::string& signature) {
-  Archive archive;
-  const std::string requirements = env.requirements_txt();
-  archive.add_file("requirements.txt", Bytes(requirements.begin(), requirements.end()));
-  const std::string prefix = prefix_for_signature(signature);
-  std::string manifest;
-  for (const auto& file : env.synthesize_files()) {
+// Per-package output of the parallel pipeline. Everything here is a pure
+// function of (PackageMeta, prefix), so any thread may produce any job and
+// the merge below only concatenates in the environment's sorted order.
+struct PackageJob {
+  Bytes dist_entry;      // tar serialization of the dist-info text entry
+  Bytes manifest_lines;  // this package's block of MANIFEST text lines
+  std::vector<ChunkRef> dist_chunks;
+  std::vector<ChunkRef> line_chunks;
+};
+
+void pack_package(const PackageMeta& meta, const std::string& prefix, PackageJob& job) {
+  std::vector<EnvironmentFile> files;
+  Environment::synthesize_package_files(meta, files);
+  std::string lines;
+  for (const auto& file : files) {
     if (file.is_text) {
       const std::string content = "prefix=" + prefix + "\n";
-      archive.add_file(file.path, Bytes(content.begin(), content.end()));
+      ArchiveEntry e;
+      e.path = file.path;
+      e.data.assign(content.begin(), content.end());
+      append_tar_entry(job.dist_entry, e);
     } else {
-      manifest += file.path + " " + std::to_string(file.size) + "\n";
+      lines += file.path + " " + std::to_string(file.size) + "\n";
     }
   }
-  archive.add_file("MANIFEST", Bytes(manifest.begin(), manifest.end()));
-  return write_tar(archive);
+  job.manifest_lines.assign(lines.begin(), lines.end());
+  // Chunk boundaries are computed per logical segment, never across package
+  // boundaries: a package's chunks are identical in every environment that
+  // pins it, which is what makes warm delta transfers small.
+  job.dist_chunks = chunk_bytes(job.dist_entry.data(), job.dist_entry.size());
+  job.line_chunks = chunk_bytes(job.manifest_lines.data(), job.manifest_lines.size());
+}
+
+PackedEnvironment pack_environment_cold(const Environment& env,
+                                        const std::string& signature, int threads) {
+  const std::string prefix = prefix_for_signature(signature);
+  const auto& packages = env.packages();
+  std::vector<PackageJob> jobs(packages.size());
+
+  size_t workers = threads > 0 ? static_cast<size_t>(threads)
+                               : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, std::max<size_t>(jobs.size(), 1));
+  if (workers <= 1) {
+    for (size_t i = 0; i < packages.size(); ++i) {
+      pack_package(*packages[i], prefix, jobs[i]);
+    }
+  } else {
+    // Work-stealing by index (same shape as flow::analyze_all): each thread
+    // claims the next package and writes into that package's own slot, so
+    // the merged output never depends on scheduling.
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const size_t i = next.fetch_add(1);
+          if (i >= packages.size()) return;
+          try {
+            pack_package(*packages[i], prefix, jobs[i]);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (!error) error = std::current_exception();
+            }
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Deterministic merge. The stream layout mirrors the serial writer exactly:
+  // requirements.txt entry, per-package dist-info entries in sorted package
+  // order, the MANIFEST entry (header, per-package line blocks, padding),
+  // then the two-zero-block trailer.
+  Bytes tar;
+  ChunkManifest manifest;
+
+  Bytes head;
+  {
+    ArchiveEntry e;
+    e.path = "requirements.txt";
+    e.data.assign(signature.begin(), signature.end());
+    append_tar_entry(head, e);
+  }
+  manifest.append(chunk_bytes(head.data(), head.size()));
+  tar = std::move(head);
+
+  int64_t manifest_size = 0;
+  for (const PackageJob& j : jobs) {
+    manifest_size += static_cast<int64_t>(j.manifest_lines.size());
+  }
+
+  for (const PackageJob& j : jobs) {
+    tar.insert(tar.end(), j.dist_entry.begin(), j.dist_entry.end());
+    manifest.append(j.dist_chunks);
+  }
+
+  Bytes mh;
+  append_tar_header(mh, "MANIFEST", /*is_directory=*/false, 0644,
+                    static_cast<size_t>(manifest_size));
+  manifest.append(chunk_bytes(mh.data(), mh.size()));
+  tar.insert(tar.end(), mh.begin(), mh.end());
+
+  for (const PackageJob& j : jobs) {
+    tar.insert(tar.end(), j.manifest_lines.begin(), j.manifest_lines.end());
+    manifest.append(j.line_chunks);
+  }
+
+  Bytes tail;
+  append_padding(tail, static_cast<size_t>(manifest_size));
+  append_tar_trailer(tail);
+  manifest.append(chunk_bytes(tail.data(), tail.size()));
+  tar.insert(tar.end(), tail.begin(), tail.end());
+
+  manifest.set_stream_digest(hash64(
+      std::string_view(reinterpret_cast<const char*>(tar.data()), tar.size())));
+
+  PackedEnvironment packed;
+  packed.tar = std::make_shared<const Bytes>(std::move(tar));
+  packed.manifest = std::make_shared<const ChunkManifest>(std::move(manifest));
+
+  // Register every chunk as a span into the immutable archive (no copies);
+  // the store's shared_ptr keeps the archive alive past cache eviction.
+  ChunkStore& store = global_chunk_store();
+  size_t offset = 0;
+  for (const ChunkRef& c : packed.manifest->chunks()) {
+    store.put(c, packed.tar, offset);
+    offset += c.size;
+  }
+  return packed;
 }
 
 }  // namespace
 
-std::shared_ptr<const Bytes> packed_environment_tar(const Environment& env) {
+PackedEnvironment packed_environment(const Environment& env, int threads) {
   std::string signature = env.requirements_txt();
   auto& pc = pack_cache();
+  const bool recording = obs::Recorder::enabled();
+  if (recording) PackMetrics::get().requests.add();
   {
     std::lock_guard<std::mutex> lock(pc.mu);
-    if (const auto* hit = pc.cache.find(signature)) return *hit;
+    if (const auto* hit = pc.cache.find(signature)) {
+      if (recording) PackMetrics::get().cache_hits.add();
+      return *hit;
+    }
   }
-  auto packed = std::make_shared<const Bytes>(pack_environment_cold(env, signature));
+  const auto t0 = std::chrono::steady_clock::now();
+  PackedEnvironment packed = pack_environment_cold(env, signature, threads);
+  if (recording) {
+    PackMetrics& m = PackMetrics::get();
+    m.cold_packs.add();
+    m.chunks.add(static_cast<int64_t>(packed.manifest->chunk_count()));
+    m.seconds.observe(std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count());
+    m.archive_bytes.observe(static_cast<double>(packed.tar->size()));
+  }
   {
     std::lock_guard<std::mutex> lock(pc.mu);
     pc.cache.insert(std::move(signature), packed);
   }
   return packed;
+}
+
+std::shared_ptr<const Bytes> packed_environment_tar(const Environment& env) {
+  return packed_environment(env).tar;
 }
 
 std::string packed_environment_prefix(const Environment& env) {

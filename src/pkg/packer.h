@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "pkg/chunk.h"
 #include "serde/value.h"  // for Bytes
 #include "util/error.h"
 #include "util/lru.h"
@@ -67,7 +68,15 @@ void unpack_to(const Archive& archive, const std::string& root);
 int relocate_prefix(Archive& archive, const std::string& old_prefix,
                     const std::string& new_prefix);
 
-// Synthesize and tar a resolved environment, deduplicated by package
+// A packed environment: the ustar archive plus the content-defined chunk
+// manifest describing it (chunk payloads live in global_chunk_store(), as
+// spans into `tar`). Both are immutable and shared out of the pack cache.
+struct PackedEnvironment {
+  std::shared_ptr<const Bytes> tar;
+  std::shared_ptr<const ChunkManifest> manifest;
+};
+
+// Synthesize, tar, and chunk a resolved environment, deduplicated by package
 // signature: every environment with the same pinned package set — whatever
 // its name — shares one immutable archive (the paper's observation that one
 // packed env serves all invocations of a function, §V.D). The archive
@@ -76,6 +85,14 @@ int relocate_prefix(Archive& archive, const std::string& old_prefix,
 // signature), and a MANIFEST listing every synthesized payload file with its
 // size; payload bytes themselves are elided so multi-GB environments stay
 // packable in memory (the distribution cost models operate on sizes).
+//
+// Cold packs run a parallel pipeline: one task per package (synthesize +
+// tar-entry render + chunking), merged in the environment's sorted package
+// order. `threads` <= 0 uses hardware concurrency; output bytes and manifest
+// are identical for every thread count (DESIGN.md §12).
+PackedEnvironment packed_environment(const Environment& env, int threads = 0);
+
+// Archive-only accessor, same cache as packed_environment().
 std::shared_ptr<const Bytes> packed_environment_tar(const Environment& env);
 
 // The canonical build prefix embedded in (and relocatable out of) the text

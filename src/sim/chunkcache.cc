@@ -1,0 +1,65 @@
+#include "sim/chunkcache.h"
+
+#include <unordered_set>
+
+namespace lfm::sim {
+
+void ChunkCacheModel::set_capacity(int64_t capacity_bytes) {
+  capacity_bytes_ = capacity_bytes;
+  evict_to_capacity();
+}
+
+void ChunkCacheModel::touch(std::unordered_map<uint64_t, Entry>::iterator it) {
+  lru_.erase(it->second.tick);
+  it->second.tick = ++tick_;
+  lru_.emplace(it->second.tick, it->first);
+}
+
+void ChunkCacheModel::insert(uint64_t digest, uint32_t size_bytes) {
+  const auto it = map_.find(digest);
+  if (it != map_.end()) {
+    touch(it);
+    return;
+  }
+  Entry e;
+  e.size = size_bytes;
+  e.tick = ++tick_;
+  map_.emplace(digest, e);
+  lru_.emplace(e.tick, digest);
+  bytes_ += size_bytes;
+  evict_to_capacity();
+}
+
+void ChunkCacheModel::evict_to_capacity() {
+  while (bytes_ > capacity_bytes_ && !map_.empty()) {
+    const auto victim = lru_.begin();
+    const auto it = map_.find(victim->second);
+    bytes_ -= it->second.size;
+    map_.erase(it);
+    lru_.erase(victim);
+    ++evictions_;
+  }
+}
+
+int64_t ChunkCacheModel::missing_bytes(const pkg::ChunkManifest& manifest) const {
+  int64_t missing = 0;
+  std::unordered_set<uint64_t> counted;
+  for (const pkg::ChunkRef& c : manifest.chunks()) {
+    if (map_.count(c.digest) > 0) continue;
+    if (!counted.insert(c.digest).second) continue;
+    missing += c.size;
+  }
+  return missing;
+}
+
+void ChunkCacheModel::admit(const pkg::ChunkManifest& manifest) {
+  for (const pkg::ChunkRef& c : manifest.chunks()) insert(c.digest, c.size);
+}
+
+void ChunkCacheModel::clear() {
+  map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace lfm::sim

@@ -1,0 +1,66 @@
+// Worker-side chunk cache model for delta environment distribution.
+//
+// With content-addressed distribution (pkg/chunk.h, DESIGN.md §12) a worker
+// keeps the chunks of every archive it has fetched on local disk; when the
+// master books the next transfer it consults this model and ships only the
+// manifest chunks the worker is missing. The cache is a bounded LRU over
+// chunk digests — capacity is a slice of the worker's LocalDisk, and
+// evictions model that disk filling up, not a memory budget.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "pkg/chunk.h"
+
+namespace lfm::sim {
+
+class ChunkCacheModel {
+ public:
+  explicit ChunkCacheModel(int64_t capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  void set_capacity(int64_t capacity_bytes);
+
+  bool contains(uint64_t digest) const { return map_.count(digest) > 0; }
+
+  // Record one chunk landing on the worker's disk; touches an existing
+  // entry. Oversized inserts evict LRU entries until the chunk fits (a
+  // chunk larger than the whole cache simply does not stick).
+  void insert(uint64_t digest, uint32_t size_bytes);
+
+  // Bytes of `manifest`'s chunks this cache does not hold — the delta the
+  // master must actually ship. Duplicate digests within one manifest are
+  // counted once (the wire carries one copy).
+  int64_t missing_bytes(const pkg::ChunkManifest& manifest) const;
+
+  // Account a completed transfer: every manifest chunk is now on disk.
+  // Hits are touched (LRU refresh), misses inserted.
+  void admit(const pkg::ChunkManifest& manifest);
+
+  void clear();
+
+  int64_t bytes() const { return bytes_; }
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t chunk_count() const { return map_.size(); }
+  int64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    uint32_t size = 0;
+    uint64_t tick = 0;
+  };
+
+  void touch(std::unordered_map<uint64_t, Entry>::iterator it);
+  void evict_to_capacity();
+
+  int64_t capacity_bytes_;
+  int64_t bytes_ = 0;
+  int64_t evictions_ = 0;
+  uint64_t tick_ = 0;
+  std::unordered_map<uint64_t, Entry> map_;
+  std::map<uint64_t, uint64_t> lru_;  // tick -> digest; begin() = coldest
+};
+
+}  // namespace lfm::sim

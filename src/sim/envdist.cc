@@ -54,6 +54,18 @@ double EnvDistModel::setup_seconds(const pkg::Environment& env,
   return 0.0;
 }
 
+double EnvDistModel::delta_setup_seconds(const pkg::Environment& env, int nodes,
+                                         double missing_fraction) const {
+  const double clamped = std::clamp(missing_fraction, 0.0, 1.0);
+  const auto packed = static_cast<int64_t>(
+      static_cast<double>(env.total_size()) * kPackRatio * clamped);
+  const double fetch = packed > 0 ? fs_.archive_fetch_seconds(nodes, packed) : 0.0;
+  const double unpack = disk_.unpack_seconds(env.total_files(), env.total_size());
+  const double relocate = 0.05 * static_cast<double>(env.total_files()) *
+                          disk_.params().file_create_seconds * 2.0;
+  return fetch + unpack + relocate;
+}
+
 double EnvDistModel::import_seconds(const pkg::Environment& env,
                                     DistributionMethod method,
                                     int concurrent_importers) const {

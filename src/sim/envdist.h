@@ -49,6 +49,15 @@ class EnvDistModel {
   double setup_seconds(const pkg::Environment& env, DistributionMethod method,
                        int nodes) const;
 
+  // kPackedTransfer with delta distribution (DESIGN.md §12): the worker
+  // already holds `1 - missing_fraction` of the archive's chunks in its
+  // local chunk cache, so the fetch scales down to the missing bytes while
+  // unpack and relocation still touch the whole environment on local disk.
+  // missing_fraction = 1 reproduces setup_seconds(kPackedTransfer) exactly;
+  // the non-delta fig/table paths never call this.
+  double delta_setup_seconds(const pkg::Environment& env, int nodes,
+                             double missing_fraction) const;
+
   // Time for a task to import its libraries once the environment is set up:
   // direct method pays the shared FS on every import; local methods read
   // from node-local disk.

@@ -53,6 +53,27 @@ struct MasterMetrics {
 // Simulated data-plane traffic, accounted in protocol-v2 bytes: batched
 // task frames out (one frame per worker per dispatch event), single result
 // frames back.
+struct DistMetrics {
+  obs::Counter& delta_transfers;
+  obs::Counter& full_transfers;
+  obs::Counter& bytes_shipped;
+  obs::Counter& bytes_saved;
+  obs::Counter& chunk_evictions;
+  obs::HistogramMetric& miss_fraction;
+
+  static DistMetrics& get() {
+    static DistMetrics m{
+        obs::Recorder::global().metrics().counter("dist.delta_transfers"),
+        obs::Recorder::global().metrics().counter("dist.full_transfers"),
+        obs::Recorder::global().metrics().counter("dist.bytes_shipped"),
+        obs::Recorder::global().metrics().counter("dist.bytes_saved"),
+        obs::Recorder::global().metrics().counter("dist.chunk_evictions"),
+        obs::Recorder::global().metrics().histogram("dist.miss_fraction", 1e-6, 1.0, 48),
+    };
+    return m;
+  }
+};
+
 struct WireSimMetrics {
   obs::Counter& frames;
   obs::Counter& bytes;
@@ -165,6 +186,10 @@ int Master::add_worker(const WorkerSpec& spec) {
   w.ready_time = spec.ready_time;
   w.cache_capacity_bytes = static_cast<int64_t>(
       std::max(0.0, spec.capacity.disk_bytes * config_.cache_fraction));
+  if (config_.delta_distribution) {
+    w.chunks.set_capacity(static_cast<int64_t>(
+        std::max(0.0, spec.capacity.disk_bytes * config_.chunk_cache_fraction)));
+  }
   // A worker whose ready time has already passed is visible immediately —
   // otherwise observers polling at this same timestamp (the provisioner)
   // would undercount the pool and over-provision.
@@ -569,7 +594,39 @@ void Master::dispatch(size_t record_index, int worker_id,
       entry.pins += 1;
       continue;
     }
-    bytes += f.size_bytes;
+    int64_t shipped = f.size_bytes;
+    if (config_.delta_distribution && f.manifest) {
+      // Book only the chunks this worker's local chunk cache misses. The
+      // declared size scales by the missing fraction, so a fully cold fetch
+      // books exactly size_bytes and a fully warm sibling books ~0.
+      const int64_t total = f.manifest->total_bytes();
+      const int64_t missing = worker.chunks.missing_bytes(*f.manifest);
+      const bool partial = total > 0 && missing < total;
+      if (partial) {
+        const double fraction =
+            static_cast<double>(missing) / static_cast<double>(total);
+        shipped = static_cast<int64_t>(
+            std::llround(static_cast<double>(f.size_bytes) * fraction));
+        ++stats_.delta_transfers;
+        stats_.delta_bytes_saved += f.size_bytes - shipped;
+      }
+      const int64_t evictions_before = worker.chunks.evictions();
+      worker.chunks.admit(*f.manifest);  // the fetched chunks land on disk
+      const int64_t evicted = worker.chunks.evictions() - evictions_before;
+      stats_.chunk_cache_evictions += evicted;
+      if (obs::Recorder::enabled()) {
+        DistMetrics& dm = DistMetrics::get();
+        (partial ? dm.delta_transfers : dm.full_transfers).add();
+        dm.bytes_shipped.add(shipped);
+        if (partial) {
+          dm.bytes_saved.add(f.size_bytes - shipped);
+          dm.miss_fraction.observe(
+              static_cast<double>(missing) / static_cast<double>(total));
+        }
+        if (evicted > 0) dm.chunk_evictions.add(evicted);
+      }
+    }
+    bytes += shipped;
     if (f.cacheable) {
       unpack += f.unpack_seconds;
       if (make_cache_room(worker, f.size_bytes)) {
@@ -801,6 +858,7 @@ void Master::crash_worker(int worker_id) {
   worker.cache.clear();
   worker.evictable.clear();
   worker.cache_bytes = 0;
+  worker.chunks.clear();  // the chunk cache lives on the same lost disk
   ++worker_crashes_;
   if (obs::Recorder::enabled()) {
     MasterMetrics::get().worker_crashes.add();
@@ -984,6 +1042,10 @@ bool Master::worker_caches(int worker_id, const std::string& file_name) const {
 
 int64_t Master::worker_cache_bytes(int worker_id) const {
   return workers_[static_cast<size_t>(worker_id)].cache_bytes;
+}
+
+int64_t Master::worker_chunk_bytes(int worker_id) const {
+  return workers_[static_cast<size_t>(worker_id)].chunks.bytes();
 }
 
 void Master::recover(const chaos::Journal& journal) {

@@ -43,6 +43,7 @@
 #include "alloc/labeler.h"
 #include "chaos/injector.h"
 #include "chaos/retry.h"
+#include "sim/chunkcache.h"
 #include "sim/engine.h"
 #include "sim/network.h"
 #include "wq/task.h"
@@ -73,6 +74,14 @@ struct MasterConfig {
   // hardcoded behaviour bit-for-bit: immediate requeue, failure after
   // max_retries exhaustions, crashes retried unconditionally.
   chaos::RetryPolicy retry;
+  // Content-addressed delta distribution (DESIGN.md §12): inputs carrying a
+  // chunk manifest ship only the chunks missing from the worker's local
+  // chunk cache; the booked bytes scale by the missing fraction. Off by
+  // default — every fig/table schedule is byte-identical with this false.
+  bool delta_distribution = false;
+  // Fraction of each worker's disk reserved for its chunk cache (delta mode
+  // only); evictions model that LocalDisk slice filling up.
+  double chunk_cache_fraction = 0.25;
 };
 
 struct MasterStats {
@@ -92,6 +101,10 @@ struct MasterStats {
   // them, but the task re-ran. Labeler-consistency checks account for these:
   //   labeler samples == tasks_completed + lost_results.
   int64_t lost_results = 0;
+  // Delta distribution accounting (zero unless delta_distribution is on):
+  int64_t delta_transfers = 0;        // transfers partially served from chunk caches
+  int64_t delta_bytes_saved = 0;      // booked bytes avoided by cached chunks
+  int64_t chunk_cache_evictions = 0;  // chunks dropped from full worker caches
   double total_busy_core_seconds = 0.0;     // sum over tasks of alloc.cores*runtime
   double total_capacity_core_seconds = 0.0; // pool core-seconds over makespan
   double utilization() const {
@@ -169,6 +182,8 @@ class Master : public chaos::FaultSink {
   bool worker_caches(int worker_id, const std::string& file_name) const;
   // Total bytes currently cached on `worker_id`.
   int64_t worker_cache_bytes(int worker_id) const;
+  // Bytes in `worker_id`'s chunk cache (delta distribution; 0 otherwise).
+  int64_t worker_chunk_bytes(int worker_id) const;
 
  private:
   struct CacheEntry {
@@ -197,6 +212,9 @@ class Master : public chaos::FaultSink {
     // Records currently transferring/executing/returning here (ascending, so
     // a crash requeues in the same order the old whole-table scan did).
     std::set<size_t> inflight;
+    // Content-addressed chunk cache on this worker's local disk (delta
+    // distribution only; empty and untouched otherwise). Lost on crash.
+    sim::ChunkCacheModel chunks;
   };
 
   // Scheduling group: queued tasks of one (category, attempt, cache

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "alloc/resources.h"
+#include "pkg/chunk.h"
 
 namespace lfm::wq {
 
@@ -27,6 +29,12 @@ struct InputFile {
   // Extra one-time cost after first transfer (e.g. unpacking a packed
   // environment onto local disk). Paid only when the file enters the cache.
   double unpack_seconds = 0.0;
+  // Content-defined chunk manifest of the file (packed environments carry
+  // theirs from pkg::packed_environment). Under MasterConfig::
+  // delta_distribution the master books only the chunks missing from the
+  // worker's chunk cache, scaling size_bytes by the missing fraction; with
+  // delta off (the default) the manifest is ignored entirely.
+  std::shared_ptr<const pkg::ChunkManifest> manifest;
 };
 
 struct TaskSpec {

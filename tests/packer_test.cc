@@ -160,6 +160,50 @@ TEST(Packer, UnpackRejectsTraversal) {
   EXPECT_THROW(unpack_to(a, (fs::temp_directory_path() / "lfm_safe").string()), Error);
 }
 
+TEST(Packer, UnpackRejectsCraftedTraversalArchive) {
+  // A hostile archive that arrives over the wire as genuine ustar bytes:
+  // our own writer emits whatever paths the archive carries, so the attack
+  // survives write_tar -> read_tar intact; only unpack_to may stop it.
+  const fs::path root = fs::temp_directory_path() / "lfm_traversal_root";
+  const fs::path marker = fs::temp_directory_path() / "lfm_escape_marker.txt";
+  fs::remove_all(root);
+  fs::remove(marker);
+
+  Archive crafted;
+  crafted.add_file("ok.txt", text_bytes("benign"));
+  crafted.add_file("nested/../../lfm_escape_marker.txt", text_bytes("evil"));
+  const Archive received = read_tar(write_tar(crafted));
+  ASSERT_EQ(received.entries().size(), 2u);
+
+  EXPECT_THROW(unpack_to(received, root.string()), Error);
+  // The traversal entry must not have materialized outside the root.
+  EXPECT_FALSE(fs::exists(marker));
+  fs::remove_all(root);
+}
+
+TEST(Packer, UnpackRejectsAbsolutePathArchive) {
+  const fs::path victim = fs::temp_directory_path() / "lfm_absolute_victim.txt";
+  fs::remove(victim);
+
+  Archive crafted;
+  crafted.add_file(victim.string(), text_bytes("evil"));
+  const Archive received = read_tar(write_tar(crafted));
+
+  const fs::path root = fs::temp_directory_path() / "lfm_absolute_root";
+  fs::remove_all(root);
+  EXPECT_THROW(unpack_to(received, root.string()), Error);
+  EXPECT_FALSE(fs::exists(victim));
+  fs::remove_all(root);
+}
+
+TEST(Packer, UnpackRejectsEmptyEntryPath) {
+  Archive a;
+  a.add_file("", text_bytes("x"));
+  const fs::path root = fs::temp_directory_path() / "lfm_empty_root";
+  EXPECT_THROW(unpack_to(a, root.string()), Error);
+  fs::remove_all(root);
+}
+
 TEST(Packer, RelocatePrefixRewritesTextOnly) {
   Archive a;
   a.add_file("activate", text_bytes("export PREFIX=/home/user/miniconda3/envs/hep\n"));
