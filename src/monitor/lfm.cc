@@ -15,6 +15,7 @@
 #include "monitor/proc_reader.h"
 #include "obs/recorder.h"
 #include "serde/pickle.h"
+#include "util/io.h"
 #include "util/log.h"
 
 namespace lfm::monitor {
@@ -23,33 +24,6 @@ namespace {
 // Child -> parent report framing: 1 status byte + pickled payload.
 constexpr uint8_t kReportSuccess = 0;
 constexpr uint8_t kReportException = 1;
-
-bool write_all(int fd, const uint8_t* data, size_t size) {
-  size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::write(fd, data + done, size - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-// Drain everything currently available without blocking.
-void read_available(int fd, serde::Bytes& buffer) {
-  uint8_t chunk[4096];
-  while (true) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n > 0) {
-      buffer.insert(buffer.end(), chunk, chunk + n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return;  // 0 = EOF, or EAGAIN on non-blocking fd
-  }
-}
 
 double now_seconds() {
   using clock = std::chrono::steady_clock;
@@ -70,8 +44,8 @@ double now_seconds() {
     status = kReportException;
     serde::dumps_into(serde::Value(std::string("unknown exception")), payload);
   }
-  write_all(report_fd, &status, 1);
-  write_all(report_fd, payload.data(), payload.size());
+  io::write_all(report_fd, &status, 1);
+  io::write_all(report_fd, payload.data(), payload.size());
   ::close(report_fd);
   ::_exit(0);
 }
@@ -150,7 +124,7 @@ LoopResult monitor_loop(pid_t pid, int read_fd, const MonitorOptions& options,
       }
     }
 
-    read_available(read_fd, result.collected);
+    io::read_available(read_fd, result.collected);
     std::this_thread::sleep_for(std::chrono::duration<double>(options.poll_interval));
   }
 
@@ -159,7 +133,7 @@ LoopResult monitor_loop(pid_t pid, int read_fd, const MonitorOptions& options,
   usage.cores = usage.wall_time > 0.0 ? usage.cpu_time / usage.wall_time : 0.0;
 
   // Collect any remaining bytes (the pipe outlives the child).
-  read_available(read_fd, result.collected);
+  io::read_available(read_fd, result.collected);
   ::close(read_fd);
   return result;
 }

@@ -1,0 +1,172 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace lfm::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw Error(std::string("epoll_create1: ") + std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw Error(std::string("eventfd: ") + std::strerror(errno));
+  }
+  add_fd(wake_fd_, EPOLLIN, [this](uint32_t) {
+    uint64_t drain = 0;
+    while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  // Handlers can own Connections whose destructors call remove_fd(); swap
+  // the map out first so that re-entry mutates an empty map rather than the
+  // tree being torn down.
+  std::map<int, FdCallback> doomed;
+  doomed.swap(handlers_);
+  doomed.clear();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, uint32_t events, FdCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw Error(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+  handlers_[fd] = std::move(callback);
+}
+
+void EventLoop::modify_fd(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw Error(std::string("epoll_ctl(MOD): ") + std::strerror(errno));
+  }
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+bool EventLoop::has_fd(int fd) const { return handlers_.count(fd) != 0; }
+
+void EventLoop::arm(uint64_t id, double deadline) {
+  timers_[id].deadline = deadline;
+  timer_heap_.emplace(deadline, id);
+}
+
+uint64_t EventLoop::run_after(double delay, std::function<void()> fn) {
+  const uint64_t id = next_timer_id_++;
+  timers_[id] = TimerState{0.0, 0.0, std::move(fn)};
+  arm(id, now() + std::max(delay, 0.0));
+  return id;
+}
+
+uint64_t EventLoop::run_every(double interval, std::function<void()> fn) {
+  if (interval <= 0.0) throw Error("EventLoop::run_every: interval must be > 0");
+  const uint64_t id = next_timer_id_++;
+  timers_[id] = TimerState{0.0, interval, std::move(fn)};
+  arm(id, now() + interval);
+  return id;
+}
+
+void EventLoop::cancel_timer(uint64_t id) { timers_.erase(id); }
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::stop() {
+  post([this] { stopped_ = true; });
+}
+
+double EventLoop::now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timer_heap_.empty()) return -1;  // block until an fd or a wakeup fires
+  const double dt = timer_heap_.top().first - now();
+  if (dt <= 0.0) return 0;
+  // Round up so we never spin-wake just short of the deadline.
+  return static_cast<int>(std::ceil(dt * 1000.0));
+}
+
+void EventLoop::run_due_timers() {
+  const double t = now();
+  while (!timer_heap_.empty() && timer_heap_.top().first <= t) {
+    const auto [deadline, id] = timer_heap_.top();
+    timer_heap_.pop();
+    const auto it = timers_.find(id);
+    // Cancelled, or re-armed under a different deadline: stale heap entry.
+    if (it == timers_.end() || it->second.deadline != deadline) continue;
+    if (it->second.interval > 0.0) {
+      arm(id, deadline + it->second.interval);
+      // Copy: the callback may cancel_timer(id), erasing the stored
+      // function out from under a direct invocation.
+      const std::function<void()> fn = it->second.fn;
+      fn();
+    } else {
+      std::function<void()> fn = std::move(it->second.fn);
+      timers_.erase(it);
+      fn();
+    }
+  }
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  epoll_event events[64];
+  while (!stopped_) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, next_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("epoll_wait: ") + std::strerror(errno));
+    }
+    for (int i = 0; i < n && !stopped_; ++i) {
+      const int fd = events[i].data.fd;
+      // Revalidate: an earlier callback this iteration may have removed it.
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      // Copy so a handler that deregisters (even destroys) itself stays
+      // callable for the rest of this invocation.
+      const FdCallback handler = it->second;
+      handler(events[i].events);
+    }
+    if (stopped_) break;
+    run_due_timers();
+    drain_posted();
+  }
+}
+
+}  // namespace lfm::net

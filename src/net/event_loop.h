@@ -1,0 +1,93 @@
+// The transport runtime's reactor: a single-threaded epoll event loop with
+// monotonic timers and a cross-thread wakeup fd (DESIGN.md §13).
+//
+// Everything in src/net/ — listeners, connections, the master service, the
+// worker client — runs as callbacks on one EventLoop thread, so none of it
+// locks. The only thread-safe entry points are post() and stop(), which go
+// through an eventfd so another thread (or a signal-adjacent context) can
+// inject work or shut the loop down without racing the reactor.
+//
+// Callbacks may freely add/remove fds and timers from inside the loop,
+// including removing the very fd being dispatched: dispatch works on a
+// per-event copy of the handler and revalidates registration between
+// events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace lfm::net {
+
+class EventLoop {
+ public:
+  // Bitmask passed through from epoll (EPOLLIN / EPOLLOUT / EPOLLERR...).
+  using FdCallback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- fd registration (loop thread only) -----------------------------------
+  // Level-triggered. `events` is the epoll interest mask (EPOLLIN etc.).
+  void add_fd(int fd, uint32_t events, FdCallback callback);
+  void modify_fd(int fd, uint32_t events);
+  // Deregister; safe to call for an fd that is mid-dispatch (its remaining
+  // events this iteration are dropped). The caller closes the fd itself.
+  void remove_fd(int fd);
+  bool has_fd(int fd) const;
+
+  // --- timers (loop thread only) --------------------------------------------
+  // One-shot after `delay` seconds; returns a cancel token.
+  uint64_t run_after(double delay, std::function<void()> fn);
+  // Periodic every `interval` seconds (first fire after one interval).
+  uint64_t run_every(double interval, std::function<void()> fn);
+  void cancel_timer(uint64_t id);
+
+  // --- cross-thread entry points --------------------------------------------
+  // Enqueue `fn` to run on the loop thread; wakes the loop if blocked.
+  void post(std::function<void()> fn);
+  // Make run() return after the current iteration finishes.
+  void stop();
+
+  // Run until stop(). Re-runnable: stop() state clears on entry.
+  void run();
+
+  // Monotonic seconds (steady clock) — the time base for timers and for the
+  // transport's heartbeat/idle bookkeeping.
+  static double now();
+
+ private:
+  struct TimerState {
+    double deadline = 0.0;
+    double interval = 0.0;  // <= 0: one-shot
+    std::function<void()> fn;
+  };
+
+  void arm(uint64_t id, double deadline);
+  void run_due_timers();
+  void drain_posted();
+  int next_timeout_ms() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool stopped_ = false;
+  std::map<int, FdCallback> handlers_;
+  // (deadline, id) min-heap with lazy deletion: entries whose id is gone or
+  // whose deadline no longer matches timers_[id] are skipped on pop.
+  std::priority_queue<std::pair<double, uint64_t>,
+                      std::vector<std::pair<double, uint64_t>>,
+                      std::greater<std::pair<double, uint64_t>>>
+      timer_heap_;
+  std::map<uint64_t, TimerState> timers_;
+  uint64_t next_timer_id_ = 1;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace lfm::net

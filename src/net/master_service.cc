@@ -1,0 +1,373 @@
+#include "net/master_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace lfm::net {
+
+namespace {
+
+void count(const char* name, int64_t n = 1) {
+  if (obs::Recorder::enabled()) {
+    obs::Recorder::global().metrics().counter(name).add(n);
+  }
+}
+
+void observe(const char* name, double v, double lo, double hi) {
+  if (obs::Recorder::enabled()) {
+    obs::Recorder::global().metrics().histogram(name, lo, hi).observe(v);
+  }
+}
+
+void mark(const char* name, const std::string& detail, uint64_t tid) {
+  if (obs::Recorder::enabled()) {
+    obs::Recorder& r = obs::Recorder::global();
+    r.instant(obs::kPidHost, tid, r.now(), name, "net", "detail", detail);
+  }
+}
+
+}  // namespace
+
+MasterService::MasterService(EventLoop& loop, MasterServiceConfig config)
+    : loop_(loop),
+      config_(config),
+      listener_(loop, config.port, config.bind_addr) {
+  listener_.set_on_accept([this](int fd) { on_accept(fd); });
+  listener_.start();
+  if (config_.heartbeat_interval > 0) {
+    heartbeat_timer_ =
+        loop_.run_every(config_.heartbeat_interval, [this] { heartbeat(); });
+  }
+}
+
+MasterService::~MasterService() {
+  if (heartbeat_timer_ != 0) loop_.cancel_timer(heartbeat_timer_);
+  for (auto& [id, w] : conns_) {
+    // Detach first: teardown close() must not re-enter handle_close over a
+    // half-destroyed map.
+    w.conn->set_on_close({});
+    if (!w.conn->closed()) w.conn->close("master shutdown");
+  }
+}
+
+void MasterService::submit(wq::TaskMessage task, wq::FileSet files) {
+  const size_t index = tasks_.size();
+  index_by_task_id_[task.task_id] = index;
+  tasks_.push_back(PendingTask{std::move(task), std::move(files), false});
+  results_.emplace_back();
+  queue_.push_back(index);
+  ++pending_;
+  dispatch();
+}
+
+void MasterService::on_accept(int fd) {
+  const uint64_t id = next_conn_id_++;
+  auto conn = std::make_shared<Connection>(loop_, fd, id);
+  conn->set_on_message([this, id](Connection& c, std::string&& wire) {
+    on_message(id, c, std::move(wire));
+  });
+  conn->set_on_close([this, id](Connection&, const std::string& reason) {
+    // Defer: close() can fire from inside dispatch()'s iteration over
+    // conns_; mutating the map there would invalidate the iterator.
+    loop_.post([this, id, reason] { handle_close(id, reason); });
+  });
+  WorkerConn w;
+  w.conn = conn;
+  conns_.emplace(id, std::move(w));
+  ++stats_.connections_accepted;
+  count("net.accepts");
+  mark("net.accept", "conn " + std::to_string(id), id);
+  conn->start();
+}
+
+void MasterService::on_message(uint64_t conn_id, Connection& conn,
+                               std::string&& wire) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  WorkerConn& w = it->second;
+  count("net.frames_in");
+  switch (wq::classify(wire)) {
+    case wq::MessageKind::kHello: {
+      const wq::HelloMessage hello = wq::decode_hello(wire);
+      w.helloed = true;
+      w.version = hello.preferred;
+      w.name = hello.worker_name;
+      count("net.hellos");
+      mark("net.hello",
+           hello.worker_name + " v" +
+               std::to_string(static_cast<int>(hello.preferred)),
+           conn_id);
+      dispatch_to(w);
+      return;
+    }
+    case wq::MessageKind::kResult:
+    case wq::MessageKind::kResultBatch: {
+      if (!w.helloed) {
+        conn.close("result before hello");
+        return;
+      }
+      const std::vector<wq::ResultMessage> results =
+          wq::decode_result_batch(wire);
+      for (const wq::ResultMessage& msg : results) handle_result(w, msg);
+      if (!conn.closed()) dispatch_to(w);
+      check_finished();
+      return;
+    }
+    case wq::MessageKind::kControl: {
+      const wq::ControlMessage ctl = wq::decode_control(wire);
+      if (ctl.type == wq::ControlType::kPing) {
+        // Reply in the dialect the ping arrived in.
+        wq::ControlMessage pong{wq::ControlType::kPong, ctl.nonce,
+                                ctl.timestamp};
+        conn.send(wq::encode(pong, wq::detect_version(wire)));
+        count("net.frames_out");
+      } else if (ctl.type == wq::ControlType::kPong) {
+        if (ctl.nonce == w.ping_nonce && w.last_ping_sent > 0) {
+          observe("net.rtt_seconds", EventLoop::now() - w.last_ping_sent, 1e-6,
+                  10.0);
+          w.last_ping_sent = 0;
+        }
+      }
+      return;
+    }
+    default:
+      conn.close("unexpected message kind from worker");
+      return;
+  }
+}
+
+void MasterService::handle_result(WorkerConn& w, const wq::ResultMessage& msg) {
+  auto it = index_by_task_id_.find(msg.task_id);
+  if (it == index_by_task_id_.end()) {
+    count("net.unknown_results");
+    return;
+  }
+  const size_t index = it->second;
+  PendingTask& t = tasks_[index];
+  if (t.done) {
+    // The task was re-dispatched after a drop and both attempts reported.
+    ++stats_.duplicate_results;
+    count("net.duplicate_results");
+    return;
+  }
+  t.done = true;
+  // Re-dispatch bookkeeping: the completing attempt may live on a different
+  // connection than an earlier one, but only this worker's inflight set can
+  // still hold the index (drops already requeued theirs).
+  w.inflight.erase(index);
+  results_[index] = msg;
+  ++stats_.tasks_completed;
+  --pending_;
+  count("net.results");
+  if (on_result_) on_result_(results_[index]);
+}
+
+void MasterService::handle_close(uint64_t conn_id, const std::string& reason) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  WorkerConn& w = it->second;
+  absorb_conn_totals(*w.conn);
+  ++stats_.disconnects;
+  count("net.disconnects");
+  mark("net.disconnect", reason, conn_id);
+  if (!w.inflight.empty()) {
+    // At-least-once: everything this connection was running goes back to
+    // the front of the queue so a reconnecting (or sibling) worker retries
+    // it promptly.
+    stats_.requeued_tasks += static_cast<int64_t>(w.inflight.size());
+    count("net.requeued_tasks", static_cast<int64_t>(w.inflight.size()));
+    for (auto rit = w.inflight.rbegin(); rit != w.inflight.rend(); ++rit) {
+      if (!tasks_[*rit].done) queue_.push_front(*rit);
+    }
+  }
+  conns_.erase(it);
+  dispatch();
+  check_finished();
+}
+
+void MasterService::dispatch() {
+  for (auto& [id, w] : conns_) {
+    if (queue_.empty()) break;
+    dispatch_to(w);
+  }
+}
+
+void MasterService::send_files_for(WorkerConn& w, const PendingTask& t) {
+  for (const wq::TaskMessage::FileStanza& stanza : t.task.infiles) {
+    auto fit = t.files.find(stanza.name);
+    if (fit == t.files.end()) continue;  // not master-staged (worker-local)
+    if (stanza.cacheable && w.cached_files.count(stanza.name)) continue;
+    wq::FileMessage fm{stanza.name, stanza.cacheable, fit->second};
+    w.conn->send(wq::encode(fm, w.version));
+    ++stats_.files_sent;
+    count("net.files_sent");
+    count("net.frames_out");
+    if (stanza.cacheable) w.cached_files.insert(stanza.name);
+  }
+}
+
+void MasterService::dispatch_to(WorkerConn& w) {
+  if (!w.helloed || w.conn->closed()) return;
+  while (!queue_.empty()) {
+    if (w.inflight.size() >= static_cast<size_t>(config_.tasks_per_worker)) {
+      return;
+    }
+    if (w.conn->queued_bytes() >= config_.write_high_watermark) {
+      count("net.backpressure_stalls");
+      return;
+    }
+    const size_t room = std::min(
+        config_.max_batch,
+        static_cast<size_t>(config_.tasks_per_worker) - w.inflight.size());
+    std::vector<wq::TaskMessage> batch;
+    while (batch.size() < room && !queue_.empty()) {
+      const size_t index = queue_.front();
+      queue_.pop_front();
+      if (tasks_[index].done) continue;  // completed while requeued
+      send_files_for(w, tasks_[index]);
+      if (w.conn->closed()) {
+        // A send() failure mid-staging closed the connection; the index
+        // goes back so the deferred handle_close path can't miss it.
+        queue_.push_front(index);
+        return;
+      }
+      batch.push_back(tasks_[index].task);
+      w.inflight.insert(index);
+    }
+    if (batch.empty()) return;
+    if (batch.size() > 1 && w.version == wq::WireVersion::kV2) {
+      w.conn->send(wq::encode_batch(batch, w.version));
+      count("net.frames_out");
+    } else {
+      for (const wq::TaskMessage& msg : batch) {
+        w.conn->send(wq::encode(msg, w.version));
+        count("net.frames_out");
+      }
+    }
+    count("net.dispatched_tasks", static_cast<int64_t>(batch.size()));
+    observe("net.batch_size", static_cast<double>(batch.size()), 1.0, 4096.0);
+    if (w.conn->closed()) return;
+  }
+}
+
+void MasterService::heartbeat() {
+  const double now = EventLoop::now();
+  // Collect first: close() fires callbacks that mutate conns_ (deferred via
+  // post, but keep the iteration clean anyway).
+  std::vector<Connection*> to_ping;
+  std::vector<Connection*> to_drop;
+  for (auto& [id, w] : conns_) {
+    if (!w.helloed || w.conn->closed()) continue;
+    // Only idle connections: a worker grinding through a long task reads
+    // nothing until it finishes, and a ping backlog would look like death.
+    if (!w.inflight.empty()) continue;
+    if (config_.idle_timeout > 0 &&
+        now - w.conn->last_activity() > config_.idle_timeout) {
+      to_drop.push_back(w.conn.get());
+      continue;
+    }
+    w.ping_nonce += 1;
+    w.last_ping_sent = now;
+    wq::ControlMessage ping{wq::ControlType::kPing, w.ping_nonce, now};
+    to_ping.push_back(w.conn.get());
+    w.conn->send(wq::encode(ping, w.version));
+    count("net.pings");
+    count("net.frames_out");
+  }
+  for (Connection* c : to_drop) {
+    count("net.idle_closes");
+    c->close("idle-timeout");
+  }
+}
+
+void MasterService::check_finished() {
+  if (pending_ != 0 || tasks_.empty()) return;
+  if (!finishing_) {
+    finishing_ = true;
+    for (auto& [id, w] : conns_) {
+      if (w.conn->closed()) continue;
+      wq::ControlMessage bye{wq::ControlType::kBye, 0, EventLoop::now()};
+      w.conn->send(wq::encode(bye, w.version));
+      count("net.frames_out");
+      w.conn->close_after_flush();
+    }
+  }
+  if (conns_.empty()) loop_.stop();
+}
+
+NetMasterStats MasterService::run_until_complete(double timeout) {
+  finishing_ = false;
+  timed_out_ = false;
+  if (pending_ == 0) {
+    check_finished();
+    if (!conns_.empty()) loop_.run();
+    return stats();
+  }
+  uint64_t watchdog = 0;
+  if (timeout > 0) {
+    watchdog = loop_.run_after(timeout, [this] {
+      timed_out_ = true;
+      loop_.stop();
+    });
+  }
+  loop_.run();
+  if (watchdog != 0) loop_.cancel_timer(watchdog);
+  if (timed_out_) {
+    throw Error("net: master run timed out with " + std::to_string(pending_) +
+                " tasks pending");
+  }
+  return stats();
+}
+
+bool MasterService::drop_connection(size_t k) {
+  size_t seen = 0;
+  for (auto& [id, w] : conns_) {
+    if (w.conn->closed() || !w.helloed) continue;
+    if (seen++ == k) {
+      mark("net.injected_drop", "conn " + std::to_string(id), id);
+      count("net.injected_drops");
+      w.conn->close("injected drop");
+      return true;
+    }
+  }
+  return false;
+}
+
+int MasterService::connected_workers() const {
+  int n = 0;
+  for (const auto& [id, w] : conns_) {
+    if (w.helloed && !w.conn->closed()) ++n;
+  }
+  return n;
+}
+
+void MasterService::absorb_conn_totals(const Connection& conn) {
+  stats_.bytes_sent += conn.bytes_out();
+  stats_.bytes_received += conn.bytes_in();
+  stats_.messages_sent += conn.messages_out();
+  stats_.messages_received += conn.messages_in();
+  if (obs::Recorder::enabled()) {
+    obs::Metrics& m = obs::Recorder::global().metrics();
+    m.counter("net.bytes_out").add(conn.bytes_out());
+    m.counter("net.bytes_in").add(conn.bytes_in());
+  }
+}
+
+NetMasterStats MasterService::stats() const {
+  NetMasterStats s = stats_;
+  // Live connections have not been absorbed into the running totals yet.
+  for (const auto& [id, w] : conns_) {
+    s.bytes_sent += w.conn->bytes_out();
+    s.bytes_received += w.conn->bytes_in();
+    s.messages_sent += w.conn->messages_out();
+    s.messages_received += w.conn->messages_in();
+  }
+  return s;
+}
+
+}  // namespace lfm::net

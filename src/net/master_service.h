@@ -1,0 +1,145 @@
+// MasterService: real-socket task dispatch (DESIGN.md §13).
+//
+// Serves the Work Queue dialogue the simulated wq::Master only accounts
+// for: workers connect over TCP, introduce themselves with a hello (which
+// pins the wire version spoken to them — version negotiation), receive
+// staged input files and task dispatches, and stream results back. The
+// dispatcher drains the ready queue into per-worker sends, coalescing up to
+// max_batch dispatches into one v2 batch frame, and consults each
+// connection's write-queue depth before assigning more work (backpressure:
+// a worker that stops reading stops receiving tasks, not the whole
+// master).
+//
+// Failure semantics are exactly-once on results, at-least-once on
+// attempts: every task completes exactly once at the master. A dropped
+// connection requeues its in-flight tasks; a result arriving later from a
+// reconnected worker that had already been re-dispatched elsewhere is
+// counted and discarded as a duplicate. Idle connections are pinged every
+// heartbeat_interval (pongs feed the net.rtt_seconds histogram) and closed
+// after idle_timeout of silence — a dead peer cannot hold the run hostage.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/conn.h"
+#include "net/event_loop.h"
+#include "wq/protocol.h"
+#include "wq/worker.h"
+
+namespace lfm::net {
+
+struct MasterServiceConfig {
+  uint16_t port = 0;  // 0 = ephemeral; read back via port()
+  std::string bind_addr = "127.0.0.1";
+  // In-flight dispatches per connection (pipelining depth).
+  int tasks_per_worker = 8;
+  // Dispatches coalesced into one v2 batch frame per send.
+  size_t max_batch = 64;
+  // Stop assigning work to a connection whose unsent backlog exceeds this.
+  size_t write_high_watermark = 4u << 20;
+  double heartbeat_interval = 2.0;  // ping idle connections this often
+  double idle_timeout = 30.0;       // close after this much silence (0 = off)
+};
+
+struct NetMasterStats {
+  int64_t tasks_completed = 0;
+  int64_t duplicate_results = 0;  // results for already-completed tasks
+  int64_t requeued_tasks = 0;     // in-flight dispatches returned by drops
+  int64_t connections_accepted = 0;
+  int64_t disconnects = 0;
+  int64_t files_sent = 0;
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t messages_sent = 0;
+  int64_t messages_received = 0;
+};
+
+class MasterService {
+ public:
+  MasterService(EventLoop& loop, MasterServiceConfig config = {});
+  ~MasterService();
+
+  uint16_t port() const { return listener_.port(); }
+
+  // Queue a task (with its transferable input files) for dispatch. Safe
+  // before or during run_until_complete (loop thread only).
+  void submit(wq::TaskMessage task, wq::FileSet files = {});
+
+  // Fires once per completed task, on the loop thread.
+  void set_on_result(std::function<void(const wq::ResultMessage&)> fn) {
+    on_result_ = std::move(fn);
+  }
+
+  // Run the loop until every submitted task has a result, then send bye to
+  // all workers, flush, and return the aggregate stats. Throws lfm::Error
+  // if `timeout` (> 0) wall seconds elapse first.
+  NetMasterStats run_until_complete(double timeout = 0.0);
+
+  // --- fault injection & introspection -------------------------------------
+  // Abruptly close the k-th (by accept order) live worker connection, as a
+  // network fault would: its in-flight tasks requeue, the worker is
+  // expected to reconnect with backoff. Returns false if no such
+  // connection.
+  bool drop_connection(size_t k);
+
+  size_t pending() const { return pending_; }
+  int connected_workers() const;
+  NetMasterStats stats() const;
+  // Results in submission order (default-constructed where not completed).
+  const std::vector<wq::ResultMessage>& results() const { return results_; }
+
+ private:
+  struct WorkerConn {
+    std::shared_ptr<Connection> conn;
+    bool helloed = false;
+    wq::WireVersion version = wq::WireVersion::kV2;
+    std::string name;
+    std::set<size_t> inflight;           // task indices dispatched here
+    std::set<std::string> cached_files;  // cacheable files already shipped
+    double last_ping_sent = 0.0;
+    uint64_t ping_nonce = 0;
+  };
+
+  struct PendingTask {
+    wq::TaskMessage task;
+    wq::FileSet files;
+    bool done = false;
+  };
+
+  void on_accept(int fd);
+  void on_message(uint64_t conn_id, Connection& conn, std::string&& wire);
+  void handle_result(WorkerConn& w, const wq::ResultMessage& msg);
+  void handle_close(uint64_t conn_id, const std::string& reason);
+  void dispatch();
+  void dispatch_to(WorkerConn& w);
+  void send_files_for(WorkerConn& w, const PendingTask& t);
+  void heartbeat();
+  void check_finished();
+  void absorb_conn_totals(const Connection& conn);
+
+  EventLoop& loop_;
+  MasterServiceConfig config_;
+  Listener listener_;
+  std::map<uint64_t, WorkerConn> conns_;  // accept order == key order
+  uint64_t next_conn_id_ = 1;
+  std::vector<PendingTask> tasks_;
+  std::vector<wq::ResultMessage> results_;
+  std::deque<size_t> queue_;
+  std::unordered_map<uint64_t, size_t> index_by_task_id_;
+  std::function<void(const wq::ResultMessage&)> on_result_;
+  size_t pending_ = 0;
+  bool finishing_ = false;
+  bool timed_out_ = false;
+  uint64_t heartbeat_timer_ = 0;
+  NetMasterStats stats_;
+};
+
+}  // namespace lfm::net

@@ -1,0 +1,28 @@
+// Thin POSIX TCP helpers for the transport runtime: create/configure
+// sockets; everything event-driven lives in event_loop.h / conn.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lfm::net {
+
+// Listen on `bind_addr:port` (port 0 = kernel-assigned ephemeral port).
+// Returns the listening fd (CLOEXEC, SO_REUSEADDR, non-blocking). Throws
+// lfm::Error on failure.
+int listen_tcp(uint16_t port, const std::string& bind_addr = "127.0.0.1",
+               int backlog = 128);
+
+// The port a socket is actually bound to (resolves ephemeral binds).
+uint16_t local_port(int fd);
+
+// Blocking connect to `host:port`; returns the connected fd (CLOEXEC,
+// TCP_NODELAY) or -1 with errno set. Callers that need non-blocking I/O
+// flip the flag afterwards — connection setup on loopback is instant and a
+// synchronous failure is exactly what the reconnect path wants to see.
+int connect_tcp(const std::string& host, uint16_t port);
+
+void set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+}  // namespace lfm::net

@@ -1,0 +1,190 @@
+#include "net/worker_client.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace lfm::net {
+
+namespace {
+
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+chaos::RetryPolicy default_reconnect_policy() {
+  chaos::RetryPolicy p;
+  p.backoff_base = 0.02;
+  p.backoff_multiplier = 2.0;
+  p.backoff_max = 1.0;
+  p.jitter_fraction = 0.25;
+  return p;
+}
+
+WorkerClient::WorkerClient(WorkerClientOptions options)
+    : options_(std::move(options)), worker_(options_.worker) {}
+
+int64_t WorkerClient::run() {
+  bye_ = false;
+  gave_up_ = false;
+  attempt_ = 0;
+  if (options_.idle_timeout > 0) {
+    const double check = std::max(0.25, options_.idle_timeout / 4.0);
+    idle_timer_ = loop_.run_every(check, [this] {
+      if (!conn_ || conn_->closed()) return;
+      const double last = std::max(conn_->last_activity(), last_send_);
+      if (EventLoop::now() - last > options_.idle_timeout) {
+        conn_->close("idle-timeout");
+      }
+    });
+  }
+  try_connect();
+  loop_.run();
+  if (idle_timer_ != 0) {
+    loop_.cancel_timer(idle_timer_);
+    idle_timer_ = 0;
+  }
+  if (conn_ && !conn_->closed()) conn_->close("client shutdown");
+  conn_.reset();
+  if (gave_up_ && !ever_connected_) {
+    throw Error("net: worker \"" + options_.name + "\" could not reach master " +
+                options_.host + ":" + std::to_string(options_.port));
+  }
+  return executed_;
+}
+
+void WorkerClient::stop() {
+  stopped_.store(true);
+  loop_.post([this] {
+    if (conn_ && !conn_->closed()) conn_->close("stopped");
+    loop_.stop();
+  });
+}
+
+void WorkerClient::try_connect() {
+  if (stopped_.load()) {
+    loop_.stop();
+    return;
+  }
+  const int fd = connect_tcp(options_.host, options_.port);
+  if (fd < 0) {
+    ++attempt_;
+    schedule_reconnect("connect failed");
+    return;
+  }
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  attempt_ = 0;
+  conn_ = std::make_shared<Connection>(loop_, fd, next_conn_id_++);
+  conn_->set_on_message(
+      [this](Connection& c, std::string&& wire) { on_message(c, std::move(wire)); });
+  conn_->set_on_close([this](Connection&, const std::string& reason) {
+    loop_.post([this, reason] {
+      if (bye_ || stopped_.load()) {
+        loop_.stop();
+        return;
+      }
+      ++attempt_;
+      schedule_reconnect(reason);
+    });
+  });
+  conn_->start();
+  // The hello travels in the preferred dialect itself — receiving it both
+  // names the version and demonstrates the worker speaks it.
+  wq::HelloMessage hello{options_.name, options_.wire_version, options_.capacity};
+  conn_->send(wq::encode(hello, options_.wire_version));
+  last_send_ = EventLoop::now();
+}
+
+void WorkerClient::schedule_reconnect(const std::string& reason) {
+  if (attempt_ > options_.max_reconnect_attempts) {
+    LFM_WARN("net", "worker " + options_.name + " giving up after " +
+                        std::to_string(attempt_ - 1) + " failed reconnects (" +
+                        reason + ")");
+    gave_up_ = true;
+    loop_.stop();
+    return;
+  }
+  const double delay =
+      options_.reconnect.backoff_delay(fnv1a(options_.name), attempt_ - 1);
+  loop_.run_after(delay, [this] { try_connect(); });
+}
+
+void WorkerClient::on_message(Connection& conn, std::string&& wire) {
+  switch (wq::classify(wire)) {
+    case wq::MessageKind::kFile: {
+      wq::FileMessage fm = wq::decode_file(wire);
+      file_cacheable_[fm.name] = fm.cacheable;
+      files_[fm.name] = std::move(fm.content);
+      return;
+    }
+    case wq::MessageKind::kTask:
+    case wq::MessageKind::kTaskBatch:
+      handle_tasks(conn, wire);
+      return;
+    case wq::MessageKind::kControl: {
+      const wq::ControlMessage ctl = wq::decode_control(wire);
+      if (ctl.type == wq::ControlType::kPing) {
+        wq::ControlMessage pong{wq::ControlType::kPong, ctl.nonce, ctl.timestamp};
+        conn.send(wq::encode(pong, wq::detect_version(wire)));
+        last_send_ = EventLoop::now();
+      } else if (ctl.type == wq::ControlType::kBye) {
+        bye_ = true;
+        conn.close("bye");
+      }
+      return;
+    }
+    default:
+      conn.close("unexpected message kind from master");
+      return;
+  }
+}
+
+void WorkerClient::handle_tasks(Connection& conn, const std::string& wire) {
+  const wq::WireVersion reply_version = wq::detect_version(wire);
+  const std::vector<wq::TaskMessage> tasks = wq::decode_task_batch(wire);
+  std::vector<wq::ResultMessage> results;
+  results.reserve(tasks.size());
+  for (const wq::TaskMessage& task : tasks) {
+    if (options_.echo_results) {
+      wq::ResultMessage r;
+      r.task_id = task.task_id;
+      r.payload = options_.echo_payload;
+      results.push_back(std::move(r));
+    } else {
+      results.push_back(worker_.execute(task, files_));
+    }
+    ++executed_;
+    // Non-cacheable inputs are one-shot: the master re-stages them with
+    // every dispatch that needs them.
+    for (const wq::TaskMessage::FileStanza& stanza : task.infiles) {
+      auto it = file_cacheable_.find(stanza.name);
+      if (it != file_cacheable_.end() && !it->second) {
+        files_.erase(stanza.name);
+        file_cacheable_.erase(it);
+      }
+    }
+  }
+  if (conn.closed()) return;
+  if (results.size() > 1 && reply_version == wq::WireVersion::kV2) {
+    conn.send(wq::encode_batch(results, reply_version));
+  } else {
+    for (const wq::ResultMessage& r : results) {
+      conn.send(wq::encode(r, reply_version));
+    }
+  }
+  last_send_ = EventLoop::now();
+}
+
+}  // namespace lfm::net

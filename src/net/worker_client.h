@@ -1,0 +1,100 @@
+// WorkerClient: the process on the worker node end of the transport
+// (DESIGN.md §13).
+//
+// Connects to a MasterService, introduces itself with a hello naming its
+// preferred wire version and capacity, then serves the dispatch dialogue:
+// staged files accumulate in an in-memory FileSet, task (and v2 batch)
+// frames execute through wq::LocalWorker — i.e. through a real forked
+// monitor::LFM — and each request is answered in the wire version it
+// arrived in. Pings are answered with pongs; bye means the run is over:
+// drain and return.
+//
+// A connection that dies without a bye is treated as a network fault: the
+// client reconnects with chaos::RetryPolicy exponential backoff (jitter
+// included, deterministically seeded), giving the transport the same
+// recovery discipline the simulated master applies to task retries. The
+// cached FileSet survives reconnects; the master re-stages whatever the
+// fresh connection is missing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "alloc/resources.h"
+#include "chaos/retry.h"
+#include "net/conn.h"
+#include "net/event_loop.h"
+#include "wq/protocol.h"
+#include "wq/worker.h"
+
+namespace lfm::net {
+
+// Reconnect backoff used when the options don't override it: 20 ms doubling
+// to 1 s with 25% deterministic jitter. (RetryPolicy's own default of
+// backoff_base == 0 — immediate, seed-faithful requeue — would spin against
+// a dead master.)
+chaos::RetryPolicy default_reconnect_policy();
+
+struct WorkerClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string name = "worker";
+  wq::WireVersion wire_version = wq::WireVersion::kV2;
+  alloc::Resources capacity{4.0, 8e9, 50e9};
+  wq::LocalWorkerOptions worker;
+  // Echo mode, for transport benchmarks: skip the LFM and answer every task
+  // immediately with exit 0 and `echo_payload` — measures the wire, not the
+  // fork.
+  bool echo_results = false;
+  serde::Bytes echo_payload;
+  chaos::RetryPolicy reconnect = default_reconnect_policy();
+  // Consecutive failed connect attempts before run() gives up.
+  int max_reconnect_attempts = 30;
+  // Reconnect if the master goes silent this long (0 = off). Generous by
+  // default: an idle-but-alive master pings well inside this.
+  double idle_timeout = 60.0;
+};
+
+class WorkerClient {
+ public:
+  explicit WorkerClient(WorkerClientOptions options);
+
+  // Connect (retrying with backoff) and serve until the master says bye or
+  // the reconnect budget exhausts. Returns the number of tasks executed.
+  // Throws lfm::Error if the master was never reached at all.
+  int64_t run();
+
+  // Thread-safe: make run() return after the current callback.
+  void stop();
+
+  int64_t tasks_executed() const { return executed_; }
+  int64_t reconnects() const { return reconnects_; }
+
+ private:
+  void try_connect();
+  void schedule_reconnect(const std::string& reason);
+  void on_message(Connection& conn, std::string&& wire);
+  void handle_tasks(Connection& conn, const std::string& wire);
+
+  WorkerClientOptions options_;
+  EventLoop loop_;
+  wq::LocalWorker worker_;
+  std::shared_ptr<Connection> conn_;
+  wq::FileSet files_;
+  std::map<std::string, bool> file_cacheable_;
+  uint64_t next_conn_id_ = 1;
+  int attempt_ = 0;            // consecutive connect failures
+  bool ever_connected_ = false;
+  bool bye_ = false;
+  bool gave_up_ = false;
+  std::atomic<bool> stopped_{false};
+  int64_t executed_ = 0;
+  int64_t reconnects_ = 0;
+  double last_send_ = 0.0;
+  uint64_t idle_timer_ = 0;
+};
+
+}  // namespace lfm::net

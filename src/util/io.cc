@@ -1,0 +1,37 @@
+#include "util/io.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace lfm::io {
+
+bool write_all(int fd, const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+ReadStatus read_available(int fd, std::vector<uint8_t>& buffer) {
+  uint8_t chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      buffer.insert(buffer.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) return ReadStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kAgain;
+    return ReadStatus::kError;
+  }
+}
+
+}  // namespace lfm::io

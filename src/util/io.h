@@ -1,0 +1,33 @@
+// EINTR-safe file-descriptor I/O helpers, shared by the monitor's report
+// pipe (monitor/lfm.cc) and the TCP transport runtime (src/net/).
+//
+// Both call sites loop around short reads/writes and must never treat an
+// interrupted syscall as a failure: the monitor polls with signals in
+// flight (SIGCHLD from the task tree), and the net event loop runs with
+// SIGPIPE ignored and sockets in non-blocking mode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lfm::io {
+
+// Write the whole buffer, retrying on EINTR and short writes. Returns false
+// on any other error (errno is left set by the failing write). Blocking
+// descriptors only — an EAGAIN on a non-blocking fd counts as failure.
+bool write_all(int fd, const uint8_t* data, size_t size);
+
+// What stopped a read_available() drain.
+enum class ReadStatus {
+  kEof,    // the peer closed: read() returned 0
+  kAgain,  // non-blocking fd with nothing buffered (EAGAIN/EWOULDBLOCK)
+  kError,  // any other read error (errno is set)
+};
+
+// Append everything currently readable from `fd` to `buffer`, retrying on
+// EINTR, until EOF, EAGAIN, or an error. On a blocking descriptor this
+// blocks until EOF; the monitor and the net layer both set O_NONBLOCK.
+ReadStatus read_available(int fd, std::vector<uint8_t>& buffer);
+
+}  // namespace lfm::io

@@ -1,5 +1,6 @@
 #include "wq/protocol.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstring>
 #include <limits>
@@ -24,10 +25,17 @@ enum FrameType : uint8_t {
   kFrameResult = 2,
   kFrameTaskBatch = 3,
   kFrameResultBatch = 4,
+  kFrameHello = 5,
+  kFrameFile = 6,
+  kFrameControl = 7,
 };
 
 // Fixed header bytes before the body-length varint: magic(2) ver(1) type(1).
 constexpr size_t kFrameFixedHeader = 4;
+
+// Decode-side frame body cap (see protocol.h). Relaxed atomics: the limit is
+// configuration, not synchronization.
+std::atomic<size_t> g_max_frame_body_bytes{kDefaultMaxFrameBodyBytes};
 
 // --- wire metrics (recorded only while the obs recorder is enabled) ---------
 struct WireMetrics {
@@ -287,6 +295,106 @@ ResultMessage decode_result_v1(const std::string& wire) {
   return msg;
 }
 
+// --- v1 transport-control messages (hello / put / control) ------------------
+
+const char* control_type_token(ControlType type) {
+  switch (type) {
+    case ControlType::kPing: return "ping";
+    case ControlType::kPong: return "pong";
+    case ControlType::kBye: return "bye";
+  }
+  throw Error("protocol: bad control type");
+}
+
+ControlType parse_control_type(const std::string& token) {
+  if (token == "ping") return ControlType::kPing;
+  if (token == "pong") return ControlType::kPong;
+  if (token == "bye") return ControlType::kBye;
+  throw Error("protocol: unknown control type '" + token + "'");
+}
+
+void encode_v1(const HelloMessage& msg, std::string& out) {
+  if (!valid_token(msg.worker_name)) throw Error("protocol: invalid worker name");
+  out += strformat("hello %s %d\n", msg.worker_name.c_str(),
+                   static_cast<int>(msg.preferred));
+  out += strformat("cap %.3f %lld %lld\n", msg.capacity.cores,
+                   static_cast<long long>(msg.capacity.memory_bytes),
+                   static_cast<long long>(msg.capacity.disk_bytes));
+  out += "end\n";
+}
+
+HelloMessage decode_hello_v1(const std::string& wire) {
+  const auto lines = parse_lines(wire, "hello");
+  HelloMessage msg;
+  bool saw_cap = false;
+  for (const auto& fields : lines) {
+    if (fields[0] == "hello") {
+      need_fields(fields, 3);
+      msg.worker_name = fields[1];
+      const int64_t v = parse_i64(fields[2]);
+      if (v != 1 && v != 2) throw Error("protocol: bad hello version '" + fields[2] + "'");
+      msg.preferred = static_cast<WireVersion>(v);
+    } else if (fields[0] == "cap") {
+      need_fields(fields, 4);
+      msg.capacity.cores = parse_real(fields[1]);
+      msg.capacity.memory_bytes = static_cast<double>(parse_i64(fields[2]));
+      msg.capacity.disk_bytes = static_cast<double>(parse_i64(fields[3]));
+      saw_cap = true;
+    } else {
+      throw Error("protocol: unknown stanza '" + fields[0] + "'");
+    }
+  }
+  if (msg.worker_name.empty()) throw Error("protocol: missing worker name");
+  if (!saw_cap) throw Error("protocol: missing cap stanza");
+  return msg;
+}
+
+void encode_v1(const FileMessage& msg, std::string& out) {
+  if (!valid_token(msg.name)) throw Error("protocol: invalid file name " + msg.name);
+  out += strformat("put %s %d\n", msg.name.c_str(), msg.cacheable ? 1 : 0);
+  if (!msg.content.empty()) {
+    out += "payload " + serde::base64_encode(msg.content) + "\n";
+  }
+  out += "end\n";
+}
+
+FileMessage decode_file_v1(const std::string& wire) {
+  const auto lines = parse_lines(wire, "put");
+  FileMessage msg;
+  for (const auto& fields : lines) {
+    if (fields[0] == "put") {
+      need_fields(fields, 3);
+      msg.name = fields[1];
+      msg.cacheable = fields[2] == "1";
+    } else if (fields[0] == "payload") {
+      need_fields(fields, 2);
+      msg.content = serde::base64_decode(fields[1]);
+    } else {
+      throw Error("protocol: unknown stanza '" + fields[0] + "'");
+    }
+  }
+  if (msg.name.empty()) throw Error("protocol: missing file name");
+  return msg;
+}
+
+void encode_v1(const ControlMessage& msg, std::string& out) {
+  out += strformat("control %s %llu %.9f\n", control_type_token(msg.type),
+                   static_cast<unsigned long long>(msg.nonce), msg.timestamp);
+  out += "end\n";
+}
+
+ControlMessage decode_control_v1(const std::string& wire) {
+  const auto lines = parse_lines(wire, "control");
+  if (lines.size() != 1) throw Error("protocol: extra stanza in control message");
+  const auto& fields = lines[0];
+  need_fields(fields, 4);
+  ControlMessage msg;
+  msg.type = parse_control_type(fields[1]);
+  msg.nonce = parse_u64(fields[2]);
+  msg.timestamp = parse_real(fields[3]);
+  return msg;
+}
+
 // Split a v1 concatenation into messages at "end" lines (field-wise, the
 // same rule parse_lines applies).
 std::vector<std::string> split_v1_messages(const std::string& wire) {
@@ -350,6 +458,18 @@ size_t result_body_size(const ResultMessage& msg) {
   n += 8;  // wall_seconds
   if (!msg.payload.empty()) n += str_field_size(msg.payload.size());
   return n;
+}
+
+size_t hello_body_size(const HelloMessage& msg) {
+  return str_field_size(msg.worker_name.size()) + 1 + 24;
+}
+
+size_t file_body_size(const FileMessage& msg) {
+  return str_field_size(msg.name.size()) + 1 + str_field_size(msg.content.size());
+}
+
+size_t control_body_size(const ControlMessage& msg) {
+  return 1 + serde::varint_size(msg.nonce) + 8;
 }
 
 // Appends the same bytes serde::Writer would produce, but directly into the
@@ -430,6 +550,26 @@ void write_result_body(const ResultMessage& msg, StringWriter& w) {
   if (!msg.payload.empty()) w.bytes(serde::BytesView(msg.payload));
 }
 
+void write_hello_body(const HelloMessage& msg, StringWriter& w) {
+  w.str(msg.worker_name);
+  w.u8(static_cast<uint8_t>(msg.preferred));
+  w.real(msg.capacity.cores);
+  w.real(msg.capacity.memory_bytes);
+  w.real(msg.capacity.disk_bytes);
+}
+
+void write_file_body(const FileMessage& msg, StringWriter& w) {
+  w.str(msg.name);
+  w.u8(msg.cacheable ? 1 : 0);
+  w.bytes(serde::BytesView(msg.content));
+}
+
+void write_control_body(const ControlMessage& msg, StringWriter& w) {
+  w.u8(static_cast<uint8_t>(msg.type));
+  w.varint(msg.nonce);
+  w.real(msg.timestamp);
+}
+
 void write_frame_header(StringWriter& w, uint8_t type, size_t body_len) {
   w.u8(kFrameMagic0);
   w.u8(kFrameMagic1);
@@ -495,6 +635,41 @@ ResultMessage read_result_body(serde::Reader& r) {
   return msg;
 }
 
+HelloMessage read_hello_body(serde::Reader& r) {
+  HelloMessage msg;
+  msg.worker_name = std::string(r.str());
+  const uint8_t v = r.u8();
+  if (v != 1 && v != 2) throw Error("protocol: bad hello version");
+  msg.preferred = static_cast<WireVersion>(v);
+  msg.capacity.cores = r.real();
+  msg.capacity.memory_bytes = r.real();
+  msg.capacity.disk_bytes = r.real();
+  if (msg.worker_name.empty()) throw Error("protocol: missing worker name");
+  return msg;
+}
+
+FileMessage read_file_body(serde::Reader& r) {
+  FileMessage msg;
+  msg.name = std::string(r.str());
+  const uint8_t cacheable = r.u8();
+  if (cacheable > 1) throw Error("protocol: bad cacheable byte");
+  msg.cacheable = cacheable == 1;
+  const serde::BytesView content = r.bytes();
+  msg.content.assign(content.begin(), content.end());
+  if (msg.name.empty()) throw Error("protocol: missing file name");
+  return msg;
+}
+
+ControlMessage read_control_body(serde::Reader& r) {
+  ControlMessage msg;
+  const uint8_t type = r.u8();
+  if (type < 1 || type > 3) throw Error("protocol: unknown control type");
+  msg.type = static_cast<ControlType>(type);
+  msg.nonce = r.varint();
+  msg.timestamp = r.real();
+  return msg;
+}
+
 struct Frame {
   uint8_t type = 0;
   serde::Reader body{nullptr, 0};
@@ -513,6 +688,14 @@ Frame parse_frame(const std::string& wire) {
   Frame frame;
   frame.type = r.u8();
   const uint64_t body_len = r.varint();
+  // Reject a hostile/corrupt length prefix against the configured cap BEFORE
+  // any comparison that could be read as "keep buffering": a crafted 16-byte
+  // header claiming a 2^60-byte body must die here, not OOM a reassembler.
+  if (body_len > g_max_frame_body_bytes.load(std::memory_order_relaxed)) {
+    throw Error("protocol: frame body length " + std::to_string(body_len) +
+                " exceeds limit " +
+                std::to_string(g_max_frame_body_bytes.load(std::memory_order_relaxed)));
+  }
   if (body_len != r.remaining()) {
     throw Error(body_len > r.remaining() ? "protocol: truncated frame"
                                          : "protocol: trailing garbage after frame");
@@ -643,6 +826,41 @@ std::string encode(const ResultMessage& msg, WireVersion version) {
   return out;
 }
 
+std::string encode(const HelloMessage& msg, WireVersion version) {
+  std::string out;
+  if (version == WireVersion::kV1) {
+    encode_v1(msg, out);
+  } else {
+    if (!valid_token(msg.worker_name)) throw Error("protocol: invalid worker name");
+    out = encode_one_v2(msg, kFrameHello, hello_body_size(msg), write_hello_body);
+  }
+  count_encoded(out.size(), 1);
+  return out;
+}
+
+std::string encode(const FileMessage& msg, WireVersion version) {
+  std::string out;
+  if (version == WireVersion::kV1) {
+    encode_v1(msg, out);
+  } else {
+    if (!valid_token(msg.name)) throw Error("protocol: invalid file name " + msg.name);
+    out = encode_one_v2(msg, kFrameFile, file_body_size(msg), write_file_body);
+  }
+  count_encoded(out.size(), 1);
+  return out;
+}
+
+std::string encode(const ControlMessage& msg, WireVersion version) {
+  std::string out;
+  if (version == WireVersion::kV1) {
+    encode_v1(msg, out);
+  } else {
+    out = encode_one_v2(msg, kFrameControl, control_body_size(msg), write_control_body);
+  }
+  count_encoded(out.size(), 1);
+  return out;
+}
+
 std::string encode_batch(const std::vector<TaskMessage>& msgs, WireVersion version) {
   for (const auto& msg : msgs) validate_task_tokens(msg);
   std::string out;
@@ -692,6 +910,92 @@ ResultMessage decode_result(const std::string& wire) {
     if (frame.body.remaining() != 0) throw Error("protocol: trailing garbage after frame");
     return msg;
   });
+}
+
+namespace {
+
+// Shared v2 single-frame decode: header parse, type check, body read,
+// trailing-garbage check — the shape decode_task/decode_result hand-roll.
+template <typename Message>
+Message decode_one_v2(const std::string& wire, uint8_t type, const char* what,
+                      Message (*read_body)(serde::Reader&)) {
+  return protocol_guard([&] {
+    Frame frame = parse_frame(wire);
+    if (frame.type != type) {
+      throw Error(std::string("protocol: expected '") + what + "' message");
+    }
+    Message msg = read_body(frame.body);
+    if (frame.body.remaining() != 0) throw Error("protocol: trailing garbage after frame");
+    return msg;
+  });
+}
+
+}  // namespace
+
+HelloMessage decode_hello(const std::string& wire) {
+  count_decoded(wire.size());
+  if (detect_version(wire) == WireVersion::kV1) return decode_hello_v1(wire);
+  return decode_one_v2(wire, kFrameHello, "hello", read_hello_body);
+}
+
+FileMessage decode_file(const std::string& wire) {
+  count_decoded(wire.size());
+  if (detect_version(wire) == WireVersion::kV1) return decode_file_v1(wire);
+  return decode_one_v2(wire, kFrameFile, "put", read_file_body);
+}
+
+ControlMessage decode_control(const std::string& wire) {
+  count_decoded(wire.size());
+  if (detect_version(wire) == WireVersion::kV1) return decode_control_v1(wire);
+  return decode_one_v2(wire, kFrameControl, "control", read_control_body);
+}
+
+MessageKind classify(const std::string& wire) {
+  if (detect_version(wire) == WireVersion::kV2) {
+    if (wire.size() < kFrameFixedHeader) throw Error("protocol: truncated frame");
+    if (static_cast<uint8_t>(wire[1]) != kFrameMagic1 ||
+        static_cast<uint8_t>(wire[2]) != kFrameVersion) {
+      throw Error("protocol: bad frame magic");
+    }
+    switch (static_cast<uint8_t>(wire[3])) {
+      case kFrameTask: return MessageKind::kTask;
+      case kFrameResult: return MessageKind::kResult;
+      case kFrameTaskBatch: return MessageKind::kTaskBatch;
+      case kFrameResultBatch: return MessageKind::kResultBatch;
+      case kFrameHello: return MessageKind::kHello;
+      case kFrameFile: return MessageKind::kFile;
+      case kFrameControl: return MessageKind::kControl;
+    }
+    throw Error("protocol: unexpected frame type " +
+                std::to_string(static_cast<unsigned>(wire[3])));
+  }
+  // v1: the first token of the first non-empty line, scanned in place (no
+  // line splitting — this runs per inbound message on the net demux path).
+  size_t i = 0;
+  while (i < wire.size() &&
+         std::isspace(static_cast<unsigned char>(wire[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < wire.size() && !std::isspace(static_cast<unsigned char>(wire[j]))) {
+    ++j;
+  }
+  const std::string head = wire.substr(i, j - i);
+  if (head == "task") return MessageKind::kTask;
+  if (head == "result") return MessageKind::kResult;
+  if (head == "hello") return MessageKind::kHello;
+  if (head == "put") return MessageKind::kFile;
+  if (head == "control") return MessageKind::kControl;
+  throw Error("protocol: unknown message head '" + head + "'");
+}
+
+size_t max_frame_body_bytes() {
+  return g_max_frame_body_bytes.load(std::memory_order_relaxed);
+}
+
+void set_max_frame_body_bytes(size_t limit) {
+  g_max_frame_body_bytes.store(limit == 0 ? kDefaultMaxFrameBodyBytes : limit,
+                               std::memory_order_relaxed);
 }
 
 std::vector<TaskMessage> decode_task_batch(const std::string& wire) {

@@ -33,6 +33,18 @@ namespace lfm::wq {
 
 enum class WireVersion : uint8_t { kV1 = 1, kV2 = 2 };
 
+// --- decode-side hardening ---------------------------------------------------
+// Upper bound on a single frame's body (v2) or message text (v1) accepted by
+// the decode paths and by the net layer's incremental reassembler. A hostile
+// or corrupt varint length prefix is rejected against this limit *before*
+// any buffering or allocation happens, so a 16-byte crafted header cannot
+// make a decoder reserve gigabytes. Process-wide; the default (64 MiB) is
+// far above any legitimate message. Encoders are not checked — a peer that
+// encodes above the receiver's limit simply gets its frame rejected.
+size_t max_frame_body_bytes();
+void set_max_frame_body_bytes(size_t limit);
+inline constexpr size_t kDefaultMaxFrameBodyBytes = 64ull << 20;
+
 // Master -> worker: run this task.
 struct TaskMessage {
   uint64_t task_id = 0;
@@ -64,9 +76,57 @@ struct ResultMessage {
   serde::Bytes payload;
 };
 
+// --- transport control messages (src/net/) ----------------------------------
+// Worker -> master, first message on a fresh connection: who is connecting
+// and which wire version it wants to be addressed in. The master records the
+// version and speaks it for every subsequent send on that connection — the
+// whole of version negotiation (each side replies in the dialect it was
+// addressed in, and hello sets the opening dialect).
+struct HelloMessage {
+  std::string worker_name;
+  WireVersion preferred = WireVersion::kV2;
+  alloc::Resources capacity;  // what the worker node offers
+};
+
+// Master -> worker: stage an input file into the worker's transferable-file
+// cache before the task that names it (real Work Queue's "put"). TCP
+// ordering guarantees the file lands before the task on the same connection.
+struct FileMessage {
+  std::string name;
+  bool cacheable = false;
+  serde::Bytes content;
+};
+
+// Connection-keepalive and shutdown control. Pings carry the sender's clock;
+// the peer echoes the body back as a pong, giving the sender an RTT sample.
+// Bye tells a worker the run is over: drain, don't reconnect.
+enum class ControlType : uint8_t { kPing = 1, kPong = 2, kBye = 3 };
+struct ControlMessage {
+  ControlType type = ControlType::kPing;
+  uint64_t nonce = 0;
+  double timestamp = 0.0;  // sender's clock seconds, echoed in the pong
+};
+
+// What kind of message a wire string holds, decided from the v2 frame type
+// byte (or the first v1 token) without decoding the body — the net layer's
+// inbound demux. Throws on bytes that are neither.
+enum class MessageKind {
+  kTask,
+  kResult,
+  kTaskBatch,
+  kResultBatch,
+  kHello,
+  kFile,
+  kControl,
+};
+MessageKind classify(const std::string& wire);
+
 // Serialize one message (v1: LF lines terminated by "end\n"; v2: one frame).
 std::string encode(const TaskMessage& msg, WireVersion version = WireVersion::kV2);
 std::string encode(const ResultMessage& msg, WireVersion version = WireVersion::kV2);
+std::string encode(const HelloMessage& msg, WireVersion version = WireVersion::kV2);
+std::string encode(const FileMessage& msg, WireVersion version = WireVersion::kV2);
+std::string encode(const ControlMessage& msg, WireVersion version = WireVersion::kV2);
 
 // Serialize many messages into one network send. v2 emits a single batch
 // frame; v1 has no batch framing, so messages are simply concatenated.
@@ -79,6 +139,9 @@ std::string encode_batch(const std::vector<ResultMessage>& msgs,
 // Either wire version is accepted (auto-detected).
 TaskMessage decode_task(const std::string& wire);
 ResultMessage decode_result(const std::string& wire);
+HelloMessage decode_hello(const std::string& wire);
+FileMessage decode_file(const std::string& wire);
+ControlMessage decode_control(const std::string& wire);
 
 // Parse a batched send of either version. Single-message frames (and v1
 // concatenations) decode as a batch of their message count.

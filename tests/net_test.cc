@@ -1,0 +1,448 @@
+// Tests for the TCP transport runtime (src/net/): frame reassembly under
+// adversarial fragmentation, the epoll event loop, connection plumbing, and
+// an end-to-end master<->worker-process run over real loopback sockets with
+// an injected connection drop.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/conn.h"
+#include "net/event_loop.h"
+#include "net/framing.h"
+#include "net/master_service.h"
+#include "net/socket.h"
+#include "net/worker_client.h"
+#include "serde/pickle.h"
+#include "util/error.h"
+#include "wq/protocol.h"
+#include "wq/worker.h"
+
+namespace lfm::net {
+namespace {
+
+wq::TaskMessage simple_task(uint64_t id) {
+  wq::TaskMessage t;
+  t.task_id = id;
+  t.category = "net-test";
+  t.command_line = "exit 0";
+  t.allocation = alloc::Resources{1.0, 512e6, 1e9};
+  return t;
+}
+
+std::vector<std::string> split_all(FrameSplitter& splitter) {
+  std::vector<std::string> out;
+  std::string message;
+  while (splitter.next(message)) out.push_back(message);
+  return out;
+}
+
+// --- FrameSplitter -----------------------------------------------------------
+
+TEST(FrameSplitter, OneByteDripV2) {
+  const std::string wire = wq::encode(simple_task(7), wq::WireVersion::kV2);
+  FrameSplitter splitter;
+  std::string message;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    splitter.feed(wire.data() + i, 1);
+    EXPECT_FALSE(splitter.next(message)) << "complete at byte " << i;
+  }
+  splitter.feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_TRUE(splitter.next(message));
+  EXPECT_EQ(message, wire);
+  EXPECT_EQ(splitter.buffered(), 0u);
+  EXPECT_FALSE(splitter.next(message));
+}
+
+TEST(FrameSplitter, OneByteDripV1) {
+  const std::string wire = wq::encode(simple_task(9), wq::WireVersion::kV1);
+  FrameSplitter splitter;
+  std::string message;
+  for (const char c : wire) splitter.feed(&c, 1);
+  ASSERT_TRUE(splitter.next(message));
+  EXPECT_EQ(message, wire);
+  EXPECT_EQ(splitter.buffered(), 0u);
+}
+
+TEST(FrameSplitter, CoalescedMixedVersionsInOneFeed) {
+  // Five messages of alternating dialects arriving as one TCP segment, the
+  // per-message version re-detected from each first byte.
+  wq::ResultMessage r;
+  r.task_id = 3;
+  r.payload = serde::Bytes{'e', 'n', 'd', '\n', 0xF7, 'Q', 2};  // traps naive scans
+  const std::vector<std::string> wires = {
+      wq::encode(simple_task(1), wq::WireVersion::kV2),
+      wq::encode(simple_task(2), wq::WireVersion::kV1),
+      wq::encode(r, wq::WireVersion::kV2),
+      wq::encode_batch(std::vector<wq::TaskMessage>{simple_task(4), simple_task(5)},
+                       wq::WireVersion::kV2),
+      wq::encode(wq::ControlMessage{wq::ControlType::kPing, 1, 2.5},
+                 wq::WireVersion::kV1),
+  };
+  std::string stream;
+  for (const std::string& w : wires) stream += w;
+  FrameSplitter splitter;
+  splitter.feed(stream);
+  const std::vector<std::string> out = split_all(splitter);
+  ASSERT_EQ(out.size(), wires.size());
+  for (size_t i = 0; i < wires.size(); ++i) EXPECT_EQ(out[i], wires[i]);
+  EXPECT_EQ(splitter.buffered(), 0u);
+}
+
+TEST(FrameSplitter, FragmentBoundaryInsideHeader) {
+  // Split inside the 4-byte fixed header and inside the length varint.
+  const std::string wire = wq::encode(simple_task(11), wq::WireVersion::kV2);
+  for (size_t cut = 1; cut < 6 && cut < wire.size(); ++cut) {
+    FrameSplitter splitter;
+    std::string message;
+    splitter.feed(wire.data(), cut);
+    EXPECT_FALSE(splitter.next(message));
+    splitter.feed(wire.data() + cut, wire.size() - cut);
+    ASSERT_TRUE(splitter.next(message)) << "cut at " << cut;
+    EXPECT_EQ(message, wire);
+  }
+}
+
+TEST(FrameSplitter, OversizedV2LengthRejectedFromHeaderAlone) {
+  // 2^62-byte claimed body: must throw once the varint completes, without
+  // waiting for (or buffering) any body bytes.
+  const std::string header{'\xF7', 'Q', 2, 1,
+                           '\xFF', '\xFF', '\xFF', '\xFF', '\xFF',
+                           '\xFF', '\xFF', '\xFF', '\x3F'};
+  FrameSplitter splitter;
+  std::string message;
+  EXPECT_THROW(
+      {
+        splitter.feed(header);
+        splitter.next(message);
+      },
+      Error);
+}
+
+TEST(FrameSplitter, OversizedV1MessageRejected) {
+  wq::set_max_frame_body_bytes(1024);
+  FrameSplitter splitter;
+  std::string message;
+  const std::string line = "task 1 cat\n";  // never an "end" line
+  EXPECT_THROW(
+      {
+        // The cap allows base64/overhead slack above the configured limit;
+        // feed well past it.
+        for (int i = 0; i < 2000; ++i) {
+          splitter.feed(line);
+          splitter.next(message);
+        }
+      },
+      Error);
+  wq::set_max_frame_body_bytes(0);
+}
+
+TEST(FrameSplitter, ManySmallMessagesUnderLimitPass) {
+  // The v1 cap applies per message, not to the connection's total traffic.
+  wq::set_max_frame_body_bytes(4096);
+  FrameSplitter splitter;
+  const std::string wire = wq::encode(wq::ControlMessage{}, wq::WireVersion::kV1);
+  size_t delivered = 0;
+  std::string message;
+  for (int i = 0; i < 500; ++i) {
+    splitter.feed(wire);
+    while (splitter.next(message)) ++delivered;
+  }
+  EXPECT_EQ(delivered, 500u);
+  wq::set_max_frame_body_bytes(0);
+}
+
+// --- EventLoop ---------------------------------------------------------------
+
+TEST(EventLoop, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.run_after(0.03, [&] { order.push_back(3); });
+  loop.run_after(0.01, [&] { order.push_back(1); });
+  loop.run_after(0.02, [&] {
+    order.push_back(2);
+    loop.run_after(0.02, [&] {
+      order.push_back(4);
+      loop.stop();
+    });
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CancelledTimerNeverFires) {
+  EventLoop loop;
+  bool fired = false;
+  const uint64_t id = loop.run_after(0.01, [&] { fired = true; });
+  loop.cancel_timer(id);
+  loop.run_after(0.03, [&] { loop.stop(); });
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, RunEveryRepeatsUntilCancelled) {
+  EventLoop loop;
+  int fires = 0;
+  uint64_t id = 0;
+  id = loop.run_every(0.01, [&] {
+    if (++fires == 3) {
+      loop.cancel_timer(id);
+      loop.run_after(0.03, [&] { loop.stop(); });
+    }
+  });
+  loop.run();
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(EventLoop, PostFromAnotherThreadWakesLoop) {
+  EventLoop loop;
+  std::atomic<bool> ran{false};
+  std::thread poster([&] {
+    loop.post([&] {
+      ran.store(true);
+      loop.stop();
+    });
+  });
+  loop.run();
+  poster.join();
+  EXPECT_TRUE(ran.load());
+}
+
+// --- Connection / Listener ---------------------------------------------------
+
+TEST(Connection, EchoAcrossRealSockets) {
+  EventLoop loop;
+  Listener listener(loop, 0);
+  std::vector<std::shared_ptr<Connection>> server_conns;
+  listener.set_on_accept([&](int fd) {
+    auto conn = std::make_shared<Connection>(loop, fd, 100);
+    conn->set_on_message(
+        [](Connection& c, std::string&& wire) { c.send(std::move(wire)); });
+    server_conns.push_back(conn);
+    conn->start();
+  });
+  listener.start();
+
+  const int fd = connect_tcp("127.0.0.1", listener.port());
+  ASSERT_GE(fd, 0);
+  auto client = std::make_shared<Connection>(loop, fd, 1);
+  std::vector<std::string> echoed;
+  const std::vector<std::string> sent = {
+      wq::encode(simple_task(1), wq::WireVersion::kV2),
+      wq::encode(simple_task(2), wq::WireVersion::kV1),
+      wq::encode(wq::ControlMessage{}, wq::WireVersion::kV2),
+  };
+  client->set_on_message([&](Connection&, std::string&& wire) {
+    echoed.push_back(std::move(wire));
+    if (echoed.size() == sent.size()) loop.stop();
+  });
+  client->start();
+  for (const std::string& w : sent) client->send(w);
+  loop.run_after(5.0, [&] { loop.stop(); });  // watchdog
+  loop.run();
+  EXPECT_EQ(echoed, sent);
+  EXPECT_EQ(client->messages_out(), 3);
+  EXPECT_EQ(client->messages_in(), 3);
+  client->close("test done");
+}
+
+TEST(Connection, MidFrameEofReportedAsSuch) {
+  EventLoop loop;
+  Listener listener(loop, 0);
+  std::string close_reason;
+  std::shared_ptr<Connection> server;
+  listener.set_on_accept([&](int fd) {
+    server = std::make_shared<Connection>(loop, fd, 100);
+    server->set_on_close([&](Connection&, const std::string& reason) {
+      close_reason = reason;
+      loop.stop();
+    });
+    server->start();
+  });
+  listener.start();
+
+  const int fd = connect_tcp("127.0.0.1", listener.port());
+  ASSERT_GE(fd, 0);
+  // A v2 header promising 100 body bytes, then only 4, then close.
+  const std::string partial{'\xF7', 'Q', 2, 1, 100, 'a', 'b', 'c', 'd'};
+  ASSERT_EQ(::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial.size()));
+  ::close(fd);
+  loop.run_after(5.0, [&] { loop.stop(); });
+  loop.run();
+  EXPECT_EQ(close_reason, "mid-frame eof");
+}
+
+TEST(Connection, ProtocolErrorClosesWithDecoderMessage) {
+  EventLoop loop;
+  Listener listener(loop, 0);
+  std::string close_reason;
+  std::shared_ptr<Connection> server;
+  listener.set_on_accept([&](int fd) {
+    server = std::make_shared<Connection>(loop, fd, 100);
+    server->set_on_close([&](Connection&, const std::string& reason) {
+      close_reason = reason;
+      loop.stop();
+    });
+    server->start();
+  });
+  listener.start();
+
+  const int fd = connect_tcp("127.0.0.1", listener.port());
+  ASSERT_GE(fd, 0);
+  const std::string hostile{'\xF7', 'Q', 2, 1,
+                            '\xFF', '\xFF', '\xFF', '\xFF', '\xFF',
+                            '\xFF', '\xFF', '\xFF', '\x3F'};
+  ASSERT_EQ(::send(fd, hostile.data(), hostile.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(hostile.size()));
+  loop.run_after(5.0, [&] { loop.stop(); });
+  loop.run();
+  ::close(fd);
+  EXPECT_NE(close_reason.find("exceeds"), std::string::npos);
+}
+
+// --- end-to-end: master process <-> forked worker processes ------------------
+
+pid_t fork_worker(uint16_t port, const std::string& name,
+                  wq::WireVersion version) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  int status = 1;
+  try {
+    WorkerClientOptions options;
+    options.host = "127.0.0.1";
+    options.port = port;
+    options.name = name;
+    options.wire_version = version;
+    options.worker.poll_interval = 0.01;
+    WorkerClient client(options);
+    client.run();
+    status = 0;
+  } catch (...) {
+  }
+  _exit(status);
+}
+
+TEST(NetEndToEnd, PythonTasksMatchInProcessExecutionBitForBit) {
+  const char* module = R"(
+def mix(a, b):
+    return {'sum': a + b, 'prod': a * b}
+)";
+  const int kTasks = 12;
+  std::vector<std::pair<wq::TaskMessage, wq::FileSet>> specs;
+  for (int i = 0; i < kTasks; ++i) {
+    serde::ValueList args;
+    args.push_back(serde::Value(int64_t{i}));
+    args.push_back(serde::Value(int64_t{1000 + i}));
+    specs.push_back(wq::make_python_task(100 + static_cast<uint64_t>(i), "mix",
+                                         module, "mix",
+                                         serde::Value(std::move(args)),
+                                         alloc::Resources{1.0, 512e6, 1e9}));
+  }
+  // Reference run: the same messages through an in-process LocalWorker.
+  std::vector<serde::Bytes> expected;
+  {
+    wq::LocalWorkerOptions wo;
+    wo.poll_interval = 0.01;
+    wq::LocalWorker direct(wo);
+    for (const auto& [task, files] : specs) {
+      const wq::ResultMessage r = direct.execute(task, files);
+      ASSERT_EQ(r.exit_code, 0) << "task " << task.task_id;
+      expected.push_back(r.payload);
+    }
+  }
+
+  EventLoop loop;
+  MasterServiceConfig config;
+  config.tasks_per_worker = 4;
+  MasterService master(loop, config);
+  for (auto& [task, files] : specs) master.submit(task, files);
+
+  // Two v2 workers and two v1 workers: version negotiation is live.
+  std::vector<pid_t> workers;
+  workers.push_back(fork_worker(master.port(), "w2a", wq::WireVersion::kV2));
+  workers.push_back(fork_worker(master.port(), "w2b", wq::WireVersion::kV2));
+  workers.push_back(fork_worker(master.port(), "w1a", wq::WireVersion::kV1));
+  workers.push_back(fork_worker(master.port(), "w1b", wq::WireVersion::kV1));
+
+  std::map<uint64_t, int> results_per_task;
+  master.set_on_result([&](const wq::ResultMessage& r) {
+    results_per_task[r.task_id] += 1;
+  });
+  const NetMasterStats stats = master.run_until_complete(120.0);
+
+  EXPECT_EQ(stats.tasks_completed, kTasks);
+  EXPECT_EQ(results_per_task.size(), static_cast<size_t>(kTasks));
+  for (const auto& [id, n] : results_per_task) {
+    EXPECT_EQ(n, 1) << "task " << id << " reported " << n << " times";
+  }
+  const std::vector<wq::ResultMessage>& results = master.results();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(results[i].exit_code, 0);
+    EXPECT_EQ(results[i].payload, expected[i])
+        << "payload differs for task " << results[i].task_id;
+  }
+  EXPECT_GE(stats.connections_accepted, 4);
+  for (const pid_t pid : workers) {
+    int status = -1;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+}
+
+TEST(NetEndToEnd, DroppedConnectionRequeuesAndReconnects) {
+  // One worker, four slow tasks dispatched as a batch. Dropping the
+  // connection mid-execution loses the in-flight batch; the worker must
+  // reconnect (chaos::RetryPolicy backoff) and the master must re-dispatch
+  // every task, completing all of them exactly once.
+  EventLoop loop;
+  MasterService master(loop, {});
+  const int kTasks = 4;
+  for (int i = 0; i < kTasks; ++i) {
+    wq::TaskMessage t = simple_task(200 + static_cast<uint64_t>(i));
+    t.command_line = "sleep 0.15";
+    master.submit(t);
+  }
+  const pid_t worker = fork_worker(master.port(), "flaky", wq::WireVersion::kV2);
+  bool dropped = false;
+  loop.run_after(0.25, [&] { dropped = master.drop_connection(0); });
+
+  int result_events = 0;
+  master.set_on_result([&](const wq::ResultMessage&) { ++result_events; });
+  const NetMasterStats stats = master.run_until_complete(120.0);
+
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(stats.tasks_completed, kTasks);
+  EXPECT_EQ(result_events, kTasks);
+  // The whole in-flight batch came back to the queue...
+  EXPECT_GE(stats.requeued_tasks, 1);
+  // ...and the worker came back to the master.
+  EXPECT_GE(stats.connections_accepted, 2);
+  int status = -1;
+  ASSERT_EQ(waitpid(worker, &status, 0), worker);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+TEST(WorkerClient, GivesUpWhenMasterNeverAppears) {
+  WorkerClientOptions options;
+  options.host = "127.0.0.1";
+  options.port = 1;  // nothing listens here
+  options.name = "orphan";
+  options.max_reconnect_attempts = 2;
+  chaos::RetryPolicy fast;
+  fast.backoff_base = 0.001;
+  fast.backoff_max = 0.002;
+  options.reconnect = fast;
+  WorkerClient client(options);
+  EXPECT_THROW(client.run(), Error);
+}
+
+}  // namespace
+}  // namespace lfm::net

@@ -306,5 +306,103 @@ TEST(Protocol, BatchSizeArithmeticMatchesEncoder) {
             encode_batch(batch, WireVersion::kV2).size());
 }
 
+TEST_P(ProtocolBothVersions, HelloRoundtrip) {
+  HelloMessage msg;
+  msg.worker_name = "node-17.cluster";
+  msg.preferred = WireVersion::kV1;
+  msg.capacity = alloc::Resources{16.0, 64e9, 500e9};
+  const std::string wire = encode(msg, GetParam());
+  EXPECT_EQ(detect_version(wire), GetParam());
+  EXPECT_EQ(classify(wire), MessageKind::kHello);
+  const HelloMessage back = decode_hello(wire);
+  EXPECT_EQ(back.worker_name, "node-17.cluster");
+  EXPECT_EQ(back.preferred, WireVersion::kV1);
+  EXPECT_DOUBLE_EQ(back.capacity.cores, 16.0);
+  EXPECT_DOUBLE_EQ(back.capacity.memory_bytes, 64e9);
+}
+
+TEST_P(ProtocolBothVersions, FileRoundtrip) {
+  FileMessage msg;
+  msg.name = "fn-7.py";
+  msg.cacheable = true;
+  msg.content = serde::Bytes{0x00, 0x0A, 0xF7, 'e', 'n', 'd', '\n', 0xFF};
+  const std::string wire = encode(msg, GetParam());
+  EXPECT_EQ(classify(wire), MessageKind::kFile);
+  const FileMessage back = decode_file(wire);
+  EXPECT_EQ(back.name, "fn-7.py");
+  EXPECT_TRUE(back.cacheable);
+  EXPECT_EQ(back.content, msg.content);
+
+  FileMessage empty;
+  empty.name = "empty.pkl";
+  const FileMessage back2 = decode_file(encode(empty, GetParam()));
+  EXPECT_TRUE(back2.content.empty());
+  EXPECT_FALSE(back2.cacheable);
+}
+
+TEST_P(ProtocolBothVersions, ControlRoundtrip) {
+  for (ControlType type :
+       {ControlType::kPing, ControlType::kPong, ControlType::kBye}) {
+    ControlMessage msg{type, 12345678901234ull, 1722.034512345};
+    const std::string wire = encode(msg, GetParam());
+    EXPECT_EQ(classify(wire), MessageKind::kControl);
+    const ControlMessage back = decode_control(wire);
+    EXPECT_EQ(back.type, type);
+    EXPECT_EQ(back.nonce, 12345678901234ull);
+    EXPECT_DOUBLE_EQ(back.timestamp, 1722.034512345);
+  }
+}
+
+TEST(Protocol, ClassifyDistinguishesEveryKind) {
+  for (WireVersion v : {WireVersion::kV1, WireVersion::kV2}) {
+    EXPECT_EQ(classify(encode(sample_task(), v)), MessageKind::kTask);
+    EXPECT_EQ(classify(encode(sample_result(), v)), MessageKind::kResult);
+    EXPECT_EQ(classify(encode(HelloMessage{"w", WireVersion::kV2, {}}, v)),
+              MessageKind::kHello);
+    EXPECT_EQ(classify(encode(FileMessage{"f", false, {}}, v)),
+              MessageKind::kFile);
+    EXPECT_EQ(classify(encode(ControlMessage{}, v)), MessageKind::kControl);
+  }
+  EXPECT_EQ(classify(encode_batch(std::vector<TaskMessage>{sample_task(),
+                                                           sample_task()})),
+            MessageKind::kTaskBatch);
+  EXPECT_EQ(classify(encode_batch(std::vector<ResultMessage>{sample_result(),
+                                                             sample_result()})),
+            MessageKind::kResultBatch);
+  EXPECT_THROW(classify(""), Error);
+  EXPECT_THROW(classify("bogus 1 2\nend\n"), Error);
+}
+
+TEST(Protocol, OversizedFrameLengthRejectedBeforeAllocation) {
+  // A hostile header claiming a body far past the cap: magic, version, type,
+  // then a varint length of ~2^62 bytes. The decoder must reject it from the
+  // header alone — it cannot wait for (or try to buffer) the claimed body.
+  const std::string wire{'\xF7', 'Q', 2, 1,
+                         '\xFF', '\xFF', '\xFF', '\xFF', '\xFF',
+                         '\xFF', '\xFF', '\xFF', '\x3F'};
+  EXPECT_THROW(decode_task(wire), Error);
+  try {
+    decode_task(wire);
+    FAIL() << "oversized frame accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos);
+  }
+}
+
+TEST(Protocol, FrameBodyLimitIsConfigurable) {
+  EXPECT_EQ(max_frame_body_bytes(), kDefaultMaxFrameBodyBytes);
+  set_max_frame_body_bytes(256);
+  FileMessage big;
+  big.name = "blob";
+  big.content.assign(1024, 0xAB);
+  const std::string wire = encode(big, WireVersion::kV2);
+  EXPECT_THROW(decode_file(wire), Error);
+  // Raising the limit back admits the same bytes.
+  set_max_frame_body_bytes(0);  // 0 restores the default
+  EXPECT_EQ(max_frame_body_bytes(), kDefaultMaxFrameBodyBytes);
+  const FileMessage back = decode_file(wire);
+  EXPECT_EQ(back.content.size(), 1024u);
+}
+
 }  // namespace
 }  // namespace lfm::wq

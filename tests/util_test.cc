@@ -1,10 +1,14 @@
 // Unit tests for util: rng determinism and distributions, statistics,
 // string helpers, unit formatting, error types.
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <set>
 
 #include "util/error.h"
+#include "util/io.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -347,6 +351,62 @@ TEST(LogHistogram, MergeCombinesAndChecksShape) {
   EXPECT_THROW(a.merge(wrong_buckets), Error);
   EXPECT_THROW(a.merge(wrong_lo), Error);
   EXPECT_THROW(a.merge(wrong_hi), Error);
+}
+
+TEST(Io, WriteAllThenReadAvailableRoundtrip) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::vector<uint8_t> payload(100000);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  // Writer thread not needed: 100 KB fits a pipe? No — default pipe buffer
+  // is 64 KB, so write from a forked child to exercise the short-write loop.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    close(fds[0]);
+    const bool ok = io::write_all(fds[1], payload.data(), payload.size());
+    close(fds[1]);
+    _exit(ok ? 0 : 1);
+  }
+  close(fds[1]);
+  std::vector<uint8_t> got;
+  EXPECT_EQ(io::read_available(fds[0], got), io::ReadStatus::kEof);
+  close(fds[0]);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(Io, ReadAvailableReportsAgainOnDrainedNonblockingFd) {
+  int fds[2];
+  ASSERT_EQ(pipe2(fds, O_NONBLOCK), 0);
+  const uint8_t data[] = {1, 2, 3};
+  ASSERT_TRUE(io::write_all(fds[1], data, sizeof data));
+  std::vector<uint8_t> got;
+  EXPECT_EQ(io::read_available(fds[0], got), io::ReadStatus::kAgain);
+  EXPECT_EQ(got, (std::vector<uint8_t>{1, 2, 3}));
+  // Drained and still open: kAgain again, buffer appends nothing.
+  EXPECT_EQ(io::read_available(fds[0], got), io::ReadStatus::kAgain);
+  EXPECT_EQ(got.size(), 3u);
+  close(fds[1]);
+  EXPECT_EQ(io::read_available(fds[0], got), io::ReadStatus::kEof);
+  close(fds[0]);
+}
+
+TEST(Io, ErrorsSurfaceAsFalseOrKError) {
+  std::vector<uint8_t> buffer;
+  const uint8_t byte = 0;
+  EXPECT_FALSE(io::write_all(-1, &byte, 1));
+  EXPECT_EQ(io::read_available(-1, buffer), io::ReadStatus::kError);
+  // Writing to a read end is EBADF too.
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  EXPECT_FALSE(io::write_all(fds[0], &byte, 1));
+  close(fds[0]);
+  close(fds[1]);
 }
 
 }  // namespace
