@@ -279,6 +279,14 @@ void Journal::observed_exhaustion(uint64_t task_id, const std::string& category,
   commit(e);
 }
 
+std::unordered_set<uint64_t> Journal::completed_task_ids() const {
+  std::unordered_set<uint64_t> done;
+  for (const JournalEntry& e : entries_) {
+    if (e.kind == EntryKind::kCompleted) done.insert(e.task);
+  }
+  return done;
+}
+
 std::string Journal::to_jsonl() const {
   std::string out;
   for (const auto& entry : entries_) {

@@ -22,6 +22,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "alloc/resources.h"
@@ -90,6 +91,11 @@ class Journal {
   const std::vector<JournalEntry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
   void flush();
+
+  // The done flags: ids of every task with a kCompleted record. This is the
+  // exactly-once dedup set a restarted (or federated) master consults —
+  // resubmitting a task whose id appears here must not run it again.
+  std::unordered_set<uint64_t> completed_task_ids() const;
 
   std::string to_jsonl() const;
   // Parse a JSONL journal dump (ignoring blank lines); throws lfm::Error on

@@ -1,0 +1,263 @@
+#include "fed/foreman.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/socket.h"
+#include "obs/recorder.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace lfm::fed {
+
+namespace {
+
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+obs::Metrics* metrics_sink(obs::Metrics* configured) {
+  if (configured != nullptr) return configured;
+  return obs::Recorder::enabled() ? &obs::Recorder::global().metrics() : nullptr;
+}
+
+net::MasterServiceConfig shard_config(const ForemanConfig& c) {
+  net::MasterServiceConfig s = c.service;
+  // The shard tier must not declare the run over when its local queue
+  // drains — the root decides when the run ends.
+  s.persistent = true;
+  if (s.metrics == nullptr) s.metrics = c.metrics;
+  return s;
+}
+
+}  // namespace
+
+void Foreman::count(const char* name, int64_t n) {
+  if (obs::Metrics* m = metrics_sink(config_.metrics)) m->counter(name).add(n);
+}
+
+Foreman::Foreman(ForemanConfig config)
+    : config_(std::move(config)),
+      service_(loop_, shard_config(config_)),
+      cache_(config_.cache_capacity_bytes) {
+  service_.set_on_result(
+      [this](const wq::ResultMessage& r) { on_local_result(r); });
+}
+
+int64_t Foreman::run() {
+  bye_ = false;
+  gave_up_ = false;
+  attempt_ = 0;
+  if (config_.stats_interval > 0) {
+    stats_timer_ =
+        loop_.run_every(config_.stats_interval, [this] { send_stats(); });
+  }
+  try_connect();
+  loop_.run();
+  if (stats_timer_ != 0) {
+    loop_.cancel_timer(stats_timer_);
+    stats_timer_ = 0;
+  }
+  if (upstream_ && !upstream_->closed()) upstream_->close("foreman shutdown");
+  upstream_.reset();
+  if (gave_up_ && !ever_connected_) {
+    throw Error("fed: foreman \"" + config_.name + "\" could not reach root " +
+                config_.root_host + ":" + std::to_string(config_.root_port));
+  }
+  return relayed_;
+}
+
+void Foreman::stop() {
+  stopped_.store(true);
+  loop_.post([this] {
+    if (upstream_ && !upstream_->closed()) upstream_->close("stopped");
+    service_.shutdown();
+    loop_.stop();
+  });
+}
+
+void Foreman::try_connect() {
+  if (stopped_.load()) {
+    loop_.stop();
+    return;
+  }
+  const int fd = net::connect_tcp(config_.root_host, config_.root_port);
+  if (fd < 0) {
+    ++attempt_;
+    schedule_reconnect("connect failed");
+    return;
+  }
+  ever_connected_ = true;
+  upstream_ = std::make_shared<net::Connection>(loop_, fd, next_conn_id_++);
+  upstream_->set_on_message([this](net::Connection& c, std::string&& wire) {
+    on_upstream_message(c, std::move(wire));
+  });
+  upstream_->set_on_close([this](net::Connection&, const std::string& reason) {
+    loop_.post([this, reason] {
+      if (bye_ || stopped_.load()) return;
+      ++attempt_;
+      schedule_reconnect(reason);
+    });
+  });
+  upstream_->start();
+  wq::HelloMessage hello{config_.name, config_.wire_version, config_.capacity};
+  upstream_->send(wq::encode(hello, config_.wire_version));
+  count("foreman.connects");
+  // Results that completed while the link was down travel on the fresh
+  // connection; the root's done flags absorb any duplicates.
+  flush_results();
+}
+
+void Foreman::schedule_reconnect(const std::string& reason) {
+  if (attempt_ > config_.max_reconnect_attempts) {
+    LFM_WARN("fed", "foreman " + config_.name + " giving up after " +
+                        std::to_string(attempt_ - 1) + " failed reconnects (" +
+                        reason + ")");
+    gave_up_ = true;
+    if (!ever_connected_) {
+      loop_.stop();
+      return;
+    }
+    // Abandon the run but land the local tier cleanly: workers get byes and
+    // the loop stops once their connections drain.
+    service_.shutdown();
+    return;
+  }
+  const double delay =
+      config_.reconnect.backoff_delay(fnv1a(config_.name), attempt_ - 1);
+  loop_.run_after(delay, [this] { try_connect(); });
+}
+
+void Foreman::on_upstream_message(net::Connection& conn, std::string&& wire) {
+  count("foreman.frames_in");
+  switch (wq::classify(wire)) {
+    case wq::MessageKind::kFile:
+      handle_file(wire);
+      return;
+    case wq::MessageKind::kTask:
+    case wq::MessageKind::kTaskBatch:
+      handle_tasks(wire);
+      return;
+    case wq::MessageKind::kControl: {
+      const wq::ControlMessage ctl = wq::decode_control(wire);
+      if (ctl.type == wq::ControlType::kPing) {
+        wq::ControlMessage pong{wq::ControlType::kPong, ctl.nonce,
+                                ctl.timestamp};
+        conn.send(wq::encode(pong, wq::detect_version(wire)));
+      } else if (ctl.type == wq::ControlType::kBye) {
+        bye_ = true;
+        conn.close("bye");
+        // Drain the local tier; the loop stops when the last worker
+        // connection is gone.
+        service_.shutdown();
+      }
+      return;
+    }
+    default:
+      conn.close("unexpected message kind from root");
+      return;
+  }
+}
+
+void Foreman::handle_file(const std::string& wire) {
+  wq::FileMessage fm = wq::decode_file(wire);
+  const auto backing =
+      std::make_shared<const serde::Bytes>(std::move(fm.content));
+  // Second-tier cache fill: the payload is content-chunked into the shard
+  // store (dedup against every file already held) and remembered as a
+  // manifest; the bytes never cross the root link again while cached.
+  pkg::ChunkManifest manifest = pkg::chunk_into_store(backing, cache_);
+  count("foreman.files_cached");
+  count("foreman.file_bytes_in", manifest.total_bytes());
+  file_cache_[fm.name] = CachedFile{std::move(manifest), fm.cacheable};
+}
+
+void Foreman::handle_tasks(const std::string& wire) {
+  const std::vector<wq::TaskMessage> tasks = wq::decode_task_batch(wire);
+  received_ += static_cast<int64_t>(tasks.size());
+  count("foreman.tasks_received", static_cast<int64_t>(tasks.size()));
+  // Reassemble each input named by this batch once from the shard cache,
+  // then fan the bytes out per task (the local MasterService ships each
+  // cacheable file once per worker connection regardless).
+  wq::FileSet staged;
+  for (const wq::TaskMessage& t : tasks) {
+    for (const wq::TaskMessage::FileStanza& stanza : t.infiles) {
+      if (staged.count(stanza.name)) continue;
+      auto it = file_cache_.find(stanza.name);
+      if (it == file_cache_.end()) continue;  // worker-local input
+      staged.emplace(stanza.name, pkg::reassemble(it->second.manifest, cache_));
+      count("foreman.cache_reassemblies");
+    }
+  }
+  for (const wq::TaskMessage& t : tasks) {
+    wq::FileSet files;
+    for (const wq::TaskMessage::FileStanza& stanza : t.infiles) {
+      auto it = staged.find(stanza.name);
+      if (it != staged.end()) files.emplace(it->first, it->second);
+    }
+    // The relay hop: the batch the root encoded is decoded here and the
+    // local dispatcher re-batches and re-encodes it downward.
+    service_.submit(t, std::move(files));
+  }
+}
+
+void Foreman::on_local_result(const wq::ResultMessage& result) {
+  pending_results_.push_back(result);
+  if (pending_results_.size() >= config_.result_batch_max) {
+    flush_results();
+    return;
+  }
+  if (!flush_scheduled_) {
+    // Deferred one loop turn: everything that completes in this reactor
+    // iteration coalesces into a single upward batch frame.
+    flush_scheduled_ = true;
+    loop_.post([this] {
+      flush_scheduled_ = false;
+      flush_results();
+    });
+  }
+}
+
+void Foreman::flush_results() {
+  if (pending_results_.empty()) return;
+  if (!upstream_ || upstream_->closed()) return;  // flushes on reconnect
+  if (pending_results_.size() > 1 &&
+      config_.wire_version == wq::WireVersion::kV2) {
+    upstream_->send(wq::encode_batch(pending_results_, config_.wire_version));
+  } else {
+    for (const wq::ResultMessage& r : pending_results_) {
+      upstream_->send(wq::encode(r, config_.wire_version));
+    }
+  }
+  relayed_ += static_cast<int64_t>(pending_results_.size());
+  count("foreman.results_relayed",
+        static_cast<int64_t>(pending_results_.size()));
+  pending_results_.clear();
+  // Relayed progress restores the full upstream reconnect budget (the same
+  // discipline WorkerClient applies to its task completions).
+  attempt_ = 0;
+}
+
+void Foreman::send_stats() {
+  if (!upstream_ || upstream_->closed() || bye_) return;
+  wq::StatsMessage s;
+  s.source = config_.name;
+  s.workers = service_.connected_workers();
+  s.pending = static_cast<int64_t>(service_.pending());
+  s.completed = relayed_;
+  const net::NetMasterStats ns = service_.stats();
+  s.fanout_bytes = ns.bytes_sent;
+  s.fanout_files = ns.files_sent;
+  const pkg::ChunkStore::Stats cs = cache_.stats();
+  s.cache_chunks = cs.chunks;
+  s.cache_bytes = cs.bytes;
+  upstream_->send(wq::encode(s, config_.wire_version));
+  count("foreman.stats_sent");
+}
+
+}  // namespace lfm::fed

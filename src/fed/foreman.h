@@ -1,0 +1,129 @@
+// Foreman: the middle tier of the federated dispatch hierarchy (DESIGN.md
+// §14).
+//
+// One process, one event loop, two faces. Upward it is a protocol peer of a
+// fed::RootMaster — it connects out like a worker would (hello, then task /
+// file / control frames in, result / stats frames out), reconnecting with
+// chaos::RetryPolicy backoff when the link drops. Downward it runs a full
+// net::MasterService over its own worker pool: every task frame the root
+// sends is decoded, re-batched, and re-encoded into the local dispatch
+// stream (the relay hop), and every local result is coalesced into batch
+// frames travelling back up.
+//
+// The foreman is also the second-tier file cache. Each file the root ships
+// is content-chunked into the shard's own pkg::ChunkStore and remembered as
+// a manifest; tasks reassemble their inputs from the store at submit time.
+// A cacheable file therefore crosses the root link once per foreman and
+// fans out to W workers from shard-local memory — the root's egress scales
+// with the number of shards, not the number of workers.
+//
+// Telemetry aggregates upward: a periodic kStats frame reports live worker
+// count, local queue depth, relayed completions, fan-out volume, and cache
+// occupancy, so the root observes the whole subtree through one link.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/resources.h"
+#include "chaos/retry.h"
+#include "net/conn.h"
+#include "net/event_loop.h"
+#include "net/master_service.h"
+#include "net/worker_client.h"
+#include "pkg/chunk.h"
+#include "wq/protocol.h"
+
+namespace lfm::fed {
+
+struct ForemanConfig {
+  std::string name = "foreman";
+  std::string root_host = "127.0.0.1";
+  uint16_t root_port = 0;
+  wq::WireVersion wire_version = wq::WireVersion::kV2;
+  // Advertised upward in the hello: nominally the shard's aggregate worker
+  // capacity.
+  alloc::Resources capacity{4.0, 8e9, 50e9};
+  // The worker-facing MasterService tier. `service.port` is the local
+  // listen port (0 = ephemeral; read back via worker_port()).
+  // `service.persistent` is forced true: the shard never self-finishes,
+  // the root's bye ends the run.
+  net::MasterServiceConfig service;
+  chaos::RetryPolicy reconnect = net::default_reconnect_policy();
+  // Upstream failures tolerated since the last relayed progress (the same
+  // budget discipline net::WorkerClient applies).
+  int max_reconnect_attempts = 30;
+  double stats_interval = 1.0;  // kStats cadence (0 = off)
+  // Local results buffered before an upward flush is forced; a loop-deferred
+  // flush also coalesces whatever completed in the same reactor iteration.
+  size_t result_batch_max = 64;
+  int64_t cache_capacity_bytes = 256LL << 20;
+  // Metrics sink for the foreman's own counters; also becomes the local
+  // MasterService's sink when service.metrics is unset. Null = process-wide
+  // registry gated on obs::Recorder.
+  obs::Metrics* metrics = nullptr;
+};
+
+class Foreman {
+ public:
+  explicit Foreman(ForemanConfig config);
+
+  // The local worker-facing listen port — known before run(), so worker
+  // processes can be launched first.
+  uint16_t worker_port() const { return service_.port(); }
+
+  // Connect upward (retrying with backoff) and serve until the root says
+  // bye (then drain the local tier), stop() is called, or the reconnect
+  // budget exhausts. Returns the number of results relayed upward. Throws
+  // lfm::Error if the root was never reached at all.
+  int64_t run();
+
+  // Thread-safe: make run() return after the current callback.
+  void stop();
+
+  int64_t results_relayed() const { return relayed_; }
+  int64_t tasks_received() const { return received_; }
+  bool gave_up() const { return gave_up_; }
+  const pkg::ChunkStore& cache() const { return cache_; }
+  net::MasterService& service() { return service_; }
+
+ private:
+  struct CachedFile {
+    pkg::ChunkManifest manifest;
+    bool cacheable = false;
+  };
+
+  void count(const char* name, int64_t n = 1);
+  void try_connect();
+  void schedule_reconnect(const std::string& reason);
+  void on_upstream_message(net::Connection& conn, std::string&& wire);
+  void handle_file(const std::string& wire);
+  void handle_tasks(const std::string& wire);
+  void on_local_result(const wq::ResultMessage& result);
+  void flush_results();
+  void send_stats();
+
+  ForemanConfig config_;
+  net::EventLoop loop_;
+  net::MasterService service_;
+  pkg::ChunkStore cache_;
+  std::shared_ptr<net::Connection> upstream_;
+  std::map<std::string, CachedFile> file_cache_;
+  std::vector<wq::ResultMessage> pending_results_;
+  bool flush_scheduled_ = false;
+  uint64_t next_conn_id_ = 1;
+  int attempt_ = 0;  // upstream failures since last relayed progress
+  bool ever_connected_ = false;
+  bool bye_ = false;
+  bool gave_up_ = false;
+  std::atomic<bool> stopped_{false};
+  int64_t relayed_ = 0;
+  int64_t received_ = 0;
+  uint64_t stats_timer_ = 0;
+};
+
+}  // namespace lfm::fed

@@ -1,0 +1,488 @@
+#include "fed/root_master.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/recorder.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace lfm::fed {
+
+namespace {
+
+obs::Metrics* metrics_sink(obs::Metrics* configured) {
+  if (configured != nullptr) return configured;
+  return obs::Recorder::enabled() ? &obs::Recorder::global().metrics() : nullptr;
+}
+
+}  // namespace
+
+void RootMaster::count(const char* name, int64_t n) {
+  if (obs::Metrics* m = metrics_sink(config_.metrics)) m->counter(name).add(n);
+}
+
+void RootMaster::observe(const char* name, double v, double lo, double hi) {
+  if (obs::Metrics* m = metrics_sink(config_.metrics)) {
+    m->histogram(name, lo, hi).observe(v);
+  }
+}
+
+RootMaster::RootMaster(net::EventLoop& loop, RootMasterConfig config)
+    : loop_(loop),
+      config_(config),
+      listener_(loop, config.port, config.bind_addr) {
+  listener_.set_on_accept([this](int fd) { on_accept(fd); });
+  listener_.start();
+  if (config_.heartbeat_interval > 0) {
+    heartbeat_timer_ =
+        loop_.run_every(config_.heartbeat_interval, [this] { heartbeat(); });
+  }
+}
+
+RootMaster::~RootMaster() {
+  if (heartbeat_timer_ != 0) loop_.cancel_timer(heartbeat_timer_);
+  for (auto& [id, f] : conns_) {
+    f.conn->set_on_close({});
+    if (!f.conn->closed()) f.conn->close("root shutdown");
+  }
+}
+
+void RootMaster::recover(const chaos::Journal& journal) {
+  for (const uint64_t id : journal.completed_task_ids()) {
+    recovered_done_.insert(id);
+  }
+}
+
+void RootMaster::submit(TaskGroup group) {
+  const size_t gidx = groups_.size();
+  Group g;
+  g.name = std::move(group.name);
+  g.files = std::move(group.files);
+  for (wq::TaskMessage& task : group.tasks) {
+    const size_t index = tasks_.size();
+    index_by_task_id_[task.task_id] = index;
+    const bool done = recovered_done_.count(task.task_id) > 0;
+    if (done) {
+      ++stats_.recovered_done;
+      count("fed.recovered_done");
+    } else {
+      g.task_indices.push_back(index);
+      ++g.remaining;
+      ++pending_;
+    }
+    tasks_.push_back(PendingTask{std::move(task), gidx, done});
+    results_.emplace_back();
+  }
+  ++stats_.groups_submitted;
+  count("fed.groups_submitted");
+  if (g.remaining == 0) {
+    // Every task was already done in the recovered journal.
+    ++stats_.groups_completed;
+    groups_.push_back(std::move(g));
+    return;
+  }
+  groups_.push_back(std::move(g));
+  group_queue_.push_back(gidx);
+  dispatch();
+}
+
+void RootMaster::on_accept(int fd) {
+  const uint64_t id = next_conn_id_++;
+  auto conn = std::make_shared<net::Connection>(loop_, fd, id);
+  conn->set_on_message([this, id](net::Connection& c, std::string&& wire) {
+    on_message(id, c, std::move(wire));
+  });
+  conn->set_on_close([this, id](net::Connection&, const std::string& reason) {
+    // Defer: close() can fire from inside dispatch()'s iteration over
+    // conns_; mutating the map there would invalidate the iterator.
+    loop_.post([this, id, reason] { handle_close(id, reason); });
+  });
+  ForemanConn f;
+  f.conn = conn;
+  conns_.emplace(id, std::move(f));
+  ++stats_.foremen_accepted;
+  count("fed.accepts");
+  conn->start();
+}
+
+void RootMaster::on_message(uint64_t conn_id, net::Connection& conn,
+                            std::string&& wire) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ForemanConn& f = it->second;
+  count("fed.frames_in");
+  switch (wq::classify(wire)) {
+    case wq::MessageKind::kHello: {
+      const wq::HelloMessage hello = wq::decode_hello(wire);
+      f.helloed = true;
+      f.version = hello.preferred;
+      f.name = hello.worker_name;
+      count("fed.hellos");
+      dispatch();
+      return;
+    }
+    case wq::MessageKind::kResult:
+    case wq::MessageKind::kResultBatch: {
+      if (!f.helloed) {
+        conn.close("result before hello");
+        return;
+      }
+      const std::vector<wq::ResultMessage> results =
+          wq::decode_result_batch(wire);
+      for (const wq::ResultMessage& msg : results) handle_result(f, msg);
+      if (!conn.closed()) dispatch();
+      check_finished();
+      return;
+    }
+    case wq::MessageKind::kStats: {
+      handle_stats(f, wq::decode_stats(wire));
+      return;
+    }
+    case wq::MessageKind::kControl: {
+      const wq::ControlMessage ctl = wq::decode_control(wire);
+      if (ctl.type == wq::ControlType::kPing) {
+        wq::ControlMessage pong{wq::ControlType::kPong, ctl.nonce,
+                                ctl.timestamp};
+        conn.send(wq::encode(pong, wq::detect_version(wire)));
+        count("fed.frames_out");
+      } else if (ctl.type == wq::ControlType::kPong) {
+        if (ctl.nonce == f.ping_nonce && f.last_ping_sent > 0) {
+          observe("fed.rtt_seconds", net::EventLoop::now() - f.last_ping_sent,
+                  1e-6, 10.0);
+          f.last_ping_sent = 0;
+        }
+      }
+      return;
+    }
+    default:
+      conn.close("unexpected message kind from foreman");
+      return;
+  }
+}
+
+void RootMaster::handle_result(ForemanConn& /*from*/,
+                               const wq::ResultMessage& msg) {
+  auto it = index_by_task_id_.find(msg.task_id);
+  if (it == index_by_task_id_.end()) {
+    count("fed.unknown_results");
+    return;
+  }
+  const size_t index = it->second;
+  PendingTask& t = tasks_[index];
+  if (t.done) {
+    // The group was re-dispatched after a foreman death and a straggler
+    // attempt also reported — exactly-once holds at the root's done flag.
+    ++stats_.duplicate_results;
+    count("fed.duplicate_results");
+    return;
+  }
+  t.done = true;
+  results_[index] = msg;
+  ++stats_.tasks_completed;
+  --pending_;
+  count("fed.results");
+  if (config_.journal != nullptr) {
+    // Write-ahead: the done record lands before the completion's downstream
+    // effects (callback, group retirement) run.
+    alloc::Resources peak;
+    peak.cores = msg.cores_used;
+    peak.memory_bytes = static_cast<double>(msg.memory_peak_bytes);
+    peak.disk_bytes = static_cast<double>(msg.disk_peak_bytes);
+    config_.journal->completed(msg.task_id, peak, net::EventLoop::now());
+  }
+  Group& g = groups_[t.group];
+  if (g.remaining > 0) --g.remaining;
+  if (g.remaining == 0) {
+    // A straggler can retire a group that was requeued (assigned == 0)
+    // after its foreman died; dispatch() skips drained groups on pop.
+    if (g.assigned != 0) {
+      auto cit = conns_.find(g.assigned);
+      if (cit != conns_.end()) cit->second.groups.erase(t.group);
+      g.assigned = 0;
+    }
+    ++stats_.groups_completed;
+    count("fed.groups_completed");
+  }
+  if (on_result_) on_result_(results_[index]);
+}
+
+void RootMaster::handle_stats(ForemanConn& f, const wq::StatsMessage& msg) {
+  f.last_stats = msg;
+  ++stats_.stats_frames;
+  count("fed.stats_frames");
+  if (obs::Metrics* m = metrics_sink(config_.metrics)) {
+    // Tree-wide aggregates from the shards' latest frames: the root's view
+    // of worker capacity and shard cache health without polling anything.
+    int64_t workers = 0, cache_bytes = 0;
+    for (const auto& [id, fc] : conns_) {
+      if (fc.conn->closed()) continue;
+      workers += fc.last_stats.workers;
+      cache_bytes += fc.last_stats.cache_bytes;
+    }
+    m->gauge("fed.tree_workers").set(static_cast<double>(workers));
+    m->gauge("fed.tree_cache_bytes").set(static_cast<double>(cache_bytes));
+  }
+}
+
+void RootMaster::handle_close(uint64_t conn_id, const std::string& reason) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ForemanConn& f = it->second;
+  absorb_conn_totals(*f.conn);
+  ++stats_.foremen_lost;
+  count("fed.disconnects");
+  if (config_.journal != nullptr) {
+    config_.journal->worker_lost(static_cast<int>(conn_id),
+                                 net::EventLoop::now());
+  }
+  if (!f.groups.empty()) {
+    LFM_WARN("fed", "foreman '" + f.name + "' lost (" + reason + "); requeuing " +
+                        std::to_string(f.groups.size()) + " group(s)");
+    // Requeue to the FRONT so surviving siblings retry promptly; tasks that
+    // already completed stay done (assign_group skips them).
+    for (auto rit = f.groups.rbegin(); rit != f.groups.rend(); ++rit) {
+      Group& g = groups_[*rit];
+      g.assigned = 0;
+      if (g.remaining == 0) continue;
+      group_queue_.push_front(*rit);
+      ++stats_.requeued_groups;
+      stats_.requeued_tasks += static_cast<int64_t>(g.remaining);
+      count("fed.requeued_groups");
+      count("fed.requeued_tasks", static_cast<int64_t>(g.remaining));
+    }
+  }
+  conns_.erase(it);
+  dispatch();
+  check_finished();
+}
+
+RootMaster::ForemanConn* RootMaster::route(const Group& g) {
+  // Cache affinity: prefer the link that already holds the most of this
+  // group's cacheable files (each hit is a file that will NOT cross the
+  // root link again); break ties toward the lightest-loaded shard.
+  ForemanConn* best = nullptr;
+  int best_affinity = -1;
+  size_t best_load = 0;
+  for (auto& [id, f] : conns_) {
+    if (!f.helloed || f.conn->closed()) continue;
+    if (f.groups.size() >= static_cast<size_t>(config_.groups_per_foreman)) {
+      continue;
+    }
+    if (f.conn->queued_bytes() >= config_.write_high_watermark) {
+      count("fed.backpressure_stalls");
+      continue;
+    }
+    int affinity = 0;
+    for (const auto& [name, bytes] : g.files) {
+      if (f.shipped_files.count(name)) ++affinity;
+    }
+    if (affinity > best_affinity ||
+        (affinity == best_affinity && f.groups.size() < best_load)) {
+      best = &f;
+      best_affinity = affinity;
+      best_load = f.groups.size();
+    }
+  }
+  if (best != nullptr && best_affinity > 0) {
+    count("fed.affinity_hits", best_affinity);
+  }
+  return best;
+}
+
+void RootMaster::dispatch() {
+  while (!group_queue_.empty()) {
+    const size_t gidx = group_queue_.front();
+    Group& g = groups_[gidx];
+    if (g.remaining == 0) {  // completed while requeued
+      group_queue_.pop_front();
+      continue;
+    }
+    ForemanConn* f = route(g);
+    if (f == nullptr) return;  // every link full or backpressured
+    group_queue_.pop_front();
+    assign_group(*f, gidx);
+  }
+}
+
+void RootMaster::send_files_for(ForemanConn& f, const Group& g) {
+  // Cacheable flags come from the tasks' infile stanzas; a file named by no
+  // task ships non-cacheable (the foreman treats it as replaceable).
+  std::map<std::string, bool> cacheable;
+  for (const size_t index : g.task_indices) {
+    for (const wq::TaskMessage::FileStanza& s : tasks_[index].task.infiles) {
+      if (s.cacheable) cacheable[s.name] = true;
+    }
+  }
+  for (const auto& [name, bytes] : g.files) {
+    const bool cache = cacheable.count(name) > 0;
+    if (cache && f.shipped_files.count(name)) continue;  // ship-once per link
+    wq::FileMessage fm{name, cache, bytes};
+    f.conn->send(wq::encode(fm, f.version));
+    ++stats_.files_sent;
+    count("fed.files_sent");
+    count("fed.frames_out");
+    if (cache) f.shipped_files.insert(name);
+  }
+}
+
+void RootMaster::assign_group(ForemanConn& f, size_t group_index) {
+  Group& g = groups_[group_index];
+  send_files_for(f, g);
+  if (f.conn->closed()) {
+    // A send() failure mid-staging closed the link; the group goes back so
+    // the deferred handle_close path can't miss it.
+    group_queue_.push_front(group_index);
+    return;
+  }
+  g.assigned = f.conn->id();
+  f.groups.insert(group_index);
+  std::vector<wq::TaskMessage> batch;
+  batch.reserve(std::min(g.task_indices.size(), config_.max_batch));
+  auto flush = [&] {
+    if (batch.empty()) return;
+    if (batch.size() > 1 && f.version == wq::WireVersion::kV2) {
+      f.conn->send(wq::encode_batch(batch, f.version));
+      count("fed.frames_out");
+    } else {
+      for (const wq::TaskMessage& msg : batch) {
+        f.conn->send(wq::encode(msg, f.version));
+        count("fed.frames_out");
+      }
+    }
+    count("fed.dispatched_tasks", static_cast<int64_t>(batch.size()));
+    observe("fed.batch_size", static_cast<double>(batch.size()), 1.0, 4096.0);
+    batch.clear();
+  };
+  for (const size_t index : g.task_indices) {
+    if (tasks_[index].done) continue;  // completed before a requeue landed
+    batch.push_back(tasks_[index].task);
+    if (batch.size() >= config_.max_batch) flush();
+    if (f.conn->closed()) return;
+  }
+  flush();
+}
+
+void RootMaster::heartbeat() {
+  const double now = net::EventLoop::now();
+  std::vector<net::Connection*> to_drop;
+  for (auto& [id, f] : conns_) {
+    if (!f.helloed || f.conn->closed()) continue;
+    // A shard grinding through groups streams results and telemetry; only a
+    // genuinely silent link gets pinged or retired.
+    if (config_.idle_timeout > 0 &&
+        now - f.conn->last_activity() > config_.idle_timeout) {
+      to_drop.push_back(f.conn.get());
+      continue;
+    }
+    if (!f.groups.empty()) continue;
+    f.ping_nonce += 1;
+    f.last_ping_sent = now;
+    wq::ControlMessage ping{wq::ControlType::kPing, f.ping_nonce, now};
+    f.conn->send(wq::encode(ping, f.version));
+    count("fed.pings");
+    count("fed.frames_out");
+  }
+  for (net::Connection* c : to_drop) {
+    count("fed.idle_closes");
+    c->close("idle-timeout");
+  }
+}
+
+void RootMaster::begin_finish() {
+  finishing_ = true;
+  for (auto& [id, f] : conns_) {
+    if (f.conn->closed()) continue;
+    wq::ControlMessage bye{wq::ControlType::kBye, 0, net::EventLoop::now()};
+    f.conn->send(wq::encode(bye, f.version));
+    count("fed.frames_out");
+    f.conn->close_after_flush();
+  }
+}
+
+void RootMaster::check_finished() {
+  if (!finishing_) {
+    if (pending_ != 0 || tasks_.empty()) return;
+    begin_finish();
+  }
+  if (conns_.empty()) loop_.stop();
+}
+
+RootStats RootMaster::run_until_complete(double timeout) {
+  finishing_ = false;
+  timed_out_ = false;
+  if (pending_ == 0) {
+    check_finished();
+    if (!conns_.empty()) loop_.run();
+    return stats();
+  }
+  uint64_t watchdog = 0;
+  if (timeout > 0) {
+    watchdog = loop_.run_after(timeout, [this] {
+      timed_out_ = true;
+      loop_.stop();
+    });
+  }
+  loop_.run();
+  if (watchdog != 0) loop_.cancel_timer(watchdog);
+  if (timed_out_) {
+    throw Error("fed: root run timed out with " + std::to_string(pending_) +
+                " tasks pending");
+  }
+  return stats();
+}
+
+bool RootMaster::kill_foreman(size_t k) {
+  size_t seen = 0;
+  for (auto& [id, f] : conns_) {
+    if (f.conn->closed() || !f.helloed) continue;
+    if (seen++ == k) {
+      count("fed.injected_drops");
+      f.conn->close("injected drop");
+      return true;
+    }
+  }
+  return false;
+}
+
+int RootMaster::connected_foremen() const {
+  int n = 0;
+  for (const auto& [id, f] : conns_) {
+    if (f.helloed && !f.conn->closed()) ++n;
+  }
+  return n;
+}
+
+void RootMaster::absorb_conn_totals(const net::Connection& conn) {
+  stats_.bytes_sent += conn.bytes_out();
+  stats_.bytes_received += conn.bytes_in();
+  count("fed.bytes_out", conn.bytes_out());
+  count("fed.bytes_in", conn.bytes_in());
+}
+
+RootStats RootMaster::stats() const {
+  RootStats s = stats_;
+  for (const auto& [id, f] : conns_) {
+    s.bytes_sent += f.conn->bytes_out();
+    s.bytes_received += f.conn->bytes_in();
+  }
+  return s;
+}
+
+std::map<std::string, wq::StatsMessage> RootMaster::shard_stats() const {
+  std::map<std::string, wq::StatsMessage> out;
+  for (const auto& [id, f] : conns_) {
+    if (f.helloed && !f.conn->closed()) out[f.name] = f.last_stats;
+  }
+  return out;
+}
+
+std::map<std::string, size_t> RootMaster::shard_loads() const {
+  std::map<std::string, size_t> out;
+  for (const auto& [id, f] : conns_) {
+    if (f.helloed && !f.conn->closed()) out[f.name] = f.groups.size();
+  }
+  return out;
+}
+
+}  // namespace lfm::fed

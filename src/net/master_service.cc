@@ -12,16 +12,12 @@ namespace lfm::net {
 
 namespace {
 
-void count(const char* name, int64_t n = 1) {
-  if (obs::Recorder::enabled()) {
-    obs::Recorder::global().metrics().counter(name).add(n);
-  }
-}
-
-void observe(const char* name, double v, double lo, double hi) {
-  if (obs::Recorder::enabled()) {
-    obs::Recorder::global().metrics().histogram(name, lo, hi).observe(v);
-  }
+// The sink an instance records into: an explicitly configured registry
+// (always on — co-hosted fed components rely on it), else the process-wide
+// one gated on the recorder.
+obs::Metrics* metrics_sink(obs::Metrics* configured) {
+  if (configured != nullptr) return configured;
+  return obs::Recorder::enabled() ? &obs::Recorder::global().metrics() : nullptr;
 }
 
 void mark(const char* name, const std::string& detail, uint64_t tid) {
@@ -32,6 +28,16 @@ void mark(const char* name, const std::string& detail, uint64_t tid) {
 }
 
 }  // namespace
+
+void MasterService::count(const char* name, int64_t n) {
+  if (obs::Metrics* m = metrics_sink(config_.metrics)) m->counter(name).add(n);
+}
+
+void MasterService::observe(const char* name, double v, double lo, double hi) {
+  if (obs::Metrics* m = metrics_sink(config_.metrics)) {
+    m->histogram(name, lo, hi).observe(v);
+  }
+}
 
 MasterService::MasterService(EventLoop& loop, MasterServiceConfig config)
     : loop_(loop),
@@ -285,22 +291,37 @@ void MasterService::heartbeat() {
   }
 }
 
+void MasterService::begin_finish() {
+  finishing_ = true;
+  for (auto& [id, w] : conns_) {
+    if (w.conn->closed()) continue;
+    wq::ControlMessage bye{wq::ControlType::kBye, 0, EventLoop::now()};
+    w.conn->send(wq::encode(bye, w.version));
+    count("net.frames_out");
+    w.conn->close_after_flush();
+  }
+}
+
 void MasterService::check_finished() {
-  if (pending_ != 0 || tasks_.empty()) return;
   if (!finishing_) {
-    finishing_ = true;
-    for (auto& [id, w] : conns_) {
-      if (w.conn->closed()) continue;
-      wq::ControlMessage bye{wq::ControlType::kBye, 0, EventLoop::now()};
-      w.conn->send(wq::encode(bye, w.version));
-      count("net.frames_out");
-      w.conn->close_after_flush();
-    }
+    // A persistent service never self-finishes: new work can still arrive
+    // from above, so only an explicit shutdown() starts the bye sequence.
+    if (config_.persistent) return;
+    if (pending_ != 0 || tasks_.empty()) return;
+    begin_finish();
   }
   if (conns_.empty()) loop_.stop();
 }
 
+void MasterService::shutdown() {
+  if (!finishing_) begin_finish();
+  if (conns_.empty()) loop_.stop();
+}
+
 NetMasterStats MasterService::run_until_complete(double timeout) {
+  if (config_.persistent) {
+    throw Error("net: run_until_complete on a persistent MasterService");
+  }
   finishing_ = false;
   timed_out_ = false;
   if (pending_ == 0) {
@@ -351,11 +372,8 @@ void MasterService::absorb_conn_totals(const Connection& conn) {
   stats_.bytes_received += conn.bytes_in();
   stats_.messages_sent += conn.messages_out();
   stats_.messages_received += conn.messages_in();
-  if (obs::Recorder::enabled()) {
-    obs::Metrics& m = obs::Recorder::global().metrics();
-    m.counter("net.bytes_out").add(conn.bytes_out());
-    m.counter("net.bytes_in").add(conn.bytes_in());
-  }
+  count("net.bytes_out", conn.bytes_out());
+  count("net.bytes_in", conn.bytes_in());
 }
 
 NetMasterStats MasterService::stats() const {

@@ -34,6 +34,10 @@
 #include "wq/protocol.h"
 #include "wq/worker.h"
 
+namespace lfm::obs {
+class Metrics;
+}  // namespace lfm::obs
+
 namespace lfm::net {
 
 struct MasterServiceConfig {
@@ -47,6 +51,16 @@ struct MasterServiceConfig {
   size_t write_high_watermark = 4u << 20;
   double heartbeat_interval = 2.0;  // ping idle connections this often
   double idle_timeout = 30.0;       // close after this much silence (0 = off)
+  // A persistent service never declares the run over on its own: draining
+  // the queue does NOT send bye or stop the loop, because more submissions
+  // may arrive from above (a fed::Foreman relaying for a RootMaster). The
+  // owner ends the run explicitly with shutdown().
+  bool persistent = false;
+  // Metrics sink. Null records into the process-wide registry gated on
+  // obs::Recorder::enabled() (the historical behaviour); non-null records
+  // unconditionally into the given instance, which is how co-hosted fed
+  // components keep their "net.*" series apart (obs::Metrics prefixes).
+  obs::Metrics* metrics = nullptr;
 };
 
 struct NetMasterStats {
@@ -80,8 +94,15 @@ class MasterService {
 
   // Run the loop until every submitted task has a result, then send bye to
   // all workers, flush, and return the aggregate stats. Throws lfm::Error
-  // if `timeout` (> 0) wall seconds elapse first.
+  // if `timeout` (> 0) wall seconds elapse first. Not meaningful for a
+  // persistent service (throws): the owner drives the loop and calls
+  // shutdown() itself.
   NetMasterStats run_until_complete(double timeout = 0.0);
+
+  // End a persistent run: send bye to every worker, close connections after
+  // their write queues flush, and stop the loop once the last one is gone.
+  // Idempotent; also usable mid-run on a non-persistent service.
+  void shutdown();
 
   // --- fault injection & introspection -------------------------------------
   // Abruptly close the k-th (by accept order) live worker connection, as a
@@ -114,6 +135,9 @@ class MasterService {
     bool done = false;
   };
 
+  void count(const char* name, int64_t n = 1);
+  void observe(const char* name, double v, double lo, double hi);
+  void begin_finish();
   void on_accept(int fd);
   void on_message(uint64_t conn_id, Connection& conn, std::string&& wire);
   void handle_result(WorkerConn& w, const wq::ResultMessage& msg);

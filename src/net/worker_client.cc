@@ -85,7 +85,9 @@ void WorkerClient::try_connect() {
   }
   if (ever_connected_) ++reconnects_;
   ever_connected_ = true;
-  attempt_ = 0;
+  // Deliberately NOT resetting attempt_ here: a successful connect proves
+  // only that something accepted — the budget replenishes on completed work
+  // (handle_tasks), so an accept-then-drop flapper still exhausts it.
   conn_ = std::make_shared<Connection>(loop_, fd, next_conn_id_++);
   conn_->set_on_message(
       [this](Connection& c, std::string&& wire) { on_message(c, std::move(wire)); });
@@ -185,6 +187,9 @@ void WorkerClient::handle_tasks(Connection& conn, const std::string& wire) {
     }
   }
   last_send_ = EventLoop::now();
+  // Completed work restores the full reconnect budget: the link is proven
+  // end-to-end (task in, result out), so future drops start from zero.
+  attempt_ = 0;
 }
 
 }  // namespace lfm::net

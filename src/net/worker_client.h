@@ -15,6 +15,16 @@
 // recovery discipline the simulated master applies to task retries. The
 // cached FileSet survives reconnects; the master re-stages whatever the
 // fresh connection is missing.
+//
+// The reconnect budget (max_reconnect_attempts) counts failures — failed
+// connects plus unexpected closes — since the last successfully completed
+// task, and resets when a task completes. A bare TCP accept does NOT reset
+// it: against a master that accepts and immediately drops (a crash loop, a
+// misrouted port) the client must eventually give up rather than flap
+// forever. Conversely a long-lived worker that keeps finishing tasks never
+// exhausts the budget, no matter how many sparse, unrelated disconnects it
+// weathers over hours — each completion proves the link works and restores
+// the full budget.
 #pragma once
 
 #include <atomic>
@@ -72,6 +82,11 @@ class WorkerClient {
 
   int64_t tasks_executed() const { return executed_; }
   int64_t reconnects() const { return reconnects_; }
+  // True when run() ended by exhausting the reconnect budget (as opposed to
+  // a bye or stop()).
+  bool gave_up() const { return gave_up_; }
+  // Failed connects + unexpected closes since the last completed task.
+  int failures_since_progress() const { return attempt_; }
 
  private:
   void try_connect();
@@ -86,7 +101,7 @@ class WorkerClient {
   wq::FileSet files_;
   std::map<std::string, bool> file_cacheable_;
   uint64_t next_conn_id_ = 1;
-  int attempt_ = 0;            // consecutive connect failures
+  int attempt_ = 0;  // failures since the last completed task (see above)
   bool ever_connected_ = false;
   bool bye_ = false;
   bool gave_up_ = false;

@@ -4,14 +4,14 @@ namespace lfm::obs {
 
 Counter& Metrics::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = counters_[name];
+  auto& slot = counters_[prefix_.empty() ? name : prefix_ + name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Metrics::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[prefix_.empty() ? name : prefix_ + name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
@@ -19,7 +19,7 @@ Gauge& Metrics::gauge(const std::string& name) {
 HistogramMetric& Metrics::histogram(const std::string& name, double lo, double hi,
                                     size_t buckets) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[prefix_.empty() ? name : prefix_ + name];
   if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
   return *slot;
 }

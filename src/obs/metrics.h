@@ -72,6 +72,18 @@ class HistogramMetric {
 
 class Metrics {
  public:
+  // A registry is instantiable so components co-hosted in one process (a
+  // fed RootMaster plus several in-process Foremen and workers) can each
+  // own a namespaced instance instead of colliding in the process-wide
+  // registry. `prefix` is prepended verbatim to every metric name at
+  // lookup ("f1." + "net.results" -> "f1.net.results"); the default empty
+  // prefix keeps the global instance's names — and the golden Prometheus
+  // exposition — byte-identical.
+  Metrics() = default;
+  explicit Metrics(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  const std::string& prefix() const { return prefix_; }
+
   // Lookup-or-create by name. The shape arguments of histogram() apply only
   // on first creation; later lookups of the same name return the existing
   // instance regardless. The default shape (1 µs .. 1 Ms over 96 buckets,
@@ -90,6 +102,7 @@ class Metrics {
   void clear();
 
  private:
+  std::string prefix_;
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

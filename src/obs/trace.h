@@ -58,7 +58,9 @@ struct TraceEvent {
 
   void set_sval(std::string_view text) {
     const size_t n = text.size() < sizeof(sval) - 1 ? text.size() : sizeof(sval) - 1;
-    std::memcpy(sval, text.data(), n);
+    // A default string_view carries a null data(); memcpy forbids null even
+    // for zero lengths.
+    if (n > 0) std::memcpy(sval, text.data(), n);
     sval[n] = '\0';
   }
 };

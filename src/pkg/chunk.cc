@@ -206,6 +206,21 @@ ChunkStore& global_chunk_store() {
   return *store;
 }
 
+ChunkManifest chunk_into_store(const std::shared_ptr<const Bytes>& backing,
+                               ChunkStore& store, const ChunkParams& params) {
+  const Bytes& data = *backing;
+  ChunkManifest manifest;
+  size_t offset = 0;
+  for (const ChunkRef& ref : chunk_bytes(data.data(), data.size(), params)) {
+    store.put(ref, backing, offset);
+    manifest.append(ref);
+    offset += ref.size;
+  }
+  manifest.set_stream_digest(hash64(std::string_view(
+      reinterpret_cast<const char*>(data.data()), data.size())));
+  return manifest;
+}
+
 Bytes reassemble(const ChunkManifest& manifest, const ChunkStore& store) {
   Bytes out;
   out.reserve(static_cast<size_t>(manifest.total_bytes()));

@@ -168,4 +168,13 @@ ChunkStore& global_chunk_store();
 // disagrees with the manifest.
 Bytes reassemble(const ChunkManifest& manifest, const ChunkStore& store);
 
+// Chunk `backing` and register every chunk in `store` (spans into `backing`,
+// which the store's shared_ptr keeps alive — no payload copies). Returns the
+// manifest, stream digest included, ready for reassemble(). This is the
+// second-tier cache fill: a fed::Foreman chunks each file the root ships it
+// once, then fans identical bytes out to its workers from the store.
+ChunkManifest chunk_into_store(const std::shared_ptr<const Bytes>& backing,
+                               ChunkStore& store,
+                               const ChunkParams& params = {});
+
 }  // namespace lfm::pkg

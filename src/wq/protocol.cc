@@ -28,6 +28,7 @@ enum FrameType : uint8_t {
   kFrameHello = 5,
   kFrameFile = 6,
   kFrameControl = 7,
+  kFrameStats = 8,
 };
 
 // Fixed header bytes before the body-length varint: magic(2) ver(1) type(1).
@@ -383,6 +384,45 @@ void encode_v1(const ControlMessage& msg, std::string& out) {
   out += "end\n";
 }
 
+void encode_v1(const StatsMessage& msg, std::string& out) {
+  if (!valid_token(msg.source)) throw Error("protocol: invalid stats source");
+  out += strformat("stats %s %lld %lld %lld\n", msg.source.c_str(),
+                   static_cast<long long>(msg.workers),
+                   static_cast<long long>(msg.pending),
+                   static_cast<long long>(msg.completed));
+  out += strformat("fanout %lld %lld\n", static_cast<long long>(msg.fanout_bytes),
+                   static_cast<long long>(msg.fanout_files));
+  out += strformat("cache %lld %lld\n", static_cast<long long>(msg.cache_chunks),
+                   static_cast<long long>(msg.cache_bytes));
+  out += "end\n";
+}
+
+StatsMessage decode_stats_v1(const std::string& wire) {
+  const auto lines = parse_lines(wire, "stats");
+  StatsMessage msg;
+  for (const auto& fields : lines) {
+    if (fields[0] == "stats") {
+      need_fields(fields, 5);
+      msg.source = fields[1];
+      msg.workers = parse_i64(fields[2]);
+      msg.pending = parse_i64(fields[3]);
+      msg.completed = parse_i64(fields[4]);
+    } else if (fields[0] == "fanout") {
+      need_fields(fields, 3);
+      msg.fanout_bytes = parse_i64(fields[1]);
+      msg.fanout_files = parse_i64(fields[2]);
+    } else if (fields[0] == "cache") {
+      need_fields(fields, 3);
+      msg.cache_chunks = parse_i64(fields[1]);
+      msg.cache_bytes = parse_i64(fields[2]);
+    } else {
+      throw Error("protocol: unknown stanza '" + fields[0] + "'");
+    }
+  }
+  if (msg.source.empty()) throw Error("protocol: missing stats source");
+  return msg;
+}
+
 ControlMessage decode_control_v1(const std::string& wire) {
   const auto lines = parse_lines(wire, "control");
   if (lines.size() != 1) throw Error("protocol: extra stanza in control message");
@@ -470,6 +510,17 @@ size_t file_body_size(const FileMessage& msg) {
 
 size_t control_body_size(const ControlMessage& msg) {
   return 1 + serde::varint_size(msg.nonce) + 8;
+}
+
+size_t stats_body_size(const StatsMessage& msg) {
+  return str_field_size(msg.source.size()) +
+         serde::varint_size(serde::zigzag(msg.workers)) +
+         serde::varint_size(serde::zigzag(msg.pending)) +
+         serde::varint_size(serde::zigzag(msg.completed)) +
+         serde::varint_size(serde::zigzag(msg.fanout_bytes)) +
+         serde::varint_size(serde::zigzag(msg.fanout_files)) +
+         serde::varint_size(serde::zigzag(msg.cache_chunks)) +
+         serde::varint_size(serde::zigzag(msg.cache_bytes));
 }
 
 // Appends the same bytes serde::Writer would produce, but directly into the
@@ -570,6 +621,17 @@ void write_control_body(const ControlMessage& msg, StringWriter& w) {
   w.real(msg.timestamp);
 }
 
+void write_stats_body(const StatsMessage& msg, StringWriter& w) {
+  w.str(msg.source);
+  w.svarint(msg.workers);
+  w.svarint(msg.pending);
+  w.svarint(msg.completed);
+  w.svarint(msg.fanout_bytes);
+  w.svarint(msg.fanout_files);
+  w.svarint(msg.cache_chunks);
+  w.svarint(msg.cache_bytes);
+}
+
 void write_frame_header(StringWriter& w, uint8_t type, size_t body_len) {
   w.u8(kFrameMagic0);
   w.u8(kFrameMagic1);
@@ -667,6 +729,20 @@ ControlMessage read_control_body(serde::Reader& r) {
   msg.type = static_cast<ControlType>(type);
   msg.nonce = r.varint();
   msg.timestamp = r.real();
+  return msg;
+}
+
+StatsMessage read_stats_body(serde::Reader& r) {
+  StatsMessage msg;
+  msg.source = std::string(r.str());
+  msg.workers = r.svarint();
+  msg.pending = r.svarint();
+  msg.completed = r.svarint();
+  msg.fanout_bytes = r.svarint();
+  msg.fanout_files = r.svarint();
+  msg.cache_chunks = r.svarint();
+  msg.cache_bytes = r.svarint();
+  if (msg.source.empty()) throw Error("protocol: missing stats source");
   return msg;
 }
 
@@ -861,6 +937,18 @@ std::string encode(const ControlMessage& msg, WireVersion version) {
   return out;
 }
 
+std::string encode(const StatsMessage& msg, WireVersion version) {
+  std::string out;
+  if (version == WireVersion::kV1) {
+    encode_v1(msg, out);
+  } else {
+    if (!valid_token(msg.source)) throw Error("protocol: invalid stats source");
+    out = encode_one_v2(msg, kFrameStats, stats_body_size(msg), write_stats_body);
+  }
+  count_encoded(out.size(), 1);
+  return out;
+}
+
 std::string encode_batch(const std::vector<TaskMessage>& msgs, WireVersion version) {
   for (const auto& msg : msgs) validate_task_tokens(msg);
   std::string out;
@@ -950,6 +1038,12 @@ ControlMessage decode_control(const std::string& wire) {
   return decode_one_v2(wire, kFrameControl, "control", read_control_body);
 }
 
+StatsMessage decode_stats(const std::string& wire) {
+  count_decoded(wire.size());
+  if (detect_version(wire) == WireVersion::kV1) return decode_stats_v1(wire);
+  return decode_one_v2(wire, kFrameStats, "stats", read_stats_body);
+}
+
 MessageKind classify(const std::string& wire) {
   if (detect_version(wire) == WireVersion::kV2) {
     if (wire.size() < kFrameFixedHeader) throw Error("protocol: truncated frame");
@@ -965,6 +1059,7 @@ MessageKind classify(const std::string& wire) {
       case kFrameHello: return MessageKind::kHello;
       case kFrameFile: return MessageKind::kFile;
       case kFrameControl: return MessageKind::kControl;
+      case kFrameStats: return MessageKind::kStats;
     }
     throw Error("protocol: unexpected frame type " +
                 std::to_string(static_cast<unsigned>(wire[3])));
@@ -986,6 +1081,7 @@ MessageKind classify(const std::string& wire) {
   if (head == "hello") return MessageKind::kHello;
   if (head == "put") return MessageKind::kFile;
   if (head == "control") return MessageKind::kControl;
+  if (head == "stats") return MessageKind::kStats;
   throw Error("protocol: unknown message head '" + head + "'");
 }
 

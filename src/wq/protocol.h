@@ -107,6 +107,20 @@ struct ControlMessage {
   double timestamp = 0.0;  // sender's clock seconds, echoed in the pong
 };
 
+// Foreman -> root (src/fed/): periodic shard telemetry, aggregated upward so
+// the root sees the whole tree's health without polling every worker. Also
+// doubles as link activity for the root's idle bookkeeping.
+struct StatsMessage {
+  std::string source;             // foreman name
+  int64_t workers = 0;            // live worker connections on this shard
+  int64_t pending = 0;            // tasks queued or in flight locally
+  int64_t completed = 0;          // results relayed upward so far
+  int64_t fanout_bytes = 0;       // bytes this shard sent to its workers
+  int64_t fanout_files = 0;       // file stanzas staged to workers
+  int64_t cache_chunks = 0;       // live chunks in the shard's file cache
+  int64_t cache_bytes = 0;        // live bytes in the shard's file cache
+};
+
 // What kind of message a wire string holds, decided from the v2 frame type
 // byte (or the first v1 token) without decoding the body — the net layer's
 // inbound demux. Throws on bytes that are neither.
@@ -118,6 +132,7 @@ enum class MessageKind {
   kHello,
   kFile,
   kControl,
+  kStats,
 };
 MessageKind classify(const std::string& wire);
 
@@ -127,6 +142,7 @@ std::string encode(const ResultMessage& msg, WireVersion version = WireVersion::
 std::string encode(const HelloMessage& msg, WireVersion version = WireVersion::kV2);
 std::string encode(const FileMessage& msg, WireVersion version = WireVersion::kV2);
 std::string encode(const ControlMessage& msg, WireVersion version = WireVersion::kV2);
+std::string encode(const StatsMessage& msg, WireVersion version = WireVersion::kV2);
 
 // Serialize many messages into one network send. v2 emits a single batch
 // frame; v1 has no batch framing, so messages are simply concatenated.
@@ -142,6 +158,7 @@ ResultMessage decode_result(const std::string& wire);
 HelloMessage decode_hello(const std::string& wire);
 FileMessage decode_file(const std::string& wire);
 ControlMessage decode_control(const std::string& wire);
+StatsMessage decode_stats(const std::string& wire);
 
 // Parse a batched send of either version. Single-message frames (and v1
 // concatenations) decode as a batch of their message count.

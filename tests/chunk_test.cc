@@ -206,6 +206,39 @@ TEST(ChunkStore, DetectsDigestCollision) {
 
 // --- serial vs parallel pack byte-identity ----------------------------------
 
+TEST(ChunkStore, ChunkIntoStoreReassemblesBitIdenticallyAndDedups) {
+  // chunk_into_store is the one-call ingest path the fed foreman uses on
+  // every inbound file frame: chunk, insert, manifest with stream digest.
+  ChunkStore store(1 << 20);
+  const auto backing = std::make_shared<const Bytes>(pattern_bytes(40000, 35));
+  const ChunkManifest manifest = chunk_into_store(backing, store);
+
+  EXPECT_EQ(manifest.total_bytes(), static_cast<int64_t>(backing->size()));
+  EXPECT_GT(manifest.chunk_count(), 1u);
+  EXPECT_EQ(reassemble(manifest, store), *backing);
+
+  // Re-ingesting the same bytes is answered entirely from the store.
+  const auto first = store.stats();
+  const ChunkManifest again = chunk_into_store(backing, store);
+  EXPECT_TRUE(again == manifest);
+  const auto second = store.stats();
+  EXPECT_EQ(second.inserts, first.inserts);
+  EXPECT_EQ(second.dedup_hits,
+            first.dedup_hits + static_cast<int64_t>(manifest.chunk_count()));
+
+  // A shifted copy (one byte prepended) still shares most chunks: CDC
+  // boundaries re-synchronize, so the second manifest mostly dedups.
+  Bytes shifted;
+  shifted.push_back(0x5A);
+  shifted.insert(shifted.end(), backing->begin(), backing->end());
+  const auto shifted_backing = std::make_shared<const Bytes>(std::move(shifted));
+  const ChunkManifest shifted_manifest =
+      chunk_into_store(shifted_backing, store);
+  const auto third = store.stats();
+  EXPECT_GT(third.dedup_hits, second.dedup_hits);
+  EXPECT_EQ(reassemble(shifted_manifest, store), *shifted_backing);
+}
+
 TEST(PackPipeline, ByteIdenticalAcrossThreadCounts) {
   const Environment env = resolve_env("chunk-par", "coffea");
   clear_pack_cache();

@@ -1,0 +1,424 @@
+// Tests for the federated foreman tier (src/fed/): in-process two-shard
+// dispatch with namespaced metrics registries, cache-affinity routing,
+// journal done-flag recovery, and an end-to-end forked-process run — one
+// root, two foreman processes, four worker processes — with a SIGKILLed
+// foreman mid-run, checking exactly-once completion and payloads
+// bit-identical to an in-process reference execution.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/journal.h"
+#include "fed/foreman.h"
+#include "fed/root_master.h"
+#include "net/worker_client.h"
+#include "obs/metrics.h"
+#include "serde/value.h"
+#include "util/error.h"
+#include "wq/protocol.h"
+#include "wq/worker.h"
+
+namespace lfm::fed {
+namespace {
+
+wq::TaskMessage echo_task(uint64_t id) {
+  wq::TaskMessage t;
+  t.task_id = id;
+  t.category = "fed-test";
+  t.command_line = "echo";
+  t.allocation = alloc::Resources{1.0, 512e6, 1e9};
+  return t;
+}
+
+// An in-process echo worker thread serving one foreman's shard until bye.
+struct EchoWorker {
+  explicit EchoWorker(uint16_t port, const std::string& name) {
+    net::WorkerClientOptions o;
+    o.port = port;
+    o.name = name;
+    o.echo_results = true;
+    o.echo_payload = serde::Bytes{'p', 'o', 'n', 'g'};
+    client = std::make_unique<net::WorkerClient>(o);
+    thread = std::thread([this] { client->run(); });
+  }
+  void join() { thread.join(); }
+  std::unique_ptr<net::WorkerClient> client;
+  std::thread thread;
+};
+
+// Run the root's loop until `n` foremen are connected and idle, so group
+// submission (and therefore routing) starts from a deterministic topology.
+void await_foremen(net::EventLoop& loop, RootMaster& root, int n) {
+  uint64_t poll = 0;
+  poll = loop.run_every(0.005, [&] {
+    if (root.connected_foremen() >= n) loop.stop();
+  });
+  const uint64_t watchdog = loop.run_after(30.0, [&] { loop.stop(); });
+  loop.run();
+  loop.cancel_timer(poll);
+  loop.cancel_timer(watchdog);
+  ASSERT_GE(root.connected_foremen(), n) << "foremen never connected";
+}
+
+TEST(Federation, TwoShardsCompleteAllGroupsWithNamespacedMetrics) {
+  obs::Metrics root_m("root."), f1_m("f1."), f2_m("f2.");
+  net::EventLoop loop;
+  RootMasterConfig rc;
+  rc.metrics = &root_m;
+  rc.groups_per_foreman = 2;
+  RootMaster root(loop, rc);
+
+  ForemanConfig fc1;
+  fc1.name = "f1";
+  fc1.root_port = root.port();
+  fc1.metrics = &f1_m;
+  fc1.stats_interval = 0.05;
+  ForemanConfig fc2 = fc1;
+  fc2.name = "f2";
+  fc2.metrics = &f2_m;
+  Foreman f1(fc1), f2(fc2);
+  std::thread ft1([&] { f1.run(); });
+  std::thread ft2([&] { f2.run(); });
+  EchoWorker w1(f1.worker_port(), "w1"), w2(f1.worker_port(), "w2");
+  EchoWorker w3(f2.worker_port(), "w3"), w4(f2.worker_port(), "w4");
+  await_foremen(loop, root, 2);
+
+  // Per-group files: zero cache affinity everywhere, so the least-loaded
+  // tie-break must spread the groups across both shards (depth 2 per shard,
+  // six groups — each shard is guaranteed at least two).
+  const int kGroups = 6, kPerGroup = 4;
+  uint64_t next_id = 1;
+  for (int g = 0; g < kGroups; ++g) {
+    TaskGroup group;
+    group.name = "g" + std::to_string(g);
+    serde::Bytes file(4096);
+    for (size_t i = 0; i < file.size(); ++i) {
+      file[i] = static_cast<uint8_t>(i * 131 + g);
+    }
+    const std::string fname = "g" + std::to_string(g) + ".bin";
+    for (int i = 0; i < kPerGroup; ++i) {
+      wq::TaskMessage t = echo_task(next_id++);
+      t.infiles.push_back({fname, static_cast<int64_t>(file.size()), true});
+      group.tasks.push_back(std::move(t));
+    }
+    group.files.emplace(fname, std::move(file));
+    root.submit(std::move(group));
+  }
+
+  std::map<uint64_t, int> events;
+  root.set_on_result([&](const wq::ResultMessage& r) { events[r.task_id]++; });
+  const RootStats stats = root.run_until_complete(60.0);
+  ft1.join();
+  ft2.join();
+  w1.join();
+  w2.join();
+  w3.join();
+  w4.join();
+
+  const int kTasks = kGroups * kPerGroup;
+  EXPECT_EQ(stats.tasks_completed, kTasks);
+  EXPECT_EQ(stats.groups_completed, kGroups);
+  EXPECT_EQ(stats.duplicate_results, 0);
+  ASSERT_EQ(events.size(), static_cast<size_t>(kTasks));
+  for (const auto& [id, n] : events) EXPECT_EQ(n, 1) << "task " << id;
+  const serde::Bytes pong{'p', 'o', 'n', 'g'};
+  for (const wq::ResultMessage& r : root.results()) {
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_EQ(r.payload, pong);
+  }
+  // Both shards worked and relayed: tasks split across the two foremen.
+  EXPECT_EQ(f1.results_relayed() + f2.results_relayed(), kTasks);
+  EXPECT_GT(f1.results_relayed(), 0);
+  EXPECT_GT(f2.results_relayed(), 0);
+  // Each group's cacheable file crossed the root link exactly once, was
+  // chunked into its shard's cache, and fanned out locally from there.
+  EXPECT_EQ(stats.files_sent, kGroups);
+  EXPECT_GT(f1.cache().stats().chunks, 0);
+  EXPECT_GT(f2.cache().stats().chunks, 0);
+
+  // Namespaced registries: each component's series lives under its own
+  // prefix, none of them collide, and nothing leaked into the others.
+  EXPECT_EQ(root_m.counter("fed.results").value(), kTasks);
+  EXPECT_EQ(f1_m.counter("net.results").value() +
+                f2_m.counter("net.results").value(),
+            kTasks);
+  EXPECT_EQ(f1_m.counter("foreman.results_relayed").value(),
+            f1.results_relayed());
+  EXPECT_EQ(root_m.counter("net.results").value(), 0);
+  EXPECT_EQ(f1_m.counter("fed.results").value(), 0);
+  bool prefixed = true;
+  for (const auto& [name, v] : f1_m.counters()) {
+    if (name.rfind("f1.", 0) != 0) prefixed = false;
+  }
+  EXPECT_TRUE(prefixed) << "f1 registry holds an unprefixed series";
+}
+
+TEST(Federation, AffinityRoutesWarmGroupToTheShardHoldingItsFiles) {
+  obs::Metrics m("affinity.");
+  net::EventLoop loop;
+  RootMasterConfig rc;
+  rc.metrics = &m;
+  RootMaster root(loop, rc);
+
+  ForemanConfig fc1;
+  fc1.name = "fa";
+  fc1.root_port = root.port();
+  fc1.metrics = &m;
+  ForemanConfig fc2 = fc1;
+  fc2.name = "fb";
+  Foreman fa(fc1), fb(fc2);
+  std::thread ta([&] { fa.run(); });
+  std::thread tb([&] { fb.run(); });
+  EchoWorker wa(fa.worker_port(), "wa"), wb(fb.worker_port(), "wb");
+  await_foremen(loop, root, 2);
+
+  serde::Bytes big(16384, 0x5a);
+  auto make_group = [&](const std::string& name, uint64_t first_id) {
+    TaskGroup g;
+    g.name = name;
+    for (int i = 0; i < 2; ++i) {
+      wq::TaskMessage t = echo_task(first_id + static_cast<uint64_t>(i));
+      t.infiles.push_back({"big.dat", static_cast<int64_t>(big.size()), true});
+      g.tasks.push_back(std::move(t));
+    }
+    g.files.emplace("big.dat", big);
+    return g;
+  };
+  // Four groups, all naming the same cacheable file, submitted with both
+  // shards connected and idle. The first group lands wherever the load
+  // tie-break puts it and ships the file; affinity must then pull every
+  // later group to that same shard — the idle sibling's lighter load never
+  // wins against a warm cache — so the file crosses the root link exactly
+  // once.
+  for (int g = 0; g < 4; ++g) {
+    root.submit(make_group("warm" + std::to_string(g),
+                           1 + static_cast<uint64_t>(g) * 10));
+  }
+
+  const RootStats stats = root.run_until_complete(60.0);
+  ta.join();
+  tb.join();
+  wa.join();
+  wb.join();
+
+  EXPECT_EQ(stats.tasks_completed, 8);
+  EXPECT_EQ(stats.files_sent, 1) << "warm groups re-shipped their file";
+  // One shard did everything; the idle sibling stayed cold.
+  EXPECT_TRUE(fa.results_relayed() == 8 || fb.results_relayed() == 8);
+}
+
+TEST(Federation, JournalDoneFlagsSurviveRestartExactlyOnce) {
+  // Round 1: complete three tasks with a journal attached.
+  chaos::Journal journal;
+  {
+    net::EventLoop loop;
+    RootMasterConfig rc;
+    rc.journal = &journal;
+    RootMaster root(loop, rc);
+    TaskGroup g;
+    g.name = "round1";
+    for (uint64_t id = 1; id <= 3; ++id) g.tasks.push_back(echo_task(id));
+    root.submit(std::move(g));
+    ForemanConfig fc;
+    fc.name = "fj";
+    fc.root_port = root.port();
+    Foreman foreman(fc);
+    std::thread ft([&] { foreman.run(); });
+    EchoWorker w(foreman.worker_port(), "wj");
+    const RootStats stats = root.run_until_complete(60.0);
+    ft.join();
+    w.join();
+    EXPECT_EQ(stats.tasks_completed, 3);
+  }
+  EXPECT_EQ(journal.completed_task_ids(),
+            (std::unordered_set<uint64_t>{1, 2, 3}));
+
+  // Round 2: a restarted root re-submits the same tasks plus a new one.
+  // The recovered done flags keep 1..3 off the wire entirely.
+  net::EventLoop loop;
+  RootMaster root(loop, {});
+  root.recover(journal);
+  TaskGroup g;
+  g.name = "round2";
+  for (uint64_t id = 1; id <= 4; ++id) g.tasks.push_back(echo_task(id));
+  root.submit(std::move(g));
+  ForemanConfig fc;
+  fc.name = "fj2";
+  fc.root_port = root.port();
+  Foreman foreman(fc);
+  std::thread ft([&] { foreman.run(); });
+  EchoWorker w(foreman.worker_port(), "wj2");
+  const RootStats stats = root.run_until_complete(60.0);
+  ft.join();
+  w.join();
+
+  EXPECT_EQ(stats.recovered_done, 3);
+  EXPECT_EQ(stats.tasks_completed, 1);
+  EXPECT_EQ(foreman.tasks_received(), 1) << "a recovered task was re-dispatched";
+  ASSERT_EQ(root.results().size(), 4u);
+  EXPECT_EQ(root.results()[3].payload, (serde::Bytes{'p', 'o', 'n', 'g'}));
+}
+
+// --- end-to-end: root <-> forked foreman processes <-> forked workers --------
+
+pid_t fork_python_worker(uint16_t port, const std::string& name) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  int status = 1;
+  try {
+    net::WorkerClientOptions o;
+    o.port = port;
+    o.name = name;
+    o.worker.poll_interval = 0.01;
+    // Orphan discipline: a worker whose foreman was SIGKILLed reconnects
+    // into the dead shard's inherited listener backlog and hears silence;
+    // the short idle timeout plus the finite budget (which a bare accept no
+    // longer refills) gets it out cleanly.
+    o.idle_timeout = 0.5;
+    o.max_reconnect_attempts = 4;
+    chaos::RetryPolicy fast;
+    fast.backoff_base = 0.01;
+    fast.backoff_max = 0.05;
+    o.reconnect = fast;
+    net::WorkerClient client(o);
+    client.run();
+    status = 0;
+  } catch (...) {
+  }
+  _exit(status);
+}
+
+pid_t fork_foreman(uint16_t root_port, const std::string& name, int workers) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  int status = 1;
+  try {
+    ForemanConfig fc;
+    fc.name = name;
+    fc.root_port = root_port;
+    fc.stats_interval = 0.02;
+    fc.service.tasks_per_worker = 4;
+    Foreman foreman(fc);
+    // The shard's workers are forked from inside the shard process, so no
+    // port needs reserving: the ephemeral worker_port() is already bound.
+    std::vector<pid_t> kids;
+    for (int i = 0; i < workers; ++i) {
+      kids.push_back(fork_python_worker(
+          foreman.worker_port(), name + "-w" + std::to_string(i)));
+    }
+    foreman.run();
+    status = 0;
+    for (const pid_t kid : kids) {
+      int s = -1;
+      if (waitpid(kid, &s, 0) != kid || !WIFEXITED(s) || WEXITSTATUS(s) != 0) {
+        status = 1;
+      }
+    }
+  } catch (...) {
+  }
+  _exit(status);
+}
+
+TEST(FedEndToEnd, ForemanKillMidRunCompletesExactlyOnceBitIdentical) {
+  const char* module = R"(
+def mul(a, b):
+    return {'v': a * b, 'd': a - b}
+)";
+  const int kGroups = 8, kPerGroup = 4;
+  const int kTasks = kGroups * kPerGroup;
+  std::vector<std::pair<wq::TaskMessage, wq::FileSet>> specs;
+  for (int i = 0; i < kTasks; ++i) {
+    serde::ValueList args;
+    args.push_back(serde::Value(int64_t{i}));
+    args.push_back(serde::Value(int64_t{37 + i}));
+    specs.push_back(wq::make_python_task(500 + static_cast<uint64_t>(i), "mul",
+                                         module, "mul",
+                                         serde::Value(std::move(args)),
+                                         alloc::Resources{1.0, 512e6, 1e9}));
+  }
+  // Reference run: the same messages through an in-process LocalWorker.
+  std::vector<serde::Bytes> expected;
+  {
+    wq::LocalWorkerOptions wo;
+    wo.poll_interval = 0.01;
+    wq::LocalWorker direct(wo);
+    for (const auto& [task, files] : specs) {
+      const wq::ResultMessage r = direct.execute(task, files);
+      ASSERT_EQ(r.exit_code, 0) << "task " << task.task_id;
+      expected.push_back(r.payload);
+    }
+  }
+
+  net::EventLoop loop;
+  RootMasterConfig rc;
+  rc.groups_per_foreman = 4;
+  RootMaster root(loop, rc);
+  for (int g = 0; g < kGroups; ++g) {
+    TaskGroup group;
+    group.name = "eg" + std::to_string(g);
+    for (int i = 0; i < kPerGroup; ++i) {
+      auto& [task, files] = specs[g * kPerGroup + i];
+      group.tasks.push_back(task);
+      for (const auto& [n, b] : files) group.files.emplace(n, b);
+    }
+    root.submit(std::move(group));
+  }
+
+  const pid_t victim = fork_foreman(root.port(), "fk0", 2);
+  const pid_t survivor = fork_foreman(root.port(), "fk1", 2);
+
+  std::map<uint64_t, int> events;
+  bool killed = false;
+  root.set_on_result([&](const wq::ResultMessage& r) {
+    events[r.task_id]++;
+    if (!killed) {
+      // Kill only once the victim shard verifiably holds in-flight groups
+      // (a group leaves the load set strictly before its last result), so
+      // the SIGKILL is guaranteed to orphan work that must requeue to the
+      // survivor.
+      const std::map<std::string, size_t> loads = root.shard_loads();
+      auto it = loads.find("fk0");
+      if (it != loads.end() && it->second >= 1) {
+        killed = true;
+        ::kill(victim, SIGKILL);
+      }
+    }
+  });
+  const RootStats stats = root.run_until_complete(120.0);
+
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(stats.tasks_completed, kTasks);
+  EXPECT_EQ(stats.foremen_lost, 2);  // one murdered, one clean bye
+  EXPECT_GE(stats.requeued_groups, 1);
+  EXPECT_GE(stats.requeued_tasks, 1);
+  EXPECT_GE(stats.stats_frames, 1);
+  ASSERT_EQ(events.size(), static_cast<size_t>(kTasks));
+  for (const auto& [id, n] : events) {
+    EXPECT_EQ(n, 1) << "task " << id << " reported " << n << " times";
+  }
+  const std::vector<wq::ResultMessage>& results = root.results();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(results[i].exit_code, 0);
+    EXPECT_EQ(results[i].payload, expected[i])
+        << "payload differs for task " << results[i].task_id;
+  }
+
+  int status = -1;
+  ASSERT_EQ(waitpid(victim, &status, 0), victim);
+  EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+  status = -1;
+  ASSERT_EQ(waitpid(survivor, &status, 0), survivor);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "surviving foreman exited " << status;
+}
+
+}  // namespace
+}  // namespace lfm::fed

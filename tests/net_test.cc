@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <string>
 #include <thread>
@@ -428,6 +429,212 @@ TEST(NetEndToEnd, DroppedConnectionRequeuesAndReconnects) {
   int status = -1;
   ASSERT_EQ(waitpid(worker, &status, 0), worker);
   EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+// --- relay framing: the foreman hop must be a bit-transparent re-framer ------
+// A fed::Foreman decodes batches off its root link, re-batches, and encodes
+// toward its workers (and the reverse for results). These tests pin the
+// invariant that hop depends on: decode(encode(x)) re-encodes to the exact
+// same bytes, even when the inbound stream arrives one byte at a time or
+// with an EOF in the middle of a frame.
+
+wq::TaskMessage rich_task(uint64_t id) {
+  wq::TaskMessage t;
+  t.task_id = id;
+  t.category = "relay-hop";
+  t.command_line = "python lfm_wrapper.py fn.pkl args.pkl --seed 42";
+  t.allocation = alloc::Resources{2.0, 1.5e9, 7e9};
+  t.infiles.push_back({"fn.pkl", 1833, true});
+  t.infiles.push_back({"args-" + std::to_string(id) + ".pkl", 96, false});
+  t.outfiles.push_back("out-" + std::to_string(id) + ".pkl");
+  return t;
+}
+
+TEST(RelayFraming, TaskBatchSurvivesDripFedRelayHopBitIdentical) {
+  std::vector<wq::TaskMessage> tasks;
+  for (uint64_t id = 40; id < 47; ++id) tasks.push_back(rich_task(id));
+  const std::string wire = wq::encode_batch(tasks, wq::WireVersion::kV2);
+
+  // Relay ingress: the root-link stream drips in one byte at a time.
+  FrameSplitter splitter;
+  std::vector<std::string> messages;
+  for (char c : wire) {
+    splitter.feed(&c, 1);
+    std::string m;
+    while (splitter.next(m)) messages.push_back(std::move(m));
+  }
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(splitter.buffered(), 0u);
+  EXPECT_EQ(messages[0], wire);
+
+  // Relay egress: decode, re-batch, re-encode toward the shard's workers.
+  const std::vector<wq::TaskMessage> decoded =
+      wq::decode_task_batch(messages[0]);
+  ASSERT_EQ(decoded.size(), tasks.size());
+  EXPECT_EQ(wq::encode_batch(decoded, wq::WireVersion::kV2), wire);
+}
+
+TEST(RelayFraming, ResultBatchWithHostilePayloadRelaysBitIdentical) {
+  // Payload bytes chosen to look like framing: the v2 magic pair, a v1
+  // "end" terminator line, NULs and LFs. The relay must treat them as
+  // opaque body bytes at every hop.
+  std::vector<wq::ResultMessage> results;
+  for (int i = 0; i < 5; ++i) {
+    wq::ResultMessage r;
+    r.task_id = 60 + static_cast<uint64_t>(i);
+    r.exit_code = i == 3 ? 137 : 0;
+    r.exhausted = i == 3;
+    if (i == 3) r.exhausted_resource = "memory";
+    r.cores_used = 1.75;
+    r.memory_peak_bytes = 123456789 + i;
+    r.disk_peak_bytes = 987654321;
+    r.wall_seconds = 0.25 * i;
+    const std::string hostile = std::string("\xF7Q\x02\x01") + '\0' +
+                                "\nend\nresult 9 0\n" + '\0' + "\xF7Q";
+    r.payload.assign(hostile.begin(), hostile.end());
+    r.payload.push_back(static_cast<uint8_t>(i));
+    results.push_back(std::move(r));
+  }
+  const std::string wire = wq::encode_batch(results, wq::WireVersion::kV2);
+
+  FrameSplitter splitter;
+  std::vector<std::string> messages;
+  for (char c : wire) {
+    splitter.feed(&c, 1);
+    std::string m;
+    while (splitter.next(m)) messages.push_back(std::move(m));
+  }
+  ASSERT_EQ(messages.size(), 1u);
+  ASSERT_EQ(messages[0], wire);
+
+  const std::vector<wq::ResultMessage> decoded =
+      wq::decode_result_batch(messages[0]);
+  ASSERT_EQ(decoded.size(), results.size());
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].payload, results[i].payload) << "result " << i;
+  }
+  EXPECT_EQ(wq::encode_batch(decoded, wq::WireVersion::kV2), wire);
+}
+
+TEST(RelayFraming, MidFrameEofAtRelayHopKeepsPartialBufferedThenCompletes) {
+  const std::string wire = wq::encode_batch(
+      std::vector<wq::TaskMessage>{rich_task(70), rich_task(71)},
+      wq::WireVersion::kV2);
+  // The upstream link stalls (or dies) with the frame split anywhere at
+  // all: no partial message may ever be surfaced, and the buffered byte
+  // count must expose the dirtiness of an EOF at that point.
+  for (size_t cut : {size_t{1}, size_t{3}, size_t{5}, wire.size() / 2,
+                     wire.size() - 1}) {
+    FrameSplitter splitter;
+    splitter.feed(wire.data(), cut);
+    std::string m;
+    EXPECT_FALSE(splitter.next(m)) << "cut at " << cut;
+    EXPECT_EQ(splitter.buffered(), cut) << "cut at " << cut;
+    // The peer recovers and sends the rest: the reassembled message is
+    // byte-identical to an unfragmented delivery.
+    splitter.feed(wire.data() + cut, wire.size() - cut);
+    ASSERT_TRUE(splitter.next(m)) << "cut at " << cut;
+    EXPECT_EQ(m, wire) << "cut at " << cut;
+    EXPECT_EQ(splitter.buffered(), 0u);
+    EXPECT_EQ(wq::encode_batch(wq::decode_task_batch(m), wq::WireVersion::kV2),
+              wire);
+  }
+}
+
+// --- reconnect budget semantics ---------------------------------------------
+
+TEST(WorkerClient, AcceptThenDropFlappingMasterExhaustsBudget) {
+  // A "master" that accepts every connection and immediately hangs up — a
+  // crash-looping service or a misrouted port. The TCP accepts must NOT
+  // replenish the reconnect budget (only completed tasks do), so the
+  // client gives up instead of flapping forever.
+  const int lfd = listen_tcp(0);
+  const uint16_t port = local_port(lfd);
+  std::atomic<bool> done{false};
+  std::thread flapper([&] {
+    while (!done.load()) {
+      const int fd = ::accept(lfd, nullptr, nullptr);
+      if (fd >= 0) {
+        ::close(fd);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+
+  WorkerClientOptions options;
+  options.host = "127.0.0.1";
+  options.port = port;
+  options.name = "flap-victim";
+  options.max_reconnect_attempts = 3;
+  chaos::RetryPolicy fast;
+  fast.backoff_base = 0.001;
+  fast.backoff_max = 0.005;
+  options.reconnect = fast;
+  options.idle_timeout = 0.25;  // safety net if the drop is never noticed
+  WorkerClient client(options);
+  const int64_t executed = client.run();  // must return, not hang or throw
+
+  EXPECT_EQ(executed, 0);
+  EXPECT_TRUE(client.gave_up());
+  EXPECT_GE(client.failures_since_progress(), options.max_reconnect_attempts);
+  done.store(true);
+  flapper.join();
+  ::close(lfd);
+}
+
+TEST(WorkerClient, TaskCompletionRestoresReconnectBudget) {
+  // The flip side: a worker whose budget is tiny (2) survives five
+  // injected disconnects because each completed task resets the count.
+  // Without the reset, failures would accumulate across drops and the
+  // worker would give up mid-run.
+  EventLoop loop;
+  MasterServiceConfig config;
+  config.tasks_per_worker = 1;  // one task per dispatch: drop between tasks
+  MasterService master(loop, config);
+  const int kTasks = 6;
+  for (int i = 0; i < kTasks; ++i) {
+    master.submit(simple_task(300 + static_cast<uint64_t>(i)));
+  }
+
+  const pid_t pid = fork();
+  if (pid == 0) {
+    int status = 1;
+    try {
+      WorkerClientOptions options;
+      options.host = "127.0.0.1";
+      options.port = master.port();
+      options.name = "budget-2";
+      options.max_reconnect_attempts = 2;
+      chaos::RetryPolicy fast;
+      fast.backoff_base = 0.001;
+      fast.backoff_max = 0.005;
+      options.reconnect = fast;
+      options.worker.poll_interval = 0.01;
+      WorkerClient client(options);
+      client.run();
+      status = client.gave_up() ? 2 : 0;
+    } catch (...) {
+    }
+    _exit(status);
+  }
+
+  int results_seen = 0;
+  master.set_on_result([&](const wq::ResultMessage&) {
+    if (++results_seen < kTasks) master.drop_connection(0);
+  });
+  const NetMasterStats stats = master.run_until_complete(120.0);
+
+  EXPECT_EQ(stats.tasks_completed, kTasks);
+  EXPECT_EQ(results_seen, kTasks);
+  // Five drops, each answered by a fresh accept: 6 connections minimum,
+  // which is strictly more than the budget of 2 — only the
+  // completion-resets rule lets the worker get this far.
+  EXPECT_GE(stats.connections_accepted, kTasks);
+  int status = -1;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "worker exit status " << status;
 }
 
 TEST(WorkerClient, GivesUpWhenMasterNeverAppears) {

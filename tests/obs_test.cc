@@ -112,6 +112,45 @@ TEST_F(ObsTest, MetricsRegistryReturnsStableReferences) {
   EXPECT_EQ(m.counter("wq.tasks").value(), 1);
 }
 
+TEST_F(ObsTest, PrefixedRegistriesNamespaceWithoutTouchingTheDefault) {
+  // Co-hosted fed components (a RootMaster plus in-process Foremen) each
+  // own a prefixed Metrics instance; the same source-level metric name
+  // lands under distinct exported names, and the process-wide default
+  // registry — and hence the golden Prometheus exposition — is untouched.
+  Metrics root("root."), shard("f1.");
+  root.counter("net.results").add(3);
+  shard.counter("net.results").add(4);
+  shard.gauge("fed.tree_workers").set(8.0);
+  shard.histogram("net.rtt").observe(0.25);
+
+  EXPECT_EQ(root.counter("net.results").value(), 3);
+  EXPECT_EQ(shard.counter("net.results").value(), 4);
+
+  // Snapshots carry the prefixed names (that is what exporters see).
+  const auto root_counters = root.counters();
+  ASSERT_EQ(root_counters.size(), 1u);
+  EXPECT_EQ(root_counters[0].first, "root.net.results");
+  EXPECT_EQ(root_counters[0].second, 3);
+  for (const auto& [name, value] : shard.counters()) {
+    EXPECT_EQ(name.rfind("f1.", 0), 0u) << name;
+  }
+  ASSERT_EQ(shard.gauges().size(), 1u);
+  EXPECT_EQ(shard.gauges()[0].first, "f1.fed.tree_workers");
+  ASSERT_EQ(shard.histograms().size(), 1u);
+  EXPECT_EQ(shard.histograms()[0].first, "f1.net.rtt");
+
+  // Repeated lookups return the same instance (reference stability holds
+  // per registry, prefixed or not).
+  EXPECT_EQ(&root.counter("net.results"), &root.counter("net.results"));
+  EXPECT_NE(&root.counter("net.results"), &shard.counter("net.results"));
+
+  // Nothing leaked into the process-wide default registry.
+  for (const auto& [name, value] : Recorder::global().metrics().counters()) {
+    EXPECT_EQ(name.find("net.results"), std::string::npos) << name;
+  }
+  EXPECT_TRUE(Recorder::global().metrics().prefix().empty());
+}
+
 TEST_F(ObsTest, ChromeTraceRoundTripsThroughSerdeJson) {
   Recorder& r = Recorder::global();
   r.set_enabled(true);

@@ -353,6 +353,39 @@ TEST_P(ProtocolBothVersions, ControlRoundtrip) {
   }
 }
 
+TEST_P(ProtocolBothVersions, StatsRoundtrip) {
+  StatsMessage msg;
+  msg.source = "foreman-3";
+  msg.workers = 12;
+  msg.pending = 345;
+  msg.completed = 678901;
+  msg.fanout_bytes = 9876543210;
+  msg.fanout_files = 4321;
+  msg.cache_chunks = 512;
+  msg.cache_bytes = 1073741824;
+  const std::string wire = encode(msg, GetParam());
+  EXPECT_EQ(classify(wire), MessageKind::kStats);
+  const StatsMessage back = decode_stats(wire);
+  EXPECT_EQ(back.source, "foreman-3");
+  EXPECT_EQ(back.workers, 12);
+  EXPECT_EQ(back.pending, 345);
+  EXPECT_EQ(back.completed, 678901);
+  EXPECT_EQ(back.fanout_bytes, 9876543210);
+  EXPECT_EQ(back.fanout_files, 4321);
+  EXPECT_EQ(back.cache_chunks, 512);
+  EXPECT_EQ(back.cache_bytes, 1073741824);
+
+  // Default-valued telemetry still names its source; an empty source is
+  // rejected (it would make the root's per-shard bookkeeping ambiguous).
+  StatsMessage minimal;
+  minimal.source = "f";
+  const StatsMessage back2 = decode_stats(encode(minimal, GetParam()));
+  EXPECT_EQ(back2.source, "f");
+  EXPECT_EQ(back2.workers, 0);
+  StatsMessage anonymous;
+  EXPECT_THROW(decode_stats(encode(anonymous, GetParam())), Error);
+}
+
 TEST(Protocol, ClassifyDistinguishesEveryKind) {
   for (WireVersion v : {WireVersion::kV1, WireVersion::kV2}) {
     EXPECT_EQ(classify(encode(sample_task(), v)), MessageKind::kTask);
@@ -362,6 +395,8 @@ TEST(Protocol, ClassifyDistinguishesEveryKind) {
     EXPECT_EQ(classify(encode(FileMessage{"f", false, {}}, v)),
               MessageKind::kFile);
     EXPECT_EQ(classify(encode(ControlMessage{}, v)), MessageKind::kControl);
+    EXPECT_EQ(classify(encode(StatsMessage{"f", 1, 0, 0, 0, 0, 0, 0}, v)),
+              MessageKind::kStats);
   }
   EXPECT_EQ(classify(encode_batch(std::vector<TaskMessage>{sample_task(),
                                                            sample_task()})),
