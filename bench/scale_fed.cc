@@ -32,11 +32,26 @@
 //   scale_fed N                        # echo task count per scaling run
 //   scale_fed --e2e M                  # e2e task count
 //   scale_fed --json BENCH_fed.json --check
+//   scale_fed --trace                  # extra traced phase: root + 2 foremen
+//                                      # + 4 LFM workers with distributed
+//                                      # tracing on, merged into ONE
+//                                      # Perfetto-loadable trace
+//   scale_fed --trace-out PATH         # where the merged trace lands
+//                                      # (default obs_out/scale_fed.trace.json)
+//   scale_fed --http PORT              # live /metrics /healthz /statusz on
+//                                      # the traced root (0 = ephemeral);
+//                                      # the port prints only after a
+//                                      # successful bind, bind failure exits
+//                                      # nonzero immediately
+//   scale_fed --http-linger SECONDS    # keep serving that long after the
+//                                      # traced run completes
 //
 // --check exits nonzero unless the warm workload ships fewer top-link
 // bytes federated than flat, the e2e phase preserved exactly-once
 // bit-identical results across the foreman kill, and (on >= 4 hardware
-// threads) 4 foremen beat 1 foreman by >= 1.5x.
+// threads) 4 foremen beat 1 foreman by >= 1.5x. With --trace it also
+// requires some task's spans to land in >= 3 process lanes of the merged
+// trace under one trace id.
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -47,6 +62,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -56,8 +73,13 @@
 #include "fed/root_master.h"
 #include "net/event_loop.h"
 #include "net/master_service.h"
+#include "net/socket.h"
 #include "net/worker_client.h"
+#include "obs/collector.h"
+#include "obs/http_export.h"
+#include "obs/recorder.h"
 #include "serde/pickle.h"
+#include "util/error.h"
 #include "wq/protocol.h"
 #include "wq/worker.h"
 
@@ -84,6 +106,9 @@ wq::TaskMessage echo_task(uint64_t id) {
 pid_t fork_echo_worker(uint16_t port, const std::string& name) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  // Drop inherited fds: a surviving copy of a parent listener keeps its
+  // port accepting after that tier stops serving it (see net/socket.h).
+  net::close_inherited_fds();
   int status = 1;
   try {
     net::WorkerClientOptions o;
@@ -104,6 +129,7 @@ pid_t fork_echo_worker(uint16_t port, const std::string& name) {
 pid_t fork_echo_foreman(uint16_t root_port, const std::string& name) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  net::close_inherited_fds();
   int status = 1;
   try {
     fed::ForemanConfig fc;
@@ -130,11 +156,19 @@ pid_t fork_echo_foreman(uint16_t root_port, const std::string& name) {
   _exit(status);
 }
 
-pid_t fork_python_worker(uint16_t port, const std::string& name) {
+pid_t fork_python_worker(uint16_t port, const std::string& name,
+                         bool traced = false) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  net::close_inherited_fds();
   int status = 1;
   try {
+    if (traced) {
+      // Fresh recorder state in the child: events buffered in the parent
+      // before the fork must not ship twice.
+      obs::Recorder::global().set_enabled(true);
+      obs::Recorder::global().clear();
+    }
     net::WorkerClientOptions o;
     o.port = port;
     o.name = name;
@@ -155,11 +189,17 @@ pid_t fork_python_worker(uint16_t port, const std::string& name) {
   _exit(status);
 }
 
-pid_t fork_lfm_foreman(uint16_t root_port, const std::string& name) {
+pid_t fork_lfm_foreman(uint16_t root_port, const std::string& name,
+                       bool traced = false) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  net::close_inherited_fds();
   int status = 1;
   try {
+    if (traced) {
+      obs::Recorder::global().set_enabled(true);
+      obs::Recorder::global().clear();
+    }
     fed::ForemanConfig fc;
     fc.name = name;
     fc.root_port = root_port;
@@ -169,7 +209,8 @@ pid_t fork_lfm_foreman(uint16_t root_port, const std::string& name) {
     std::vector<pid_t> kids;
     for (int i = 0; i < kWorkersPerForeman; ++i) {
       kids.push_back(fork_python_worker(foreman.worker_port(),
-                                        name + "-w" + std::to_string(i)));
+                                        name + "-w" + std::to_string(i),
+                                        traced));
     }
     foreman.run();
     status = 0;
@@ -466,6 +507,145 @@ def mix(a, b):
   return r;
 }
 
+// --- traced phase: distributed tracing across the forked tree ----------------
+
+struct HttpOptions {
+  bool enabled = false;
+  uint16_t port = 0;
+  double linger = 0.0;  // serve this long after the run completes
+};
+
+struct TraceResult {
+  size_t tasks = 0;
+  size_t events = 0;         // merged events in the collector
+  size_t sources = 0;        // distinct (process, clock-domain) lanes
+  size_t max_lanes = 0;      // most lanes any one trace id spans
+  uint64_t sample_trace = 0; // a trace id achieving max_lanes
+  int64_t telemetry_frames = 0;
+  int64_t dropped = 0;
+  double wall_seconds = 0.0;
+  std::string path;
+};
+
+// One forked-tree run. `telemetry` off runs the identical topology and
+// workload with no process recording — the baseline for the overhead
+// measurement. An empty `out_path` skips writing the merged document.
+TraceResult run_traced(size_t n, const std::string& out_path,
+                       const HttpOptions& http_opts, bool telemetry = true) {
+  const char* module = R"(
+def mix(a, b):
+    return {'sum': a + b, 'prod': a * b}
+)";
+  constexpr size_t kPerGroup = 25;
+  // Forked children inherit stdio buffers; flush so a piped stdout doesn't
+  // replay earlier phases' output once per child.
+  std::fflush(stdout);
+  obs::Recorder& rec = obs::Recorder::global();
+  if (telemetry) {
+    rec.set_enabled(true);
+    rec.clear();
+  }
+
+  obs::Collector collector;
+  net::EventLoop loop;
+  fed::RootMasterConfig rc;
+  rc.groups_per_foreman = 4;
+  if (telemetry) rc.collector = &collector;
+  fed::RootMaster root(loop, rc);
+
+  std::unique_ptr<obs::HttpEndpoint> http;
+  if (http_opts.enabled) {
+    obs::HttpEndpointConfig hc;
+    hc.port = http_opts.port;
+    hc.statusz = [&root] { return root.statusz_value(); };
+    try {
+      http = std::make_unique<obs::HttpEndpoint>(loop, hc);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "scale_fed: http bind failed on port %u: %s\n",
+                   http_opts.port, e.what());
+      std::exit(1);
+    }
+    // Printed only after the successful bind — safe to script against.
+    std::printf("scale_fed: http endpoint listening on 127.0.0.1:%u\n",
+                http->port());
+    std::fflush(stdout);
+  }
+
+  // The acceptance topology: this process is the root, two forked foremen,
+  // each forking kWorkersPerForeman LFM workers — every process tracing.
+  std::vector<pid_t> pids;
+  pids.push_back(fork_lfm_foreman(root.port(), "t0", /*traced=*/telemetry));
+  pids.push_back(fork_lfm_foreman(root.port(), "t1", /*traced=*/telemetry));
+  await_foremen(loop, root, 2);
+
+  size_t next = 0;
+  int g = 0;
+  uint64_t id = 1;
+  while (next < n) {
+    fed::TaskGroup group;
+    group.name = "tg" + std::to_string(g++);
+    const size_t take = (n - next) < kPerGroup ? (n - next) : kPerGroup;
+    for (size_t i = 0; i < take; ++i) {
+      serde::ValueList args;
+      args.push_back(serde::Value(static_cast<int64_t>(next)));
+      args.push_back(serde::Value(static_cast<int64_t>(7919 + next)));
+      auto [task, files] = wq::make_python_task(
+          id++, "mix", module, "mix", serde::Value(std::move(args)),
+          alloc::Resources{1.0, 512e6, 1e9});
+      group.tasks.push_back(std::move(task));
+      for (auto& [fname, bytes] : files) group.files.emplace(fname, bytes);
+      ++next;
+    }
+    root.submit(std::move(group));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const fed::RootStats stats = root.run_until_complete(600.0);
+  const double wall = seconds_since(t0);
+  reap(pids, "traced");
+  if (stats.tasks_completed != static_cast<int64_t>(n)) {
+    std::fprintf(stderr, "scale_fed: traced run completed %lld of %zu\n",
+                 static_cast<long long>(stats.tasks_completed), n);
+    std::exit(1);
+  }
+  if (http && http_opts.linger > 0) {
+    loop.run_after(http_opts.linger, [&loop] { loop.stop(); });
+    loop.run();
+    std::printf("scale_fed: http served %lld request(s)\n",
+                static_cast<long long>(http->requests_served()));
+  }
+
+  // The root's own spans merge last (same clock, no offset), then the whole
+  // tree lands in one Perfetto-loadable document.
+  if (telemetry) {
+    collector.add_local("root", rec.drain_events());
+    if (!out_path.empty()) collector.write(out_path);
+    rec.set_enabled(false);
+    rec.clear();
+  }
+
+  TraceResult tr;
+  tr.wall_seconds = wall;
+  tr.tasks = n;
+  tr.events = collector.event_count();
+  tr.sources = collector.source_count();
+  tr.telemetry_frames = stats.telemetry_frames;
+  tr.dropped = collector.dropped_total();
+  tr.path = out_path;
+  // How many process lanes does the best-covered trace id span? The
+  // acceptance bar is >= 3 (root, a foreman, a worker).
+  std::map<uint64_t, std::set<uint64_t>> lanes_by_trace;
+  for (const obs::TelemetryEvent& ev : collector.events()) {
+    if (ev.trace_id != 0) lanes_by_trace[ev.trace_id].insert(ev.pid);
+  }
+  for (const auto& [trace, lanes] : lanes_by_trace) {
+    if (lanes.size() > tr.max_lanes) {
+      tr.max_lanes = lanes.size();
+      tr.sample_trace = trace;
+    }
+  }
+  return tr;
+}
+
 void write_json(const char* path, size_t echo_count,
                 const std::vector<ScaleRow>& rows, double speedup,
                 unsigned hw_threads, const WarmResult& warm,
@@ -534,11 +714,25 @@ int main(int argc, char** argv) {
   size_t e2e_count = 1000;
   const char* json_path = nullptr;
   bool check = false;
+  bool trace = false;
+  std::string trace_out = "obs_out/scale_fed.trace.json";
+  HttpOptions http_opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--e2e") == 0 && i + 1 < argc) {
       e2e_count = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace = true;
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--http") == 0 && i + 1 < argc) {
+      http_opts.enabled = true;
+      http_opts.port =
+          static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--http-linger") == 0 && i + 1 < argc) {
+      http_opts.linger = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else {
@@ -591,6 +785,45 @@ int main(int argc, char** argv) {
               e2e.exactly_once ? "yes" : "NO",
               e2e.bit_identical ? "yes" : "NO", e2e.wall_seconds);
 
+  TraceResult traced;
+  double trace_overhead_pct = 0.0;
+  if (trace) {
+    const size_t trace_tasks = e2e_count < 100 ? e2e_count : 100;
+    // Telemetry overhead, interleaved min-of-5: alternate untraced and
+    // traced runs of the identical topology and workload so drift (page
+    // cache, CPU frequency) hits both sides equally; min wall per side.
+    const HttpOptions no_http;
+    double off_wall = 0.0;
+    double on_wall = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      const bool last = rep == 4;
+      const TraceResult off =
+          run_traced(trace_tasks, "", no_http, /*telemetry=*/false);
+      if (rep == 0 || off.wall_seconds < off_wall) off_wall = off.wall_seconds;
+      const TraceResult on =
+          run_traced(trace_tasks, last ? trace_out : std::string(),
+                     last ? http_opts : no_http, /*telemetry=*/true);
+      if (rep == 0 || on.wall_seconds < on_wall) on_wall = on.wall_seconds;
+      if (last) traced = on;
+    }
+    trace_overhead_pct = (on_wall - off_wall) / off_wall * 100.0;
+    std::printf("\ndistributed trace: %zu tasks through root + 2 foremen + "
+                "%d workers\n",
+                traced.tasks, 2 * kWorkersPerForeman);
+    std::printf("  telemetry off %.3fs, on %.3fs: %+.1f%% overhead "
+                "(interleaved min of 5)\n",
+                off_wall, on_wall, trace_overhead_pct);
+    std::printf("  merged %zu event(s) from %zu process lane(s), %lld "
+                "telemetry frame(s), %lld dropped\n",
+                traced.events, traced.sources,
+                static_cast<long long>(traced.telemetry_frames),
+                static_cast<long long>(traced.dropped));
+    std::printf("  best-covered trace id 0x%016llx spans %zu lane(s)\n",
+                static_cast<unsigned long long>(traced.sample_trace),
+                traced.max_lanes);
+    std::printf("  wrote %s (load in ui.perfetto.dev)\n", traced.path.c_str());
+  }
+
   if (json_path != nullptr) {
     write_json(json_path, echo_count, rows, speedup, hw_threads, warm, e2e);
   }
@@ -634,6 +867,13 @@ int main(int argc, char** argv) {
     if (!e2e.exactly_once || !e2e.bit_identical) {
       std::fprintf(stderr, "CHECK FAILED: exactly_once=%d bit_identical=%d\n",
                    e2e.exactly_once ? 1 : 0, e2e.bit_identical ? 1 : 0);
+      ok = false;
+    }
+    if (trace && traced.max_lanes < 3) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: no trace id spans >= 3 process lanes "
+                   "(best %zu)\n",
+                   traced.max_lanes);
       ok = false;
     }
     if (!ok) return 1;

@@ -22,6 +22,13 @@
 //   scale_net N                        # echo task count
 //   scale_net --e2e M                  # e2e task count
 //   scale_net --json BENCH_net.json --check
+//   scale_net --http PORT              # live /metrics /healthz /statusz on
+//                                      # the e2e master (0 = ephemeral); the
+//                                      # bound port prints only after a
+//                                      # successful bind, and a bind failure
+//                                      # exits nonzero immediately
+//   scale_net --http-linger SECONDS    # keep serving that long after the
+//                                      # e2e tasks complete (for scrapers)
 //
 // --check exits nonzero unless v2+batch loopback throughput >= 3x v1 on
 // this same run and the e2e phase preserved exactly-once bit-identical
@@ -35,6 +42,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <random>
 #include <string>
 #include <utility>
@@ -42,8 +50,12 @@
 
 #include "net/event_loop.h"
 #include "net/master_service.h"
+#include "net/socket.h"
 #include "net/worker_client.h"
+#include "obs/http_export.h"
+#include "obs/metrics.h"
 #include "serde/pickle.h"
+#include "util/error.h"
 #include "wq/protocol.h"
 #include "wq/worker.h"
 
@@ -80,6 +92,10 @@ pid_t fork_echo_worker(uint16_t port, int index, wq::WireVersion version,
                        const serde::Bytes& payload) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  // Drop the master's inherited fds: a surviving copy of its listener would
+  // keep the port accepting after the run drains, and a worker idle-cycling
+  // at exactly that moment reconnects into a backlog nobody serves.
+  net::close_inherited_fds();
   int status = 1;
   try {
     net::WorkerClientOptions options;
@@ -99,6 +115,7 @@ pid_t fork_echo_worker(uint16_t port, int index, wq::WireVersion version,
 pid_t fork_lfm_worker(uint16_t port, int index) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  net::close_inherited_fds();
   int status = 1;
   try {
     net::WorkerClientOptions options;
@@ -175,7 +192,13 @@ struct E2eResult {
   bool exactly_once = false;
 };
 
-E2eResult run_e2e(size_t n) {
+struct HttpOptions {
+  bool enabled = false;
+  uint16_t port = 0;
+  double linger = 0.0;  // serve this long after the run completes
+};
+
+E2eResult run_e2e(size_t n, const HttpOptions& http_opts) {
   const char* module = R"(
 def mix(a, b):
     return {'sum': a + b, 'prod': a * b}
@@ -214,7 +237,31 @@ def mix(a, b):
   }
 
   net::EventLoop loop;
-  net::MasterService master(loop, {});
+  // With live endpoints requested the master records its counters into this
+  // always-on registry, so /metrics has content without enabling tracing.
+  obs::Metrics metrics;
+  net::MasterServiceConfig mc;
+  if (http_opts.enabled) mc.metrics = &metrics;
+  net::MasterService master(loop, mc);
+  std::unique_ptr<obs::HttpEndpoint> http;
+  if (http_opts.enabled) {
+    obs::HttpEndpointConfig hc;
+    hc.port = http_opts.port;
+    hc.metrics = &metrics;
+    hc.statusz = [&master] { return master.statusz_value(); };
+    try {
+      http = std::make_unique<obs::HttpEndpoint>(loop, hc);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "scale_net: http bind failed on port %u: %s\n",
+                   http_opts.port, e.what());
+      std::exit(1);
+    }
+    // Printed only after the successful bind: anything scripting against
+    // this line can start curling the moment it appears.
+    std::printf("scale_net: http endpoint listening on 127.0.0.1:%u\n",
+                http->port());
+    std::fflush(stdout);
+  }
   for (auto& [task, files] : specs) master.submit(task, files);
 
   std::map<uint64_t, int> seen;
@@ -238,6 +285,14 @@ def mix(a, b):
   r.stats = master.run_until_complete(600.0);
   r.net_wall_seconds = seconds_since(t0);
   reap(pids, "e2e");
+  if (http && http_opts.linger > 0) {
+    // Hold the endpoint open past completion so an external scraper has a
+    // stable window to hit /metrics and /statusz.
+    loop.run_after(http_opts.linger, [&loop] { loop.stop(); });
+    loop.run();
+    std::printf("scale_net: http served %lld request(s)\n",
+                static_cast<long long>(http->requests_served()));
+  }
 
   r.exactly_once = seen.size() == n;
   for (const auto& [id, count] : seen) {
@@ -301,11 +356,18 @@ int main(int argc, char** argv) {
   size_t e2e_count = 1000;
   const char* json_path = nullptr;
   bool check = false;
+  HttpOptions http_opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--e2e") == 0 && i + 1 < argc) {
       e2e_count = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--http") == 0 && i + 1 < argc) {
+      http_opts.enabled = true;
+      http_opts.port =
+          static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--http-linger") == 0 && i + 1 < argc) {
+      http_opts.linger = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else {
@@ -335,7 +397,7 @@ int main(int argc, char** argv) {
   const double speedup = rows[2].tasks_per_sec / rows[0].tasks_per_sec;
   std::printf("v2+batch vs v1 loopback speedup: %.2fx\n\n", speedup);
 
-  const E2eResult e2e = run_e2e(e2e_count);
+  const E2eResult e2e = run_e2e(e2e_count, http_opts);
   std::printf("end-to-end LFM over TCP: %zu tasks, %d workers, %s\n", e2e.tasks,
               kWorkers, e2e.dropped ? "1 injected drop" : "no drop injected");
   std::printf("  completed=%lld requeued=%lld duplicates=%lld accepts=%lld\n",

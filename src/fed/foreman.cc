@@ -1,9 +1,12 @@
 #include "fed/foreman.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <utility>
 
 #include "net/socket.h"
+#include "obs/collector.h"
 #include "obs/recorder.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -41,9 +44,21 @@ void Foreman::count(const char* name, int64_t n) {
   if (obs::Metrics* m = metrics_sink(config_.metrics)) m->counter(name).add(n);
 }
 
+net::MasterServiceConfig Foreman::shard_config_with_telemetry(
+    const ForemanConfig& c) {
+  net::MasterServiceConfig s = shard_config(c);
+  // Worker telemetry relays straight upward: the service adds its
+  // worker-link clock offset before this fires, the root adds the
+  // foreman-link offset on receipt, so the cumulative offset walks the tree.
+  s.on_telemetry = [this](wq::TelemetryMessage&& m) {
+    relay_telemetry(std::move(m));
+  };
+  return s;
+}
+
 Foreman::Foreman(ForemanConfig config)
     : config_(std::move(config)),
-      service_(loop_, shard_config(config_)),
+      service_(loop_, shard_config_with_telemetry(config_)),
       cache_(config_.cache_capacity_bytes) {
   service_.set_on_result(
       [this](const wq::ResultMessage& r) { on_local_result(r); });
@@ -63,6 +78,11 @@ int64_t Foreman::run() {
     loop_.cancel_timer(stats_timer_);
     stats_timer_ = 0;
   }
+  // Last words before the link drops: whatever the drain recorded (final
+  // task.inflight ends, shutdown instants) plus any late worker relays.
+  // Connection::send writes synchronously when the socket can take it, so
+  // this works even with the loop already stopped.
+  ship_telemetry();
   if (upstream_ && !upstream_->closed()) upstream_->close("foreman shutdown");
   upstream_.reset();
   if (gave_up_ && !ever_connected_) {
@@ -148,12 +168,19 @@ void Foreman::on_upstream_message(net::Connection& conn, std::string&& wire) {
       if (ctl.type == wq::ControlType::kPing) {
         wq::ControlMessage pong{wq::ControlType::kPong, ctl.nonce,
                                 ctl.timestamp};
+        // Carry this side's clock on tracing runs so the root can estimate
+        // the foreman-link offset (absent otherwise: untraced control
+        // frames stay byte-identical).
+        if (obs::Recorder::enabled()) pong.peer_time = net::EventLoop::now();
         conn.send(wq::encode(pong, wq::detect_version(wire)));
       } else if (ctl.type == wq::ControlType::kBye) {
         bye_ = true;
-        conn.close("bye");
+        flush_results();
+        ship_telemetry();
         // Drain the local tier; the loop stops when the last worker
-        // connection is gone.
+        // connection is gone. The upstream link stays OPEN through the
+        // drain so the workers' final telemetry frames (shipped on their
+        // own byes) still relay to the root; run() closes it at the end.
         service_.shutdown();
       }
       return;
@@ -258,6 +285,43 @@ void Foreman::send_stats() {
   s.cache_bytes = cs.bytes;
   upstream_->send(wq::encode(s, config_.wire_version));
   count("foreman.stats_sent");
+  // Telemetry piggybacks on the stats cadence: one timer, two frames.
+  ship_telemetry();
+}
+
+void Foreman::relay_telemetry(wq::TelemetryMessage&& msg) {
+  if (!upstream_ || upstream_->closed() ||
+      config_.wire_version != wq::WireVersion::kV2 ||
+      upstream_->queued_bytes() > config_.telemetry_backpressure_bytes) {
+    count("foreman.telemetry_dropped_frames");
+    return;
+  }
+  upstream_->send(wq::encode(msg, wq::WireVersion::kV2));
+  count("foreman.telemetry_relayed");
+}
+
+void Foreman::ship_telemetry() {
+  if (!obs::Recorder::enabled()) return;
+  if (!upstream_ || upstream_->closed()) return;
+  if (config_.wire_version != wq::WireVersion::kV2) return;  // v2-only frame
+  obs::Recorder& r = obs::Recorder::global();
+  if (r.event_count() == 0 && telemetry_dropped_ == 0) return;
+  if (upstream_->queued_bytes() > config_.telemetry_backpressure_bytes) {
+    const std::vector<obs::TraceEvent> dropped = r.drain_events();
+    telemetry_dropped_ += static_cast<int64_t>(dropped.size());
+    count("foreman.telemetry_dropped", static_cast<int64_t>(dropped.size()));
+    return;
+  }
+  wq::TelemetryMessage msg;
+  msg.source = config_.name;
+  msg.process_id = static_cast<uint64_t>(::getpid());
+  msg.clock_offset = 0.0;  // the root adds its foreman-link estimate
+  msg.dropped = telemetry_dropped_;
+  telemetry_dropped_ = 0;
+  msg.events = obs::to_telemetry(r.drain_events());
+  msg.counters = r.metrics().counters();
+  msg.gauges = r.metrics().gauges();
+  upstream_->send(wq::encode(msg, wq::WireVersion::kV2));
 }
 
 }  // namespace lfm::fed

@@ -66,6 +66,9 @@ struct ForemanConfig {
   // MasterService's sink when service.metrics is unset. Null = process-wide
   // registry gated on obs::Recorder.
   obs::Metrics* metrics = nullptr;
+  // Don't queue more telemetry onto an upstream link whose unsent backlog
+  // exceeds this; dropped batches are counted (foreman.telemetry_dropped).
+  size_t telemetry_backpressure_bytes = 4u << 20;
 };
 
 class Foreman {
@@ -97,6 +100,7 @@ class Foreman {
     bool cacheable = false;
   };
 
+  net::MasterServiceConfig shard_config_with_telemetry(const ForemanConfig& c);
   void count(const char* name, int64_t n = 1);
   void try_connect();
   void schedule_reconnect(const std::string& reason);
@@ -106,6 +110,11 @@ class Foreman {
   void on_local_result(const wq::ResultMessage& result);
   void flush_results();
   void send_stats();
+  // Relay a worker's kTelemetry frame upward (the local MasterService has
+  // already added its worker-link clock offset to it).
+  void relay_telemetry(wq::TelemetryMessage&& msg);
+  // Ship the foreman's OWN buffered trace events/metrics upward.
+  void ship_telemetry();
 
   ForemanConfig config_;
   net::EventLoop loop_;
@@ -124,6 +133,7 @@ class Foreman {
   int64_t relayed_ = 0;
   int64_t received_ = 0;
   uint64_t stats_timer_ = 0;
+  int64_t telemetry_dropped_ = 0;  // own events discarded under backpressure
 };
 
 }  // namespace lfm::fed

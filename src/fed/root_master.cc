@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/master_service.h"
+#include "obs/collector.h"
 #include "obs/recorder.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -62,6 +64,12 @@ void RootMaster::submit(TaskGroup group) {
   for (wq::TaskMessage& task : group.tasks) {
     const size_t index = tasks_.size();
     index_by_task_id_[task.task_id] = index;
+    // The root is where a task enters the tree, so the root mints its trace
+    // id (deterministically, from the task id) — every tier below carries
+    // it through the frames' trailing extensions.
+    if (task.trace_id == 0 && obs::Recorder::enabled()) {
+      task.trace_id = net::mint_trace_id(task.task_id);
+    }
     const bool done = recovered_done_.count(task.task_id) > 0;
     if (done) {
       ++stats_.recovered_done;
@@ -71,7 +79,9 @@ void RootMaster::submit(TaskGroup group) {
       ++g.remaining;
       ++pending_;
     }
-    tasks_.push_back(PendingTask{std::move(task), gidx, done});
+    PendingTask pt{std::move(task), gidx, done, 0.0};
+    pt.submitted_at = net::EventLoop::now();
+    tasks_.push_back(std::move(pt));
     results_.emplace_back();
   }
   ++stats_.groups_submitted;
@@ -144,14 +154,36 @@ void RootMaster::on_message(uint64_t conn_id, net::Connection& conn,
       if (ctl.type == wq::ControlType::kPing) {
         wq::ControlMessage pong{wq::ControlType::kPong, ctl.nonce,
                                 ctl.timestamp};
+        if (obs::Recorder::enabled()) pong.peer_time = net::EventLoop::now();
         conn.send(wq::encode(pong, wq::detect_version(wire)));
         count("fed.frames_out");
       } else if (ctl.type == wq::ControlType::kPong) {
         if (ctl.nonce == f.ping_nonce && f.last_ping_sent > 0) {
-          observe("fed.rtt_seconds", net::EventLoop::now() - f.last_ping_sent,
-                  1e-6, 10.0);
+          const double now = net::EventLoop::now();
+          observe("fed.rtt_seconds", now - f.last_ping_sent, 1e-6, 10.0);
+          // A pong carrying the foreman's clock is an offset sample: the
+          // midpoint of send/receive approximates when the remote stamped.
+          if (ctl.peer_time != 0.0) {
+            f.offset.feed(f.last_ping_sent, ctl.peer_time, now);
+          }
           f.last_ping_sent = 0;
         }
+      }
+      return;
+    }
+    case wq::MessageKind::kTelemetry: {
+      wq::TelemetryMessage msg = wq::decode_telemetry(wire);
+      ++stats_.telemetry_frames;
+      count("fed.telemetry_frames");
+      // Complete the offset chain: the message already accumulated every
+      // hop below (worker→foreman added at the foreman's MasterService);
+      // adding this link's estimate makes it source-clock minus root-clock.
+      msg.clock_offset += f.offset.offset();
+      if (config_.collector != nullptr) {
+        config_.collector->add(msg.source, msg.clock_offset,
+                               std::move(msg.events), msg.dropped);
+      } else {
+        count("fed.telemetry_dropped_frames");
       }
       return;
     }
@@ -182,6 +214,16 @@ void RootMaster::handle_result(ForemanConn& /*from*/,
   ++stats_.tasks_completed;
   --pending_;
   count("fed.results");
+  if (obs::Recorder::enabled()) {
+    // The whole-tree span: submit at the root to result back at the root.
+    // Dropped onto the root's own lane; the tiers below contribute their
+    // task.inflight / lfm.run spans under the same trace id.
+    obs::TraceScope scope(t.task.trace_id);
+    obs::Recorder& r = obs::Recorder::global();
+    const double now = net::EventLoop::now();
+    r.complete(obs::kPidHost, msg.task_id, t.submitted_at,
+               now - t.submitted_at, "task", "fed");
+  }
   if (config_.journal != nullptr) {
     // Write-ahead: the done record lands before the completion's downstream
     // effects (callback, group retirement) run.
@@ -356,6 +398,14 @@ void RootMaster::assign_group(ForemanConn& f, size_t group_index) {
   };
   for (const size_t index : g.task_indices) {
     if (tasks_[index].done) continue;  // completed before a requeue landed
+    if (obs::Recorder::enabled()) {
+      // Ship marker on the root lane: the moment the task left for a shard.
+      obs::TraceScope scope(tasks_[index].task.trace_id);
+      obs::Recorder::global().instant(obs::kPidHost,
+                                      tasks_[index].task.task_id,
+                                      net::EventLoop::now(), "fed.ship", "fed",
+                                      "foreman", f.name);
+    }
     batch.push_back(tasks_[index].task);
     if (batch.size() >= config_.max_batch) flush();
     if (f.conn->closed()) return;
@@ -391,11 +441,25 @@ void RootMaster::heartbeat() {
 
 void RootMaster::begin_finish() {
   finishing_ = true;
+  // Stop accepting foremen: a shard that recycles its upstream connection
+  // right as the run drains would otherwise reconnect into the backlog and
+  // wait forever on a hello reply the stopped loop never sends. Closing the
+  // listener resets those queued connects so the foreman's bounded
+  // reconnect policy takes over.
+  listener_.close();
   for (auto& [id, f] : conns_) {
     if (f.conn->closed()) continue;
     wq::ControlMessage bye{wq::ControlType::kBye, 0, net::EventLoop::now()};
     f.conn->send(wq::encode(bye, f.version));
     count("fed.frames_out");
+    if (obs::Recorder::enabled()) {
+      // Tracing runs leave the close to the foreman: it drains its local
+      // tier first and ships the subtree's final telemetry (its own plus
+      // the workers' bye-time frames) before closing, and closing here
+      // would stop reading and lose those frames. Untraced runs keep the
+      // historical prompt close.
+      continue;
+    }
     f.conn->close_after_flush();
   }
 }
@@ -475,6 +539,44 @@ std::map<std::string, wq::StatsMessage> RootMaster::shard_stats() const {
     if (f.helloed && !f.conn->closed()) out[f.name] = f.last_stats;
   }
   return out;
+}
+
+serde::Value RootMaster::statusz_value() const {
+  const RootStats s = stats();
+  serde::ValueDict d;
+  d["role"] = std::string("root");
+  d["pending"] = static_cast<int64_t>(pending_);
+  d["group_queue_depth"] = static_cast<int64_t>(group_queue_.size());
+  d["groups_submitted"] = s.groups_submitted;
+  d["groups_completed"] = s.groups_completed;
+  d["tasks_submitted"] = static_cast<int64_t>(tasks_.size());
+  d["tasks_completed"] = s.tasks_completed;
+  d["duplicate_results"] = s.duplicate_results;
+  d["requeued_groups"] = s.requeued_groups;
+  d["foremen_accepted"] = s.foremen_accepted;
+  d["foremen_lost"] = s.foremen_lost;
+  d["bytes_sent"] = s.bytes_sent;
+  d["bytes_received"] = s.bytes_received;
+  d["stats_frames"] = s.stats_frames;
+  d["telemetry_frames"] = s.telemetry_frames;
+  serde::ValueList foremen;
+  for (const auto& [id, f] : conns_) {
+    serde::ValueDict fd;
+    fd["id"] = static_cast<int64_t>(id);
+    fd["name"] = f.name;
+    fd["alive"] = f.helloed && !f.conn->closed();
+    fd["wire_version"] = static_cast<int64_t>(f.version);
+    fd["groups_inflight"] = static_cast<int64_t>(f.groups.size());
+    fd["queued_bytes"] = static_cast<int64_t>(f.conn->queued_bytes());
+    fd["shipped_files"] = static_cast<int64_t>(f.shipped_files.size());
+    fd["shard_workers"] = static_cast<int64_t>(f.last_stats.workers);
+    fd["shard_pending"] = f.last_stats.pending;
+    fd["shard_cache_bytes"] = f.last_stats.cache_bytes;
+    fd["clock_offset_seconds"] = f.offset.offset();
+    foremen.push_back(serde::Value(std::move(fd)));
+  }
+  d["foremen"] = std::move(foremen);
+  return serde::Value(std::move(d));
 }
 
 std::map<std::string, size_t> RootMaster::shard_loads() const {

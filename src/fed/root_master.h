@@ -39,10 +39,12 @@
 #include "chaos/journal.h"
 #include "net/conn.h"
 #include "net/event_loop.h"
+#include "obs/clock.h"
 #include "wq/protocol.h"
 #include "wq/worker.h"
 
 namespace lfm::obs {
+class Collector;
 class Metrics;
 }  // namespace lfm::obs
 
@@ -75,6 +77,11 @@ struct RootMasterConfig {
   obs::Metrics* metrics = nullptr;
   // Write-ahead journal for completions (and foreman loss); optional.
   chaos::Journal* journal = nullptr;
+  // Sink for kTelemetry frames relayed up the tree. The root adds its
+  // foreman-link clock-offset estimate to each frame's cumulative offset
+  // before merging, so every remote event normalizes into root time. Null
+  // drops telemetry (counted as fed.telemetry_dropped_frames).
+  obs::Collector* collector = nullptr;
 };
 
 struct RootStats {
@@ -88,7 +95,8 @@ struct RootStats {
   int64_t foremen_accepted = 0;
   int64_t foremen_lost = 0;
   int64_t files_sent = 0;
-  int64_t stats_frames = 0;  // shard telemetry frames received
+  int64_t stats_frames = 0;      // shard kStats frames received
+  int64_t telemetry_frames = 0;  // kTelemetry frames received (incl. relays)
   int64_t bytes_sent = 0;
   int64_t bytes_received = 0;
 };
@@ -129,6 +137,10 @@ class RootMaster {
   size_t pending_tasks() const { return pending_; }
   int connected_foremen() const;
   RootStats stats() const;
+  // JSON snapshot for the /statusz endpoint: group/task progress plus
+  // per-foreman liveness, in-flight groups, backlog, shard stats, and the
+  // current clock-offset estimate.
+  serde::Value statusz_value() const;
   // Last telemetry frame per live foreman, by name.
   std::map<std::string, wq::StatsMessage> shard_stats() const;
   // Groups currently in flight per live foreman, by name (root's own
@@ -149,12 +161,15 @@ class RootMaster {
     wq::StatsMessage last_stats;
     double last_ping_sent = 0.0;
     uint64_t ping_nonce = 0;
+    // Foreman-clock-minus-root-clock, fed from pongs carrying peer_time.
+    obs::ClockOffsetEstimator offset;
   };
 
   struct PendingTask {
     wq::TaskMessage task;
     size_t group = 0;
     bool done = false;
+    double submitted_at = 0.0;  // EventLoop::now() at submit()
   };
 
   struct Group {

@@ -159,11 +159,14 @@ Listener::Listener(EventLoop& loop, uint16_t port, const std::string& bind_addr)
   port_ = local_port(fd_);
 }
 
-Listener::~Listener() {
-  if (fd_ >= 0) {
-    if (started_) loop_.remove_fd(fd_);
-    ::close(fd_);
-  }
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ < 0) return;
+  if (started_) loop_.remove_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  started_ = false;
 }
 
 void Listener::start() {

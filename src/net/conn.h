@@ -103,6 +103,12 @@ class Listener {
 
   void set_on_accept(AcceptFn fn) { on_accept_ = std::move(fn); }
   void start();  // register with the loop
+
+  // Stop accepting: unregister and close the socket. The kernel resets any
+  // connections still sitting in the backlog, so peers that raced a connect
+  // against shutdown see a refusal instead of an unanswered handshake.
+  void close();
+
   uint16_t port() const { return port_; }
 
  private:

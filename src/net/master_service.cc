@@ -6,6 +6,7 @@
 #include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/hash.h"
 #include "util/log.h"
 
 namespace lfm::net {
@@ -28,6 +29,16 @@ void mark(const char* name, const std::string& detail, uint64_t tid) {
 }
 
 }  // namespace
+
+// Deterministic, nonzero trace id for a task. Minted once where the task
+// enters the system (the root of whatever tree is running) and carried on
+// the wire from there, so every process stamps the same identity without
+// coordination. Derived from the task id alone — deterministic across
+// re-dispatches and restarts.
+uint64_t mint_trace_id(uint64_t task_id) {
+  const uint64_t id = hash_combine64(0x6c666d2d74726163ull, task_id);
+  return id == 0 ? 1 : id;
+}
 
 void MasterService::count(const char* name, int64_t n) {
   if (obs::Metrics* m = metrics_sink(config_.metrics)) m->counter(name).add(n);
@@ -64,7 +75,16 @@ MasterService::~MasterService() {
 void MasterService::submit(wq::TaskMessage task, wq::FileSet files) {
   const size_t index = tasks_.size();
   index_by_task_id_[task.task_id] = index;
-  tasks_.push_back(PendingTask{std::move(task), std::move(files), false});
+  // Trace minting happens here only when this service IS the root of the
+  // tree: tasks relayed down from a RootMaster already carry their id. The
+  // recorder gate keeps untraced runs' frames byte-identical (the trailing
+  // extension is only emitted for trace_id != 0).
+  if (task.trace_id == 0 && obs::Recorder::enabled()) {
+    task.trace_id = mint_trace_id(task.task_id);
+  }
+  PendingTask t{std::move(task), std::move(files), false, 0.0, 0.0};
+  t.submitted_at = EventLoop::now();
+  tasks_.push_back(std::move(t));
   results_.emplace_back();
   queue_.push_back(index);
   ++pending_;
@@ -127,17 +147,39 @@ void MasterService::on_message(uint64_t conn_id, Connection& conn,
     case wq::MessageKind::kControl: {
       const wq::ControlMessage ctl = wq::decode_control(wire);
       if (ctl.type == wq::ControlType::kPing) {
-        // Reply in the dialect the ping arrived in.
+        // Reply in the dialect the ping arrived in. When tracing, the pong
+        // also carries this side's clock so the pinger can estimate the
+        // inter-process offset (peer_time stays off the wire otherwise —
+        // untraced runs keep byte-identical control frames).
         wq::ControlMessage pong{wq::ControlType::kPong, ctl.nonce,
                                 ctl.timestamp};
+        if (obs::Recorder::enabled()) pong.peer_time = EventLoop::now();
         conn.send(wq::encode(pong, wq::detect_version(wire)));
         count("net.frames_out");
       } else if (ctl.type == wq::ControlType::kPong) {
         if (ctl.nonce == w.ping_nonce && w.last_ping_sent > 0) {
-          observe("net.rtt_seconds", EventLoop::now() - w.last_ping_sent, 1e-6,
-                  10.0);
+          const double now = EventLoop::now();
+          observe("net.rtt_seconds", now - w.last_ping_sent, 1e-6, 10.0);
+          if (ctl.peer_time != 0.0) {
+            w.offset.feed(w.last_ping_sent, ctl.peer_time, now);
+          }
           w.last_ping_sent = 0;
         }
+      }
+      return;
+    }
+    case wq::MessageKind::kTelemetry: {
+      wq::TelemetryMessage msg = wq::decode_telemetry(wire);
+      ++stats_.telemetry_frames;
+      count("net.telemetry_frames");
+      // Accumulate this hop's clock offset: the message arrives with the
+      // sender's cumulative estimate (0 for a worker's own events) and
+      // leaves with sender-clock-minus-THIS-clock added on top.
+      msg.clock_offset += w.offset.offset();
+      if (config_.on_telemetry) {
+        config_.on_telemetry(std::move(msg));
+      } else {
+        count("net.telemetry_dropped_frames");
       }
       return;
     }
@@ -170,6 +212,24 @@ void MasterService::handle_result(WorkerConn& w, const wq::ResultMessage& msg) {
   ++stats_.tasks_completed;
   --pending_;
   count("net.results");
+  if (obs::Recorder::enabled() && t.task.trace_id != 0) {
+    obs::TraceScope scope(t.task.trace_id);
+    obs::Recorder& r = obs::Recorder::global();
+    const double now = EventLoop::now();
+    // Dispatch-to-result at this tier. A foreman's relay service emits this
+    // span in its own lane; together with the root's "task" span and the
+    // worker's lfm.run it forms the cross-process chain for one trace id.
+    if (t.dispatched_at > 0) {
+      r.complete(obs::kPidHost, t.task.task_id, t.dispatched_at,
+                 now - t.dispatched_at, "task.inflight", "net");
+    }
+    // Submit-to-result, only when this service minted the id itself (a
+    // relay tier did not see the true submit time; the root covers it).
+    if (!config_.persistent && t.submitted_at > 0) {
+      r.complete(obs::kPidHost, t.task.task_id, t.submitted_at,
+                 now - t.submitted_at, "task", "net");
+    }
+  }
   if (on_result_) on_result_(results_[index]);
 }
 
@@ -242,6 +302,13 @@ void MasterService::dispatch_to(WorkerConn& w) {
         queue_.push_front(index);
         return;
       }
+      tasks_[index].dispatched_at = EventLoop::now();
+      if (obs::Recorder::enabled() && tasks_[index].task.trace_id != 0) {
+        // The "ship" marker of the submit→ship→run→result chain, stamped
+        // with the task's trace id via the thread-local scope.
+        obs::TraceScope scope(tasks_[index].task.trace_id);
+        mark("net.dispatch", w.name, tasks_[index].task.task_id);
+      }
       batch.push_back(tasks_[index].task);
       w.inflight.insert(index);
     }
@@ -293,11 +360,25 @@ void MasterService::heartbeat() {
 
 void MasterService::begin_finish() {
   finishing_ = true;
+  // No new workers are welcome once the bye sequence starts. Closing the
+  // listener also resets connections the kernel already completed into the
+  // backlog — otherwise a worker that idle-cycled its connection right at
+  // the end reconnects successfully, waits forever for a hello reply the
+  // stopped loop will never send, and deadlocks the whole tree against the
+  // parent's waitpid.
+  listener_.close();
   for (auto& [id, w] : conns_) {
     if (w.conn->closed()) continue;
     wq::ControlMessage bye{wq::ControlType::kBye, 0, EventLoop::now()};
     w.conn->send(wq::encode(bye, w.version));
     count("net.frames_out");
+    if (obs::Recorder::enabled()) {
+      // Tracing runs leave the close to the worker: its bye handler ships a
+      // final kTelemetry frame before closing its end, and closing here
+      // would stop reading first and lose it. Untraced runs keep the
+      // historical prompt close.
+      continue;
+    }
     w.conn->close_after_flush();
   }
 }
@@ -386,6 +467,38 @@ NetMasterStats MasterService::stats() const {
     s.messages_received += w.conn->messages_in();
   }
   return s;
+}
+
+serde::Value MasterService::statusz_value() const {
+  const NetMasterStats s = stats();
+  serde::ValueDict d;
+  d["role"] = std::string(config_.persistent ? "foreman-service" : "master");
+  d["pending"] = static_cast<int64_t>(pending_);
+  d["queue_depth"] = static_cast<int64_t>(queue_.size());
+  d["tasks_submitted"] = static_cast<int64_t>(tasks_.size());
+  d["tasks_completed"] = s.tasks_completed;
+  d["duplicate_results"] = s.duplicate_results;
+  d["requeued_tasks"] = s.requeued_tasks;
+  d["connections_accepted"] = s.connections_accepted;
+  d["disconnects"] = s.disconnects;
+  d["bytes_sent"] = s.bytes_sent;
+  d["bytes_received"] = s.bytes_received;
+  d["telemetry_frames"] = s.telemetry_frames;
+  serde::ValueList workers;
+  for (const auto& [id, w] : conns_) {
+    serde::ValueDict wd;
+    wd["id"] = static_cast<int64_t>(id);
+    wd["name"] = w.name;
+    wd["alive"] = w.helloed && !w.conn->closed();
+    wd["wire_version"] = static_cast<int64_t>(w.version);
+    wd["inflight"] = static_cast<int64_t>(w.inflight.size());
+    wd["queued_bytes"] = static_cast<int64_t>(w.conn->queued_bytes());
+    wd["cached_files"] = static_cast<int64_t>(w.cached_files.size());
+    wd["clock_offset_seconds"] = w.offset.offset();
+    workers.push_back(serde::Value(std::move(wd)));
+  }
+  d["workers"] = std::move(workers);
+  return serde::Value(std::move(d));
 }
 
 }  // namespace lfm::net

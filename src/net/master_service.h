@@ -31,6 +31,7 @@
 
 #include "net/conn.h"
 #include "net/event_loop.h"
+#include "obs/clock.h"
 #include "wq/protocol.h"
 #include "wq/worker.h"
 
@@ -39,6 +40,12 @@ class Metrics;
 }  // namespace lfm::obs
 
 namespace lfm::net {
+
+// Deterministic, nonzero trace id for a task (derived from its id alone).
+// Minted at whatever process is the root of the running tree — a standalone
+// MasterService or a fed::RootMaster — when tracing is enabled, then
+// carried in the task/result frames' trailing extension fields.
+uint64_t mint_trace_id(uint64_t task_id);
 
 struct MasterServiceConfig {
   uint16_t port = 0;  // 0 = ephemeral; read back via port()
@@ -61,6 +68,12 @@ struct MasterServiceConfig {
   // unconditionally into the given instance, which is how co-hosted fed
   // components keep their "net.*" series apart (obs::Metrics prefixes).
   obs::Metrics* metrics = nullptr;
+  // Sink for kTelemetry frames shipped by workers. The service adds its
+  // per-connection clock-offset estimate to the message's cumulative
+  // clock_offset before invoking, so a relay chain accumulates the full
+  // source-to-here offset hop by hop. Null drops telemetry (counted as
+  // net.telemetry_dropped_frames).
+  std::function<void(wq::TelemetryMessage&&)> on_telemetry;
 };
 
 struct NetMasterStats {
@@ -74,6 +87,7 @@ struct NetMasterStats {
   int64_t bytes_received = 0;
   int64_t messages_sent = 0;
   int64_t messages_received = 0;
+  int64_t telemetry_frames = 0;  // kTelemetry frames received from workers
 };
 
 class MasterService {
@@ -114,6 +128,9 @@ class MasterService {
   size_t pending() const { return pending_; }
   int connected_workers() const;
   NetMasterStats stats() const;
+  // JSON snapshot for the /statusz endpoint: queue depth, completion
+  // counts, and per-worker liveness / in-flight / backlog.
+  serde::Value statusz_value() const;
   // Results in submission order (default-constructed where not completed).
   const std::vector<wq::ResultMessage>& results() const { return results_; }
 
@@ -127,12 +144,16 @@ class MasterService {
     std::set<std::string> cached_files;  // cacheable files already shipped
     double last_ping_sent = 0.0;
     uint64_t ping_nonce = 0;
+    // Worker-clock-minus-local-clock, fed from pongs that carry peer_time.
+    obs::ClockOffsetEstimator offset;
   };
 
   struct PendingTask {
     wq::TaskMessage task;
     wq::FileSet files;
     bool done = false;
+    double submitted_at = 0.0;   // EventLoop::now() at submit()
+    double dispatched_at = 0.0;  // last dispatch (re-dispatch overwrites)
   };
 
   void count(const char* name, int64_t n = 1);

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -8,7 +9,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "util/error.h"
 
@@ -83,6 +86,25 @@ int connect_tcp(const std::string& host, uint16_t port) {
   }
   set_nodelay(fd);
   return fd;
+}
+
+void close_inherited_fds() {
+  // Collect first, then close: closing entries while readdir walks the
+  // directory invalidates the iteration.
+  std::vector<int> fds;
+  if (DIR* dir = ::opendir("/proc/self/fd")) {
+    const int dir_fd = ::dirfd(dir);
+    while (const dirent* entry = ::readdir(dir)) {
+      char* end = nullptr;
+      const long fd = std::strtol(entry->d_name, &end, 10);
+      if (end == entry->d_name || *end != '\0') continue;
+      if (fd > 2 && fd != dir_fd) fds.push_back(static_cast<int>(fd));
+    }
+    ::closedir(dir);
+  } else {
+    for (int fd = 3; fd < 4096; ++fd) fds.push_back(fd);
+  }
+  for (const int fd : fds) ::close(fd);
 }
 
 }  // namespace lfm::net

@@ -25,4 +25,13 @@ int connect_tcp(const std::string& host, uint16_t port);
 void set_nonblocking(int fd);
 void set_nodelay(int fd);
 
+// Close every fd above stderr. For forked children that build their own
+// sockets from scratch: an inherited copy of the parent's listener keeps
+// the port accepting (and a reconnecting sibling waiting on a hello that
+// never comes) long after the parent stopped serving it, because a listen
+// socket only dies when the last fd referencing it closes — and fork
+// duplicates them all. Call first thing in the child; the parent's fd
+// table is unaffected.
+void close_inherited_fds();
+
 }  // namespace lfm::net

@@ -1,10 +1,14 @@
 #include "net/worker_client.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "net/socket.h"
+#include "obs/collector.h"
+#include "obs/recorder.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -49,11 +53,19 @@ int64_t WorkerClient::run() {
       }
     });
   }
+  if (options_.telemetry_interval > 0 && obs::Recorder::enabled()) {
+    telemetry_timer_ = loop_.run_every(options_.telemetry_interval,
+                                       [this] { ship_telemetry(); });
+  }
   try_connect();
   loop_.run();
   if (idle_timer_ != 0) {
     loop_.cancel_timer(idle_timer_);
     idle_timer_ = 0;
+  }
+  if (telemetry_timer_ != 0) {
+    loop_.cancel_timer(telemetry_timer_);
+    telemetry_timer_ = 0;
   }
   if (conn_ && !conn_->closed()) conn_->close("client shutdown");
   conn_.reset();
@@ -107,6 +119,14 @@ void WorkerClient::try_connect() {
   wq::HelloMessage hello{options_.name, options_.wire_version, options_.capacity};
   conn_->send(wq::encode(hello, options_.wire_version));
   last_send_ = EventLoop::now();
+  if (options_.handshake_timeout > 0) {
+    std::weak_ptr<Connection> weak = conn_;
+    loop_.run_after(options_.handshake_timeout, [this, weak] {
+      const auto c = weak.lock();
+      if (!c || c != conn_ || c->closed()) return;
+      if (c->messages_in() == 0) c->close("handshake-timeout");
+    });
+  }
 }
 
 void WorkerClient::schedule_reconnect(const std::string& reason) {
@@ -139,11 +159,19 @@ void WorkerClient::on_message(Connection& conn, std::string&& wire) {
       const wq::ControlMessage ctl = wq::decode_control(wire);
       if (ctl.type == wq::ControlType::kPing) {
         wq::ControlMessage pong{wq::ControlType::kPong, ctl.nonce, ctl.timestamp};
+        // Carry this side's clock so the master can estimate the offset;
+        // emitted only on tracing runs (the field stays off the wire
+        // otherwise, keeping untraced control frames byte-identical).
+        if (obs::Recorder::enabled()) pong.peer_time = EventLoop::now();
         conn.send(wq::encode(pong, wq::detect_version(wire)));
         last_send_ = EventLoop::now();
       } else if (ctl.type == wq::ControlType::kBye) {
         bye_ = true;
-        conn.close("bye");
+        // Final drain: whatever the recorder buffered since the last result
+        // (span ends, shutdown instants) still travels before the close —
+        // close_after_flush lets the frame leave the socket first.
+        ship_telemetry();
+        conn.close_after_flush();
       }
       return;
     }
@@ -159,9 +187,15 @@ void WorkerClient::handle_tasks(Connection& conn, const std::string& wire) {
   std::vector<wq::ResultMessage> results;
   results.reserve(tasks.size());
   for (const wq::TaskMessage& task : tasks) {
+    // All recorder activity below (the LocalWorker's spans, the monitor's
+    // usage counters) inherits the task's trace identity via the
+    // thread-local scope — zero for untraced tasks, which leaves events
+    // unstamped exactly as before.
+    obs::TraceScope scope(task.trace_id);
     if (options_.echo_results) {
       wq::ResultMessage r;
       r.task_id = task.task_id;
+      r.trace_id = task.trace_id;
       r.payload = options_.echo_payload;
       results.push_back(std::move(r));
     } else {
@@ -190,6 +224,39 @@ void WorkerClient::handle_tasks(Connection& conn, const std::string& wire) {
   // Completed work restores the full reconnect budget: the link is proven
   // end-to-end (task in, result out), so future drops start from zero.
   attempt_ = 0;
+  // Ship the spans those tasks just recorded while the results are still in
+  // flight — the master's collector sees a task's run span arrive with (or
+  // just behind) its result rather than a telemetry interval later.
+  ship_telemetry();
+}
+
+void WorkerClient::ship_telemetry() {
+  if (!obs::Recorder::enabled()) return;
+  if (!conn_ || conn_->closed()) return;
+  if (options_.wire_version != wq::WireVersion::kV2) return;  // v2-only frame
+  obs::Recorder& r = obs::Recorder::global();
+  if (r.event_count() == 0 && telemetry_dropped_ == 0) return;
+  if (conn_->queued_bytes() > options_.telemetry_backpressure_bytes) {
+    // Backpressure: the link is already choking on results/files. Trace
+    // events are the one payload that may be discarded — drop the batch,
+    // remember how much, and report it in the next frame that does ship.
+    const std::vector<obs::TraceEvent> dropped = r.drain_events();
+    telemetry_dropped_ += static_cast<int64_t>(dropped.size());
+    r.metrics().counter("obs.telemetry_dropped")
+        .add(static_cast<int64_t>(dropped.size()));
+    return;
+  }
+  wq::TelemetryMessage msg;
+  msg.source = options_.name;
+  msg.process_id = static_cast<uint64_t>(::getpid());
+  msg.clock_offset = 0.0;  // the receiving hop adds its estimate
+  msg.dropped = telemetry_dropped_;
+  telemetry_dropped_ = 0;
+  msg.events = obs::to_telemetry(r.drain_events());
+  msg.counters = r.metrics().counters();
+  msg.gauges = r.metrics().gauges();
+  conn_->send(wq::encode(msg, wq::WireVersion::kV2));
+  last_send_ = EventLoop::now();
 }
 
 }  // namespace lfm::net

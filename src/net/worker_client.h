@@ -66,6 +66,21 @@ struct WorkerClientOptions {
   // Reconnect if the master goes silent this long (0 = off). Generous by
   // default: an idle-but-alive master pings well inside this.
   double idle_timeout = 60.0;
+  // Give up on a connection that never answers the hello this long after
+  // connect (0 = off). Tighter than idle_timeout: a live master replies to
+  // a hello immediately, so a silent accept is a dead one — typically a
+  // connection the kernel completed into the backlog of a listener whose
+  // owner already stopped serving it. Counts against the reconnect budget
+  // like any other drop.
+  double handshake_timeout = 5.0;
+  // Telemetry shipping (tracing runs only; inert while the obs recorder is
+  // disabled). Buffered trace events drain upward in kTelemetry frames
+  // after each result send, every telemetry_interval seconds (0 = no
+  // timer), and before the bye-close. A backlogged link (queued bytes past
+  // telemetry_backpressure_bytes) drops the batch instead of queueing more;
+  // drops are counted and reported in the next frame that does ship.
+  double telemetry_interval = 0.5;
+  size_t telemetry_backpressure_bytes = 4u << 20;
 };
 
 class WorkerClient {
@@ -87,12 +102,14 @@ class WorkerClient {
   bool gave_up() const { return gave_up_; }
   // Failed connects + unexpected closes since the last completed task.
   int failures_since_progress() const { return attempt_; }
+  int64_t telemetry_dropped() const { return telemetry_dropped_; }
 
  private:
   void try_connect();
   void schedule_reconnect(const std::string& reason);
   void on_message(Connection& conn, std::string&& wire);
   void handle_tasks(Connection& conn, const std::string& wire);
+  void ship_telemetry();
 
   WorkerClientOptions options_;
   EventLoop loop_;
@@ -110,6 +127,8 @@ class WorkerClient {
   int64_t reconnects_ = 0;
   double last_send_ = 0.0;
   uint64_t idle_timer_ = 0;
+  uint64_t telemetry_timer_ = 0;
+  int64_t telemetry_dropped_ = 0;  // events discarded under backpressure
 };
 
 }  // namespace lfm::net

@@ -1,0 +1,25 @@
+#include "obs/clock.h"
+
+#include <cmath>
+
+namespace lfm::obs {
+
+void ClockOffsetEstimator::feed(double t_send, double t_remote, double t_recv) {
+  const double rtt = t_recv - t_send;
+  if (rtt < 0.0) return;
+  const double sample = t_remote - (t_send + t_recv) / 2.0;
+  last_rtt_ = rtt;
+  if (samples_ == 0) {
+    offset_ = sample;
+  } else {
+    const double gate = step_threshold_ > 4.0 * rtt ? step_threshold_ : 4.0 * rtt;
+    if (std::fabs(sample - offset_) > gate) {
+      offset_ = sample;  // clock step: re-lock instead of averaging through
+    } else {
+      offset_ += alpha_ * (sample - offset_);
+    }
+  }
+  ++samples_;
+}
+
+}  // namespace lfm::obs

@@ -1,0 +1,58 @@
+// Per-connection clock-offset estimation from heartbeat RTT samples.
+//
+// The federation's processes each record trace events against their own
+// steady clock; merging them into one timeline (collector.h) needs the
+// offset between every peer's clock and the local one. The transport's
+// existing heartbeat already gives three timestamps per pong:
+//
+//   t0  local clock when the ping left
+//   t1  the peer's clock when it answered (the pong's peer_time field)
+//   t2  local clock when the pong arrived
+//
+// The midpoint method assumes the network delay is symmetric: the peer
+// answered, on the local clock, at (t0 + t2) / 2, so one sample of the
+// peer-minus-local offset is t1 - (t0 + t2) / 2. The error of a single
+// sample is bounded by half the RTT asymmetry — at most rtt / 2.
+//
+// Samples are smoothed with an EWMA so jitter averages out, with two
+// robustness rules: the first sample initializes the estimate directly,
+// and a sample that disagrees with the running estimate by more than the
+// larger of `step_threshold` and 4x the sample's RTT is treated as a clock
+// step (a peer restart, an NTP slew) and resets the estimate instead of
+// being averaged in — otherwise a step would take ~1/alpha heartbeats to
+// converge through.
+#pragma once
+
+#include <cstdint>
+
+namespace lfm::obs {
+
+class ClockOffsetEstimator {
+ public:
+  explicit ClockOffsetEstimator(double alpha = 0.125,
+                                double step_threshold = 1.0)
+      : alpha_(alpha), step_threshold_(step_threshold) {}
+
+  // Feed one heartbeat exchange: ping sent at `t_send`, peer answered at
+  // `t_remote` (its clock), pong received at `t_recv` (both local clock).
+  // Samples with a negative RTT (reordered or bogus timestamps) are
+  // ignored.
+  void feed(double t_send, double t_remote, double t_recv);
+
+  // Smoothed peer-clock-minus-local-clock offset, in seconds. Zero until
+  // the first sample. Normalize a peer timestamp into the local timeline
+  // with `local_ts = remote_ts - offset()`.
+  double offset() const { return offset_; }
+
+  int64_t samples() const { return samples_; }
+  double last_rtt() const { return last_rtt_; }
+
+ private:
+  double alpha_;
+  double step_threshold_;
+  double offset_ = 0.0;
+  double last_rtt_ = 0.0;
+  int64_t samples_ = 0;
+};
+
+}  // namespace lfm::obs

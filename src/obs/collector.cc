@@ -1,0 +1,145 @@
+#include "obs/collector.h"
+
+#include "obs/export.h"
+#include "serde/json.h"
+#include "util/strings.h"
+
+namespace lfm::obs {
+namespace {
+
+constexpr double kSecondsToMicros = 1e6;
+
+std::string hex_trace_id(uint64_t id) { return strformat("0x%016llx", static_cast<unsigned long long>(id)); }
+
+}  // namespace
+
+TelemetryEvent to_telemetry(const TraceEvent& ev) {
+  TelemetryEvent out;
+  out.ph = static_cast<char>(ev.ph);
+  out.pid = ev.pid;
+  out.tid = ev.tid;
+  out.trace_id = ev.trace_id;
+  out.ts = ev.ts;
+  out.dur = ev.dur;
+  if (ev.name) out.name = ev.name;
+  if (ev.cat) out.cat = ev.cat;
+  if (ev.akey0) out.akey0 = ev.akey0;
+  out.aval0 = ev.aval0;
+  if (ev.akey1) out.akey1 = ev.akey1;
+  out.aval1 = ev.aval1;
+  if (ev.skey) {
+    out.skey = ev.skey;
+    out.sval = ev.sval;
+  }
+  return out;
+}
+
+std::vector<TelemetryEvent> to_telemetry(const std::vector<TraceEvent>& events) {
+  std::vector<TelemetryEvent> out;
+  out.reserve(events.size());
+  for (const TraceEvent& ev : events) out.push_back(to_telemetry(ev));
+  return out;
+}
+
+uint64_t Collector::lane_for(const std::string& source, uint32_t pid) {
+  const auto key = std::make_pair(source, pid);
+  const auto it = lanes_.find(key);
+  if (it != lanes_.end()) return it->second;
+  // Lane pids are dense and assigned in arrival order; label non-host
+  // domains so a process that ships sim- or chaos-clock events keeps them
+  // on a visibly separate (and separately-clocked) track.
+  std::string label = source;
+  if (pid == kPidSim) label += "/sim";
+  if (pid == kPidChaos) label += "/chaos";
+  lane_labels_.push_back(std::move(label));
+  const uint64_t lane = lane_labels_.size();
+  lanes_.emplace(key, lane);
+  return lane;
+}
+
+void Collector::add(const std::string& source, double clock_offset,
+                    std::vector<TelemetryEvent> events, int64_t dropped) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dropped > 0) dropped_[source] += dropped;
+  for (TelemetryEvent& ev : events) {
+    ev.ts -= clock_offset;
+    ev.pid = static_cast<uint32_t>(lane_for(source, ev.pid));
+    events_.push_back(std::move(ev));
+  }
+}
+
+void Collector::add_local(const std::string& source,
+                          const std::vector<TraceEvent>& events) {
+  add(source, 0.0, to_telemetry(events));
+}
+
+size_t Collector::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+size_t Collector::source_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lane_labels_.size();
+}
+
+int64_t Collector::dropped_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [source, n] : dropped_) total += n;
+  return total;
+}
+
+std::vector<TelemetryEvent> Collector::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+serde::Value Collector::trace_value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  serde::ValueList list;
+  list.reserve(events_.size() + lane_labels_.size());
+  for (size_t i = 0; i < lane_labels_.size(); ++i) {
+    serde::ValueDict meta;
+    meta["ph"] = std::string("M");
+    meta["name"] = std::string("process_name");
+    meta["pid"] = static_cast<int64_t>(i + 1);
+    serde::ValueDict margs;
+    margs["name"] = lane_labels_[i];
+    meta["args"] = std::move(margs);
+    list.push_back(serde::Value(std::move(meta)));
+  }
+  for (const TelemetryEvent& ev : events_) {
+    serde::ValueDict d;
+    d["ph"] = std::string(1, ev.ph);
+    d["ts"] = ev.ts * kSecondsToMicros;
+    d["pid"] = static_cast<int64_t>(ev.pid);
+    d["tid"] = static_cast<int64_t>(ev.tid);
+    if (!ev.name.empty()) d["name"] = ev.name;
+    if (!ev.cat.empty()) d["cat"] = ev.cat;
+    if (ev.ph == 'X') d["dur"] = ev.dur * kSecondsToMicros;
+    if (ev.ph == 'i') d["s"] = std::string("t");
+    serde::ValueDict args;
+    if (ev.trace_id != 0) args["trace_id"] = hex_trace_id(ev.trace_id);
+    if (!ev.akey0.empty()) args[ev.akey0] = ev.aval0;
+    if (!ev.akey1.empty()) args[ev.akey1] = ev.aval1;
+    if (!ev.skey.empty()) args[ev.skey] = ev.sval;
+    if (!args.empty()) d["args"] = std::move(args);
+    list.push_back(serde::Value(std::move(d)));
+  }
+  serde::ValueDict doc;
+  doc["traceEvents"] = std::move(list);
+  doc["displayTimeUnit"] = std::string("ms");
+  return serde::Value(std::move(doc));
+}
+
+std::string Collector::trace_json() const { return serde::to_json(trace_value()); }
+
+void Collector::write(const std::string& path) const {
+  const size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "" : path.substr(0, slash);
+  const std::string file = slash == std::string::npos ? path : path.substr(slash + 1);
+  write_text_file(dir, file, trace_json());
+}
+
+}  // namespace lfm::obs

@@ -1,0 +1,97 @@
+// Root-side merge of the federation's trace events into one timeline.
+//
+// Every process in the tree (workers, foremen, the root itself) records
+// spans into its own obs::Recorder against its own steady clock. Telemetry
+// shipping (wq::TelemetryMessage over the kTelemetry frame) moves those
+// events upward; the Collector is where they land. It
+//
+//   * assigns each (source process, pid domain) its own lane in the merged
+//     Perfetto document — the `pid` of the merged trace is a collector
+//     lane, labelled with the source's name via process_name metadata;
+//   * normalizes timestamps into the root's clock by subtracting the
+//     cumulative clock offset that the relay hops accumulated
+//     (clock.h: each hop adds its per-connection estimate, so a worker
+//     event arrives with offset(worker→foreman) + offset(foreman→root));
+//   * keeps the task's global trace id on every event (exported as a hex
+//     string argument — 64-bit ids do not survive a double), so one task's
+//     submit→ship→run→result spans group across lanes.
+//
+// TelemetryEvent is the owned-string twin of TraceEvent: TraceEvent keeps
+// `const char*` literals for the recording hot path, but those pointers
+// mean nothing in another process, so shipping copies them out.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "serde/value.h"
+
+namespace lfm::obs {
+
+struct TelemetryEvent {
+  char ph = 'i';
+  uint32_t pid = kPidHost;  // the source process's own clock domain
+  uint64_t tid = 0;
+  uint64_t trace_id = 0;
+  double ts = 0.0;   // seconds in the SOURCE's clock until normalized
+  double dur = 0.0;  // seconds; 'X' only
+  std::string name;
+  std::string cat;
+  std::string akey0;
+  double aval0 = 0.0;
+  std::string akey1;
+  double aval1 = 0.0;
+  std::string skey;
+  std::string sval;
+};
+
+TelemetryEvent to_telemetry(const TraceEvent& ev);
+std::vector<TelemetryEvent> to_telemetry(const std::vector<TraceEvent>& events);
+
+class Collector {
+ public:
+  // Merge a shipped batch from `source`. `clock_offset` is the cumulative
+  // source-clock-minus-local-clock offset accumulated across the relay
+  // hops; every timestamp is normalized by subtracting it. `dropped` is
+  // the source's count of events it discarded under backpressure.
+  void add(const std::string& source, double clock_offset,
+           std::vector<TelemetryEvent> events, int64_t dropped = 0);
+
+  // Merge the root's own events (no offset — they already carry the local
+  // clock).
+  void add_local(const std::string& source,
+                 const std::vector<TraceEvent>& events);
+
+  size_t event_count() const;
+  size_t source_count() const;
+  int64_t dropped_total() const;
+
+  // The merged, normalized events (lane-assigned pids).
+  std::vector<TelemetryEvent> events() const;
+
+  // One Perfetto-loadable Chrome trace document over all sources, with a
+  // process_name metadata record labelling each lane.
+  serde::Value trace_value() const;
+  std::string trace_json() const;
+
+  // Write trace_json() to `path` ("dir/file.trace.json" creates dir one
+  // level deep, like obs::write_text_file). Throws lfm::Error on I/O
+  // failure.
+  void write(const std::string& path) const;
+
+ private:
+  uint64_t lane_for(const std::string& source, uint32_t pid);
+
+  mutable std::mutex mutex_;
+  std::vector<TelemetryEvent> events_;
+  // (source, original pid domain) -> merged lane pid, plus the label order.
+  std::map<std::pair<std::string, uint32_t>, uint64_t> lanes_;
+  std::vector<std::string> lane_labels_;  // index = lane pid - 1
+  std::map<std::string, int64_t> dropped_;
+};
+
+}  // namespace lfm::obs

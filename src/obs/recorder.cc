@@ -46,7 +46,25 @@ void Recorder::clear() {
   metrics_.clear();
 }
 
+namespace {
+thread_local uint64_t t_current_trace_id = 0;
+}  // namespace
+
+uint64_t current_trace_id() { return t_current_trace_id; }
+
+TraceScope::TraceScope(uint64_t trace_id) : prev_(t_current_trace_id) {
+  t_current_trace_id = trace_id;
+}
+
+TraceScope::~TraceScope() { t_current_trace_id = prev_; }
+
+void note_sval_truncated() {
+  if (!Recorder::enabled()) return;
+  Recorder::global().metrics().counter("obs.sval_truncated").add();
+}
+
 void Recorder::push(TraceEvent&& ev) {
+  if (ev.trace_id == 0) ev.trace_id = t_current_trace_id;
   std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(std::move(ev));
 }
@@ -139,6 +157,14 @@ std::vector<TraceEvent> Recorder::events() const {
 size_t Recorder::event_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_.size();
+}
+
+std::vector<TraceEvent> Recorder::drain_events() {
+  std::vector<TraceEvent> out;
+  out.reserve(kInitialCapacity);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.swap(out);
+  return out;
 }
 
 void Recorder::mirror_logs(bool on) {

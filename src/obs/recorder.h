@@ -71,6 +71,11 @@ class Recorder {
   std::vector<TraceEvent> events() const;
   size_t event_count() const;
 
+  // Move the buffered events out (telemetry shipping's batch source): the
+  // internal buffer is left empty but keeps its capacity, so a periodic
+  // drain never re-pays the initial reservation.
+  std::vector<TraceEvent> drain_events();
+
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
@@ -89,6 +94,26 @@ class Recorder {
   std::vector<TraceEvent> events_;
   std::function<double()> clock_;  // empty = wall_now
   Metrics metrics_;
+};
+
+// --- distributed trace context ----------------------------------------------
+// The thread's current trace id. Recorder::push stamps it onto every event
+// recorded with trace_id == 0, so all existing instrumentation (the wq
+// master, the LFM monitor, the transport) inherits the task's global trace
+// identity without signature changes.
+uint64_t current_trace_id();
+
+// RAII: set the thread-local trace context for the enclosed scope. Nests —
+// the previous context is restored on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(uint64_t trace_id);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  uint64_t prev_;
 };
 
 // RAII span on an arbitrary timeline, timestamped with Recorder::now().

@@ -40,10 +40,20 @@ inline constexpr uint32_t kPidSim = 1;    // virtual clock: master, engine, labe
 inline constexpr uint32_t kPidHost = 2;   // wall clock: monitor, flow, faas, worker
 inline constexpr uint32_t kPidChaos = 3;  // virtual clock: injected fault schedule
 
+// Bumps the `obs.sval_truncated` counter (defined in recorder.cc — trace.h
+// cannot include recorder.h). Truncation used to be silent; operators
+// looking for lost payload text now have a metric to alert on.
+void note_sval_truncated();
+
 struct TraceEvent {
   Phase ph = Phase::kInstant;
   uint32_t pid = kPidHost;
   uint64_t tid = 0;
+  // Global trace identity: all spans of one task's life across every
+  // process in the federation share one nonzero trace_id (0 = untraced /
+  // process-local). Stamped from the thread-local TraceScope by
+  // Recorder::push, so instrumentation sites need no signature change.
+  uint64_t trace_id = 0;
   double ts = 0.0;   // seconds in the pid's clock
   double dur = 0.0;  // seconds; kComplete only
   const char* name = nullptr;  // static string (literal); nullptr on kEnd
@@ -58,6 +68,7 @@ struct TraceEvent {
 
   void set_sval(std::string_view text) {
     const size_t n = text.size() < sizeof(sval) - 1 ? text.size() : sizeof(sval) - 1;
+    if (n < text.size()) note_sval_truncated();
     // A default string_view carries a null data(); memcpy forbids null even
     // for zero lengths.
     if (n > 0) std::memcpy(sval, text.data(), n);

@@ -29,6 +29,7 @@ enum FrameType : uint8_t {
   kFrameFile = 6,
   kFrameControl = 7,
   kFrameStats = 8,
+  kFrameTelemetry = 9,
 };
 
 // Fixed header bytes before the body-length varint: magic(2) ver(1) type(1).
@@ -379,8 +380,17 @@ FileMessage decode_file_v1(const std::string& wire) {
 }
 
 void encode_v1(const ControlMessage& msg, std::string& out) {
-  out += strformat("control %s %llu %.9f\n", control_type_token(msg.type),
-                   static_cast<unsigned long long>(msg.nonce), msg.timestamp);
+  // peer_time rides as an optional trailing fifth field (pongs only).
+  // Emitting it only when nonzero keeps default control messages
+  // byte-identical to the pre-extension encoding.
+  if (msg.peer_time != 0.0) {
+    out += strformat("control %s %llu %.9f %.9f\n", control_type_token(msg.type),
+                     static_cast<unsigned long long>(msg.nonce), msg.timestamp,
+                     msg.peer_time);
+  } else {
+    out += strformat("control %s %llu %.9f\n", control_type_token(msg.type),
+                     static_cast<unsigned long long>(msg.nonce), msg.timestamp);
+  }
   out += "end\n";
 }
 
@@ -427,11 +437,14 @@ ControlMessage decode_control_v1(const std::string& wire) {
   const auto lines = parse_lines(wire, "control");
   if (lines.size() != 1) throw Error("protocol: extra stanza in control message");
   const auto& fields = lines[0];
-  need_fields(fields, 4);
+  if (fields.size() != 4 && fields.size() != 5) {
+    throw Error("protocol: wrong field count in '" + join(fields, " ") + "'");
+  }
   ControlMessage msg;
   msg.type = parse_control_type(fields[1]);
   msg.nonce = parse_u64(fields[2]);
   msg.timestamp = parse_real(fields[3]);
+  if (fields.size() == 5) msg.peer_time = parse_real(fields[4]);
   return msg;
 }
 
@@ -484,6 +497,11 @@ size_t task_body_size(const TaskMessage& msg) {
   }
   n += serde::varint_size(msg.outfiles.size());
   for (const auto& name : msg.outfiles) n += str_field_size(name.size());
+  // Trace context extension: present only when traced, so untraced frames
+  // (and the sim's task_body_size_v2 accounting) stay byte-identical.
+  if (msg.trace_id != 0) {
+    n += serde::varint_size(msg.trace_id) + serde::varint_size(msg.parent_span);
+  }
   return n;
 }
 
@@ -497,6 +515,7 @@ size_t result_body_size(const ResultMessage& msg) {
   n += serde::varint_size(serde::zigzag(msg.disk_peak_bytes));
   n += 8;  // wall_seconds
   if (!msg.payload.empty()) n += str_field_size(msg.payload.size());
+  if (msg.trace_id != 0) n += serde::varint_size(msg.trace_id);
   return n;
 }
 
@@ -509,7 +528,8 @@ size_t file_body_size(const FileMessage& msg) {
 }
 
 size_t control_body_size(const ControlMessage& msg) {
-  return 1 + serde::varint_size(msg.nonce) + 8;
+  return 1 + serde::varint_size(msg.nonce) + 8 +
+         (msg.peer_time != 0.0 ? 8 : 0);
 }
 
 size_t stats_body_size(const StatsMessage& msg) {
@@ -521,6 +541,34 @@ size_t stats_body_size(const StatsMessage& msg) {
          serde::varint_size(serde::zigzag(msg.fanout_files)) +
          serde::varint_size(serde::zigzag(msg.cache_chunks)) +
          serde::varint_size(serde::zigzag(msg.cache_bytes));
+}
+
+size_t telemetry_event_size(const obs::TelemetryEvent& ev) {
+  return 1 +  // ph
+         serde::varint_size(ev.pid) + serde::varint_size(ev.tid) +
+         serde::varint_size(ev.trace_id) + 16 +  // ts, dur
+         str_field_size(ev.name.size()) + str_field_size(ev.cat.size()) +
+         str_field_size(ev.akey0.size()) + 8 +
+         str_field_size(ev.akey1.size()) + 8 +
+         str_field_size(ev.skey.size()) + str_field_size(ev.sval.size());
+}
+
+size_t telemetry_body_size(const TelemetryMessage& msg) {
+  size_t n = str_field_size(msg.source.size());
+  n += serde::varint_size(msg.process_id);
+  n += 8;  // clock_offset
+  n += serde::varint_size(serde::zigzag(msg.dropped));
+  n += serde::varint_size(msg.events.size());
+  for (const auto& ev : msg.events) n += telemetry_event_size(ev);
+  n += serde::varint_size(msg.counters.size());
+  for (const auto& [name, value] : msg.counters) {
+    n += str_field_size(name.size()) + serde::varint_size(serde::zigzag(value));
+  }
+  n += serde::varint_size(msg.gauges.size());
+  for (const auto& [name, value] : msg.gauges) {
+    n += str_field_size(name.size()) + 8;
+  }
+  return n;
 }
 
 // Appends the same bytes serde::Writer would produce, but directly into the
@@ -577,6 +625,10 @@ void write_task_body(const TaskMessage& msg, StringWriter& w) {
   }
   w.varint(msg.outfiles.size());
   for (const auto& name : msg.outfiles) w.str(name);
+  if (msg.trace_id != 0) {
+    w.varint(msg.trace_id);
+    w.varint(msg.parent_span);
+  }
 }
 
 void write_result_body(const ResultMessage& msg, StringWriter& w) {
@@ -599,6 +651,7 @@ void write_result_body(const ResultMessage& msg, StringWriter& w) {
   // Raw payload bytes — the v1 base64 detour (+33% bytes, one extra full
   // copy each way) is exactly what v2 exists to remove.
   if (!msg.payload.empty()) w.bytes(serde::BytesView(msg.payload));
+  if (msg.trace_id != 0) w.varint(msg.trace_id);
 }
 
 void write_hello_body(const HelloMessage& msg, StringWriter& w) {
@@ -619,6 +672,7 @@ void write_control_body(const ControlMessage& msg, StringWriter& w) {
   w.u8(static_cast<uint8_t>(msg.type));
   w.varint(msg.nonce);
   w.real(msg.timestamp);
+  if (msg.peer_time != 0.0) w.real(msg.peer_time);
 }
 
 void write_stats_body(const StatsMessage& msg, StringWriter& w) {
@@ -630,6 +684,40 @@ void write_stats_body(const StatsMessage& msg, StringWriter& w) {
   w.svarint(msg.fanout_files);
   w.svarint(msg.cache_chunks);
   w.svarint(msg.cache_bytes);
+}
+
+void write_telemetry_body(const TelemetryMessage& msg, StringWriter& w) {
+  w.str(msg.source);
+  w.varint(msg.process_id);
+  w.real(msg.clock_offset);
+  w.svarint(msg.dropped);
+  w.varint(msg.events.size());
+  for (const auto& ev : msg.events) {
+    w.u8(static_cast<uint8_t>(ev.ph));
+    w.varint(ev.pid);
+    w.varint(ev.tid);
+    w.varint(ev.trace_id);
+    w.real(ev.ts);
+    w.real(ev.dur);
+    w.str(ev.name);
+    w.str(ev.cat);
+    w.str(ev.akey0);
+    w.real(ev.aval0);
+    w.str(ev.akey1);
+    w.real(ev.aval1);
+    w.str(ev.skey);
+    w.str(ev.sval);
+  }
+  w.varint(msg.counters.size());
+  for (const auto& [name, value] : msg.counters) {
+    w.str(name);
+    w.svarint(value);
+  }
+  w.varint(msg.gauges.size());
+  for (const auto& [name, value] : msg.gauges) {
+    w.str(name);
+    w.real(value);
+  }
 }
 
 void write_frame_header(StringWriter& w, uint8_t type, size_t body_len) {
@@ -666,6 +754,13 @@ TaskMessage read_task_body(serde::Reader& r) {
   const size_t n_out = r.varint();
   msg.outfiles.reserve(std::min<size_t>(n_out, r.remaining()));
   for (size_t i = 0; i < n_out; ++i) msg.outfiles.push_back(std::string(r.str()));
+  // Trailing trace-context extension. The reader is always bounded to
+  // exactly one body (parse_frame for single frames, the entry sub-reader
+  // for batches), so "bytes remain" means "extension present".
+  if (r.remaining() > 0) {
+    msg.trace_id = r.varint();
+    msg.parent_span = r.varint();
+  }
   if (msg.task_id == 0) throw Error("protocol: missing task id");
   return msg;
 }
@@ -693,6 +788,7 @@ ResultMessage read_result_body(serde::Reader& r) {
     const serde::BytesView payload = r.bytes();
     msg.payload.assign(payload.begin(), payload.end());
   }
+  if (r.remaining() > 0) msg.trace_id = r.varint();
   if (msg.task_id == 0) throw Error("protocol: missing task id");
   return msg;
 }
@@ -729,6 +825,7 @@ ControlMessage read_control_body(serde::Reader& r) {
   msg.type = static_cast<ControlType>(type);
   msg.nonce = r.varint();
   msg.timestamp = r.real();
+  if (r.remaining() > 0) msg.peer_time = r.real();
   return msg;
 }
 
@@ -743,6 +840,50 @@ StatsMessage read_stats_body(serde::Reader& r) {
   msg.cache_chunks = r.svarint();
   msg.cache_bytes = r.svarint();
   if (msg.source.empty()) throw Error("protocol: missing stats source");
+  return msg;
+}
+
+TelemetryMessage read_telemetry_body(serde::Reader& r) {
+  TelemetryMessage msg;
+  msg.source = std::string(r.str());
+  msg.process_id = r.varint();
+  msg.clock_offset = r.real();
+  msg.dropped = r.svarint();
+  const size_t n_events = r.varint();
+  msg.events.reserve(std::min<size_t>(n_events, r.remaining()));
+  for (size_t i = 0; i < n_events; ++i) {
+    obs::TelemetryEvent ev;
+    ev.ph = static_cast<char>(r.u8());
+    ev.pid = static_cast<uint32_t>(r.varint());
+    ev.tid = r.varint();
+    ev.trace_id = r.varint();
+    ev.ts = r.real();
+    ev.dur = r.real();
+    ev.name = std::string(r.str());
+    ev.cat = std::string(r.str());
+    ev.akey0 = std::string(r.str());
+    ev.aval0 = r.real();
+    ev.akey1 = std::string(r.str());
+    ev.aval1 = r.real();
+    ev.skey = std::string(r.str());
+    ev.sval = std::string(r.str());
+    msg.events.push_back(std::move(ev));
+  }
+  const size_t n_counters = r.varint();
+  msg.counters.reserve(std::min<size_t>(n_counters, r.remaining()));
+  for (size_t i = 0; i < n_counters; ++i) {
+    std::string name(r.str());
+    const int64_t value = r.svarint();
+    msg.counters.emplace_back(std::move(name), value);
+  }
+  const size_t n_gauges = r.varint();
+  msg.gauges.reserve(std::min<size_t>(n_gauges, r.remaining()));
+  for (size_t i = 0; i < n_gauges; ++i) {
+    std::string name(r.str());
+    const double value = r.real();
+    msg.gauges.emplace_back(std::move(name), value);
+  }
+  if (msg.source.empty()) throw Error("protocol: missing telemetry source");
   return msg;
 }
 
@@ -850,9 +991,12 @@ std::vector<Message> decode_batch_v2(Frame& frame, uint8_t single_type,
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t len = frame.body.varint();
     if (len > frame.body.remaining()) throw Error("protocol: truncated frame");
-    const size_t end = frame.body.pos() + len;
-    out.push_back(read_body(frame.body));
-    if (frame.body.pos() != end) {
+    // Bound each entry to its own reader: the body readers treat "bytes
+    // remain" as "trailing extension present", which must mean bytes of
+    // THIS entry, not of the ones that follow it in the batch.
+    serde::Reader entry(frame.body.raw(len), len);
+    out.push_back(read_body(entry));
+    if (entry.remaining() != 0) {
       throw Error("protocol: batch entry length mismatch");
     }
   }
@@ -945,6 +1089,18 @@ std::string encode(const StatsMessage& msg, WireVersion version) {
     if (!valid_token(msg.source)) throw Error("protocol: invalid stats source");
     out = encode_one_v2(msg, kFrameStats, stats_body_size(msg), write_stats_body);
   }
+  count_encoded(out.size(), 1);
+  return out;
+}
+
+std::string encode(const TelemetryMessage& msg, WireVersion version) {
+  if (version == WireVersion::kV1) {
+    // Telemetry has no v1 text form; a v1 link simply does not ship it.
+    throw Error("protocol: telemetry requires wire v2");
+  }
+  if (!valid_token(msg.source)) throw Error("protocol: invalid telemetry source");
+  std::string out = encode_one_v2(msg, kFrameTelemetry, telemetry_body_size(msg),
+                                  write_telemetry_body);
   count_encoded(out.size(), 1);
   return out;
 }
@@ -1044,6 +1200,14 @@ StatsMessage decode_stats(const std::string& wire) {
   return decode_one_v2(wire, kFrameStats, "stats", read_stats_body);
 }
 
+TelemetryMessage decode_telemetry(const std::string& wire) {
+  count_decoded(wire.size());
+  if (detect_version(wire) == WireVersion::kV1) {
+    throw Error("protocol: telemetry requires wire v2");
+  }
+  return decode_one_v2(wire, kFrameTelemetry, "telemetry", read_telemetry_body);
+}
+
 MessageKind classify(const std::string& wire) {
   if (detect_version(wire) == WireVersion::kV2) {
     if (wire.size() < kFrameFixedHeader) throw Error("protocol: truncated frame");
@@ -1060,6 +1224,7 @@ MessageKind classify(const std::string& wire) {
       case kFrameFile: return MessageKind::kFile;
       case kFrameControl: return MessageKind::kControl;
       case kFrameStats: return MessageKind::kStats;
+      case kFrameTelemetry: return MessageKind::kTelemetry;
     }
     throw Error("protocol: unexpected frame type " +
                 std::to_string(static_cast<unsigned>(wire[3])));

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "alloc/resources.h"
+#include "obs/collector.h"
 #include "serde/value.h"
 #include "util/error.h"
 #include "wq/task.h"
@@ -58,6 +59,14 @@ struct TaskMessage {
   };
   std::vector<FileStanza> infiles;
   std::vector<std::string> outfiles;
+  // Distributed-trace context, minted once at the root when the task is
+  // submitted and carried to whichever process ultimately runs it. Zero
+  // means "untraced": v2 frames only append these as trailing extension
+  // fields when trace_id != 0, so default-constructed messages stay
+  // byte-identical to the pre-extension encoding (old decoders and v1
+  // peers simply never see them).
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 // Worker -> master: the attempt finished.
@@ -74,6 +83,9 @@ struct ResultMessage {
   // Pickled function result (Python-function tasks). v2 carries it as raw
   // length-prefixed bytes; v1 base64-codes it into a "payload" stanza.
   serde::Bytes payload;
+  // Echo of the task's trace id (same trailing-extension rules as
+  // TaskMessage: absent on the wire when zero).
+  uint64_t trace_id = 0;
 };
 
 // --- transport control messages (src/net/) ----------------------------------
@@ -105,6 +117,11 @@ struct ControlMessage {
   ControlType type = ControlType::kPing;
   uint64_t nonce = 0;
   double timestamp = 0.0;  // sender's clock seconds, echoed in the pong
+  // Pong only: the responder's own clock at the moment it replied. The
+  // pinger combines (timestamp, peer_time, receipt time) into a midpoint
+  // clock-offset sample (obs::ClockOffsetEstimator). Trailing extension:
+  // absent on the wire when zero, so pre-extension peers interoperate.
+  double peer_time = 0.0;
 };
 
 // Foreman -> root (src/fed/): periodic shard telemetry, aggregated upward so
@@ -121,6 +138,23 @@ struct StatsMessage {
   int64_t cache_bytes = 0;        // live bytes in the shard's file cache
 };
 
+// Any process -> its upstream (worker -> foreman -> root): a batch of trace
+// events plus metric snapshots, shipped on the result/stats cadence so the
+// root's obs::Collector can merge the whole tree into one timeline. v2-only
+// (there is no v1 text form; encoding at kV1 throws) — a v1 peer simply
+// never ships telemetry. `clock_offset` is the cumulative sender-clock-
+// minus-receiver-clock estimate accumulated across relay hops; `dropped`
+// counts events the sender discarded under backpressure.
+struct TelemetryMessage {
+  std::string source;      // process name (worker/foreman), a valid_token
+  uint64_t process_id = 0; // OS pid of the originating process
+  double clock_offset = 0.0;
+  int64_t dropped = 0;
+  std::vector<obs::TelemetryEvent> events;
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+};
+
 // What kind of message a wire string holds, decided from the v2 frame type
 // byte (or the first v1 token) without decoding the body — the net layer's
 // inbound demux. Throws on bytes that are neither.
@@ -133,6 +167,7 @@ enum class MessageKind {
   kFile,
   kControl,
   kStats,
+  kTelemetry,
 };
 MessageKind classify(const std::string& wire);
 
@@ -143,6 +178,7 @@ std::string encode(const HelloMessage& msg, WireVersion version = WireVersion::k
 std::string encode(const FileMessage& msg, WireVersion version = WireVersion::kV2);
 std::string encode(const ControlMessage& msg, WireVersion version = WireVersion::kV2);
 std::string encode(const StatsMessage& msg, WireVersion version = WireVersion::kV2);
+std::string encode(const TelemetryMessage& msg, WireVersion version = WireVersion::kV2);
 
 // Serialize many messages into one network send. v2 emits a single batch
 // frame; v1 has no batch framing, so messages are simply concatenated.
@@ -159,6 +195,7 @@ HelloMessage decode_hello(const std::string& wire);
 FileMessage decode_file(const std::string& wire);
 ControlMessage decode_control(const std::string& wire);
 StatsMessage decode_stats(const std::string& wire);
+TelemetryMessage decode_telemetry(const std::string& wire);
 
 // Parse a batched send of either version. Single-message frames (and v1
 // concatenations) decode as a batch of their message count.

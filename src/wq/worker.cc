@@ -43,6 +43,7 @@ ResultMessage LocalWorker::execute_python(const TaskMessage& task,
                                           const FileSet& files) {
   ResultMessage result;
   result.task_id = task.task_id;
+  result.trace_id = task.trace_id;
 
   const auto parts = split_nonempty(task.command_line, ' ');
   if (parts.size() != 4) {
@@ -116,6 +117,10 @@ ResultMessage LocalWorker::execute(const TaskMessage& task, const FileSet& files
   if (obs::Recorder::enabled()) {
     obs::Recorder::global().metrics().counter("worker.tasks_executed").add();
   }
+  // The run span on the worker's own host lane: forked LFM included. Its
+  // trace id arrives via the caller's TraceScope (WorkerClient sets it per
+  // task), so the span joins the submit→dispatch chain minted at the root.
+  obs::ScopedSpan span(obs::kPidHost, task.task_id, "lfm.run", "worker");
   if (starts_with(task.command_line, "lfm-pyrun ")) {
     return execute_python(task, files);
   }
@@ -128,6 +133,7 @@ ResultMessage LocalWorker::execute(const TaskMessage& task, const FileSet& files
 
   ResultMessage result;
   result.task_id = task.task_id;
+  result.trace_id = task.trace_id;
   fill_usage(result, outcome.usage);
   switch (outcome.status) {
     case monitor::TaskStatus::kSuccess:

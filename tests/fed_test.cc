@@ -9,6 +9,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,8 +20,11 @@
 #include "chaos/journal.h"
 #include "fed/foreman.h"
 #include "fed/root_master.h"
+#include "net/socket.h"
 #include "net/worker_client.h"
+#include "obs/collector.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "serde/value.h"
 #include "util/error.h"
 #include "wq/protocol.h"
@@ -268,11 +273,19 @@ TEST(Federation, JournalDoneFlagsSurviveRestartExactlyOnce) {
 
 // --- end-to-end: root <-> forked foreman processes <-> forked workers --------
 
-pid_t fork_python_worker(uint16_t port, const std::string& name) {
+pid_t fork_python_worker(uint16_t port, const std::string& name,
+                         bool traced = false) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  // Drop inherited fds: a surviving copy of a parent listener keeps its
+  // port accepting after that tier stops serving it (see net/socket.h).
+  net::close_inherited_fds();
   int status = 1;
   try {
+    if (traced) {
+      obs::Recorder::global().set_enabled(true);
+      obs::Recorder::global().clear();
+    }
     net::WorkerClientOptions o;
     o.port = port;
     o.name = name;
@@ -295,11 +308,17 @@ pid_t fork_python_worker(uint16_t port, const std::string& name) {
   _exit(status);
 }
 
-pid_t fork_foreman(uint16_t root_port, const std::string& name, int workers) {
+pid_t fork_foreman(uint16_t root_port, const std::string& name, int workers,
+                   bool traced = false) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  net::close_inherited_fds();
   int status = 1;
   try {
+    if (traced) {
+      obs::Recorder::global().set_enabled(true);
+      obs::Recorder::global().clear();
+    }
     ForemanConfig fc;
     fc.name = name;
     fc.root_port = root_port;
@@ -311,7 +330,7 @@ pid_t fork_foreman(uint16_t root_port, const std::string& name, int workers) {
     std::vector<pid_t> kids;
     for (int i = 0; i < workers; ++i) {
       kids.push_back(fork_python_worker(
-          foreman.worker_port(), name + "-w" + std::to_string(i)));
+          foreman.worker_port(), name + "-w" + std::to_string(i), traced));
     }
     foreman.run();
     status = 0;
@@ -418,6 +437,121 @@ def mul(a, b):
   ASSERT_EQ(waitpid(survivor, &status, 0), survivor);
   EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
       << "surviving foreman exited " << status;
+}
+
+TEST(FedEndToEnd, TraceSpansOneTaskAcrossThreeProcessLanes) {
+  // The whole-tree tracing claim at test scale: a root, two forked foreman
+  // processes, four forked workers, every process recording. After the run
+  // the root's collector must hold at least one trace id whose
+  // submit→ship→run→result spans appear in three distinct process lanes
+  // and nest once timestamps are normalized into the root's clock.
+  const char* module = R"(
+def inc(x):
+    return x + 1
+)";
+  obs::Recorder::global().set_enabled(true);
+  obs::Recorder::global().clear();
+  obs::Collector collector;
+
+  net::EventLoop loop;
+  RootMasterConfig rc;
+  rc.groups_per_foreman = 4;
+  rc.collector = &collector;
+  RootMaster root(loop, rc);
+  const int kGroups = 4, kPerGroup = 4;
+  const int kTasks = kGroups * kPerGroup;
+  for (int g = 0; g < kGroups; ++g) {
+    TaskGroup group;
+    group.name = "tg" + std::to_string(g);
+    for (int i = 0; i < kPerGroup; ++i) {
+      serde::ValueList args;
+      args.push_back(serde::Value(int64_t{g * kPerGroup + i}));
+      auto [task, files] = wq::make_python_task(
+          900 + static_cast<uint64_t>(g * kPerGroup + i), "inc", module, "inc",
+          serde::Value(std::move(args)), alloc::Resources{1.0, 512e6, 1e9});
+      group.tasks.push_back(task);
+      for (const auto& [n, b] : files) group.files.emplace(n, b);
+    }
+    root.submit(std::move(group));
+  }
+
+  // Forked children inherit stdio buffers; flush so a piped stdout (ctest)
+  // doesn't replay buffered output once per child.
+  std::fflush(stdout);
+  const pid_t f0 = fork_foreman(root.port(), "tt0", 2, /*traced=*/true);
+  const pid_t f1 = fork_foreman(root.port(), "tt1", 2, /*traced=*/true);
+
+  const RootStats stats = root.run_until_complete(120.0);
+  int status = -1;
+  ASSERT_EQ(waitpid(f0, &status, 0), f0);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  status = -1;
+  ASSERT_EQ(waitpid(f1, &status, 0), f1);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(stats.tasks_completed, kTasks);
+  EXPECT_GE(stats.telemetry_frames, 1);
+
+  collector.add_local("root", obs::Recorder::global().drain_events());
+  obs::Recorder::global().set_enabled(false);
+  obs::Recorder::global().clear();
+  // Every tier contributed: the root plus at least one foreman process and
+  // one worker process (2 foremen x (1 + 2 workers) = up to 7 sources).
+  EXPECT_GE(collector.source_count(), 3u);
+
+  struct PerTrace {
+    bool has_task = false;
+    double task_begin = 0.0, task_end = 0.0;
+    std::vector<double> inflight_begin, inflight_end;
+    std::vector<double> run_begin, run_end;
+    std::map<uint64_t, int> lanes;
+  };
+  std::map<uint64_t, PerTrace> traces;
+  for (const auto& ev : collector.events()) {
+    if (ev.trace_id == 0) continue;
+    PerTrace& t = traces[ev.trace_id];
+    ++t.lanes[ev.pid];
+    if (ev.ph == 'X' && ev.name == "task") {
+      t.has_task = true;
+      t.task_begin = ev.ts;
+      t.task_end = ev.ts + ev.dur;
+    }
+    if (ev.ph == 'X' && ev.name == "task.inflight") {
+      t.inflight_begin.push_back(ev.ts);
+      t.inflight_end.push_back(ev.ts + ev.dur);
+    }
+    if (ev.ph == 'B' && ev.name == "lfm.run") t.run_begin.push_back(ev.ts);
+    if (ev.ph == 'E') t.run_end.push_back(ev.ts);
+  }
+  EXPECT_EQ(traces.size(), static_cast<size_t>(kTasks));
+
+  // Two relay hops (worker->foreman->root), each clock estimate bounded by
+  // its link's RTT/2.
+  const double kSkewTolerance = 2e-3;
+  int nested_three_lanes = 0;
+  for (const auto& [id, t] : traces) {
+    if (!t.has_task || t.lanes.size() < 3) continue;
+    if (t.inflight_begin.empty() || t.run_begin.empty() || t.run_end.empty()) {
+      continue;
+    }
+    const double in_first =
+        *std::min_element(t.inflight_begin.begin(), t.inflight_begin.end());
+    const double in_last =
+        *std::max_element(t.inflight_end.begin(), t.inflight_end.end());
+    const double run_first =
+        *std::min_element(t.run_begin.begin(), t.run_begin.end());
+    const double run_last =
+        *std::max_element(t.run_end.begin(), t.run_end.end());
+    const bool inflight_in_task =
+        t.task_begin - kSkewTolerance <= in_first &&
+        in_last <= t.task_end + kSkewTolerance;
+    const bool run_in_inflight = in_first - kSkewTolerance <= run_first &&
+                                 run_first <= run_last &&
+                                 run_last <= in_last + kSkewTolerance;
+    if (inflight_in_task && run_in_inflight) ++nested_three_lanes;
+  }
+  EXPECT_GE(nested_three_lanes, 1)
+      << "no trace id spanned three process lanes with nested "
+         "task / task.inflight / lfm.run spans";
 }
 
 }  // namespace

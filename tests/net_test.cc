@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
@@ -16,10 +17,15 @@
 
 #include "net/conn.h"
 #include "net/event_loop.h"
+#include "obs/collector.h"
+#include "obs/http_export.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "net/framing.h"
 #include "net/master_service.h"
 #include "net/socket.h"
 #include "net/worker_client.h"
+#include "serde/json.h"
 #include "serde/pickle.h"
 #include "util/error.h"
 #include "wq/protocol.h"
@@ -314,6 +320,9 @@ pid_t fork_worker(uint16_t port, const std::string& name,
                   wq::WireVersion version) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  // Drop inherited fds: a surviving copy of the master's listener keeps
+  // its port accepting after the run drains (see net/socket.h).
+  close_inherited_fds();
   int status = 1;
   try {
     WorkerClientOptions options;
@@ -599,6 +608,7 @@ TEST(WorkerClient, TaskCompletionRestoresReconnectBudget) {
 
   const pid_t pid = fork();
   if (pid == 0) {
+    close_inherited_fds();
     int status = 1;
     try {
       WorkerClientOptions options;
@@ -635,6 +645,198 @@ TEST(WorkerClient, TaskCompletionRestoresReconnectBudget) {
   ASSERT_EQ(waitpid(pid, &status, 0), pid);
   EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
       << "worker exit status " << status;
+}
+
+// --- live telemetry endpoints -----------------------------------------------
+
+// Blocking HTTP/1.0 fetch from a side thread while the loop serves; the
+// thread stops the loop once the server closes the connection.
+std::string http_get(EventLoop& loop, uint16_t port, const std::string& target,
+                     const std::string& method = "GET") {
+  std::string response;
+  std::thread fetcher([&] {
+    const int fd = connect_tcp("127.0.0.1", port);
+    if (fd < 0) {
+      loop.post([&loop] { loop.stop(); });
+      return;
+    }
+    const std::string req =
+        method + " " + target + " HTTP/1.0\r\nHost: test\r\n\r\n";
+    size_t off = 0;
+    while (off < req.size()) {
+      const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+      response.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    loop.post([&loop] { loop.stop(); });
+  });
+  const uint64_t watchdog = loop.run_after(10.0, [&] { loop.stop(); });
+  loop.run();
+  loop.cancel_timer(watchdog);
+  fetcher.join();
+  return response;
+}
+
+TEST(HttpEndpointTest, ServesMetricsHealthzAndStatusz) {
+  EventLoop loop;
+  obs::Metrics metrics;
+  metrics.counter("net.results").add(42);
+  metrics.gauge("net.write_queue_bytes").set(7.0);
+  obs::HttpEndpointConfig hc;
+  hc.metrics = &metrics;
+  hc.statusz = [] {
+    serde::ValueDict status;
+    status["role"] = serde::Value(std::string("test-master"));
+    status["pending"] = serde::Value(int64_t{3});
+    return serde::Value(std::move(status));
+  };
+  obs::HttpEndpoint http(loop, hc);
+  ASSERT_GT(http.port(), 0);
+
+  const std::string metrics_rsp = http_get(loop, http.port(), "/metrics");
+  EXPECT_NE(metrics_rsp.find("200"), std::string::npos);
+  EXPECT_NE(metrics_rsp.find("net_results 42"), std::string::npos);
+  EXPECT_NE(metrics_rsp.find("# TYPE"), std::string::npos);
+
+  const std::string health_rsp = http_get(loop, http.port(), "/healthz");
+  EXPECT_NE(health_rsp.find("200"), std::string::npos);
+  EXPECT_NE(health_rsp.find("ok"), std::string::npos);
+
+  const std::string status_rsp = http_get(loop, http.port(), "/statusz");
+  EXPECT_NE(status_rsp.find("200"), std::string::npos);
+  const size_t body_at = status_rsp.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const serde::Value doc = serde::from_json(status_rsp.substr(body_at + 4));
+  EXPECT_EQ(doc.as_dict().at("role").as_str(), "test-master");
+  EXPECT_EQ(doc.as_dict().at("pending").as_int(), 3);
+
+  EXPECT_NE(http_get(loop, http.port(), "/nope").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_get(loop, http.port(), "/metrics", "POST").find("405"),
+            std::string::npos);
+  EXPECT_EQ(http.requests_served(), 5);
+}
+
+TEST(HttpEndpointTest, BindConflictThrowsInsteadOfTimingOut) {
+  EventLoop loop;
+  obs::HttpEndpointConfig hc;
+  obs::HttpEndpoint first(loop, hc);
+  obs::HttpEndpointConfig clash;
+  clash.port = first.port();
+  EXPECT_THROW(obs::HttpEndpoint(loop, clash), Error);
+}
+
+// --- distributed tracing: two processes, one timeline ------------------------
+
+pid_t fork_traced_worker(uint16_t port, const std::string& name) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  close_inherited_fds();
+  int status = 1;
+  try {
+    obs::Recorder::global().set_enabled(true);
+    obs::Recorder::global().clear();
+    WorkerClientOptions options;
+    options.host = "127.0.0.1";
+    options.port = port;
+    options.name = name;
+    options.worker.poll_interval = 0.01;
+    WorkerClient client(options);
+    client.run();
+    status = 0;
+  } catch (...) {
+  }
+  _exit(status);
+}
+
+TEST(NetEndToEnd, ForkedWorkerSpansMergeIntoOneNestedTimeline) {
+  const char* module = R"(
+def double(x):
+    return 2 * x
+)";
+  obs::Recorder::global().set_enabled(true);
+  obs::Recorder::global().clear();
+
+  obs::Collector collector;
+  EventLoop loop;
+  MasterServiceConfig config;
+  config.on_telemetry = [&](wq::TelemetryMessage&& msg) {
+    collector.add(msg.source, msg.clock_offset, std::move(msg.events),
+                  msg.dropped);
+  };
+  MasterService master(loop, config);
+  const int kTasks = 6;
+  for (int i = 0; i < kTasks; ++i) {
+    auto [task, files] = wq::make_python_task(
+        700 + static_cast<uint64_t>(i), "double", module, "double",
+        serde::Value(serde::ValueList{serde::Value(int64_t{i})}),
+        alloc::Resources{1.0, 512e6, 1e9});
+    master.submit(task, files);
+  }
+  const pid_t worker = fork_traced_worker(master.port(), "traced-w");
+  const NetMasterStats stats = master.run_until_complete(120.0);
+  int status = -1;
+  ASSERT_EQ(waitpid(worker, &status, 0), worker);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(stats.tasks_completed, kTasks);
+  EXPECT_GE(stats.telemetry_frames, 1);
+
+  collector.add_local("master", obs::Recorder::global().drain_events());
+  obs::Recorder::global().set_enabled(false);
+  obs::Recorder::global().clear();
+
+  // Group the merged, clock-normalized spans by trace id. At least one
+  // task's id must appear in both process lanes with the worker's lfm.run
+  // span nested inside the master's task span. (A task CAN legitimately
+  // run twice — at-least-once attempts — so we require one cleanly nested
+  // id, not that every id is.)
+  struct PerTrace {
+    double task_begin = 0.0, task_end = 0.0;
+    bool has_task = false;
+    std::vector<double> run_begin, run_end;
+    std::map<uint64_t, int> lanes;
+  };
+  std::map<uint64_t, PerTrace> traces;
+  for (const auto& ev : collector.events()) {
+    if (ev.trace_id == 0) continue;
+    PerTrace& t = traces[ev.trace_id];
+    ++t.lanes[ev.pid];
+    if (ev.ph == 'X' && ev.name == "task") {
+      t.has_task = true;
+      t.task_begin = ev.ts;
+      t.task_end = ev.ts + ev.dur;
+    }
+    // End events travel nameless (Chrome-trace convention: E closes the
+    // innermost open B on its lane); only the worker emits B/E here.
+    if (ev.ph == 'B' && ev.name == "lfm.run") t.run_begin.push_back(ev.ts);
+    if (ev.ph == 'E') t.run_end.push_back(ev.ts);
+  }
+  EXPECT_EQ(traces.size(), static_cast<size_t>(kTasks));
+  const double kSkewTolerance = 1e-3;  // clock alignment is RTT/2-bounded
+  int nested = 0;
+  for (const auto& [id, t] : traces) {
+    if (!t.has_task || t.lanes.size() < 2) continue;
+    // A run produces nested lfm.run B/E pairs (the worker's dispatch span
+    // and the monitor's inner span); the outermost window is what the
+    // master's task span must contain.
+    if (t.run_begin.empty() || t.run_end.empty()) continue;
+    const double run_first =
+        *std::min_element(t.run_begin.begin(), t.run_begin.end());
+    const double run_last =
+        *std::max_element(t.run_end.begin(), t.run_end.end());
+    if (t.task_begin - kSkewTolerance <= run_first && run_first <= run_last &&
+        run_last <= t.task_end + kSkewTolerance) {
+      ++nested;
+    }
+  }
+  EXPECT_GE(nested, 1) << "no trace id produced a cleanly nested "
+                          "master-task / worker-run span pair";
 }
 
 TEST(WorkerClient, GivesUpWhenMasterNeverAppears) {

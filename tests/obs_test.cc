@@ -4,6 +4,7 @@
 // and the real LFM monitor.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -12,6 +13,8 @@
 #include <vector>
 
 #include "monitor/lfm.h"
+#include "obs/clock.h"
+#include "obs/collector.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -452,6 +455,184 @@ TEST_F(ObsTest, LongStringPayloadsTruncateSafely) {
   EXPECT_EQ(stored, long_text.substr(0, stored.size()));
   // Still exports as valid JSON.
   serde::from_json(chrome_trace_json(events));
+}
+
+TEST_F(ObsTest, SvalTruncationBumpsCounter) {
+  Recorder& r = Recorder::global();
+  r.set_enabled(true);
+  const int64_t before = r.metrics().counter("obs.sval_truncated").value();
+  r.instant(kPidHost, 0, 0.0, "log", "log", "message", std::string(200, 'y'));
+  r.instant(kPidHost, 0, 0.0, "log", "log", "message", "short");
+  EXPECT_EQ(r.metrics().counter("obs.sval_truncated").value(), before + 1);
+}
+
+TEST_F(ObsTest, TraceScopeStampsAndRestores) {
+  Recorder& r = Recorder::global();
+  r.set_enabled(true);
+  r.instant(kPidHost, 0, 0.0, "outside", "test");
+  {
+    TraceScope outer(0x1111);
+    r.instant(kPidHost, 0, 0.1, "outer", "test");
+    {
+      TraceScope inner(0x2222);
+      r.instant(kPidHost, 0, 0.2, "inner", "test");
+    }
+    r.instant(kPidHost, 0, 0.3, "outer-again", "test");
+  }
+  r.instant(kPidHost, 0, 0.4, "outside-again", "test");
+  const auto events = r.events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  EXPECT_EQ(events[1].trace_id, 0x1111u);
+  EXPECT_EQ(events[2].trace_id, 0x2222u);
+  EXPECT_EQ(events[3].trace_id, 0x1111u);
+  EXPECT_EQ(events[4].trace_id, 0u);
+}
+
+// --- clock-offset estimation -------------------------------------------------
+
+TEST(ClockOffset, FirstSampleInitializesDirectly) {
+  ClockOffsetEstimator est;
+  EXPECT_DOUBLE_EQ(est.offset(), 0.0);
+  // Peer clock runs 10s ahead; symmetric 20ms RTT.
+  est.feed(100.0, 110.01, 100.02);
+  EXPECT_EQ(est.samples(), 1);
+  EXPECT_NEAR(est.offset(), 10.0, 1e-9);
+  EXPECT_NEAR(est.last_rtt(), 0.02, 1e-9);
+}
+
+TEST(ClockOffset, AsymmetricRttErrorBoundedByHalfRtt) {
+  // True offset 5s, but the outbound leg takes 1ms and the return 9ms:
+  // ping at t=0 arrives at peer t=5.001, answered immediately, pong back
+  // at local t=0.010. Midpoint sample = 5.001 - 0.005 = 4.996 — wrong by
+  // 4ms, within rtt/2 = 5ms of truth.
+  ClockOffsetEstimator est;
+  est.feed(0.0, 5.001, 0.010);
+  EXPECT_NEAR(est.offset(), 5.0, est.last_rtt() / 2.0 + 1e-9);
+  EXPECT_NEAR(est.offset(), 4.996, 1e-9);
+}
+
+TEST(ClockOffset, EwmaSmoothsJitter) {
+  ClockOffsetEstimator est(0.125);
+  est.feed(0.0, 2.0, 0.0);  // initialize at exactly 2.0
+  // Jittered sample: midpoint says 2.4 (within the step threshold).
+  est.feed(10.0, 12.4, 10.0);
+  EXPECT_NEAR(est.offset(), 2.0 + 0.125 * 0.4, 1e-9);
+  EXPECT_EQ(est.samples(), 2);
+}
+
+TEST(ClockOffset, ClockStepResetsInsteadOfConverging) {
+  ClockOffsetEstimator est;
+  for (int i = 0; i < 20; ++i) {
+    const double t = i * 1.0;
+    est.feed(t, t + 3.0 + 0.005, t + 0.01);  // steady offset 3s, 10ms RTT
+  }
+  EXPECT_NEAR(est.offset(), 3.0, 1e-6);
+  // Peer restarts: its clock now reads 40s ahead. A single post-step
+  // sample must snap the estimate, not nudge it by alpha.
+  est.feed(30.0, 70.005, 30.01);
+  EXPECT_NEAR(est.offset(), 40.0, 1e-6);
+}
+
+TEST(ClockOffset, NegativeRttSamplesIgnored) {
+  ClockOffsetEstimator est;
+  est.feed(5.0, 7.0, 4.0);  // t_recv before t_send: bogus
+  EXPECT_EQ(est.samples(), 0);
+  EXPECT_DOUBLE_EQ(est.offset(), 0.0);
+}
+
+// --- root-side collector -----------------------------------------------------
+
+namespace {
+TelemetryEvent make_span(uint64_t trace_id, double ts, double dur,
+                         const std::string& name, uint32_t pid = kPidHost) {
+  TelemetryEvent ev;
+  ev.ph = 'X';
+  ev.pid = pid;
+  ev.tid = 7;
+  ev.trace_id = trace_id;
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.name = name;
+  ev.cat = "test";
+  return ev;
+}
+}  // namespace
+
+TEST(Collector, NormalizesClockAndAssignsLanes) {
+  Collector c;
+  // Worker's clock runs 100s ahead of the root's: a span it recorded at
+  // its t=105 really happened at root t=5.
+  c.add("w0", 100.0, {make_span(1, 105.0, 0.5, "lfm.run")}, 3);
+  c.add("w1", -2.0, {make_span(1, 4.0, 0.25, "lfm.run")});
+  Recorder& r = Recorder::global();
+  r.set_enabled(true);
+  r.complete(kPidHost, 7, 4.5, 2.0, "task", "fed");
+  c.add_local("root", r.drain_events());
+  r.set_enabled(false);
+
+  EXPECT_EQ(c.event_count(), 3u);
+  EXPECT_EQ(c.source_count(), 3u);
+  EXPECT_EQ(c.dropped_total(), 3);
+  const auto events = c.events();
+  std::map<std::string, double> ts_by_source;
+  std::map<uint64_t, int> lane_seen;
+  for (const auto& ev : events) {
+    ++lane_seen[ev.pid];
+    if (ev.name == "lfm.run") ts_by_source[ev.cat + std::to_string(ev.ts)] = ev.ts;
+  }
+  // Three distinct lanes, one per (source, pid-domain).
+  EXPECT_EQ(lane_seen.size(), 3u);
+  // Normalized timestamps: 105-100=5 and 4-(-2)=6 land inside the root's
+  // 4.5..6.5 task span.
+  std::vector<double> ts;
+  for (const auto& ev : events) ts.push_back(ev.ts);
+  std::sort(ts.begin(), ts.end());
+  EXPECT_NEAR(ts[0], 4.5, 1e-9);
+  EXPECT_NEAR(ts[1], 5.0, 1e-9);
+  EXPECT_NEAR(ts[2], 6.0, 1e-9);
+}
+
+TEST(Collector, TraceJsonCarriesLaneNamesAndHexTraceIds) {
+  Collector c;
+  c.add("w0", 0.0, {make_span(0xDEADBEEFull, 1.0, 0.5, "lfm.run")});
+  const serde::Value doc = serde::from_json(c.trace_json());
+  ASSERT_TRUE(doc.is_dict());
+  ASSERT_EQ(doc.as_dict().count("displayTimeUnit"), 1u);
+  const auto& events = doc.as_dict().at("traceEvents").as_list();
+  bool saw_process_name = false;
+  bool saw_hex_id = false;
+  for (const auto& item : events) {
+    const auto& ev = item.as_dict();
+    const std::string ph = ev.at("ph").as_str();
+    if (ph == "M") {
+      if (ev.at("args").as_dict().at("name").as_str() == "w0") {
+        saw_process_name = true;
+      }
+    }
+    if (ph == "X") {
+      const auto& args = ev.at("args").as_dict();
+      ASSERT_EQ(args.count("trace_id"), 1u);
+      EXPECT_EQ(args.at("trace_id").as_str(), "0x00000000deadbeef");
+      saw_hex_id = true;
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_hex_id);
+}
+
+TEST(Collector, WriteProducesLoadableFile) {
+  Collector c;
+  c.add("w0", 0.0, {make_span(1, 0.0, 1.0, "lfm.run")});
+  const std::string path = "obs_out/collector_test.trace.json";
+  c.write(path);
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text(1 << 16, '\0');
+  text.resize(std::fread(&text[0], 1, text.size(), f));
+  std::fclose(f);
+  serde::from_json(text);  // throws if malformed
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -408,6 +408,161 @@ TEST(Protocol, ClassifyDistinguishesEveryKind) {
   EXPECT_THROW(classify("bogus 1 2\nend\n"), Error);
 }
 
+// --- distributed tracing extensions ------------------------------------------
+
+TEST(Protocol, TraceIdRoundTripsOnV2TaskAndResult) {
+  TaskMessage t = sample_task();
+  t.trace_id = 0xDEADBEEFCAFE1234ull;
+  t.parent_span = 77;
+  const TaskMessage tback = decode_task(encode(t, WireVersion::kV2));
+  EXPECT_EQ(tback.trace_id, 0xDEADBEEFCAFE1234ull);
+  EXPECT_EQ(tback.parent_span, 77u);
+
+  ResultMessage r = sample_result();
+  r.trace_id = 0xDEADBEEFCAFE1234ull;
+  const ResultMessage rback = decode_result(encode(r, WireVersion::kV2));
+  EXPECT_EQ(rback.trace_id, 0xDEADBEEFCAFE1234ull);
+}
+
+TEST(Protocol, UntracedFramesCarryNoExtensionBytes) {
+  // trace_id == 0 must leave the encoding byte-identical to a codec that
+  // never heard of tracing: the extension is trailing and conditional.
+  TaskMessage t = sample_task();
+  const std::string before = encode(t, WireVersion::kV2);
+  t.trace_id = 0;
+  t.parent_span = 0;
+  EXPECT_EQ(encode(t, WireVersion::kV2), before);
+  t.trace_id = 5;
+  EXPECT_GT(encode(t, WireVersion::kV2).size(), before.size());
+  // Decoding the untraced frame leaves the fields defaulted.
+  const TaskMessage back = decode_task(before);
+  EXPECT_EQ(back.trace_id, 0u);
+  EXPECT_EQ(back.parent_span, 0u);
+}
+
+TEST(Protocol, V1DropsTraceIdsGracefully) {
+  // v1 has no extension slot: the ids simply don't travel — old peers see
+  // exactly the frames they always saw.
+  TaskMessage t = sample_task();
+  t.trace_id = 123;
+  t.parent_span = 9;
+  const TaskMessage back = decode_task(encode(t, WireVersion::kV1));
+  EXPECT_EQ(back.trace_id, 0u);
+  ResultMessage r = sample_result();
+  r.trace_id = 123;
+  EXPECT_EQ(decode_result(encode(r, WireVersion::kV1)).trace_id, 0u);
+}
+
+TEST(Protocol, TracedBatchEntriesStayBounded) {
+  // The regression this guards: per-entry extension reads must not consume
+  // the next entry's bytes in a batch frame. Mix traced and untraced.
+  std::vector<TaskMessage> tasks{sample_task(), sample_task(), sample_task()};
+  tasks[0].trace_id = 1111;
+  tasks[2].trace_id = 3333;
+  tasks[2].parent_span = 4;
+  const std::vector<TaskMessage> back =
+      decode_task_batch(encode_batch(tasks, WireVersion::kV2));
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].trace_id, 1111u);
+  EXPECT_EQ(back[1].trace_id, 0u);
+  EXPECT_EQ(back[2].trace_id, 3333u);
+  EXPECT_EQ(back[2].parent_span, 4u);
+
+  std::vector<ResultMessage> results{sample_result(), sample_result()};
+  results[1].trace_id = 2222;
+  const std::vector<ResultMessage> rback =
+      decode_result_batch(encode_batch(results, WireVersion::kV2));
+  ASSERT_EQ(rback.size(), 2u);
+  EXPECT_EQ(rback[0].trace_id, 0u);
+  EXPECT_EQ(rback[1].trace_id, 2222u);
+}
+
+TEST(Protocol, EncodedSizeCoversTraceExtensions) {
+  TaskMessage t = sample_task();
+  t.trace_id = 0xFFFFFFFFFFFFFFFFull;  // max-width varint
+  t.parent_span = 1;
+  EXPECT_EQ(encoded_size(t, WireVersion::kV2),
+            encode(t, WireVersion::kV2).size());
+  ResultMessage r = sample_result();
+  r.trace_id = 300;
+  EXPECT_EQ(encoded_size(r, WireVersion::kV2),
+            encode(r, WireVersion::kV2).size());
+}
+
+TEST_P(ProtocolBothVersions, ControlPeerTimeRoundtrip) {
+  ControlMessage ping{ControlType::kPong, 42, 1234.5};
+  ping.peer_time = 987.654321;
+  const ControlMessage back = decode_control(encode(ping, GetParam()));
+  EXPECT_DOUBLE_EQ(back.peer_time, 987.654321);
+  // Absent field decodes as zero — and adds no bytes to the frame.
+  ControlMessage plain{ControlType::kPong, 42, 1234.5};
+  const std::string wire = encode(plain, GetParam());
+  EXPECT_LT(wire.size(), encode(ping, GetParam()).size());
+  EXPECT_DOUBLE_EQ(decode_control(wire).peer_time, 0.0);
+}
+
+TEST(Protocol, TelemetryRoundtrip) {
+  TelemetryMessage msg;
+  msg.source = "worker-3";
+  msg.process_id = 4242;
+  msg.clock_offset = -0.125;
+  msg.dropped = 17;
+  obs::TelemetryEvent ev;
+  ev.ph = 'X';
+  ev.pid = 2;
+  ev.tid = 99;
+  ev.trace_id = 0xABCDEF0123456789ull;
+  ev.ts = 12.5;
+  ev.dur = 0.25;
+  ev.name = "lfm.run";
+  ev.cat = "worker";
+  ev.akey0 = "rss_mb";
+  ev.aval0 = 88.0;
+  ev.skey = "outcome";
+  ev.sval = "success";
+  msg.events.push_back(ev);
+  obs::TelemetryEvent instant;
+  instant.ph = 'i';
+  instant.name = "net.dispatch";
+  instant.cat = "net";
+  msg.events.push_back(instant);
+  msg.counters.push_back({"net.results", 12});
+  msg.gauges.push_back({"net.write_queue_bytes", 4096.0});
+
+  const std::string wire = encode(msg, WireVersion::kV2);
+  EXPECT_EQ(classify(wire), MessageKind::kTelemetry);
+  const TelemetryMessage back = decode_telemetry(wire);
+  EXPECT_EQ(back.source, "worker-3");
+  EXPECT_EQ(back.process_id, 4242u);
+  EXPECT_DOUBLE_EQ(back.clock_offset, -0.125);
+  EXPECT_EQ(back.dropped, 17);
+  ASSERT_EQ(back.events.size(), 2u);
+  EXPECT_EQ(back.events[0].ph, 'X');
+  EXPECT_EQ(back.events[0].trace_id, 0xABCDEF0123456789ull);
+  EXPECT_DOUBLE_EQ(back.events[0].ts, 12.5);
+  EXPECT_DOUBLE_EQ(back.events[0].dur, 0.25);
+  EXPECT_EQ(back.events[0].name, "lfm.run");
+  EXPECT_EQ(back.events[0].akey0, "rss_mb");
+  EXPECT_DOUBLE_EQ(back.events[0].aval0, 88.0);
+  EXPECT_EQ(back.events[0].skey, "outcome");
+  EXPECT_EQ(back.events[0].sval, "success");
+  EXPECT_EQ(back.events[1].ph, 'i');
+  EXPECT_EQ(back.events[1].name, "net.dispatch");
+  ASSERT_EQ(back.counters.size(), 1u);
+  EXPECT_EQ(back.counters[0].first, "net.results");
+  EXPECT_EQ(back.counters[0].second, 12);
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.gauges[0].second, 4096.0);
+}
+
+TEST(Protocol, TelemetryRequiresV2) {
+  TelemetryMessage msg;
+  msg.source = "w";
+  EXPECT_THROW(encode(msg, WireVersion::kV1), Error);
+  TelemetryMessage bad;  // empty source fails validation
+  EXPECT_THROW(encode(bad, WireVersion::kV2), Error);
+}
+
 TEST(Protocol, OversizedFrameLengthRejectedBeforeAllocation) {
   // A hostile header claiming a body far past the cap: magic, version, type,
   // then a varint length of ~2^62 bytes. The decoder must reject it from the
